@@ -1,0 +1,351 @@
+//! RAR-like general-purpose byte compressor.
+//!
+//! Stands in for the off-the-shelf RAR binary of the paper's §6.1 (ratio
+//! 3.78 there — consistently above ZIP). The improvements over
+//! [`crate::zipx`] mirror why real RAR beats real ZIP:
+//!
+//! * a much larger match window (1 MiB vs 32 KiB),
+//! * **stream separation** — control bits, literals, match lengths and
+//!   match distances are entropy-coded as four independent streams, so
+//!   each gets a model fitted to its own statistics (mixing them, as the
+//!   simple zipx layout does, blurs every model),
+//! * an order-1 context model (low nibble of the previous byte) for the
+//!   literal stream — on text logs this separates the digit/comma/newline
+//!   classes where the sequential structure lives,
+//! * varint-coded match distances.
+//!
+//! Container: `[u64 token count][4 × u64 block byte lengths][blocks…]`,
+//! each block `[tables][u64 bit count][payload]`.
+
+use crate::lz::{lz77_tokens, Token, MIN_MATCH};
+use press_core::spatial::{BitStream, BitWriter, Huffman};
+
+/// Sliding window of the LZ stage.
+const WINDOW: usize = 1024 * 1024;
+/// Match-finder effort (higher than zipx — RAR trades time for ratio).
+const MAX_CHAIN: usize = 256;
+/// Order-1 contexts for the literal stream.
+const CONTEXTS: usize = 16;
+
+#[inline]
+fn context_of(prev: u8) -> usize {
+    (prev & 0x0F) as usize
+}
+
+/// Splits tokens into the four component streams.
+fn split_streams(tokens: &[Token]) -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
+    let mut controls = Vec::with_capacity(tokens.len() / 8 + 1);
+    let mut literals = Vec::new();
+    let mut lens = Vec::new();
+    let mut dists = Vec::new();
+    for group in tokens.chunks(8) {
+        let mut control = 0u8;
+        for (k, t) in group.iter().enumerate() {
+            if matches!(t, Token::Match { .. }) {
+                control |= 1 << k;
+            }
+        }
+        controls.push(control);
+        for t in group {
+            match *t {
+                Token::Literal(b) => literals.push(b),
+                Token::Match { len, dist } => {
+                    lens.push((len as usize - MIN_MATCH) as u8);
+                    let mut v = dist;
+                    loop {
+                        let byte = (v & 0x7F) as u8;
+                        v >>= 7;
+                        if v == 0 {
+                            dists.push(byte);
+                            break;
+                        }
+                        dists.push(byte | 0x80);
+                    }
+                }
+            }
+        }
+    }
+    (controls, literals, lens, dists)
+}
+
+/// Order-0 block: `[256 lens][u64 nbits][payload]`.
+fn encode_o0(stream: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 256];
+    for &b in stream {
+        freqs[b as usize] += 1;
+    }
+    let h = Huffman::from_freqs(&freqs).expect("256 symbols");
+    let mut w = BitWriter::with_capacity_bits(stream.len() * 6);
+    for &b in stream {
+        h.encode_symbol(b as u32, &mut w);
+    }
+    let bits = w.finish();
+    let mut out = Vec::with_capacity(256 + 8 + bits.byte_len());
+    out.extend_from_slice(&h.code_lengths());
+    out.extend_from_slice(&bits.len_bits().to_le_bytes());
+    out.extend_from_slice(&bits.to_bytes());
+    out
+}
+
+fn decode_o0(block: &[u8], expected_hint: usize) -> Result<Vec<u8>, String> {
+    if block.len() < 264 {
+        return Err("order-0 block too short".into());
+    }
+    let h = Huffman::from_code_lengths(block[..256].to_vec()).map_err(|e| e.to_string())?;
+    let nbits = u64::from_le_bytes(block[256..264].try_into().unwrap());
+    let payload = &block[264..];
+    if nbits.div_ceil(8) as usize > payload.len() {
+        return Err("order-0 block truncated".into());
+    }
+    let bits = BitStream::from_bytes(payload, nbits);
+    let mut reader = bits.reader();
+    let mut out = Vec::with_capacity(expected_hint);
+    while !reader.is_exhausted() {
+        out.push(h.decode_symbol(&mut reader).map_err(|e| e.to_string())? as u8);
+    }
+    Ok(out)
+}
+
+/// Order-1 block: `[16 × 256 lens][u64 nbits][payload]`.
+fn encode_o1(stream: &[u8]) -> Vec<u8> {
+    let mut freqs = vec![[0u64; 256]; CONTEXTS];
+    let mut prev = 0u8;
+    for &b in stream {
+        freqs[context_of(prev)][b as usize] += 1;
+        prev = b;
+    }
+    let tables: Vec<Huffman> = freqs
+        .iter()
+        .map(|f| Huffman::from_freqs(f).expect("256 symbols"))
+        .collect();
+    let mut w = BitWriter::with_capacity_bits(stream.len() * 6);
+    let mut prev = 0u8;
+    for &b in stream {
+        tables[context_of(prev)].encode_symbol(b as u32, &mut w);
+        prev = b;
+    }
+    let bits = w.finish();
+    let mut out = Vec::with_capacity(CONTEXTS * 256 + 8 + bits.byte_len());
+    for t in &tables {
+        out.extend_from_slice(&t.code_lengths());
+    }
+    out.extend_from_slice(&bits.len_bits().to_le_bytes());
+    out.extend_from_slice(&bits.to_bytes());
+    out
+}
+
+fn decode_o1(block: &[u8]) -> Result<Vec<u8>, String> {
+    let header = CONTEXTS * 256;
+    if block.len() < header + 8 {
+        return Err("order-1 block too short".into());
+    }
+    let tables: Vec<Huffman> = (0..CONTEXTS)
+        .map(|c| {
+            Huffman::from_code_lengths(block[c * 256..(c + 1) * 256].to_vec())
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    let nbits = u64::from_le_bytes(block[header..header + 8].try_into().unwrap());
+    let payload = &block[header + 8..];
+    if nbits.div_ceil(8) as usize > payload.len() {
+        return Err("order-1 block truncated".into());
+    }
+    let bits = BitStream::from_bytes(payload, nbits);
+    let mut reader = bits.reader();
+    let mut out = Vec::new();
+    let mut prev = 0u8;
+    while !reader.is_exhausted() {
+        let sym = tables[context_of(prev)]
+            .decode_symbol(&mut reader)
+            .map_err(|e| e.to_string())? as u8;
+        out.push(sym);
+        prev = sym;
+    }
+    Ok(out)
+}
+
+/// Compresses a byte buffer.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lz77_tokens(data, WINDOW, MAX_CHAIN);
+    let (controls, literals, lens, dists) = split_streams(&tokens);
+    let blocks = [
+        encode_o0(&controls),
+        encode_o1(&literals),
+        encode_o0(&lens),
+        encode_o0(&dists),
+    ];
+    let mut out = Vec::with_capacity(40 + blocks.iter().map(Vec::len).sum::<usize>());
+    out.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+    for b in &blocks {
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    }
+    for b in &blocks {
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, String> {
+    if packed.len() < 40 {
+        return Err("rarx container too short".into());
+    }
+    let n_tokens = u64::from_le_bytes(packed[..8].try_into().unwrap()) as usize;
+    let mut block_lens = [0usize; 4];
+    for (i, bl) in block_lens.iter_mut().enumerate() {
+        *bl = u64::from_le_bytes(packed[8 + i * 8..16 + i * 8].try_into().unwrap()) as usize;
+    }
+    let mut pos = 40usize;
+    let mut blocks: Vec<&[u8]> = Vec::with_capacity(4);
+    for &bl in &block_lens {
+        let end = pos.checked_add(bl).ok_or("length overflow")?;
+        if end > packed.len() {
+            return Err("rarx container truncated".into());
+        }
+        blocks.push(&packed[pos..end]);
+        pos = end;
+    }
+    let controls = decode_o0(blocks[0], n_tokens / 8 + 1)?;
+    let literals = decode_o1(blocks[1])?;
+    let lens = decode_o0(blocks[2], 0)?;
+    let dists = decode_o0(blocks[3], 0)?;
+    // Reassemble the original bytes directly from the streams.
+    let mut out = Vec::new();
+    let (mut li, mut ni, mut di) = (0usize, 0usize, 0usize);
+    let mut produced = 0usize;
+    for &control in &controls {
+        for k in 0..8usize {
+            if produced == n_tokens {
+                break;
+            }
+            if control & (1 << k) != 0 {
+                let len = *lens.get(ni).ok_or("missing match length")? as usize + MIN_MATCH;
+                ni += 1;
+                let mut dist = 0u32;
+                let mut shift = 0u32;
+                loop {
+                    let byte = *dists.get(di).ok_or("missing distance byte")?;
+                    di += 1;
+                    if shift >= 32 {
+                        return Err("distance varint overflow".into());
+                    }
+                    dist |= ((byte & 0x7F) as u32) << shift;
+                    shift += 7;
+                    if byte & 0x80 == 0 {
+                        break;
+                    }
+                }
+                let dist = dist as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err("invalid back-reference".into());
+                }
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            } else {
+                out.push(*literals.get(li).ok_or("missing literal")?);
+                li += 1;
+            }
+            produced += 1;
+        }
+    }
+    if produced != n_tokens {
+        return Err("token count mismatch".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory_like_bytes(n: usize) -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..n as u32 {
+            let x = 1000.0 + (i as f64) * 3.7 + ((i % 7) as f64) * 0.01;
+            let y = 2000.0 + (i as f64) * 1.3;
+            data.extend_from_slice(&x.to_le_bytes());
+            data.extend_from_slice(&y.to_le_bytes());
+            data.extend_from_slice(&(i * 30).to_le_bytes());
+        }
+        data
+    }
+
+    fn csv_like_bytes(n: usize, noise_seed: u64) -> Vec<u8> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        let mut s = String::new();
+        let mut x = 1000.0f64;
+        let mut y = 2000.0f64;
+        for i in 0..n as u64 {
+            x += 3.0 + rng.gen_range(-8.0..8.0);
+            y += 1.5 + rng.gen_range(-8.0..8.0);
+            s.push_str(&format!("{x:.2},{y:.2},{}\n", i * 30));
+        }
+        s.into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data = trajectory_like_bytes(3000);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        assert!(packed.len() < data.len());
+    }
+
+    #[test]
+    fn roundtrip_csv() {
+        let data = csv_like_bytes(4000, 5);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        assert!(packed.len() < data.len());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], &b"z"[..], b"abcd"] {
+            let packed = compress(data);
+            assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_bytes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn beats_zipx_on_noisy_csv_logs() {
+        // The paper's ordering: RAR ratio (3.78) > ZIP ratio (2.09). The
+        // discriminating input is what the evaluation actually feeds them:
+        // noisy CSV GPS logs.
+        let data = csv_like_bytes(8000, 42);
+        let zip = crate::zipx::compress(&data);
+        let rar = compress(&data);
+        assert!(
+            rar.len() < zip.len(),
+            "rarx ({}) must beat zipx ({}) on {} input bytes",
+            rar.len(),
+            zip.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&rar).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error() {
+        assert!(decompress(&[1u8; 30]).is_err());
+        assert!(decompress(&[0u8; 100]).is_err());
+        let mut packed = compress(&csv_like_bytes(500, 2));
+        packed.truncate(packed.len() - 3);
+        assert!(decompress(&packed).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Euclidean line-simplification kit (paper §7.1) and the TSED metric.
+//!
+//! These are the classic trajectory compressors PRESS's related work
+//! surveys: uniform sampling, Douglas–Peucker with the time-synchronized
+//! Euclidean distance (TSED) of Meratnia & de By, and the opening-window
+//! variant. They operate on raw `(x, y, t)` trajectories and are used (a)
+//! to map PRESS's τ/η bounds onto the TSED axis of Fig. 14 and (b) as
+//! reference implementations in tests.
+
+use press_core::GpsPoint;
+use press_network::Point;
+
+/// Position along a `(x, y, t)` trajectory at time `t`, linearly
+/// interpolated and clamped. Requires a non-empty trajectory.
+pub fn position_at(traj: &[GpsPoint], t: f64) -> Point {
+    debug_assert!(!traj.is_empty());
+    if t <= traj[0].t {
+        return traj[0].point;
+    }
+    if t >= traj[traj.len() - 1].t {
+        return traj[traj.len() - 1].point;
+    }
+    let i = traj.partition_point(|p| p.t <= t);
+    let (a, b) = (&traj[i - 1], &traj[i]);
+    let span = b.t - a.t;
+    if span <= f64::EPSILON {
+        return a.point;
+    }
+    a.point.lerp(&b.point, (t - a.t) / span)
+}
+
+/// Time-Synchronized Euclidean Distance between a trajectory and its
+/// compressed form: `max_t |pos(T, t) − pos(T', t)|` (paper §4.1 cites
+/// [16, 20]). Evaluated at the union of both knot sets (the difference of
+/// two piecewise-linear curves peaks at a knot).
+pub fn tsed(a: &[GpsPoint], b: &[GpsPoint]) -> f64 {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let mut max = 0.0f64;
+    for p in a.iter().chain(b.iter()) {
+        let d = position_at(a, p.t).dist(&position_at(b, p.t));
+        max = max.max(d);
+    }
+    max
+}
+
+/// Keeps every `k`-th point (plus the last). Efficient but not
+/// error-bounded (§7.1.1).
+pub fn uniform_sample(traj: &[GpsPoint], k: usize) -> Vec<GpsPoint> {
+    assert!(k >= 1, "k must be at least 1");
+    if traj.len() <= 2 {
+        return traj.to_vec();
+    }
+    let mut out: Vec<GpsPoint> = traj.iter().step_by(k).copied().collect();
+    if out.last() != traj.last() {
+        out.push(*traj.last().unwrap());
+    }
+    out
+}
+
+/// Douglas–Peucker with the time-synchronized distance: recursively keeps
+/// the point deviating most from the chord (measured at its own timestamp)
+/// until every deviation is within `epsilon`.
+pub fn douglas_peucker_tsed(traj: &[GpsPoint], epsilon: f64) -> Vec<GpsPoint> {
+    assert!(epsilon >= 0.0);
+    if traj.len() <= 2 {
+        return traj.to_vec();
+    }
+    let mut keep = vec![false; traj.len()];
+    keep[0] = true;
+    keep[traj.len() - 1] = true;
+    let mut stack = vec![(0usize, traj.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let chord = [traj[lo], traj[hi]];
+        let mut worst = (lo, 0.0f64);
+        for (i, p) in traj.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = position_at(&chord, p.t).dist(&p.point);
+            if d > worst.1 {
+                worst = (i, d);
+            }
+        }
+        if worst.1 > epsilon {
+            keep[worst.0] = true;
+            stack.push((lo, worst.0));
+            stack.push((worst.0, hi));
+        }
+    }
+    traj.iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+/// Opening-window simplification under TSED: grows a window from an anchor
+/// and keeps the predecessor as soon as some skipped point deviates more
+/// than `epsilon` from the anchor→candidate chord (the BOPW shape that
+/// PRESS's BTC adapts to the d–t plane).
+pub fn opening_window_tsed(traj: &[GpsPoint], epsilon: f64) -> Vec<GpsPoint> {
+    assert!(epsilon >= 0.0);
+    if traj.len() <= 2 {
+        return traj.to_vec();
+    }
+    let n = traj.len();
+    let mut out = vec![traj[0]];
+    let mut anchor = 0usize;
+    let mut i = 1usize;
+    while i < n {
+        let chord = [traj[anchor], traj[i]];
+        let ok =
+            (anchor + 1..i).all(|j| position_at(&chord, traj[j].t).dist(&traj[j].point) <= epsilon);
+        if ok {
+            i += 1;
+        } else {
+            out.push(traj[i - 1]);
+            anchor = i - 1;
+        }
+    }
+    out.push(traj[n - 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(x: f64, y: f64, t: f64) -> GpsPoint {
+        GpsPoint {
+            point: Point::new(x, y),
+            t,
+        }
+    }
+
+    fn zigzag(n: usize) -> Vec<GpsPoint> {
+        (0..n)
+            .map(|i| {
+                gp(
+                    i as f64 * 10.0,
+                    if i % 2 == 0 { 0.0 } else { 6.0 },
+                    i as f64 * 5.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn position_interpolates() {
+        let t = [gp(0.0, 0.0, 0.0), gp(10.0, 0.0, 10.0)];
+        let p = position_at(&t, 5.0);
+        assert!((p.x - 5.0).abs() < 1e-12);
+        assert_eq!(position_at(&t, -1.0), t[0].point);
+        assert_eq!(position_at(&t, 99.0), t[1].point);
+    }
+
+    #[test]
+    fn tsed_of_identical_is_zero() {
+        let t = zigzag(10);
+        assert_eq!(tsed(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn tsed_measures_chord_deviation() {
+        let t = [gp(0.0, 0.0, 0.0), gp(5.0, 5.0, 5.0), gp(10.0, 0.0, 10.0)];
+        let chord = [t[0], t[2]];
+        assert!((tsed(&t, &chord) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sampling_keeps_ends() {
+        let t = zigzag(11);
+        let s = uniform_sample(&t, 3);
+        assert_eq!(s.first(), t.first());
+        assert_eq!(s.last(), t.last());
+        assert!(s.len() < t.len());
+    }
+
+    #[test]
+    fn dp_respects_epsilon() {
+        let t = zigzag(30);
+        for eps in [0.5, 3.0, 7.0] {
+            let s = douglas_peucker_tsed(&t, eps);
+            assert!(tsed(&t, &s) <= eps + 1e-9, "eps {eps}");
+            assert_eq!(s.first(), t.first());
+            assert_eq!(s.last(), t.last());
+        }
+        // Larger epsilon keeps fewer points.
+        assert!(douglas_peucker_tsed(&t, 7.0).len() <= douglas_peucker_tsed(&t, 0.5).len());
+    }
+
+    #[test]
+    fn dp_with_zero_epsilon_keeps_non_collinear_points() {
+        let t = zigzag(10);
+        let s = douglas_peucker_tsed(&t, 0.0);
+        assert_eq!(s.len(), t.len());
+    }
+
+    #[test]
+    fn opening_window_respects_epsilon() {
+        let t = zigzag(40);
+        for eps in [1.0, 4.0, 10.0] {
+            let s = opening_window_tsed(&t, eps);
+            assert!(tsed(&t, &s) <= eps + 1e-9, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn collinear_input_collapses() {
+        let line: Vec<GpsPoint> = (0..20).map(|i| gp(i as f64, 0.0, i as f64)).collect();
+        assert_eq!(douglas_peucker_tsed(&line, 0.01).len(), 2);
+        assert_eq!(opening_window_tsed(&line, 0.01).len(), 2);
+    }
+
+    #[test]
+    fn tiny_inputs_pass_through() {
+        let one = [gp(0.0, 0.0, 0.0)];
+        assert_eq!(douglas_peucker_tsed(&one, 1.0), one);
+        assert_eq!(opening_window_tsed(&one, 1.0), one);
+        assert_eq!(uniform_sample(&one, 2), one);
+    }
+}

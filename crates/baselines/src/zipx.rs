@@ -1,0 +1,126 @@
+//! ZIP-like general-purpose byte compressor (DEFLATE's shape: LZ77 over a
+//! 32 KiB window followed by Huffman entropy coding).
+//!
+//! Stands in for the off-the-shelf ZIP binary of the paper's §6.1 (ratio
+//! 2.09 there). Like real ZIP, the output supports no trajectory queries —
+//! it must be fully decompressed before use, which is exactly the utility
+//! argument PRESS makes.
+//!
+//! Container format:
+//! `[256 × u8 code lengths][u64 bit count][payload bytes]`.
+
+use crate::lz::{bytes_to_tokens, lz77_expand, lz77_tokens, tokens_to_bytes};
+use press_core::spatial::{BitStream, BitWriter, Huffman};
+
+/// Sliding window of the LZ stage (DEFLATE's 32 KiB).
+const WINDOW: usize = 32 * 1024;
+/// Match-finder effort.
+const MAX_CHAIN: usize = 128;
+
+/// Compresses a byte buffer.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lz77_tokens(data, WINDOW, MAX_CHAIN);
+    let stream = tokens_to_bytes(&tokens);
+    entropy_encode(&stream)
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, String> {
+    let stream = entropy_decode(packed)?;
+    let tokens = bytes_to_tokens(&stream)?;
+    lz77_expand(&tokens)
+}
+
+/// Order-0 Huffman over the token byte stream.
+fn entropy_encode(stream: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 256];
+    for &b in stream {
+        freqs[b as usize] += 1;
+    }
+    let huffman = Huffman::from_freqs(&freqs).expect("256 symbols");
+    let mut w = BitWriter::with_capacity_bits(stream.len() * 6);
+    for &b in stream {
+        huffman.encode_symbol(b as u32, &mut w);
+    }
+    let bits = w.finish();
+    let mut out = Vec::with_capacity(256 + 8 + bits.byte_len());
+    out.extend_from_slice(&huffman.code_lengths());
+    out.extend_from_slice(&bits.len_bits().to_le_bytes());
+    out.extend_from_slice(&bits.to_bytes());
+    out
+}
+
+fn entropy_decode(packed: &[u8]) -> Result<Vec<u8>, String> {
+    if packed.len() < 264 {
+        return Err("zipx container too short".into());
+    }
+    let lens = packed[..256].to_vec();
+    let huffman = Huffman::from_code_lengths(lens).map_err(|e| e.to_string())?;
+    let nbits = u64::from_le_bytes(packed[256..264].try_into().unwrap());
+    let payload = &packed[264..];
+    if nbits.div_ceil(8) as usize > payload.len() {
+        return Err("zipx payload truncated".into());
+    }
+    let bits = BitStream::from_bytes(payload, nbits);
+    let mut reader = bits.reader();
+    let mut out = Vec::new();
+    while !reader.is_exhausted() {
+        let sym = huffman
+            .decode_symbol(&mut reader)
+            .map_err(|e| e.to_string())?;
+        out.push(sym as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let data =
+            b"the quick brown fox jumps over the lazy dog; the quick brown fox again".repeat(20);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        assert!(packed.len() < data.len(), "redundant text must shrink");
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], &b"x"[..], &b"xy"[..]] {
+            let packed = compress(data);
+            assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary_trajectory_layout() {
+        // Simulated raw GPS byte layout: slowly varying doubles.
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            let x = 1000.0 + (i as f64) * 3.7;
+            let y = 2000.0 + (i as f64) * 1.3;
+            data.extend_from_slice(&x.to_le_bytes());
+            data.extend_from_slice(&y.to_le_bytes());
+            data.extend_from_slice(&(i * 30).to_le_bytes());
+        }
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        assert!(
+            packed.len() < data.len(),
+            "structured binary should shrink: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        assert!(decompress(&[0u8; 10]).is_err());
+        let mut packed = compress(b"hello world hello world hello");
+        let split = packed.len().saturating_sub(2);
+        packed.truncate(split);
+        assert!(decompress(&packed).is_err(), "truncation must be detected");
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the baselines vs PRESS — the micro-level view
+//! behind the paper's Fig. 13 (MMTC ≈ 196× PRESS compression time;
+//! PRESS faster than Nonmaterial, ZIP and RAR).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_baselines::{mmtc, nonmaterial, rarx, zipx};
+use press_bench::{Env, Scale};
+use press_workload::gps_to_csv;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let env = Env::standard(Scale::Small, 3);
+    let trajs = env.eval_trajectories();
+    let subset = &trajs[..trajs.len().min(20)];
+
+    let mut group = c.benchmark_group("compress_20_trajectories");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("press", |b| {
+        b.iter(|| {
+            for t in subset {
+                black_box(env.press.compress(t).unwrap());
+            }
+        })
+    });
+    let nm_cfg = nonmaterial::NonmaterialConfig::default();
+    group.bench_function("nonmaterial", |b| {
+        b.iter(|| {
+            for t in subset {
+                black_box(nonmaterial::compress(&env.net, t, &nm_cfg));
+            }
+        })
+    });
+    let mmtc_cfg = mmtc::MmtcConfig::default();
+    group.bench_function("mmtc", |b| {
+        b.iter(|| {
+            for t in subset {
+                black_box(mmtc::compress(&env.net, t, &mmtc_cfg));
+            }
+        })
+    });
+    group.finish();
+
+    // Byte codecs on the CSV log form.
+    let mut csv = Vec::new();
+    for r in env.eval_records().iter().take(40) {
+        csv.extend(gps_to_csv(&r.gps_trace(&env.net, 10.0, 8.0)));
+    }
+    let mut group = c.benchmark_group("byte_codecs");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    group.bench_function("zipx_compress", |b| {
+        b.iter(|| black_box(zipx::compress(&csv)))
+    });
+    group.bench_function("rarx_compress", |b| {
+        b.iter(|| black_box(rarx::compress(&csv)))
+    });
+    let zip_packed = zipx::compress(&csv);
+    let rar_packed = rarx::compress(&csv);
+    group.bench_function("zipx_decompress", |b| {
+        b.iter(|| black_box(zipx::decompress(&zip_packed).unwrap()))
+    });
+    group.bench_function("rarx_decompress", |b| {
+        b.iter(|| black_box(rarx::decompress(&rar_packed).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks for the compression stages, backing the
+//! paper's complexity claims: SP, FST (greedy vs DP), BTC (angular range
+//! vs quadratic BOPW), and the full PRESS pipeline — each swept over
+//! trajectory length to expose the `O(|T|)` scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use press_bench::{Env, Scale};
+use press_core::spatial::{sp_compress, Decomposer};
+use press_core::temporal::{bopw_compress, btc_compress, BtcBounds};
+use press_core::{DtPoint, SpatialPath, TemporalSequence, Trajectory};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A long trajectory assembled by chaining evaluation paths.
+fn long_trajectory(env: &Env, target_edges: usize) -> Trajectory {
+    let records = env.eval_records();
+    let net = &env.net;
+    let mut edges = Vec::with_capacity(target_edges);
+    let mut k = 0usize;
+    'outer: loop {
+        let r = &records[k % records.len()];
+        k += 1;
+        for &e in &r.path {
+            // Keep the path connected: restart segments are glued with a
+            // shortest path via the SP table when non-adjacent.
+            if let Some(&prev) = edges.last() {
+                if !net.consecutive(prev, e) {
+                    if let Some(mut interior) = env.sp.sp_interior(prev, e) {
+                        edges.append(&mut interior);
+                    } else {
+                        continue;
+                    }
+                }
+            }
+            edges.push(e);
+            if edges.len() >= target_edges {
+                break 'outer;
+            }
+        }
+    }
+    let total: f64 = edges.iter().map(|&e| net.weight(e)).sum();
+    let n_samples = (edges.len() * 2).max(4);
+    let pts: Vec<DtPoint> = (0..n_samples)
+        .map(|i| {
+            let frac = i as f64 / (n_samples - 1) as f64;
+            DtPoint::new(total * frac, 30.0 * i as f64)
+        })
+        .collect();
+    Trajectory::new(
+        SpatialPath::new_unchecked(edges),
+        TemporalSequence::new_unchecked(pts),
+    )
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let env = Env::standard(Scale::Small, 3);
+    let lengths = [16usize, 64, 256];
+    let trajs: Vec<Trajectory> = lengths.iter().map(|&l| long_trajectory(&env, l)).collect();
+
+    let mut group = c.benchmark_group("sp_compress");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| black_box(sp_compress(&env.sp, &t.path.edges)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hsc_greedy");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| {
+                black_box(
+                    env.press
+                        .model()
+                        .compress_with(&t.path.edges, Decomposer::Greedy)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hsc_dp");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| {
+                black_box(
+                    env.press
+                        .model()
+                        .compress_with(&t.path.edges, Decomposer::Dp)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    let bounds = BtcBounds::new(20.0, 10.0);
+    let mut group = c.benchmark_group("btc_angular");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| black_box(btc_compress(&t.temporal.points, bounds)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bopw_quadratic");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| black_box(bopw_compress(&t.temporal.points, bounds)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("press_end_to_end");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        group.bench_with_input(BenchmarkId::from_parameter(l), t, |b, t| {
+            b.iter(|| black_box(env.press.compress(t).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("press_decompress");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (t, &l) in trajs.iter().zip(&lengths) {
+        let compressed = env.press.compress(t).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(l), &compressed, |b, ct| {
+            b.iter(|| black_box(env.press.decompress(ct).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

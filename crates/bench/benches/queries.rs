@@ -1,0 +1,128 @@
+//! Criterion benchmarks for the §5 queries: raw vs compressed forms of
+//! `whereat`, `whenat` and `range` — the micro-level view behind the
+//! paper's Figs. 15–17 time-performance ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use press_bench::{Env, Scale};
+use press_core::query::QueryEngine;
+use press_core::{CompressedTrajectory, Trajectory};
+use press_network::Mbr;
+use std::hint::black_box;
+use std::time::Duration;
+
+struct QuerySetup {
+    env: Env,
+    trajs: Vec<Trajectory>,
+    compressed: Vec<CompressedTrajectory>,
+}
+
+fn setup() -> QuerySetup {
+    let env = Env::standard(Scale::Small, 3);
+    let trajs = env.eval_trajectories();
+    let compressed = trajs
+        .iter()
+        .map(|t| env.press.compress(t).unwrap())
+        .collect();
+    QuerySetup {
+        env,
+        trajs,
+        compressed,
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = setup();
+    let engine = QueryEngine::new(s.env.press.model());
+    let probes: Vec<f64> = s
+        .trajs
+        .iter()
+        .map(|t| {
+            let (a, b) = t.temporal.time_range().unwrap();
+            (a + b) / 2.0
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("whereat");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            for (t, &q) in s.trajs.iter().zip(&probes) {
+                black_box(engine.whereat_raw(t, q).ok());
+            }
+        })
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            for (ct, &q) in s.compressed.iter().zip(&probes) {
+                black_box(engine.whereat(ct, q).ok());
+            }
+        })
+    });
+    group.finish();
+
+    let points: Vec<press_network::Point> = s
+        .trajs
+        .iter()
+        .map(|t| {
+            let total = t.path.weight(&s.env.net);
+            t.path.point_at(&s.env.net, total / 2.0).unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("whenat");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            for (t, p) in s.trajs.iter().zip(&points) {
+                black_box(engine.whenat_raw(t, *p, 1.0).ok());
+            }
+        })
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            for (ct, p) in s.compressed.iter().zip(&points) {
+                black_box(engine.whenat(ct, *p, 1.0).ok());
+            }
+        })
+    });
+    group.finish();
+
+    let regions: Vec<(f64, f64, Mbr)> = s
+        .trajs
+        .iter()
+        .zip(&points)
+        .map(|(t, p)| {
+            let (a, b) = t.temporal.time_range().unwrap();
+            (
+                a,
+                b,
+                Mbr::new(p.x - 100.0, p.y - 100.0, p.x + 100.0, p.y + 100.0),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("range");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            for (t, (a, z, r)) in s.trajs.iter().zip(&regions) {
+                black_box(engine.range_raw(t, *a, *z, r).ok());
+            }
+        })
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            for (ct, (a, z, r)) in s.compressed.iter().zip(&regions) {
+                black_box(engine.range(ct, *a, *z, r).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `repro` — regenerates every table and figure of the PRESS paper's
+//! evaluation (§6) on the synthetic workload.
+//!
+//! Usage:
+//! ```text
+//! repro [EXPERIMENT…] [--full] [--seed N]
+//!
+//! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
+//!             fig13 | fig14 | fig15 | fig16 | fig17 | aux | ablations
+//! --full      paper-shaped sweep sizes (slower)
+//! --seed N    workload seed (default 3)
+//! ```
+
+use press_bench::{experiments, Env, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut seed = 3u64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    eprintln!(
+        "Building environment (scale {scale:?}, seed {seed}); see DESIGN.md §5 for the experiment index…"
+    );
+    let env = Env::standard(scale, seed);
+    eprintln!(
+        "network: {} nodes / {} edges; workload: {} trajectories ({} train / {} eval); stationary fraction {:.1}%",
+        env.net.num_nodes(),
+        env.net.num_edges(),
+        env.workload.records.len(),
+        env.train_records().len(),
+        env.eval_records().len(),
+        env.workload.stationary_fraction() * 100.0
+    );
+
+    if want("fig10a") {
+        experiments::fig10a(&env, scale).print();
+    }
+    if want("fig10b") {
+        experiments::fig10b(&env, scale).print();
+    }
+    if want("fig11") {
+        experiments::fig11(&env, scale).print();
+    }
+    if want("fig12a") {
+        experiments::fig12a(&env, scale).print();
+    }
+    if want("fig12b") {
+        experiments::fig12b(&env, scale).print();
+    }
+    if want("fig13") {
+        experiments::fig13(&env, scale).print();
+    }
+    if want("fig14") {
+        experiments::fig14(&env, scale).print();
+        experiments::zip_rar_reference(&env).print();
+    }
+    let needs_queries = want("fig15") || want("fig16") || want("fig17");
+    if needs_queries {
+        eprintln!("Building long-haul environment for the query experiments…");
+        let qenv = Env::long_haul(scale, seed);
+        if want("fig15") {
+            experiments::fig15(&qenv, scale).print();
+        }
+        if want("fig16") {
+            experiments::fig16(&qenv, scale).print();
+        }
+        if want("fig17") {
+            experiments::fig17(&qenv, scale).print();
+        }
+    }
+    if want("aux") {
+        experiments::aux_sizes(&env).print();
+    }
+    if want("ablations") {
+        experiments::train_size(&env, scale).print();
+        experiments::btc_vs_bopw(&env, scale).print();
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

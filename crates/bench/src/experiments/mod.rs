@@ -1,0 +1,12 @@
+//! One module per evaluation artifact of the paper's §6 (see DESIGN.md §5
+//! for the experiment index).
+
+pub mod comparative;
+pub mod misc;
+pub mod queryperf;
+pub mod sweeps;
+
+pub use comparative::{fig13, fig14, zip_rar_reference};
+pub use misc::{aux_sizes, btc_vs_bopw, train_size};
+pub use queryperf::{fig15, fig16, fig17};
+pub use sweeps::{fig10a, fig10b, fig11, fig12a, fig12b};

@@ -1,0 +1,422 @@
+//! Query performance over compressed trajectories: Fig. 15 (`whereat`),
+//! Fig. 16 (`whenat`), Fig. 17 (`range`).
+//!
+//! The paper reports the **time performance ratio** `t(q, TD') / t(q, TD)`
+//! — query time over the compressed dataset divided by query time over the
+//! original (uncompressed) dataset. Ratios below 1 mean the compressed
+//! form answers *faster*, thanks to unit skipping and MBR pruning.
+//! Baselines answer the same queries over their own compressed
+//! representations (reconstructed into queryable form, as the paper's
+//! extended implementations do).
+
+use crate::setup::{Env, Scale};
+use crate::table::{f2, f3, Table};
+use press_baselines::{mmtc, nonmaterial};
+use press_core::query::QueryEngine;
+use press_core::temporal::BtcBounds;
+use press_core::{CompressedTrajectory, PressConfig, Trajectory};
+use press_network::{Mbr, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-deviation bundle of compressed datasets.
+struct CompressedSets {
+    press: Vec<CompressedTrajectory>,
+    mmtc: Vec<Trajectory>,
+    nonmat: Vec<Trajectory>,
+}
+
+fn compress_all(env: &Env, trajs: &[Trajectory], tau: f64, eta: f64) -> CompressedSets {
+    let press = env.press.reconfigured(PressConfig {
+        bounds: BtcBounds::new(tau, eta),
+        ..PressConfig::default()
+    });
+    let mean_trip_len: f64 = env
+        .workload
+        .records
+        .iter()
+        .map(|r| r.profile.total_distance())
+        .sum::<f64>()
+        / env.workload.records.len().max(1) as f64;
+    let mmtc_cfg = mmtc::MmtcConfig {
+        epsilon_rel: (tau / mean_trip_len.max(1.0)).min(0.9),
+        ..mmtc::MmtcConfig::default()
+    };
+    let nm_cfg = nonmaterial::NonmaterialConfig { tolerance: tau };
+    CompressedSets {
+        press: trajs
+            .iter()
+            .map(|t| press.compress(t).expect("press"))
+            .collect(),
+        mmtc: trajs
+            .iter()
+            .map(|t| mmtc::compress(&env.net, t, &mmtc_cfg).reconstruct(&env.net))
+            .collect(),
+        nonmat: trajs
+            .iter()
+            .map(|t| nonmaterial::compress(&env.net, t, &nm_cfg).reconstruct())
+            .collect(),
+    }
+}
+
+/// Query probe times: a few per trajectory, inside its time span.
+fn probe_times(traj: &Trajectory, k: usize) -> Vec<f64> {
+    let (t0, t1) = traj.temporal.time_range().unwrap_or((0.0, 1.0));
+    (0..k)
+        .map(|i| t0 + (t1 - t0) * (i as f64 + 0.5) / k as f64)
+        .collect()
+}
+
+/// Element-visit count of a raw `whereat`: temporal tuples scanned to
+/// locate `d`, plus path edges scanned to locate the answer (the paper's
+/// `m/2 + n/2` cost model, §5.1).
+fn raw_whereat_visits(env: &Env, traj: &Trajectory, t: f64) -> usize {
+    let pts = &traj.temporal.points;
+    let mut visits = 0usize;
+    let mut d = pts.last().map_or(0.0, |p| p.d);
+    for w in pts.windows(2) {
+        visits += 1;
+        if t <= w[1].t {
+            let span = w[1].t - w[0].t;
+            d = if span <= f64::EPSILON {
+                w[0].d
+            } else {
+                w[0].d + (w[1].d - w[0].d) * (t - w[0].t) / span
+            };
+            break;
+        }
+    }
+    for &e in &traj.path.edges {
+        visits += 1;
+        let w = env.net.weight(e);
+        if d <= w {
+            break;
+        }
+        d -= w;
+    }
+    visits
+}
+
+/// Element-visit count of a compressed `whereat`: compressed tuples
+/// scanned, coded units decoded, and edges/gap-steps expanded inside the
+/// containing unit (the paper's `m/2β + n/2αγ + γ/2` model).
+fn press_whereat_visits(env: &Env, ct: &CompressedTrajectory, t: f64) -> usize {
+    let model = env.press.model();
+    let trie = model.trie();
+    let sp = &env.sp;
+    let net = &env.net;
+    let pts = &ct.temporal.points;
+    let mut visits = 0usize;
+    let mut d = pts.last().map_or(0.0, |p| p.d);
+    for w in pts.windows(2) {
+        visits += 1;
+        if t <= w[1].t {
+            let span = w[1].t - w[0].t;
+            d = if span <= f64::EPSILON {
+                w[0].d
+            } else {
+                w[0].d + (w[1].d - w[0].d) * (t - w[0].t) / span
+            };
+            break;
+        }
+    }
+    let Ok(nodes) = model.decode_nodes(&ct.spatial) else {
+        return visits;
+    };
+    let mut dacu = 0.0f64;
+    let mut prev_last: Option<press_network::EdgeId> = None;
+    for &n in &nodes {
+        visits += 1; // one decoded unit
+        let first = trie.first_edge(n);
+        if let Some(pl) = prev_last {
+            if !net.consecutive(pl, first) {
+                let gap = sp.gap_dist(pl, first);
+                if dacu + gap >= d {
+                    // Resolve inside the gap: count interior steps walked.
+                    visits += sp.sp_interior(pl, first).map_or(0, |i| i.len()) / 2 + 1;
+                    return visits;
+                }
+                dacu += gap;
+            }
+        }
+        let nd = model.node_dist(n);
+        if dacu + nd >= d {
+            // Resolve inside the unit: count its Trie edges (≤ θ).
+            visits += trie.depth(n);
+            return visits;
+        }
+        dacu += nd;
+        prev_last = Some(trie.last_edge(n));
+    }
+    visits
+}
+
+/// Fig. 15: `whereat` time ratio vs distance deviation, plus the paper's
+/// cost-model ratio in *elements visited* (tuples + edges vs tuples +
+/// units + expansion) — the implementation-independent view.
+pub fn fig15(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 15: whereat query ratios (compressed/original) vs deviation (m)",
+        &[
+            "deviation_m",
+            "press",
+            "mmtc",
+            "nonmaterial",
+            "press_visits",
+        ],
+    );
+    let trajs = env.eval_trajectories();
+    let engine = QueryEngine::new(env.press.model());
+    let mean_speed = env.mean_speed();
+    let deviations: &[f64] = match scale {
+        Scale::Small => &[0.0, 50.0, 100.0, 200.0],
+        Scale::Full => &[0.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0],
+    };
+    let probes = 6usize;
+    for &dev in deviations {
+        let sets = compress_all(env, &trajs, dev, dev / mean_speed.max(0.1));
+        // Baseline: query time over the original dataset.
+        let t_raw = time_whereat_raw(&engine, &trajs, probes);
+        let t_press = {
+            let start = Instant::now();
+            for (ct, t) in sets.press.iter().zip(&trajs) {
+                for q in probe_times(t, probes) {
+                    black_box(engine.whereat(ct, q).ok());
+                }
+            }
+            start.elapsed()
+        };
+        let t_mmtc = time_whereat_raw(&engine, &sets.mmtc, probes);
+        let t_nm = time_whereat_raw(&engine, &sets.nonmat, probes);
+        // Cost-model ratio in elements visited.
+        let mut raw_visits = 0usize;
+        let mut press_visits = 0usize;
+        for (i, t) in trajs.iter().enumerate() {
+            for q in probe_times(t, probes) {
+                raw_visits += raw_whereat_visits(env, t, q);
+                press_visits += press_whereat_visits(env, &sets.press[i], q);
+            }
+        }
+        table.row(vec![
+            f2(dev),
+            f3(t_press.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(t_mmtc.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(t_nm.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(press_visits as f64 / raw_visits.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+fn time_whereat_raw(
+    engine: &QueryEngine<'_>,
+    trajs: &[Trajectory],
+    probes: usize,
+) -> std::time::Duration {
+    let start = Instant::now();
+    for t in trajs {
+        for q in probe_times(t, probes) {
+            black_box(engine.whereat_raw(t, q).ok());
+        }
+    }
+    start.elapsed()
+}
+
+/// Fig. 16: `whenat` time ratio vs time deviation (seconds).
+pub fn fig16(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 16: whenat query time ratio (compressed/original) vs deviation (s)",
+        &["deviation_s", "press", "mmtc", "nonmaterial"],
+    );
+    let trajs = env.eval_trajectories();
+    let engine = QueryEngine::new(env.press.model());
+    let mean_speed = env.mean_speed();
+    let deviations: &[f64] = match scale {
+        Scale::Small => &[0.0, 20.0, 60.0],
+        Scale::Full => &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+    };
+    // Probe points: on-path positions of each trajectory.
+    let probes: Vec<Vec<Point>> = trajs
+        .iter()
+        .map(|t| {
+            let total = t.path.weight(&env.net);
+            (1..4)
+                .map(|k| t.path.point_at(&env.net, total * k as f64 / 4.0).unwrap())
+                .collect()
+        })
+        .collect();
+    let tol = 1.0;
+    for &dev in deviations {
+        let sets = compress_all(env, &trajs, dev * mean_speed, dev);
+        let time_set = |set: &[Trajectory]| {
+            let start = Instant::now();
+            for (t, ps) in set.iter().zip(&probes) {
+                for p in ps {
+                    black_box(engine.whenat_raw(t, *p, tol).ok());
+                }
+            }
+            start.elapsed()
+        };
+        let t_raw = time_set(&trajs);
+        let t_press = {
+            let start = Instant::now();
+            for (ct, ps) in sets.press.iter().zip(&probes) {
+                for p in ps {
+                    black_box(engine.whenat(ct, *p, tol).ok());
+                }
+            }
+            start.elapsed()
+        };
+        let t_mmtc = time_set(&sets.mmtc);
+        let t_nm = time_set(&sets.nonmat);
+        table.row(vec![
+            f2(dev),
+            f3(t_press.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(t_mmtc.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(t_nm.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+        ]);
+    }
+    table
+}
+
+/// Fig. 17: boolean `range` queries — accuracy (vs ground truth on the
+/// original data) and time ratio, as the temporal bounds loosen. The
+/// paper clusters random queries by accuracy; we report one (accuracy,
+/// time-ratio) row per bound setting, which traces the same curve.
+pub fn fig17(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 17: range query accuracy vs time ratio (compressed/original)",
+        &[
+            "tau_m",
+            "accuracy_press",
+            "ratio_press",
+            "accuracy_nonmat",
+            "ratio_nonmat",
+        ],
+    );
+    let trajs = env.eval_trajectories();
+    let engine = QueryEngine::new(env.press.model());
+    let mean_speed = env.mean_speed();
+    let bounds: &[f64] = match scale {
+        Scale::Small => &[0.0, 100.0, 400.0, 1000.0],
+        Scale::Full => &[0.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1000.0],
+    };
+    let queries_per_traj = match scale {
+        Scale::Small => 4,
+        Scale::Full => 10,
+    };
+    let bb = env.net.bounding_box();
+    let mut rng = StdRng::seed_from_u64(99);
+    // Pre-draw the query set once so every bound setting answers the same
+    // queries (paper: 2,325,000 random range queries, clustered after).
+    let query_set: Vec<(usize, f64, f64, Mbr)> = (0..trajs.len())
+        .flat_map(|i| {
+            let (t0, t1) = trajs[i].temporal.time_range().unwrap();
+            (0..queries_per_traj)
+                .map(|_| {
+                    let cx = rng.gen_range(bb.min_x..bb.max_x);
+                    let cy = rng.gen_range(bb.min_y..bb.max_y);
+                    let half = rng.gen_range(30.0..250.0);
+                    let qa = rng.gen_range(t0..t1);
+                    let qb = rng.gen_range(qa..=t1);
+                    (
+                        i,
+                        qa,
+                        qb,
+                        Mbr::new(cx - half, cy - half, cx + half, cy + half),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // Ground truth on the original data.
+    let truth: Vec<bool> = query_set
+        .iter()
+        .map(|(i, qa, qb, r)| engine.range_raw(&trajs[*i], *qa, *qb, r).unwrap())
+        .collect();
+    let t_raw = {
+        let start = Instant::now();
+        for (i, qa, qb, r) in &query_set {
+            black_box(engine.range_raw(&trajs[*i], *qa, *qb, r).ok());
+        }
+        start.elapsed()
+    };
+    for &tau in bounds {
+        let sets = compress_all(env, &trajs, tau, tau / mean_speed.max(0.1));
+        let mut press_correct = 0usize;
+        let start = Instant::now();
+        for ((i, qa, qb, r), truth_ans) in query_set.iter().zip(&truth) {
+            let ans = engine.range(&sets.press[*i], *qa, *qb, r).unwrap();
+            if ans == *truth_ans {
+                press_correct += 1;
+            }
+        }
+        let t_press = start.elapsed();
+        let mut nm_correct = 0usize;
+        let start = Instant::now();
+        for ((i, qa, qb, r), truth_ans) in query_set.iter().zip(&truth) {
+            let ans = engine.range_raw(&sets.nonmat[*i], *qa, *qb, r).unwrap();
+            if ans == *truth_ans {
+                nm_correct += 1;
+            }
+        }
+        let t_nm = start.elapsed();
+        table.row(vec![
+            f2(tau),
+            f3(press_correct as f64 / query_set.len() as f64),
+            f3(t_press.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+            f3(nm_correct as f64 / query_set.len() as f64),
+            f3(t_nm.as_secs_f64() / t_raw.as_secs_f64().max(1e-12)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn env() -> &'static Env {
+        static ENV: OnceLock<Env> = OnceLock::new();
+        ENV.get_or_init(|| Env::long_haul(Scale::Small, 3))
+    }
+
+    #[test]
+    fn fig15_produces_finite_ratios() {
+        let t = fig15(env(), Scale::Small);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v.is_finite() && v > 0.0, "bad ratio {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig16_produces_finite_ratios() {
+        let t = fig16(env(), Scale::Small);
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v.is_finite() && v > 0.0, "bad ratio {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig17_accuracy_perfect_at_zero_bounds() {
+        let t = fig17(env(), Scale::Small);
+        let acc0: f64 = t.rows[0][1].parse().unwrap();
+        assert!(
+            acc0 > 0.999,
+            "range answers must be exact at zero temporal error: {acc0}"
+        );
+        // Accuracy never improves as bounds loosen.
+        let accs: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(accs.last().unwrap() <= &(accs[0] + 1e-9));
+    }
+}

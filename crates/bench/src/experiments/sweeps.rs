@@ -1,0 +1,321 @@
+//! Single-component sweeps: Fig. 10(a) (SP vs sampling rate),
+//! Fig. 10(b)/11 (FST vs θ, greedy vs DP), Fig. 12 (BTC and PRESS vs
+//! TSND × NSTD).
+
+use crate::setup::{Env, Scale};
+use crate::table::{f2, f3, Table};
+use press_core::spatial::{sp_compress, Decomposer, HscModel};
+use press_core::stats::{raw_gps_bytes, CompressionStats, DT_TUPLE_BYTES};
+use press_core::temporal::{btc_compress, BtcBounds};
+use press_matcher::{hmm::GpsSample, MapMatcher, MatcherConfig};
+use std::time::Instant;
+
+/// Paper sweep values for τ (m) and η (s) — Fig. 12.
+pub const BOUND_STEPS: [f64; 10] = [
+    0.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1000.0,
+];
+
+/// Fig. 10(a): SP compression ratio vs GPS sampling rate.
+///
+/// For each sampling interval the *same* journeys are re-sampled, pushed
+/// through the HMM map matcher, and SP-compressed; the ratio is matched
+/// edges over retained edges. The paper's observation — the sampling rate
+/// "does not affect SP compression that much" (avg 1.52) — comes from the
+/// matched path being near-identical across rates.
+pub fn fig10a(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 10(a): SP compression ratio vs sampling rate (s/point)",
+        &["interval_s", "matched_edges", "sp_edges", "ratio"],
+    );
+    let matcher = MapMatcher::new(env.net.clone(), MatcherConfig::default());
+    let records = match scale {
+        Scale::Small => &env.eval_records()[..env.eval_records().len().min(25)],
+        Scale::Full => env.eval_records(),
+    };
+    let intervals: &[f64] = match scale {
+        Scale::Small => &[1.0, 5.0, 15.0, 30.0, 60.0],
+        Scale::Full => &[1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+    };
+    for &interval in intervals {
+        let mut matched_edges = 0usize;
+        let mut sp_edges = 0usize;
+        for r in records {
+            let gps = r.gps_trace(&env.net, interval, env.workload.config.gps_noise);
+            let samples: Vec<GpsSample> = gps
+                .points
+                .iter()
+                .map(|p| GpsSample {
+                    point: p.point,
+                    t: p.t,
+                })
+                .collect();
+            let Ok(m) = matcher.match_trajectory(&samples) else {
+                continue;
+            };
+            let compressed = sp_compress(&env.sp, &m.edges);
+            matched_edges += m.edges.len();
+            sp_edges += compressed.len();
+        }
+        let ratio = matched_edges as f64 / sp_edges.max(1) as f64;
+        table.row(vec![
+            f2(interval),
+            matched_edges.to_string(),
+            sp_edges.to_string(),
+            f3(ratio),
+        ]);
+    }
+    table
+}
+
+/// θ values swept by Fig. 10(b)/Fig. 11.
+pub fn theta_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![1, 2, 3, 5, 8, 12],
+        Scale::Full => vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20],
+    }
+}
+
+/// Fig. 10(b): FST compression ratio vs θ.
+///
+/// Ratio of the SP-compressed spatial storage (4 bytes/edge) to the
+/// Huffman bit stream — the paper's second-stage ratio (T′′ vs T′, peak
+/// ≈ 3.05 at θ = 3 on its data).
+pub fn fig10b(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 10(b): FST compression ratio vs theta",
+        &["theta", "trie_nodes", "sp_bits", "fst_bits", "ratio"],
+    );
+    let training: Vec<Vec<press_network::EdgeId>> =
+        env.train_records().iter().map(|r| r.path.clone()).collect();
+    let eval: Vec<Vec<press_network::EdgeId>> =
+        env.eval_records().iter().map(|r| r.path.clone()).collect();
+    for theta in theta_values(scale) {
+        let model = HscModel::train(env.sp.clone(), &training, theta).expect("train");
+        let mut sp_bits = 0u64;
+        let mut fst_bits = 0u64;
+        for path in &eval {
+            let spc = sp_compress(&env.sp, path);
+            sp_bits += spc.len() as u64 * 32;
+            let cs = model.compress(path).expect("compress");
+            fst_bits += cs.bits.len_bits();
+        }
+        table.row(vec![
+            theta.to_string(),
+            model.trie().num_nodes().to_string(),
+            sp_bits.to_string(),
+            fst_bits.to_string(),
+            f3(sp_bits as f64 / fst_bits.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// Fig. 11: greedy vs DP decomposition — compression ratio and time.
+pub fn fig11(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 11: FST decomposition, greedy vs dynamic programming",
+        &[
+            "theta",
+            "greedy_ratio",
+            "dp_ratio",
+            "greedy_ms",
+            "dp_ms",
+            "greedy_time_pct_of_dp",
+        ],
+    );
+    let training: Vec<Vec<press_network::EdgeId>> =
+        env.train_records().iter().map(|r| r.path.clone()).collect();
+    let eval: Vec<Vec<press_network::EdgeId>> =
+        env.eval_records().iter().map(|r| r.path.clone()).collect();
+    for theta in theta_values(scale) {
+        let model = HscModel::train(env.sp.clone(), &training, theta).expect("train");
+        let measure = |decomposer: Decomposer| -> (u64, f64) {
+            let mut bits = 0u64;
+            let start = Instant::now();
+            for path in &eval {
+                let cs = model.compress_with(path, decomposer).expect("compress");
+                bits += cs.bits.len_bits();
+            }
+            (bits, start.elapsed().as_secs_f64() * 1e3)
+        };
+        let (greedy_bits, greedy_ms) = measure(Decomposer::Greedy);
+        let (dp_bits, dp_ms) = measure(Decomposer::Dp);
+        let sp_bits: u64 = eval
+            .iter()
+            .map(|p| sp_compress(&env.sp, p).len() as u64 * 32)
+            .sum();
+        table.row(vec![
+            theta.to_string(),
+            f3(sp_bits as f64 / greedy_bits.max(1) as f64),
+            f3(sp_bits as f64 / dp_bits.max(1) as f64),
+            f2(greedy_ms),
+            f2(dp_ms),
+            f2(100.0 * greedy_ms / dp_ms.max(1e-12)),
+        ]);
+    }
+    table
+}
+
+/// Fig. 12(a): BTC compression ratio over the τ × η grid (tuple counts,
+/// the paper's 1.1 @ (0,0) → 6.49 @ (1000,1000) surface).
+pub fn fig12a(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 12(a): BTC compression ratio vs TSND (rows, m) x NSTD (cols, s)",
+        &header_with_bounds(scale),
+    );
+    let trajs = env.eval_trajectories();
+    for &tau in bound_steps(scale) {
+        let mut cells = vec![f2(tau)];
+        for &eta in bound_steps(scale) {
+            let mut orig = 0usize;
+            let mut kept = 0usize;
+            for t in &trajs {
+                let out = btc_compress(&t.temporal.points, BtcBounds::new(tau, eta));
+                orig += t.temporal.len();
+                kept += out.len();
+            }
+            cells.push(f3(orig as f64 / kept.max(1) as f64));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Fig. 12(b): overall PRESS compression ratio over the τ × η grid,
+/// measured against raw GPS storage (20 bytes/sample; paper: 2.71 @ (0,0)
+/// → 8.52 @ (1000,1000)).
+pub fn fig12b(env: &Env, scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 12(b): PRESS overall compression ratio vs TSND (rows, m) x NSTD (cols, s)",
+        &header_with_bounds(scale),
+    );
+    let trajs = env.eval_trajectories();
+    // Spatial bits are bound-independent: compress once.
+    let spatial_bytes: Vec<usize> = trajs
+        .iter()
+        .map(|t| {
+            env.press
+                .model()
+                .compress(&t.path.edges)
+                .expect("compress")
+                .byte_len()
+        })
+        .collect();
+    for &tau in bound_steps(scale) {
+        let mut cells = vec![f2(tau)];
+        for &eta in bound_steps(scale) {
+            let mut stats = CompressionStats::default();
+            for (t, &sb) in trajs.iter().zip(&spatial_bytes) {
+                let temporal = btc_compress(&t.temporal.points, BtcBounds::new(tau, eta));
+                stats.accumulate(&CompressionStats::new(
+                    raw_gps_bytes(t.temporal.len()),
+                    sb + temporal.len() * DT_TUPLE_BYTES,
+                ));
+            }
+            cells.push(f3(stats.ratio()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+fn bound_steps(scale: Scale) -> &'static [f64] {
+    match scale {
+        Scale::Small => &[0.0, 20.0, 100.0, 400.0, 1000.0],
+        Scale::Full => &BOUND_STEPS,
+    }
+}
+
+fn header_with_bounds(scale: Scale) -> Vec<&'static str> {
+    let mut h = vec!["tau\\eta"];
+    match scale {
+        Scale::Small => h.extend(["0", "20", "100", "400", "1000"]),
+        Scale::Full => h.extend([
+            "0", "10", "20", "50", "100", "200", "400", "600", "800", "1000",
+        ]),
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn env() -> &'static Env {
+        static ENV: OnceLock<Env> = OnceLock::new();
+        ENV.get_or_init(|| Env::standard(Scale::Small, 3))
+    }
+
+    #[test]
+    fn fig10a_ratio_is_stable_across_rates() {
+        let t = fig10a(env(), Scale::Small);
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert_eq!(ratios.len(), 5);
+        for r in &ratios {
+            assert!(*r >= 1.0, "SP never inflates: {r}");
+        }
+        // "does not affect SP compression that much": spread within 2.5x.
+        let (min, max) = (
+            ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(max / min < 2.5, "ratios too spread: {ratios:?}");
+        assert!(max > 1.2, "SP compression should have bite: {ratios:?}");
+    }
+
+    #[test]
+    fn fig10b_peaks_at_small_theta() {
+        let t = fig10b(env(), Scale::Small);
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        // theta=1 must be below the best ratio (codes can't exploit
+        // sequences), and all ratios beat 1.
+        let best = ratios.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            ratios[0] < best,
+            "theta=1 should not be optimal: {ratios:?}"
+        );
+        for r in &ratios {
+            assert!(*r > 1.0, "FST must compress: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn fig11_dp_never_worse_ratio() {
+        let t = fig11(env(), Scale::Small);
+        for row in &t.rows {
+            let greedy: f64 = row[1].parse().unwrap();
+            let dp: f64 = row[2].parse().unwrap();
+            assert!(dp + 1e-9 >= greedy, "DP is bit-optimal: {row:?}");
+            // Greedy within a few percent of DP (paper: ~1%).
+            assert!(greedy / dp > 0.9, "greedy too far from DP: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig12a_monotone_in_bounds() {
+        let t = fig12a(env(), Scale::Small);
+        // Ratio grows along each row (eta loosening).
+        for row in &t.rows {
+            let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[1] + 1e-9 >= w[0], "row not monotone: {row:?}");
+            }
+        }
+        // Stationary dwell points give ratio > 1 at zero bounds.
+        let zero: f64 = t.rows[0][1].parse().unwrap();
+        assert!(zero >= 1.0);
+        // Loosest corner compresses hard.
+        let last: f64 = t.rows.last().unwrap().last().unwrap().parse().unwrap();
+        assert!(last > 2.0, "loose bounds should compress: {last}");
+    }
+
+    #[test]
+    fn fig12b_beats_fig12a_corner() {
+        let t = fig12b(env(), Scale::Small);
+        let zero: f64 = t.rows[0][1].parse().unwrap();
+        assert!(zero > 1.5, "PRESS @ (0,0) vs raw GPS: {zero}");
+        let last: f64 = t.rows.last().unwrap().last().unwrap().parse().unwrap();
+        assert!(last > zero, "looser bounds must improve the overall ratio");
+    }
+}

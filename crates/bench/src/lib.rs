@@ -1,0 +1,30 @@
+//! # press-bench
+//!
+//! Experiment harness reproducing every table and figure of the PRESS
+//! paper's evaluation (§6) on the synthetic workload. The `repro` binary
+//! prints the same rows/series the paper plots; Criterion benches under
+//! `benches/` cover the micro-level timing claims.
+//!
+//! Experiment index (matching DESIGN.md §5):
+//!
+//! | id | function | paper artifact |
+//! |----|----------|----------------|
+//! | fig10a | [`experiments::fig10a`] | SP ratio vs sampling rate |
+//! | fig10b | [`experiments::fig10b`] | FST ratio vs θ |
+//! | fig11  | [`experiments::fig11`]  | greedy vs DP decomposition |
+//! | fig12a | [`experiments::fig12a`] | BTC ratio vs τ × η |
+//! | fig12b | [`experiments::fig12b`] | PRESS ratio vs τ × η |
+//! | fig13  | [`experiments::fig13`]  | comp/decomp time vs dataset size |
+//! | fig14  | [`experiments::fig14`]  | ratio vs TSED (+ ZIP/RAR) |
+//! | fig15  | [`experiments::fig15`]  | whereat time ratio |
+//! | fig16  | [`experiments::fig16`]  | whenat time ratio |
+//! | fig17  | [`experiments::fig17`]  | range accuracy/time |
+//! | aux    | [`experiments::aux_sizes`] | auxiliary structure sizes |
+//! | extra  | [`experiments::train_size`], [`experiments::btc_vs_bopw`] | ablations |
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::{Env, Scale};
+pub use table::Table;

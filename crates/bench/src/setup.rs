@@ -1,0 +1,179 @@
+//! Shared experiment environment: one network, one workload, one trained
+//! PRESS instance — mirroring the paper's setup of a fixed road network
+//! (Singapore) and a trajectory corpus split into training and evaluation
+//! (§6: "we take the trajectories corresponding to one day as a training
+//! dataset").
+
+use press_core::{Press, PressConfig, Trajectory};
+use press_network::{RoadNetwork, SpTable};
+use press_workload::{TrajectoryRecord, Workload, WorkloadConfig};
+use std::sync::Arc;
+
+/// Experiment scale, selecting workload sizes so the quick mode finishes
+/// in seconds and the full mode in minutes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly.
+    Small,
+    /// Paper-shaped sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Number of trajectories in the workload.
+    pub fn num_trajectories(self) -> usize {
+        match self {
+            Scale::Small => 150,
+            Scale::Full => 600,
+        }
+    }
+}
+
+/// A ready-to-measure environment.
+pub struct Env {
+    pub net: Arc<RoadNetwork>,
+    pub sp: Arc<SpTable>,
+    pub workload: Workload,
+    pub press: Press,
+    /// Fraction of records used for FST training.
+    pub train_fraction: f64,
+}
+
+impl Env {
+    /// Builds the standard environment: a jittered 16×16 grid (256 nodes,
+    /// ~1.9k directed edges, 160 m blocks so trips span enough samples and
+    /// coded units for the temporal and query sweeps), a Zipf-skewed
+    /// workload, PRESS trained at θ = 3 with lossless temporal bounds.
+    pub fn standard(scale: Scale, seed: u64) -> Env {
+        let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
+            nx: 16,
+            ny: 16,
+            spacing: 160.0,
+            weight_jitter: 0.15,
+            removal_prob: 0.03,
+            seed,
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        let workload = Workload::generate(
+            net.clone(),
+            sp.clone(),
+            WorkloadConfig {
+                num_trajectories: scale.num_trajectories(),
+                seed,
+                min_trip_edges: 12,
+                ..WorkloadConfig::default()
+            },
+        );
+        let train_fraction = 0.3;
+        let (train, _) = workload.split(train_fraction);
+        let training_paths: Vec<Vec<press_network::EdgeId>> =
+            train.iter().map(|r| r.path.clone()).collect();
+        let press =
+            Press::train(sp.clone(), &training_paths, PressConfig::default()).expect("training");
+        Env {
+            net,
+            sp,
+            workload,
+            press,
+            train_fraction,
+        }
+    }
+
+    /// A larger environment with **long-haul** trips (32×32 grid, minimum
+    /// 40-edge journeys, dense 5 s sampling) for the query-performance
+    /// experiments (Figs. 15–17): the paper's query speed-ups come from
+    /// skipping coded units, which needs trajectories long enough that the
+    /// α·γ·β factors dominate the per-query constants.
+    pub fn long_haul(scale: Scale, seed: u64) -> Env {
+        let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
+            nx: 32,
+            ny: 32,
+            spacing: 160.0,
+            weight_jitter: 0.15,
+            removal_prob: 0.03,
+            seed,
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        let workload = Workload::generate(
+            net.clone(),
+            sp.clone(),
+            WorkloadConfig {
+                num_trajectories: match scale {
+                    Scale::Small => 80,
+                    Scale::Full => 300,
+                },
+                seed,
+                min_trip_edges: 40,
+                sampling_interval: 5.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let train_fraction = 0.3;
+        let (train, _) = workload.split(train_fraction);
+        let training_paths: Vec<Vec<press_network::EdgeId>> =
+            train.iter().map(|r| r.path.clone()).collect();
+        let press =
+            Press::train(sp.clone(), &training_paths, PressConfig::default()).expect("training");
+        Env {
+            net,
+            sp,
+            workload,
+            press,
+            train_fraction,
+        }
+    }
+
+    /// Evaluation records (those not used for training).
+    pub fn eval_records(&self) -> &[TrajectoryRecord] {
+        self.workload.split(self.train_fraction).1
+    }
+
+    /// Training records.
+    pub fn train_records(&self) -> &[TrajectoryRecord] {
+        self.workload.split(self.train_fraction).0
+    }
+
+    /// Evaluation trajectories at the workload's default sampling interval.
+    pub fn eval_trajectories(&self) -> Vec<Trajectory> {
+        let interval = self.workload.config.sampling_interval;
+        self.eval_records()
+            .iter()
+            .map(|r| r.truth_trajectory(interval))
+            .collect()
+    }
+
+    /// Mean travel speed of the workload (m/s) — used to map TSED budgets
+    /// to NSTD seconds in Fig. 14's axis conversion.
+    pub fn mean_speed(&self) -> f64 {
+        let mut dist = 0.0;
+        let mut time = 0.0;
+        for r in &self.workload.records {
+            dist += r.profile.total_distance();
+            time += r.profile.duration();
+        }
+        if time <= 0.0 {
+            1.0
+        } else {
+            dist / time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_env_builds_and_splits() {
+        let env = Env::standard(Scale::Small, 7);
+        assert!(!env.eval_records().is_empty());
+        assert!(!env.train_records().is_empty());
+        assert_eq!(
+            env.eval_records().len() + env.train_records().len(),
+            env.workload.records.len()
+        );
+        assert!(env.mean_speed() > 1.0 && env.mean_speed() < 40.0);
+        let trajs = env.eval_trajectories();
+        assert_eq!(trajs.len(), env.eval_records().len());
+    }
+}

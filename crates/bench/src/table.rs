@@ -1,0 +1,92 @@
+//! Tiny fixed-width table printer for experiment output.
+
+/// A printable experiment result table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000000".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long_header"));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

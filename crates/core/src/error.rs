@@ -1,0 +1,78 @@
+//! Error type for the PRESS core.
+
+use press_network::{EdgeId, NetworkError};
+use std::fmt;
+
+/// Errors raised by representation, compression and query code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PressError {
+    /// Propagated road-network error.
+    Network(NetworkError),
+    /// A spatial path was empty where a non-empty one is required.
+    EmptyPath,
+    /// A temporal sequence violated its invariants (monotone time,
+    /// non-decreasing distance, finite values).
+    InvalidTemporal(String),
+    /// Decompression hit a pair of edges with no connecting shortest path.
+    NoShortestPath(EdgeId, EdgeId),
+    /// A Huffman bit stream could not be decoded.
+    CorruptBitstream(String),
+    /// A query argument was out of the trajectory's spatial/temporal domain.
+    OutOfDomain(String),
+    /// Training input was unusable (e.g. no trajectories).
+    InvalidTraining(String),
+    /// Configuration value out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PressError::Network(e) => write!(f, "network error: {e}"),
+            PressError::EmptyPath => write!(f, "spatial path must contain at least one edge"),
+            PressError::InvalidTemporal(msg) => write!(f, "invalid temporal sequence: {msg}"),
+            PressError::NoShortestPath(a, b) => {
+                write!(f, "no shortest path between edges {a} and {b}")
+            }
+            PressError::CorruptBitstream(msg) => write!(f, "corrupt bit stream: {msg}"),
+            PressError::OutOfDomain(msg) => write!(f, "query out of domain: {msg}"),
+            PressError::InvalidTraining(msg) => write!(f, "invalid training set: {msg}"),
+            PressError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PressError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for PressError {
+    fn from(e: NetworkError) -> Self {
+        PressError::Network(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PressError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_network::NodeId;
+
+    #[test]
+    fn display_and_source() {
+        let e = PressError::from(NetworkError::InvalidNode(NodeId(1)));
+        assert!(e.to_string().contains("network error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&PressError::EmptyPath).is_none());
+        assert!(PressError::NoShortestPath(EdgeId(1), EdgeId(2))
+            .to_string()
+            .contains("e1"));
+    }
+}

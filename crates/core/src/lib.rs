@@ -1,0 +1,22 @@
+//! # press-core
+//!
+//! Core of the PRESS framework (Song et al., VLDB 2014): trajectory
+//! representation (§2), Hybrid Spatial Compression (§3), Bounded Temporal
+//! Compression (§4), the query processor over compressed trajectories (§5),
+//! and the end-to-end [`press::Press`] façade with storage accounting.
+
+pub mod error;
+pub mod press;
+pub mod query;
+pub mod reformat;
+pub mod spatial;
+pub mod stats;
+pub mod temporal;
+pub mod types;
+
+pub use error::{PressError, Result};
+pub use press::{CompressedTrajectory, Press, PressConfig};
+pub use reformat::{reformat, PathSample};
+pub use spatial::{CompressedSpatial, Decomposer, HscModel};
+pub use temporal::{btc_compress, nstd, tsnd, BtcBounds};
+pub use types::{DtPoint, GpsPoint, GpsTrajectory, SpatialPath, TemporalSequence, Trajectory};

@@ -1,0 +1,193 @@
+//! Trajectory re-formatter (paper Fig. 1, §2).
+//!
+//! Takes the output of the map matcher — an edge path plus, for each GPS
+//! sample, its matched position *on* that path — and produces the PRESS
+//! representation: the spatial path as-is, and the temporal sequence of
+//! `(d, t)` tuples obtained by measuring each sample's cumulative network
+//! distance along the path ("we project the sample points onto the spatial
+//! path and calculate the distance from the starting point of the trajectory
+//! by linear interpolation", §6).
+
+use crate::error::{PressError, Result};
+use crate::types::{DtPoint, SpatialPath, TemporalSequence, Trajectory};
+use press_network::{EdgeId, RoadNetwork};
+
+/// A GPS sample located on a matched path: the sample was matched to
+/// position `frac` (in `[0, 1]`) along the path's `edge_idx`-th edge at
+/// timestamp `t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathSample {
+    /// Index into the matched edge path.
+    pub edge_idx: usize,
+    /// Fractional position along that edge, `0.0` = tail, `1.0` = head.
+    pub frac: f64,
+    /// Timestamp (seconds).
+    pub t: f64,
+}
+
+/// Converts a matched trajectory into the PRESS representation.
+///
+/// Sample positions must be monotone along the path (the matcher guarantees
+/// this); tiny backward jitter from projection noise is clamped so the
+/// temporal sequence's `d` stays non-decreasing.
+pub fn reformat(
+    net: &RoadNetwork,
+    edges: Vec<EdgeId>,
+    samples: &[PathSample],
+) -> Result<Trajectory> {
+    if edges.is_empty() {
+        return Err(PressError::EmptyPath);
+    }
+    net.validate_path(&edges)?;
+    // Prefix weights: prefix[i] = summed weight of edges[..i].
+    let mut prefix = Vec::with_capacity(edges.len() + 1);
+    prefix.push(0.0);
+    for &e in &edges {
+        prefix.push(prefix.last().unwrap() + net.weight(e));
+    }
+    let mut points = Vec::with_capacity(samples.len());
+    let mut last_d = 0.0f64;
+    for s in samples {
+        if s.edge_idx >= edges.len() {
+            return Err(PressError::OutOfDomain(format!(
+                "sample edge index {} out of path of {} edges",
+                s.edge_idx,
+                edges.len()
+            )));
+        }
+        if !(0.0..=1.0).contains(&s.frac) {
+            return Err(PressError::OutOfDomain(format!(
+                "sample fraction {} outside [0, 1]",
+                s.frac
+            )));
+        }
+        let d = prefix[s.edge_idx] + s.frac * net.weight(edges[s.edge_idx]);
+        // Clamp backward jitter from independent per-sample projections.
+        let d = d.max(last_d);
+        last_d = d;
+        points.push(DtPoint::new(d, s.t));
+    }
+    let temporal = TemporalSequence::new(points)?;
+    Ok(Trajectory::new(SpatialPath::new_unchecked(edges), temporal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_network::{Point, RoadNetworkBuilder};
+
+    fn chain3() -> (RoadNetwork, Vec<EdgeId>) {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(100.0, 0.0));
+        let v2 = b.add_node(Point::new(200.0, 0.0));
+        let v3 = b.add_node(Point::new(300.0, 0.0));
+        let e0 = b.add_edge(v0, v1, 100.0).unwrap();
+        let e1 = b.add_edge(v1, v2, 100.0).unwrap();
+        let e2 = b.add_edge(v2, v3, 100.0).unwrap();
+        (b.build(), vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn reformat_computes_cumulative_distances() {
+        let (net, edges) = chain3();
+        let samples = [
+            PathSample {
+                edge_idx: 0,
+                frac: 0.0,
+                t: 0.0,
+            },
+            PathSample {
+                edge_idx: 0,
+                frac: 0.5,
+                t: 10.0,
+            },
+            PathSample {
+                edge_idx: 1,
+                frac: 0.25,
+                t: 20.0,
+            },
+            PathSample {
+                edge_idx: 2,
+                frac: 1.0,
+                t: 30.0,
+            },
+        ];
+        let traj = reformat(&net, edges, &samples).unwrap();
+        let d: Vec<f64> = traj.temporal.points.iter().map(|p| p.d).collect();
+        assert_eq!(d, vec![0.0, 50.0, 125.0, 300.0]);
+        assert_eq!(traj.path.len(), 3);
+    }
+
+    #[test]
+    fn reformat_clamps_backward_jitter() {
+        let (net, edges) = chain3();
+        let samples = [
+            PathSample {
+                edge_idx: 0,
+                frac: 0.6,
+                t: 0.0,
+            },
+            // Jitter: projects slightly behind the previous sample.
+            PathSample {
+                edge_idx: 0,
+                frac: 0.59,
+                t: 1.0,
+            },
+        ];
+        let traj = reformat(&net, edges, &samples).unwrap();
+        assert_eq!(traj.temporal.points[0].d, traj.temporal.points[1].d);
+    }
+
+    #[test]
+    fn reformat_rejects_bad_samples() {
+        let (net, edges) = chain3();
+        assert!(matches!(
+            reformat(
+                &net,
+                edges.clone(),
+                &[PathSample {
+                    edge_idx: 9,
+                    frac: 0.0,
+                    t: 0.0
+                }]
+            ),
+            Err(PressError::OutOfDomain(_))
+        ));
+        assert!(matches!(
+            reformat(
+                &net,
+                edges.clone(),
+                &[PathSample {
+                    edge_idx: 0,
+                    frac: 1.5,
+                    t: 0.0
+                }]
+            ),
+            Err(PressError::OutOfDomain(_))
+        ));
+        assert_eq!(reformat(&net, vec![], &[]), Err(PressError::EmptyPath));
+    }
+
+    #[test]
+    fn reformat_supports_mid_edge_start_and_end() {
+        // Paper: "trajectories can start from and/or end at any point of an
+        // edge, not necessarily an endpoint."
+        let (net, edges) = chain3();
+        let samples = [
+            PathSample {
+                edge_idx: 0,
+                frac: 0.3,
+                t: 0.0,
+            },
+            PathSample {
+                edge_idx: 2,
+                frac: 0.7,
+                t: 10.0,
+            },
+        ];
+        let traj = reformat(&net, edges, &samples).unwrap();
+        assert_eq!(traj.temporal.points[0].d, 30.0);
+        assert_eq!(traj.temporal.points[1].d, 270.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Optimal (dynamic-programming) trajectory decomposition — the baseline
+//! the paper compares its greedy decomposition against (§6.1, Fig. 11).
+//!
+//! "Assume `T' = ⟨e1, …, ei⟩` and `Fk` is the minimum storage cost of the
+//! prefix of `k` edges of `T'`, then
+//! `Fk = min_{j<k}(Fj + Huf(e_{j+1} … e_k))`" — where `Huf(S)` is the
+//! Huffman code length of the Trie node for string `S`. Splits longer than
+//! `θ` are impossible (no such Trie node), so the inner minimization only
+//! looks back `θ` positions and the DP runs in `O(|T'|·θ)` Trie steps.
+//!
+//! The DP minimizes the *encoded bit count*; the paper measures it to be
+//! within ~1 % of the greedy longest-match decomposition while costing
+//! noticeably more time — which `press-bench`'s `fig11` experiment
+//! reproduces.
+
+use crate::error::{PressError, Result};
+use crate::spatial::huffman::Huffman;
+use crate::spatial::trie::{node_to_symbol, Trie, TrieNodeId};
+use press_network::EdgeId;
+
+/// Decomposes `path` into Trie sub-trajectories minimizing total Huffman
+/// bits. Returns the node ids in path order.
+pub fn decompose_dp(trie: &Trie, huffman: &Huffman, path: &[EdgeId]) -> Result<Vec<TrieNodeId>> {
+    let n = path.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    const UNREACHED: u64 = u64::MAX;
+    let mut cost = vec![UNREACHED; n + 1];
+    let mut choice: Vec<TrieNodeId> = vec![Trie::ROOT; n + 1];
+    cost[0] = 0;
+    for j in 0..n {
+        if cost[j] == UNREACHED {
+            continue;
+        }
+        let mut node = Trie::ROOT;
+        for (k, &e) in path.iter().enumerate().skip(j).take(trie.theta()) {
+            let Some(child) = trie.child(node, e) else {
+                break;
+            };
+            node = child;
+            let bits = cost[j] + u64::from(huffman.code_len(node_to_symbol(node)));
+            if bits < cost[k + 1] {
+                cost[k + 1] = bits;
+                choice[k + 1] = node;
+            }
+        }
+    }
+    if cost[n] == UNREACHED {
+        // Only possible when an edge is outside the alphabet: the complete
+        // first level otherwise guarantees a singleton split everywhere.
+        return Err(PressError::OutOfDomain(
+            "path contains an edge outside the Trie alphabet".into(),
+        ));
+    }
+    let mut parts = Vec::new();
+    let mut k = n;
+    while k > 0 {
+        let node = choice[k];
+        parts.push(node);
+        k -= trie.depth(node);
+    }
+    parts.reverse();
+    Ok(parts)
+}
+
+/// Total encoded size in bits of a decomposition.
+pub fn decomposition_bits(huffman: &Huffman, parts: &[TrieNodeId]) -> u64 {
+    parts
+        .iter()
+        .map(|&n| u64::from(huffman.code_len(node_to_symbol(n))))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::ac::AcAutomaton;
+
+    fn e(k: u32) -> EdgeId {
+        EdgeId(k - 1)
+    }
+
+    fn paper_model() -> (AcAutomaton, Huffman) {
+        let training = vec![
+            vec![e(1), e(5), e(8), e(6), e(3)],
+            vec![e(1), e(5), e(2), e(1), e(4), e(8)],
+            vec![e(2), e(1), e(4), e(6)],
+        ];
+        let trie = Trie::build(&training, 3, 10).unwrap();
+        let huffman = Huffman::from_freqs(&trie.symbol_freqs()).unwrap();
+        (AcAutomaton::build(trie), huffman)
+    }
+
+    #[test]
+    fn dp_output_is_a_partition() {
+        let (ac, huf) = paper_model();
+        let path = vec![
+            e(1),
+            e(4),
+            e(7),
+            e(5),
+            e(8),
+            e(6),
+            e(3),
+            e(1),
+            e(5),
+            e(2),
+            e(10),
+        ];
+        let parts = decompose_dp(ac.trie(), &huf, &path).unwrap();
+        let mut rebuilt = Vec::new();
+        for &n in &parts {
+            rebuilt.extend(ac.trie().sub_trajectory(n));
+        }
+        assert_eq!(rebuilt, path);
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        let (ac, huf) = paper_model();
+        let paths = vec![
+            vec![
+                e(1),
+                e(4),
+                e(7),
+                e(5),
+                e(8),
+                e(6),
+                e(3),
+                e(1),
+                e(5),
+                e(2),
+                e(10),
+            ],
+            vec![e(2), e(1), e(4), e(6), e(3)],
+            vec![e(1), e(5), e(8), e(6), e(3), e(1), e(5), e(8)],
+            vec![e(9), e(9), e(9)],
+        ];
+        for path in paths {
+            let greedy = ac.decompose_greedy(&path).unwrap();
+            let dp = decompose_dp(ac.trie(), &huf, &path).unwrap();
+            assert!(
+                decomposition_bits(&huf, &dp) <= decomposition_bits(&huf, &greedy),
+                "dp must be optimal for {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_exhaustive_optimality_on_short_paths() {
+        // Compare against brute-force enumeration of all decompositions.
+        let (ac, huf) = paper_model();
+        let trie = ac.trie();
+        fn brute(trie: &Trie, huf: &Huffman, path: &[EdgeId]) -> Option<u64> {
+            if path.is_empty() {
+                return Some(0);
+            }
+            let mut best = None;
+            let mut node = Trie::ROOT;
+            for (len, &edge) in path.iter().enumerate().take(trie.theta()) {
+                let Some(c) = trie.child(node, edge) else {
+                    break;
+                };
+                node = c;
+                if let Some(rest) = brute(trie, huf, &path[len + 1..]) {
+                    let total = rest + u64::from(huf.code_len(node_to_symbol(node)));
+                    best = Some(best.map_or(total, |b: u64| b.min(total)));
+                }
+            }
+            best
+        }
+        let paths = vec![
+            vec![e(1), e(5), e(8), e(6), e(3)],
+            vec![e(2), e(1), e(4), e(8)],
+            vec![e(1), e(4), e(6), e(3)],
+            vec![e(5), e(2), e(1), e(4), e(6)],
+        ];
+        for path in paths {
+            let dp = decompose_dp(trie, &huf, &path).unwrap();
+            let expected = brute(trie, &huf, &path).unwrap();
+            assert_eq!(decomposition_bits(&huf, &dp), expected, "path {path:?}");
+        }
+    }
+
+    #[test]
+    fn dp_empty_and_out_of_alphabet() {
+        let (ac, huf) = paper_model();
+        assert!(decompose_dp(ac.trie(), &huf, &[]).unwrap().is_empty());
+        assert!(matches!(
+            decompose_dp(ac.trie(), &huf, &[EdgeId(99)]),
+            Err(PressError::OutOfDomain(_))
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Online (streaming) shortest-path compression.
+//!
+//! The SP stage of HSC (Algorithm 1) is a single forward scan with an
+//! anchor and a one-edge lookahead, so — as the paper observes in §7.1.2 —
+//! it adapts directly to online operation: edges arrive one at a time from
+//! the live map matcher, retained edges are emitted as soon as they are
+//! decided, and the state is O(1) (anchor + previous edge).
+//!
+//! Emitted output is **identical** to the batch
+//! [`crate::spatial::sp_compress`] (property-tested). FST coding needs the
+//! whole SP-compressed prefix and is applied when the trip closes.
+
+use press_network::{EdgeId, SpTable};
+use std::sync::Arc;
+
+/// Streaming SP compressor for one in-progress trajectory.
+#[derive(Clone)]
+pub struct OnlineSpCompressor {
+    sp: Arc<SpTable>,
+    /// Last emitted edge (the anchor of Algorithm 1).
+    anchor: Option<EdgeId>,
+    /// Most recent edge seen (Algorithm 1's lookahead slot).
+    prev: Option<EdgeId>,
+}
+
+impl OnlineSpCompressor {
+    /// New streaming compressor over a shortest-path table.
+    pub fn new(sp: Arc<SpTable>) -> Self {
+        OnlineSpCompressor {
+            sp,
+            anchor: None,
+            prev: None,
+        }
+    }
+
+    /// Pushes the next traversed edge; returns any edges that are now
+    /// permanently part of the compressed output.
+    pub fn push(&mut self, e: EdgeId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        match (self.anchor, self.prev) {
+            (None, _) => {
+                // First edge: always kept, emitted immediately.
+                self.anchor = Some(e);
+                self.prev = Some(e);
+                out.push(e);
+            }
+            (Some(anchor), Some(prev)) if prev == anchor => {
+                // Second edge of the window: just fill the lookahead.
+                self.prev = Some(e);
+            }
+            (Some(anchor), Some(prev)) => {
+                // Algorithm 1's check on the interior edge `prev`.
+                if self.sp.sp_end(anchor, e) != Some(prev) {
+                    out.push(prev);
+                    self.anchor = Some(prev);
+                }
+                self.prev = Some(e);
+            }
+            (Some(_), None) => unreachable!("anchor implies a previous edge"),
+        }
+        out
+    }
+
+    /// Closes the trajectory: the final edge is always retained.
+    pub fn finish(self) -> Vec<EdgeId> {
+        match (self.anchor, self.prev) {
+            (Some(anchor), Some(prev)) if prev != anchor => vec![prev],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::sp::{sp_compress, sp_decompress};
+    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (Arc<RoadNetwork>, Arc<SpTable>) {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 7,
+            ny: 7,
+            weight_jitter: 0.2,
+            seed: 5,
+            ..GridConfig::default()
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        (net, sp)
+    }
+
+    fn stream(sp: &Arc<SpTable>, path: &[EdgeId]) -> Vec<EdgeId> {
+        let mut enc = OnlineSpCompressor::new(sp.clone());
+        let mut out = Vec::new();
+        for &e in path {
+            out.extend(enc.push(e));
+        }
+        out.extend(enc.finish());
+        out
+    }
+
+    #[test]
+    fn matches_batch_on_random_walks() {
+        let (net, sp) = setup();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..60 {
+            let mut path = Vec::new();
+            let mut node = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            for _ in 0..rng.gen_range(0..30) {
+                let outs = net.out_edges(node);
+                let candidates: Vec<_> = outs
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        path.last()
+                            .is_none_or(|&p: &EdgeId| net.edge(e).to != net.edge(p).from)
+                    })
+                    .collect();
+                let pool = if candidates.is_empty() {
+                    outs
+                } else {
+                    &candidates[..]
+                };
+                if pool.is_empty() {
+                    break;
+                }
+                let e = pool[rng.gen_range(0..pool.len())];
+                path.push(e);
+                node = net.edge(e).to;
+            }
+            assert_eq!(
+                stream(&sp, &path),
+                sp_compress(&sp, &path),
+                "online and batch must agree on {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_output_decompresses_to_the_original() {
+        let (net, sp) = setup();
+        let path = press_network::dijkstra(&net, NodeId(0))
+            .edge_path_to(&net, NodeId(48))
+            .unwrap();
+        let compressed = stream(&sp, &path);
+        assert_eq!(sp_decompress(&sp, &compressed).unwrap(), path);
+        // A pure shortest path collapses to its two endpoint edges.
+        assert_eq!(compressed.len(), 2.min(path.len()));
+    }
+
+    #[test]
+    fn tiny_streams() {
+        let (net, sp) = setup();
+        let enc = OnlineSpCompressor::new(sp.clone());
+        assert!(enc.finish().is_empty());
+        let e0 = net.out_edges(NodeId(0))[0];
+        let mut enc = OnlineSpCompressor::new(sp.clone());
+        assert_eq!(enc.push(e0), vec![e0]);
+        assert!(enc.finish().is_empty());
+        // Two edges: both kept.
+        let e1 = net.out_edges(net.edge(e0).to)[0];
+        let mut enc = OnlineSpCompressor::new(sp);
+        let mut out = enc.push(e0);
+        out.extend(enc.push(e1));
+        out.extend(enc.finish());
+        assert_eq!(out, vec![e0, e1]);
+    }
+
+    #[test]
+    fn state_is_constant_size() {
+        assert!(std::mem::size_of::<OnlineSpCompressor>() <= 32);
+    }
+}

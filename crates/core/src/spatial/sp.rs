@@ -1,0 +1,243 @@
+//! Shortest-path (SP) compression — paper §3.1, Algorithm 1.
+//!
+//! Idea: if a sub-trajectory `⟨ei, …, ej⟩` is exactly the shortest path
+//! `SP(ei, ej)`, it can be replaced by just `(ei, ej)`. The greedy scan
+//! keeps an anchor edge `e_index` (the last edge emitted) and skips every
+//! following edge while the run from the anchor remains a shortest path;
+//! the check `SPend(e_index, e_{i+1}) == e_i` extends the run by one edge
+//! at a time. Theorem 1 of the paper proves this greedy strategy emits the
+//! minimum possible number of edges, relying on the prefix-consistency of
+//! the `SpTable`'s single shortest-path trees.
+//!
+//! Both compression and decompression are `O(|T|)` — every edge is visited
+//! a constant number of times.
+
+use crate::error::{PressError, Result};
+use press_network::{EdgeId, SpTable};
+
+/// Compresses a spatial path by shortest-path skipping (Algorithm 1).
+///
+/// The output always starts with the first and ends with the last edge of
+/// the input; inputs with fewer than three edges are returned unchanged.
+pub fn sp_compress(sp: &SpTable, path: &[EdgeId]) -> Vec<EdgeId> {
+    if path.len() < 3 {
+        return path.to_vec();
+    }
+    let n = path.len();
+    let mut out = Vec::with_capacity(path.len() / 2 + 2);
+    out.push(path[0]);
+    let mut anchor = path[0];
+    // Invariant: ⟨anchor, …, path[i]⟩ equals SP(anchor, path[i]) for the
+    // current run. Adjacent edges are trivially each other's shortest path,
+    // so the invariant holds whenever a new anchor is set; the SPend check
+    // extends it one edge at a time (prefix consistency of the SP trees).
+    for i in 1..n - 1 {
+        if sp.sp_end(anchor, path[i + 1]) != Some(path[i]) {
+            out.push(path[i]);
+            anchor = path[i];
+        }
+    }
+    out.push(path[n - 1]);
+    out
+}
+
+/// Decompresses an SP-compressed path by re-expanding every non-adjacent
+/// pair with its shortest path (§3.1).
+pub fn sp_decompress(sp: &SpTable, compressed: &[EdgeId]) -> Result<Vec<EdgeId>> {
+    let net = sp.network();
+    let mut out = Vec::with_capacity(compressed.len() * 2);
+    let Some((&first, rest)) = compressed.split_first() else {
+        return Ok(out);
+    };
+    out.push(first);
+    let mut prev = first;
+    for &e in rest {
+        if net.consecutive(prev, e) {
+            out.push(e);
+        } else {
+            let mut interior = sp
+                .sp_interior(prev, e)
+                .ok_or(PressError::NoShortestPath(prev, e))?;
+            out.append(&mut interior);
+            out.push(e);
+        }
+        prev = e;
+    }
+    Ok(out)
+}
+
+/// The cumulative network distance spanned by an SP-compressed path,
+/// without materializing the decompressed edges. Used by the query
+/// processor to accumulate `d` while skipping whole shortest-path gaps.
+pub fn sp_compressed_weight(sp: &SpTable, compressed: &[EdgeId]) -> Result<f64> {
+    let net = sp.network();
+    let mut total = 0.0;
+    let mut prev: Option<EdgeId> = None;
+    for &e in compressed {
+        if let Some(p) = prev {
+            if !net.consecutive(p, e) {
+                let gap = sp.gap_dist(p, e);
+                if !gap.is_finite() {
+                    return Err(PressError::NoShortestPath(p, e));
+                }
+                total += gap;
+            }
+        }
+        total += net.weight(e);
+        prev = Some(e);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_network::{grid_network, GridConfig, Point, RoadNetwork, RoadNetworkBuilder};
+    use std::sync::Arc;
+
+    /// Builds the paper's Fig. 4 running example: trajectory
+    /// `⟨e15, e12, e9, e6, e3⟩` compresses to `⟨e15, e3⟩` because the whole
+    /// run is a shortest path. We reproduce it with a chain plus costly
+    /// detours, keeping the paper's edge naming as comments.
+    fn fig4_like() -> (Arc<RoadNetwork>, Vec<EdgeId>) {
+        let mut b = RoadNetworkBuilder::new();
+        let v = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect::<Vec<_>>();
+        let top = (0..3)
+            .map(|i| b.add_node(Point::new(150.0 + i as f64 * 100.0, 120.0)))
+            .collect::<Vec<_>>();
+        // Chain e0..e4 (plays <e15, e12, e9, e6, e3>).
+        let chain: Vec<EdgeId> = (0..5)
+            .map(|i| b.add_edge(v[i], v[i + 1], 100.0).unwrap())
+            .collect();
+        // Costly detours that keep alternatives available.
+        b.add_edge(v[1], top[0], 150.0).unwrap();
+        b.add_edge(top[0], top[1], 150.0).unwrap();
+        b.add_edge(top[1], top[2], 150.0).unwrap();
+        b.add_edge(top[2], v[4], 150.0).unwrap();
+        (Arc::new(b.build()), chain)
+    }
+
+    #[test]
+    fn compresses_pure_shortest_path_to_two_edges() {
+        let (net, chain) = fig4_like();
+        let sp = SpTable::build(net);
+        let out = sp_compress(&sp, &chain);
+        assert_eq!(out, vec![chain[0], chain[4]]);
+    }
+
+    #[test]
+    fn decompression_restores_original() {
+        let (net, chain) = fig4_like();
+        let sp = SpTable::build(net);
+        let out = sp_compress(&sp, &chain);
+        assert_eq!(sp_decompress(&sp, &out).unwrap(), chain);
+    }
+
+    #[test]
+    fn detour_edges_are_kept() {
+        let (net, _) = fig4_like();
+        let sp = SpTable::build(net.clone());
+        // Take the expensive top detour: e0, e5(top-in), e6, e7, e8(top-out), e4.
+        let path = vec![
+            EdgeId(0),
+            EdgeId(5),
+            EdgeId(6),
+            EdgeId(7),
+            EdgeId(8),
+            EdgeId(4),
+        ];
+        net.validate_path(&path).unwrap();
+        let out = sp_compress(&sp, &path);
+        // The detour is NOT the shortest path, so intermediate edges must
+        // remain to disambiguate the route.
+        assert!(out.len() > 2, "detour must not collapse, got {out:?}");
+        assert_eq!(sp_decompress(&sp, &out).unwrap(), path);
+    }
+
+    #[test]
+    fn short_paths_pass_through() {
+        let (net, chain) = fig4_like();
+        let sp = SpTable::build(net);
+        assert_eq!(sp_compress(&sp, &[]), Vec::<EdgeId>::new());
+        assert_eq!(sp_compress(&sp, &chain[..1]), &chain[..1]);
+        assert_eq!(sp_compress(&sp, &chain[..2]), &chain[..2]);
+        assert_eq!(sp_decompress(&sp, &[]).unwrap(), Vec::<EdgeId>::new());
+    }
+
+    #[test]
+    fn roundtrip_on_grid_walks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 6,
+            ny: 6,
+            weight_jitter: 0.2,
+            seed: 7,
+            ..GridConfig::default()
+        }));
+        let sp = SpTable::build(net.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            // Random walk of 20 edges without immediate backtracking.
+            let mut path = Vec::new();
+            let mut node = press_network::NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            for _ in 0..20 {
+                let outs = net.out_edges(node);
+                let candidates: Vec<_> = outs
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        path.last()
+                            .is_none_or(|&p| net.edge(e).to != net.edge(p).from)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let e = candidates[rng.gen_range(0..candidates.len())];
+                path.push(e);
+                node = net.edge(e).to;
+            }
+            if path.len() < 3 {
+                continue;
+            }
+            let compressed = sp_compress(&sp, &path);
+            assert!(compressed.len() <= path.len());
+            assert_eq!(
+                sp_decompress(&sp, &compressed).unwrap(),
+                path,
+                "roundtrip failed"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_weight_matches_decompressed() {
+        let (net, chain) = fig4_like();
+        let sp = SpTable::build(net.clone());
+        let compressed = sp_compress(&sp, &chain);
+        let w = sp_compressed_weight(&sp, &compressed).unwrap();
+        assert!((w - net.path_weight(&chain)).abs() < 1e-9);
+        assert_eq!(sp_compressed_weight(&sp, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn decompress_errors_on_disconnected_pair() {
+        // Two disconnected components.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(10.0, 0.0));
+        let v3 = b.add_node(Point::new(11.0, 0.0));
+        let e0 = b.add_edge(v0, v1, 1.0).unwrap();
+        let e1 = b.add_edge(v2, v3, 1.0).unwrap();
+        let sp = SpTable::build(Arc::new(b.build()));
+        assert_eq!(
+            sp_decompress(&sp, &[e0, e1]),
+            Err(PressError::NoShortestPath(e0, e1))
+        );
+        assert!(sp_compressed_weight(&sp, &[e0, e1]).is_err());
+    }
+}

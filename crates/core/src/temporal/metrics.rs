@@ -1,0 +1,212 @@
+//! Temporal error metrics — paper §4.1, Definitions 1 and 2.
+//!
+//! A temporal sequence plots as a polygonal line in the d–t plane. For a
+//! trajectory `T` and its compressed form `T'`:
+//!
+//! * **TSND** (Time-Synchronized Network Distance) is the maximum gap along
+//!   the d-axis: `max_t |Dis(T, t) − Dis(T', t)|`.
+//! * **NSTD** (Network-Synchronized Time Difference) is the maximum gap
+//!   along the t-axis: `max_d |Tim(T, d) − Tim(T', d)|`.
+//!
+//! `Dis` and `Tim` are the paper's linear-interpolation functions. `Tim` is
+//! multi-valued where the object stands still (d flat while t advances); we
+//! use the *earliest time* convention, which makes `Tim` left-continuous
+//! with upward jumps, and evaluate both the knot values and their
+//! right-limits so the supremum over plateaus is not missed.
+
+use crate::types::DtPoint;
+
+/// `Dis(T, t)` — network distance traveled at time `t`, linearly
+/// interpolated; clamped to the sequence's distance range outside its time
+/// span. Requires a non-empty sequence.
+pub fn dis_at(seq: &[DtPoint], t: f64) -> f64 {
+    debug_assert!(!seq.is_empty());
+    if t <= seq[0].t {
+        return seq[0].d;
+    }
+    if t >= seq[seq.len() - 1].t {
+        return seq[seq.len() - 1].d;
+    }
+    // Binary search for the segment containing t.
+    let i = seq.partition_point(|p| p.t <= t);
+    let (a, b) = (seq[i - 1], seq[i]);
+    let span = b.t - a.t;
+    if span <= f64::EPSILON {
+        return a.d;
+    }
+    a.d + (b.d - a.d) * (t - a.t) / span
+}
+
+/// `Tim(T, d)` — earliest time at which the object has traveled distance
+/// `d`, linearly interpolated; clamped outside the distance range.
+pub fn tim_at(seq: &[DtPoint], d: f64) -> f64 {
+    debug_assert!(!seq.is_empty());
+    if d <= seq[0].d {
+        return seq[0].t;
+    }
+    if d >= seq[seq.len() - 1].d {
+        // Earliest time reaching the final distance.
+        let dn = seq[seq.len() - 1].d;
+        let i = seq.partition_point(|p| p.d < dn);
+        return seq[i].t;
+    }
+    let i = seq.partition_point(|p| p.d < d);
+    let (a, b) = (seq[i - 1], seq[i]);
+    let span = b.d - a.d;
+    if span <= f64::EPSILON {
+        return a.t;
+    }
+    a.t + (b.t - a.t) * (d - a.d) / span
+}
+
+/// Right-limit of `Tim` at `d`: the *latest* time at which the traveled
+/// distance is still `d` (equals [`tim_at`] except on plateaus).
+fn tim_right_limit(seq: &[DtPoint], d: f64) -> f64 {
+    debug_assert!(!seq.is_empty());
+    if d < seq[0].d {
+        return seq[0].t;
+    }
+    if d >= seq[seq.len() - 1].d {
+        return seq[seq.len() - 1].t;
+    }
+    // Last index with p.d <= d, then interpolate towards the next knot.
+    let i = seq.partition_point(|p| p.d <= d);
+    let (a, b) = (seq[i - 1], seq[i]);
+    let span = b.d - a.d;
+    if span <= f64::EPSILON {
+        return b.t;
+    }
+    a.t + (b.t - a.t) * (d - a.d) / span
+}
+
+/// `TSND(T, T')` — Definition 1. Both sequences must be non-empty.
+///
+/// The pointwise difference of two polygonal lines is piecewise linear, so
+/// the maximum is attained at a knot of either line.
+pub fn tsnd(a: &[DtPoint], b: &[DtPoint]) -> f64 {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let mut max = 0.0f64;
+    for p in a.iter().chain(b.iter()) {
+        let diff = (dis_at(a, p.t) - dis_at(b, p.t)).abs();
+        max = max.max(diff);
+    }
+    max
+}
+
+/// `NSTD(T, T')` — Definition 2. Both sequences must be non-empty.
+///
+/// Evaluated at every distance knot of either sequence, both at the knot
+/// value (earliest time) and at its right limit (latest time), which covers
+/// the discontinuities introduced by stand-still plateaus.
+pub fn nstd(a: &[DtPoint], b: &[DtPoint]) -> f64 {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let mut max = 0.0f64;
+    for p in a.iter().chain(b.iter()) {
+        let at_knot = (tim_at(a, p.d) - tim_at(b, p.d)).abs();
+        let at_right = (tim_right_limit(a, p.d) - tim_right_limit(b, p.d)).abs();
+        max = max.max(at_knot).max(at_right);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dt(d: f64, t: f64) -> DtPoint {
+        DtPoint::new(d, t)
+    }
+
+    #[test]
+    fn dis_interpolates_and_clamps() {
+        let seq = [
+            dt(0.0, 0.0),
+            dt(100.0, 10.0),
+            dt(100.0, 20.0),
+            dt(200.0, 30.0),
+        ];
+        assert_eq!(dis_at(&seq, -5.0), 0.0);
+        assert_eq!(dis_at(&seq, 0.0), 0.0);
+        assert_eq!(dis_at(&seq, 5.0), 50.0);
+        assert_eq!(dis_at(&seq, 15.0), 100.0); // inside the plateau
+        assert_eq!(dis_at(&seq, 25.0), 150.0);
+        assert_eq!(dis_at(&seq, 99.0), 200.0);
+    }
+
+    #[test]
+    fn tim_earliest_convention_on_plateau() {
+        let seq = [
+            dt(0.0, 0.0),
+            dt(100.0, 10.0),
+            dt(100.0, 20.0),
+            dt(200.0, 30.0),
+        ];
+        assert_eq!(tim_at(&seq, 0.0), 0.0);
+        assert_eq!(tim_at(&seq, 50.0), 5.0);
+        // The object first reaches d=100 at t=10, even though it stays
+        // there until t=20.
+        assert_eq!(tim_at(&seq, 100.0), 10.0);
+        assert_eq!(tim_right_limit(&seq, 100.0), 20.0);
+        assert_eq!(tim_at(&seq, 150.0), 25.0);
+        assert_eq!(tim_at(&seq, 999.0), 30.0);
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_error() {
+        let seq = [dt(0.0, 0.0), dt(50.0, 5.0), dt(50.0, 9.0), dt(80.0, 12.0)];
+        assert_eq!(tsnd(&seq, &seq), 0.0);
+        assert_eq!(nstd(&seq, &seq), 0.0);
+    }
+
+    #[test]
+    fn tsnd_measures_vertical_gap() {
+        // T moves 0->100 linearly over 10s; T' skips the midpoint knowing
+        // only the endpoints — but here T bulges: at t=5 T is at 80, T' at 50.
+        let t_full = [dt(0.0, 0.0), dt(80.0, 5.0), dt(100.0, 10.0)];
+        let t_comp = [dt(0.0, 0.0), dt(100.0, 10.0)];
+        assert!((tsnd(&t_full, &t_comp) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nstd_measures_horizontal_gap() {
+        // T reaches d=50 at t=2; T' (straight line) reaches d=50 at t=5.
+        let t_full = [dt(0.0, 0.0), dt(50.0, 2.0), dt(100.0, 10.0)];
+        let t_comp = [dt(0.0, 0.0), dt(100.0, 10.0)];
+        assert!((nstd(&t_full, &t_comp) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nstd_catches_plateau_jump() {
+        // T waits at d=100 from t=10 to t=20; the straight line T' passes
+        // d=100 at t=15. Earliest-time diff at d=100 is |10-15| = 5, but the
+        // right-limit diff is |20-15| = 5; for d slightly above 100 the
+        // difference approaches 5 as well. A version ignoring plateaus
+        // would under-report if the wait were asymmetric — make it so:
+        let t_full = [
+            dt(0.0, 0.0),
+            dt(100.0, 10.0),
+            dt(100.0, 28.0),
+            dt(150.0, 30.0),
+        ];
+        let t_comp = [dt(0.0, 0.0), dt(150.0, 30.0)];
+        // T' reaches d=100 at t=20. Earliest diff at 100: |10-20|=10.
+        // Right-limit diff at 100: |28-20|=8.
+        assert!((nstd(&t_full, &t_comp) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = [dt(0.0, 0.0), dt(30.0, 4.0), dt(90.0, 10.0)];
+        let b = [dt(0.0, 0.0), dt(90.0, 10.0)];
+        assert_eq!(tsnd(&a, &b), tsnd(&b, &a));
+        assert_eq!(nstd(&a, &b), nstd(&b, &a));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let a = [dt(5.0, 1.0)];
+        assert_eq!(dis_at(&a, 0.0), 5.0);
+        assert_eq!(tim_at(&a, 99.0), 1.0);
+        assert_eq!(tsnd(&a, &a), 0.0);
+    }
+}

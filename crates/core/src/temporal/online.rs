@@ -1,0 +1,216 @@
+//! Online (streaming) Bounded Temporal Compression.
+//!
+//! Paper §7.1.2: "the compression procedure scans the spatial path and
+//! temporal sequence from head to tail without tracing back. This means
+//! PRESS can be adapted to online compression." This module delivers that
+//! adaptation for BTC: points are pushed one at a time as the GPS unit
+//! reports them; retained tuples are emitted as soon as they are decided,
+//! with O(1) state (the anchor plus one angular range).
+//!
+//! The emitted sequence is **identical** to the batch
+//! [`crate::temporal::btc_compress`] output (property-tested).
+
+use crate::temporal::btc::BtcBounds;
+use crate::types::DtPoint;
+
+/// Admissible-slope interval in the d–t plane (the angular range of §4.2).
+#[derive(Clone, Copy, Debug)]
+struct SlopeRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl SlopeRange {
+    fn full() -> Self {
+        SlopeRange {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    fn of_point(anchor: DtPoint, p: DtPoint, bounds: BtcBounds) -> Self {
+        let dt = p.t - anchor.t;
+        let dd = p.d - anchor.d;
+        let v_lo = (dd - bounds.tsnd) / dt;
+        let v_hi = (dd + bounds.tsnd) / dt;
+        let h_lo = dd / (dt + bounds.nstd);
+        let h_hi = if dt - bounds.nstd > 0.0 {
+            dd / (dt - bounds.nstd)
+        } else {
+            f64::INFINITY
+        };
+        SlopeRange {
+            lo: v_lo.max(h_lo),
+            hi: v_hi.min(h_hi),
+        }
+    }
+
+    fn contains_slope_to(&self, anchor: DtPoint, p: DtPoint) -> bool {
+        let slope = (p.d - anchor.d) / (p.t - anchor.t);
+        slope >= self.lo && slope <= self.hi
+    }
+
+    fn intersect(&mut self, other: SlopeRange) {
+        self.lo = self.lo.max(other.lo);
+        self.hi = self.hi.min(other.hi);
+    }
+}
+
+/// Streaming BTC compressor.
+///
+/// ```
+/// use press_core::temporal::{OnlineBtc, BtcBounds};
+/// use press_core::DtPoint;
+///
+/// let mut enc = OnlineBtc::new(BtcBounds::new(10.0, 5.0));
+/// let mut kept = Vec::new();
+/// for i in 0..100 {
+///     kept.extend(enc.push(DtPoint::new(i as f64 * 12.0, i as f64 * 2.0)));
+/// }
+/// kept.extend(enc.finish());
+/// assert!(kept.len() <= 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineBtc {
+    bounds: BtcBounds,
+    /// Last emitted tuple (window anchor).
+    anchor: Option<DtPoint>,
+    /// Most recent tuple seen (candidate for emission on window break).
+    last: Option<DtPoint>,
+    range: SlopeRange,
+    /// True until the first point (which is always emitted).
+    emitted_any: bool,
+}
+
+impl OnlineBtc {
+    /// New streaming compressor with the given tolerances.
+    pub fn new(bounds: BtcBounds) -> Self {
+        OnlineBtc {
+            bounds,
+            anchor: None,
+            last: None,
+            range: SlopeRange::full(),
+            emitted_any: false,
+        }
+    }
+
+    /// Pushes the next tuple (strictly increasing `t`, non-decreasing
+    /// `d`); returns any tuples that are now permanently decided.
+    pub fn push(&mut self, p: DtPoint) -> Vec<DtPoint> {
+        let mut out = Vec::new();
+        let Some(anchor) = self.anchor else {
+            // First point: always kept, emitted immediately.
+            self.anchor = Some(p);
+            self.last = Some(p);
+            self.emitted_any = true;
+            out.push(p);
+            return out;
+        };
+        debug_assert!(p.t > self.last.map_or(f64::NEG_INFINITY, |l| l.t));
+        if self.range.contains_slope_to(anchor, p) {
+            self.range
+                .intersect(SlopeRange::of_point(anchor, p, self.bounds));
+            self.last = Some(p);
+            return out;
+        }
+        // Window breaks: the previous point becomes the new anchor and is
+        // emitted; re-examine p against the fresh range (always inside).
+        let kept = self.last.expect("window break implies a previous point");
+        out.push(kept);
+        self.anchor = Some(kept);
+        self.range = SlopeRange::full();
+        self.range
+            .intersect(SlopeRange::of_point(kept, p, self.bounds));
+        self.last = Some(p);
+        out
+    }
+
+    /// Flushes the stream end: the final point is always retained.
+    pub fn finish(mut self) -> Vec<DtPoint> {
+        let mut out = Vec::new();
+        if let (Some(anchor), Some(last)) = (self.anchor.take(), self.last.take()) {
+            if last != anchor {
+                out.push(last);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temporal::btc::btc_compress;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn stream(points: &[DtPoint], bounds: BtcBounds) -> Vec<DtPoint> {
+        let mut enc = OnlineBtc::new(bounds);
+        let mut out = Vec::new();
+        for &p in points {
+            out.extend(enc.push(p));
+        }
+        out.extend(enc.finish());
+        out
+    }
+
+    #[test]
+    fn matches_batch_on_random_sequences() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for case in 0..40 {
+            let n = rng.gen_range(0..150);
+            let mut d = 0.0f64;
+            let mut t = 0.0f64;
+            let pts: Vec<DtPoint> = (0..n)
+                .map(|_| {
+                    let p = DtPoint::new(d, t);
+                    d += rng.gen_range(0.0..25.0);
+                    t += rng.gen_range(0.5..8.0);
+                    p
+                })
+                .collect();
+            for (tau, eta) in [(0.0, 0.0), (5.0, 2.0), (40.0, 15.0)] {
+                let bounds = BtcBounds::new(tau, eta);
+                assert_eq!(
+                    stream(&pts, bounds),
+                    btc_compress(&pts, bounds),
+                    "case {case} τ={tau} η={eta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emits_first_point_immediately() {
+        let mut enc = OnlineBtc::new(BtcBounds::lossless());
+        let first = enc.push(DtPoint::new(0.0, 0.0));
+        assert_eq!(first, vec![DtPoint::new(0.0, 0.0)]);
+        // Collinear continuation emits nothing until finish.
+        let mut enc2 = enc.clone();
+        assert!(enc2.push(DtPoint::new(10.0, 1.0)).is_empty());
+        assert!(enc2.push(DtPoint::new(20.0, 2.0)).is_empty());
+        assert_eq!(enc2.finish(), vec![DtPoint::new(20.0, 2.0)]);
+    }
+
+    #[test]
+    fn empty_and_single_point_streams() {
+        let enc = OnlineBtc::new(BtcBounds::lossless());
+        assert!(enc.finish().is_empty());
+        let mut enc = OnlineBtc::new(BtcBounds::lossless());
+        let out = enc.push(DtPoint::new(3.0, 1.0));
+        assert_eq!(out.len(), 1);
+        assert!(enc.finish().is_empty()); // single point not re-emitted
+    }
+
+    #[test]
+    fn bounded_state_regardless_of_stream_length() {
+        // The encoder is O(1) state: it can absorb long streams without
+        // growing; correctness is checked against batch in chunks.
+        let pts: Vec<DtPoint> = (0..10_000)
+            .map(|i| DtPoint::new((i as f64) * 7.0 + (i % 13) as f64, i as f64))
+            .collect();
+        let bounds = BtcBounds::new(6.0, 3.0);
+        assert_eq!(stream(&pts, bounds), btc_compress(&pts, bounds));
+        assert!(std::mem::size_of::<OnlineBtc>() < 128);
+    }
+}

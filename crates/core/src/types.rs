@@ -1,0 +1,342 @@
+//! Trajectory representation (paper §2).
+//!
+//! PRESS separates a trajectory into a **spatial path** (the sequence of
+//! consecutive road-network edges the object traverses) and a **temporal
+//! sequence** of `(d, t)` tuples, where `d` is the network distance traveled
+//! since the start of the trajectory at timestamp `t`. This separation is
+//! the paper's key representational idea: it lets the spatial part be
+//! compressed losslessly (HSC, §3) and the temporal part with bounded error
+//! (BTC, §4), independently of each other.
+
+use crate::error::{PressError, Result};
+use press_network::{EdgeId, Point, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// A raw GPS sample: a position plus a timestamp (seconds).
+///
+/// This is the traditional `(x, y, t)` triple representation the paper's
+/// input trajectories use.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// Position in the projected plane (meters).
+    pub point: Point,
+    /// Timestamp in seconds since the epoch of the trajectory's day.
+    pub t: f64,
+}
+
+/// A raw GPS trajectory: a time-ordered sequence of samples.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpsTrajectory {
+    pub points: Vec<GpsPoint>,
+}
+
+impl GpsTrajectory {
+    /// Creates a trajectory after validating time ordering.
+    pub fn new(points: Vec<GpsPoint>) -> Result<Self> {
+        for w in points.windows(2) {
+            // NaN-aware check: `w[1].t > w[0].t` must hold, and any NaN
+            // comparison is false, so NaNs are rejected too.
+            let strictly_increasing = w[1].t > w[0].t;
+            if !strictly_increasing {
+                return Err(PressError::InvalidTemporal(format!(
+                    "GPS timestamps must strictly increase, got {} then {}",
+                    w[0].t, w[1].t
+                )));
+            }
+        }
+        Ok(GpsTrajectory { points })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// The spatial path of a trajectory: a sequence of consecutive edges
+/// (`⟨e15, e16, e13, e6, e3⟩` in the paper's Fig. 2).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialPath {
+    pub edges: Vec<EdgeId>,
+}
+
+impl SpatialPath {
+    /// Creates a path, validating edge adjacency against the network.
+    pub fn new(net: &RoadNetwork, edges: Vec<EdgeId>) -> Result<Self> {
+        net.validate_path(&edges)?;
+        Ok(SpatialPath { edges })
+    }
+
+    /// Creates a path without validation — for callers that construct paths
+    /// from sources already guaranteed consistent (e.g. the map matcher).
+    pub fn new_unchecked(edges: Vec<EdgeId>) -> Self {
+        SpatialPath { edges }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Total weight of the path.
+    pub fn weight(&self, net: &RoadNetwork) -> f64 {
+        net.path_weight(&self.edges)
+    }
+
+    /// Network position at `d` weight-units along the path: returns
+    /// `(edge index within the path, offset within that edge in
+    /// weight-units)`. Clamps to the path extent.
+    pub fn locate(&self, net: &RoadNetwork, d: f64) -> Result<(usize, f64)> {
+        if self.edges.is_empty() {
+            return Err(PressError::EmptyPath);
+        }
+        let mut remaining = d.max(0.0);
+        for (i, &e) in self.edges.iter().enumerate() {
+            let w = net.weight(e);
+            if remaining <= w || i == self.edges.len() - 1 {
+                return Ok((i, remaining.min(w)));
+            }
+            remaining -= w;
+        }
+        unreachable!("loop always returns on the last edge")
+    }
+
+    /// The planar point at `d` weight-units along the path.
+    pub fn point_at(&self, net: &RoadNetwork, d: f64) -> Result<Point> {
+        let (idx, offset) = self.locate(net, d)?;
+        let e = self.edges[idx];
+        let w = net.weight(e);
+        let frac = if w <= f64::EPSILON { 0.0 } else { offset / w };
+        Ok(net.point_on_edge(e, frac * net.edge_length(e)))
+    }
+}
+
+/// One temporal tuple `(d, t)`: at timestamp `t` the object has traveled
+/// network distance `d` since the start of the trajectory (paper §2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DtPoint {
+    /// Cumulative network distance (weight-units, meters by default).
+    pub d: f64,
+    /// Timestamp (seconds).
+    pub t: f64,
+}
+
+impl DtPoint {
+    /// Creates a tuple.
+    pub const fn new(d: f64, t: f64) -> Self {
+        DtPoint { d, t }
+    }
+}
+
+/// The temporal sequence of a trajectory: `(d, t)` tuples with strictly
+/// increasing `t` and non-decreasing `d`.
+///
+/// Unlike the vertex-timestamp representation of prior work, this captures
+/// intra-edge behaviour — a taxi waiting mid-edge shows up as a flat run
+/// (`d` constant while `t` advances), exactly the paper's Fig. 3(b).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TemporalSequence {
+    pub points: Vec<DtPoint>,
+}
+
+impl TemporalSequence {
+    /// Creates a sequence after validating its invariants.
+    pub fn new(points: Vec<DtPoint>) -> Result<Self> {
+        for p in &points {
+            if !p.d.is_finite() || !p.t.is_finite() {
+                return Err(PressError::InvalidTemporal(
+                    "non-finite distance or timestamp".into(),
+                ));
+            }
+            if p.d < 0.0 {
+                return Err(PressError::InvalidTemporal(format!(
+                    "negative cumulative distance {}",
+                    p.d
+                )));
+            }
+        }
+        for w in points.windows(2) {
+            // NaN-aware: comparisons with NaN are false, so NaNs fail here.
+            let strictly_increasing = w[1].t > w[0].t;
+            if !strictly_increasing {
+                return Err(PressError::InvalidTemporal(format!(
+                    "timestamps must strictly increase, got {} then {}",
+                    w[0].t, w[1].t
+                )));
+            }
+            if w[1].d < w[0].d {
+                return Err(PressError::InvalidTemporal(format!(
+                    "cumulative distance must not decrease, got {} then {}",
+                    w[0].d, w[1].d
+                )));
+            }
+        }
+        Ok(TemporalSequence { points })
+    }
+
+    /// Creates a sequence without validation.
+    pub fn new_unchecked(points: Vec<DtPoint>) -> Self {
+        TemporalSequence { points }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time span covered, `None` when fewer than one tuple.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.t, self.points.last()?.t))
+    }
+
+    /// Distance span covered, `None` when empty.
+    pub fn dist_range(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.d, self.points.last()?.d))
+    }
+}
+
+/// A trajectory in the PRESS representation: spatial path + temporal
+/// sequence.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    pub path: SpatialPath,
+    pub temporal: TemporalSequence,
+}
+
+impl Trajectory {
+    /// Combines a validated path and temporal sequence.
+    pub fn new(path: SpatialPath, temporal: TemporalSequence) -> Self {
+        Trajectory { path, temporal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_network::{GridConfig, RoadNetworkBuilder};
+
+    fn tiny_net() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(10.0, 0.0));
+        let v2 = b.add_node(Point::new(20.0, 0.0));
+        b.add_edge(v0, v1, 10.0).unwrap();
+        b.add_edge(v1, v2, 10.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn gps_trajectory_validates_time() {
+        let ok = GpsTrajectory::new(vec![
+            GpsPoint {
+                point: Point::new(0.0, 0.0),
+                t: 0.0,
+            },
+            GpsPoint {
+                point: Point::new(1.0, 0.0),
+                t: 1.0,
+            },
+        ]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().len(), 2);
+        let bad = GpsTrajectory::new(vec![
+            GpsPoint {
+                point: Point::new(0.0, 0.0),
+                t: 1.0,
+            },
+            GpsPoint {
+                point: Point::new(1.0, 0.0),
+                t: 1.0,
+            },
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn spatial_path_validation() {
+        let net = tiny_net();
+        assert!(SpatialPath::new(&net, vec![EdgeId(0), EdgeId(1)]).is_ok());
+        assert!(SpatialPath::new(&net, vec![EdgeId(1), EdgeId(0)]).is_err());
+        let empty = SpatialPath::new(&net, vec![]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn spatial_path_locate_and_point() {
+        let net = tiny_net();
+        let p = SpatialPath::new(&net, vec![EdgeId(0), EdgeId(1)]).unwrap();
+        assert!((p.weight(&net) - 20.0).abs() < 1e-12);
+        assert_eq!(p.locate(&net, 5.0).unwrap(), (0, 5.0));
+        assert_eq!(p.locate(&net, 15.0).unwrap(), (1, 5.0));
+        // Clamping at both ends.
+        assert_eq!(p.locate(&net, -3.0).unwrap(), (0, 0.0));
+        assert_eq!(p.locate(&net, 50.0).unwrap(), (1, 10.0));
+        let pt = p.point_at(&net, 15.0).unwrap();
+        assert!((pt.x - 15.0).abs() < 1e-9 && pt.y.abs() < 1e-9);
+        let empty = SpatialPath::default();
+        assert_eq!(empty.locate(&net, 1.0), Err(PressError::EmptyPath));
+    }
+
+    #[test]
+    fn boundary_between_edges_prefers_earlier_edge() {
+        let net = tiny_net();
+        let p = SpatialPath::new(&net, vec![EdgeId(0), EdgeId(1)]).unwrap();
+        // d exactly at the boundary maps to the end of the first edge.
+        assert_eq!(p.locate(&net, 10.0).unwrap(), (0, 10.0));
+    }
+
+    #[test]
+    fn temporal_sequence_invariants() {
+        assert!(TemporalSequence::new(vec![
+            DtPoint::new(0.0, 0.0),
+            DtPoint::new(5.0, 1.0),
+            DtPoint::new(5.0, 2.0), // waiting: d flat, t advances
+            DtPoint::new(9.0, 3.0),
+        ])
+        .is_ok());
+        // d decreasing is invalid.
+        assert!(
+            TemporalSequence::new(vec![DtPoint::new(5.0, 0.0), DtPoint::new(4.0, 1.0),]).is_err()
+        );
+        // t non-increasing is invalid.
+        assert!(
+            TemporalSequence::new(vec![DtPoint::new(0.0, 1.0), DtPoint::new(1.0, 1.0),]).is_err()
+        );
+        // non-finite is invalid.
+        assert!(TemporalSequence::new(vec![DtPoint::new(f64::NAN, 0.0)]).is_err());
+        assert!(TemporalSequence::new(vec![DtPoint::new(-1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn temporal_ranges() {
+        let seq =
+            TemporalSequence::new(vec![DtPoint::new(0.0, 10.0), DtPoint::new(7.0, 20.0)]).unwrap();
+        assert_eq!(seq.time_range(), Some((10.0, 20.0)));
+        assert_eq!(seq.dist_range(), Some((0.0, 7.0)));
+        assert_eq!(TemporalSequence::default().time_range(), None);
+    }
+
+    #[test]
+    fn grid_paths_validate() {
+        let net = press_network::grid_network(&GridConfig::default());
+        // First two out-edges of a shared node are not consecutive.
+        let e0 = net.out_edges(press_network::NodeId(0))[0];
+        let bad = SpatialPath::new(&net, vec![e0, e0]);
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,495 @@
+//! HMM map matching (Newson & Krumm, GIS'09) over a PRESS road network.
+
+use press_network::{dijkstra_bounded, EdgeId, EdgeSpatialIndex, Point, Projection, RoadNetwork};
+use std::fmt;
+use std::sync::Arc;
+
+/// A raw GPS sample handed to the matcher.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpsSample {
+    pub point: Point,
+    pub t: f64,
+}
+
+/// Configuration of the HMM matcher.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherConfig {
+    /// Candidate-search radius around each sample (meters).
+    pub candidate_radius: f64,
+    /// Maximum candidates kept per sample (closest first).
+    pub max_candidates: usize,
+    /// GPS noise standard deviation σ for the Gaussian emission (meters).
+    pub gps_sigma: f64,
+    /// β of the exponential transition model (meters).
+    pub beta: f64,
+    /// Transitions whose route distance exceeds
+    /// `route_slack + route_factor × straight-line distance` are pruned.
+    pub route_factor: f64,
+    /// Additive slack for the transition pruning bound (meters).
+    pub route_slack: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            candidate_radius: 60.0,
+            max_candidates: 8,
+            gps_sigma: 10.0,
+            beta: 20.0,
+            route_factor: 4.0,
+            route_slack: 300.0,
+        }
+    }
+}
+
+/// Errors raised by map matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatcherError {
+    /// Input had no samples.
+    EmptyInput,
+    /// No candidate edge near any sample (GPS too far from the network).
+    NoCandidates,
+    /// The candidate lattice broke and could not be stitched.
+    BrokenChain { at_sample: usize },
+}
+
+impl fmt::Display for MatcherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatcherError::EmptyInput => write!(f, "no GPS samples to match"),
+            MatcherError::NoCandidates => {
+                write!(f, "no road-network edge near any GPS sample")
+            }
+            MatcherError::BrokenChain { at_sample } => {
+                write!(f, "candidate lattice broke at sample {at_sample}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatcherError {}
+
+/// One GPS sample located on the matched path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchedSample {
+    /// Index into [`MatchedTrajectory::edges`].
+    pub edge_idx: usize,
+    /// Fractional position along that edge, `0.0` = tail, `1.0` = head.
+    pub frac: f64,
+    /// Timestamp of the sample (seconds).
+    pub t: f64,
+}
+
+/// The matcher output: a connected edge path and each (kept) sample's
+/// position on it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MatchedTrajectory {
+    pub edges: Vec<EdgeId>,
+    pub samples: Vec<MatchedSample>,
+}
+
+/// A candidate state: a sample projected onto one nearby edge.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    edge: EdgeId,
+    proj: Projection,
+}
+
+/// The HMM map matcher. Holds a spatial index over the network's edges;
+/// build once, match many.
+pub struct MapMatcher {
+    index: EdgeSpatialIndex,
+    config: MatcherConfig,
+}
+
+impl MapMatcher {
+    /// Builds a matcher over `net` with the given configuration.
+    pub fn new(net: Arc<RoadNetwork>, config: MatcherConfig) -> Self {
+        // Cell size near the candidate radius keeps bucket scans short.
+        let cell = config.candidate_radius.max(25.0);
+        MapMatcher {
+            index: EdgeSpatialIndex::build(net, cell),
+            config,
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        self.index.network()
+    }
+
+    /// Matches a GPS trajectory onto the road network.
+    ///
+    /// Samples with no nearby edge are dropped; if the Viterbi lattice
+    /// breaks (no admissible transition), the path is stitched through the
+    /// locally best candidate — the paper's pipeline only requires *a*
+    /// connected path, and synthetic workloads with bounded noise do not
+    /// exercise heavy outages.
+    pub fn match_trajectory(
+        &self,
+        samples: &[GpsSample],
+    ) -> Result<MatchedTrajectory, MatcherError> {
+        if samples.is_empty() {
+            return Err(MatcherError::EmptyInput);
+        }
+        let net = self.index.network().clone();
+        // 1. Candidate generation (samples without candidates are dropped).
+        let mut kept: Vec<&GpsSample> = Vec::with_capacity(samples.len());
+        let mut lattice: Vec<Vec<Candidate>> = Vec::with_capacity(samples.len());
+        for s in samples {
+            let found = self
+                .index
+                .edges_near(&s.point, self.config.candidate_radius);
+            if found.is_empty() {
+                continue;
+            }
+            lattice.push(
+                found
+                    .into_iter()
+                    .take(self.config.max_candidates)
+                    .map(|(edge, proj)| Candidate { edge, proj })
+                    .collect(),
+            );
+            kept.push(s);
+        }
+        if lattice.is_empty() {
+            return Err(MatcherError::NoCandidates);
+        }
+        // 2. Viterbi.
+        let sigma2 = 2.0 * self.config.gps_sigma * self.config.gps_sigma;
+        let emission = |c: &Candidate| -(c.proj.dist * c.proj.dist) / sigma2;
+        let mut score: Vec<Vec<f64>> = Vec::with_capacity(lattice.len());
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(lattice.len());
+        score.push(lattice[0].iter().map(emission).collect());
+        back.push(vec![usize::MAX; lattice[0].len()]);
+        for step in 1..lattice.len() {
+            let gc = kept[step - 1].point.dist(&kept[step].point);
+            let max_route = self.config.route_slack + self.config.route_factor * gc;
+            let prev_states = &lattice[step - 1];
+            let cur_states = &lattice[step];
+            let mut cur_score = vec![f64::NEG_INFINITY; cur_states.len()];
+            let mut cur_back = vec![usize::MAX; cur_states.len()];
+            for (pi, pc) in prev_states.iter().enumerate() {
+                if score[step - 1][pi] == f64::NEG_INFINITY {
+                    continue;
+                }
+                // One bounded Dijkstra from the previous candidate's head
+                // covers route distances to every current candidate.
+                let tree = dijkstra_bounded(&net, net.edge(pc.edge).to, max_route);
+                for (ci, cc) in cur_states.iter().enumerate() {
+                    let route = route_distance(&net, pc, cc, &tree.dist);
+                    if !route.is_finite() || route > max_route {
+                        continue;
+                    }
+                    let trans = -(route - gc).abs() / self.config.beta;
+                    let cand = score[step - 1][pi] + trans + emission(cc);
+                    if cand > cur_score[ci] {
+                        cur_score[ci] = cand;
+                        cur_back[ci] = pi;
+                    }
+                }
+            }
+            // Broken step: restart the chain at the best-emission candidate
+            // (stitched later through a shortest path).
+            if cur_score.iter().all(|s| *s == f64::NEG_INFINITY) {
+                for (ci, cc) in cur_states.iter().enumerate() {
+                    cur_score[ci] = emission(cc);
+                    cur_back[ci] = usize::MAX;
+                }
+            }
+            score.push(cur_score);
+            back.push(cur_back);
+        }
+        // 3. Backtrack the best state sequence.
+        let last = score.len() - 1;
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (ci, &s) in score[last].iter().enumerate() {
+            if s > best.1 {
+                best = (ci, s);
+            }
+        }
+        let mut states = vec![0usize; lattice.len()];
+        states[last] = best.0;
+        for step in (1..=last).rev() {
+            let b = back[step][states[step]];
+            if b == usize::MAX {
+                // Restarted step: pick the best predecessor independently.
+                let mut pb = (0usize, f64::NEG_INFINITY);
+                for (pi, &s) in score[step - 1].iter().enumerate() {
+                    if s > pb.1 {
+                        pb = (pi, s);
+                    }
+                }
+                states[step - 1] = pb.0;
+            } else {
+                states[step - 1] = b;
+            }
+        }
+        // 4. Build the edge path and per-sample positions.
+        self.build_output(&net, &kept, &lattice, &states)
+    }
+
+    /// Stitches the chosen candidates into one connected edge path.
+    fn build_output(
+        &self,
+        net: &RoadNetwork,
+        kept: &[&GpsSample],
+        lattice: &[Vec<Candidate>],
+        states: &[usize],
+    ) -> Result<MatchedTrajectory, MatcherError> {
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut samples: Vec<MatchedSample> = Vec::with_capacity(states.len());
+        let first = &lattice[0][states[0]];
+        edges.push(first.edge);
+        samples.push(MatchedSample {
+            edge_idx: 0,
+            frac: first.proj.t,
+            t: kept[0].t,
+        });
+        for step in 1..states.len() {
+            let prev = &lattice[step - 1][states[step - 1]];
+            let cur = &lattice[step][states[step]];
+            if prev.edge == cur.edge {
+                // Same edge: nothing to append. Backward jitter is clamped
+                // to the previous position (the re-formatter's monotone
+                // clamp does the same for distances).
+                samples.push(MatchedSample {
+                    edge_idx: edges.len() - 1,
+                    frac: cur.proj.t.max(prev.proj.t),
+                    t: kept[step].t,
+                });
+                continue;
+            }
+            // Route from prev.edge's head to cur.edge's tail.
+            let from = net.edge(prev.edge).to;
+            let to = net.edge(cur.edge).from;
+            let tree = dijkstra_bounded(
+                net,
+                from,
+                self.config.route_slack
+                    + self.config.route_factor * kept[step - 1].point.dist(&kept[step].point),
+            );
+            let Some(route) = tree.edge_path_to(net, to) else {
+                // Stitch through an unbounded shortest path as a last resort.
+                let full = press_network::dijkstra(net, from);
+                match full.edge_path_to(net, to) {
+                    Some(route) => {
+                        edges.extend(route);
+                        edges.push(cur.edge);
+                        samples.push(MatchedSample {
+                            edge_idx: edges.len() - 1,
+                            frac: cur.proj.t,
+                            t: kept[step].t,
+                        });
+                        continue;
+                    }
+                    None => return Err(MatcherError::BrokenChain { at_sample: step }),
+                }
+            };
+            edges.extend(route);
+            edges.push(cur.edge);
+            samples.push(MatchedSample {
+                edge_idx: edges.len() - 1,
+                frac: cur.proj.t,
+                t: kept[step].t,
+            });
+        }
+        Ok(MatchedTrajectory { edges, samples })
+    }
+}
+
+/// On-network route distance from candidate `a` to candidate `b`, given the
+/// Dijkstra distances from `a`'s edge head.
+fn route_distance(
+    net: &RoadNetwork,
+    a: &Candidate,
+    b: &Candidate,
+    dist_from_a_head: &[f64],
+) -> f64 {
+    if a.edge == b.edge {
+        // Same edge: forward progress is the fraction delta; *backward*
+        // jitter (GPS noise pushing the projection slightly back) is
+        // treated as standing still rather than a loop around the block —
+        // real matchers clamp this case too.
+        return (b.proj.t - a.proj.t).max(0.0) * net.weight(a.edge);
+    }
+    let rest_of_a = (1.0 - a.proj.t) * net.weight(a.edge);
+    let into_b = b.proj.t * net.weight(b.edge);
+    let gap = dist_from_a_head[net.edge(b.edge).from.index()];
+    rest_of_a + gap + into_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use press_network::{grid_network, GridConfig, NodeId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn matcher() -> MapMatcher {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 8,
+            ny: 8,
+            weight_jitter: 0.1,
+            seed: 17,
+            ..GridConfig::default()
+        }));
+        MapMatcher::new(net, MatcherConfig::default())
+    }
+
+    /// Samples a path at fixed spacing with Gaussian-ish noise.
+    fn sample_path(
+        net: &RoadNetwork,
+        path: &[EdgeId],
+        spacing: f64,
+        noise: f64,
+        rng: &mut StdRng,
+    ) -> Vec<GpsSample> {
+        let total: f64 = path.iter().map(|&e| net.weight(e)).sum();
+        let mut out = Vec::new();
+        // Start half a step in: a sample exactly on a grid node projects
+        // at distance zero onto several edges (including reverse edges),
+        // which ties the lattice and makes "exact path" assertions moot.
+        let mut d = spacing * 0.5;
+        let mut t = 0.0;
+        while d < total {
+            // Locate d along the path.
+            let mut rem = d;
+            let mut pos = None;
+            for &e in path {
+                let w = net.weight(e);
+                if rem <= w {
+                    let frac = if w <= f64::EPSILON { 0.0 } else { rem / w };
+                    pos = Some(net.point_on_edge(e, frac * net.edge_length(e)));
+                    break;
+                }
+                rem -= w;
+            }
+            let mut p = pos.unwrap();
+            if noise > 0.0 {
+                p.x += rng.gen_range(-noise..noise);
+                p.y += rng.gen_range(-noise..noise);
+            }
+            out.push(GpsSample { point: p, t });
+            d += spacing;
+            t += 10.0;
+        }
+        out
+    }
+
+    fn shortest_path(net: &RoadNetwork, a: u32, b: u32) -> Vec<EdgeId> {
+        press_network::dijkstra(net, NodeId(a))
+            .edge_path_to(net, NodeId(b))
+            .unwrap()
+    }
+
+    #[test]
+    fn noiseless_samples_recover_the_path() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 63);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sample_path(&net, &path, 40.0, 0.0, &mut rng);
+        let matched = m.match_trajectory(&samples).unwrap();
+        assert_eq!(matched.edges, path, "noiseless match must be exact");
+        assert_eq!(matched.samples.len(), samples.len());
+    }
+
+    #[test]
+    fn noisy_samples_recover_most_of_the_path() {
+        let m = matcher();
+        let net = m.network().clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut exact = 0;
+        let mut cases = 0;
+        for (a, b) in [(0u32, 63u32), (7, 56), (3, 60), (16, 47)] {
+            let path = shortest_path(&net, a, b);
+            let samples = sample_path(&net, &path, 35.0, 8.0, &mut rng);
+            let matched = m.match_trajectory(&samples).unwrap();
+            // The matched path must be connected and cover roughly the same
+            // corridor.
+            net.validate_path(&matched.edges).unwrap();
+            cases += 1;
+            if matched.edges == path {
+                exact += 1;
+            } else {
+                // Weight within 30% of the true path.
+                let true_w: f64 = path.iter().map(|&e| net.weight(e)).sum();
+                let got_w: f64 = matched.edges.iter().map(|&e| net.weight(e)).sum();
+                assert!(
+                    (got_w - true_w).abs() / true_w < 0.3,
+                    "matched path weight {got_w} too far from {true_w}"
+                );
+            }
+        }
+        assert!(
+            exact * 2 >= cases,
+            "expected at least half exact matches, got {exact}/{cases}"
+        );
+    }
+
+    #[test]
+    fn sample_positions_are_monotone_on_path() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 63);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = sample_path(&net, &path, 50.0, 5.0, &mut rng);
+        let matched = m.match_trajectory(&samples).unwrap();
+        for w in matched.samples.windows(2) {
+            assert!(
+                w[1].edge_idx > w[0].edge_idx
+                    || (w[1].edge_idx == w[0].edge_idx && w[1].frac + 0.2 >= w[0].frac),
+                "samples must advance along the path: {:?}",
+                w
+            );
+        }
+        for s in &matched.samples {
+            assert!(s.edge_idx < matched.edges.len());
+            assert!((0.0..=1.0).contains(&s.frac));
+        }
+    }
+
+    #[test]
+    fn empty_and_unmatchable_inputs() {
+        let m = matcher();
+        assert_eq!(m.match_trajectory(&[]), Err(MatcherError::EmptyInput));
+        let far = [GpsSample {
+            point: Point::new(1e8, 1e8),
+            t: 0.0,
+        }];
+        assert_eq!(m.match_trajectory(&far), Err(MatcherError::NoCandidates));
+    }
+
+    #[test]
+    fn single_sample_matches_nearest_edge() {
+        let m = matcher();
+        let s = [GpsSample {
+            point: Point::new(150.0, 104.0),
+            t: 0.0,
+        }];
+        let matched = m.match_trajectory(&s).unwrap();
+        assert_eq!(matched.edges.len(), 1);
+        assert_eq!(matched.samples.len(), 1);
+        let net = m.network();
+        let e = matched.edges[0];
+        // Must be the y=100 street.
+        assert_eq!(net.edge_start(e).y, 100.0);
+        assert_eq!(net.edge_end(e).y, 100.0);
+    }
+
+    #[test]
+    fn far_outlier_sample_is_dropped() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut samples = sample_path(&net, &path, 50.0, 0.0, &mut rng);
+        // Inject an outlier far from the network mid-way.
+        let mid = samples.len() / 2;
+        samples[mid].point = Point::new(1e7, 1e7);
+        let matched = m.match_trajectory(&samples).unwrap();
+        assert_eq!(matched.samples.len(), samples.len() - 1);
+        net.validate_path(&matched.edges).unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! # press-matcher
+//!
+//! Hidden-Markov-Model map matcher for the PRESS framework (the paper's
+//! *map matcher* component, Fig. 1). The paper uses the multi-core matcher
+//! of Song et al. [21]; any matcher producing a connected edge path plus
+//! per-sample positions works, so this crate implements the standard
+//! Newson–Krumm HMM formulation (GIS'09):
+//!
+//! * **candidates** — edges within a radius of each GPS sample,
+//! * **emission probability** — Gaussian in the projection distance,
+//! * **transition probability** — exponential in the difference between
+//!   the on-network route distance and the straight-line distance of
+//!   consecutive samples,
+//! * **decoding** — Viterbi over the candidate lattice.
+//!
+//! The output ([`MatchedTrajectory`]) feeds straight into
+//! `press_core::reformat`.
+
+pub mod hmm;
+
+pub use hmm::{MapMatcher, MatchedSample, MatchedTrajectory, MatcherConfig, MatcherError};

@@ -1,0 +1,66 @@
+//! Error type for road-network operations.
+
+use crate::id::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors raised by the road-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A node id referred to a node that does not exist.
+    InvalidNode(NodeId),
+    /// An edge id referred to an edge that does not exist.
+    InvalidEdge(EdgeId),
+    /// Two edges were expected to be consecutive (`a.to == b.from`) but are not.
+    NotAdjacent(EdgeId, EdgeId),
+    /// No path exists between the requested endpoints.
+    Unreachable { from: NodeId, to: NodeId },
+    /// A generated or loaded network failed a structural invariant.
+    Malformed(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::InvalidNode(n) => write!(f, "invalid node id {n}"),
+            NetworkError::InvalidEdge(e) => write!(f, "invalid edge id {e}"),
+            NetworkError::NotAdjacent(a, b) => {
+                write!(f, "edges {a} and {b} are not consecutive in the network")
+            }
+            NetworkError::Unreachable { from, to } => {
+                write!(f, "no path from {from} to {to}")
+            }
+            NetworkError::Malformed(msg) => write!(f, "malformed network: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NetworkError::InvalidNode(NodeId(3)).to_string(),
+            "invalid node id v3"
+        );
+        assert_eq!(
+            NetworkError::InvalidEdge(EdgeId(5)).to_string(),
+            "invalid edge id e5"
+        );
+        assert!(NetworkError::NotAdjacent(EdgeId(1), EdgeId(2))
+            .to_string()
+            .contains("not consecutive"));
+        assert!(NetworkError::Unreachable {
+            from: NodeId(0),
+            to: NodeId(9)
+        }
+        .to_string()
+        .contains("no path"));
+        assert!(NetworkError::Malformed("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

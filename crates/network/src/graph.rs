@@ -1,0 +1,442 @@
+//! The road network: a directed graph with geometric embedding.
+//!
+//! A road network is a directed graph `G = (V, E)` (paper §2). Every node
+//! carries a planar position; every edge carries a weight `w(e)` which is by
+//! default the geometric length of the edge (meters) but can represent travel
+//! time or any other cost.
+//!
+//! The structure is immutable once built (use [`RoadNetworkBuilder`]), which
+//! lets the rest of the system share it freely behind `Arc` and precompute
+//! derived tables (shortest paths, spatial indexes) without invalidation
+//! logic.
+
+use crate::error::NetworkError;
+use crate::geometry::{Mbr, Point};
+use crate::id::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A vertex of the road network.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Planar position (meters).
+    pub point: Point,
+}
+
+/// A directed edge of the road network.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Tail vertex.
+    pub from: NodeId,
+    /// Head vertex.
+    pub to: NodeId,
+    /// Weight `w(e)` — geometric length by default (meters).
+    pub weight: f64,
+}
+
+/// An immutable directed road network with adjacency lists in both
+/// directions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node, grouped in one flat array (CSR layout).
+    out_index: Vec<u32>,
+    out_edges: Vec<EdgeId>,
+    /// Incoming edge ids per node (CSR layout).
+    in_index: Vec<u32>,
+    in_edges: Vec<EdgeId>,
+}
+
+impl RoadNetwork {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks a node up, panicking on an invalid id (ids are produced by the
+    /// builder, so an invalid id is a logic error).
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.index()]
+    }
+
+    /// Looks an edge up.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Fallible node lookup.
+    pub fn try_node(&self, n: NodeId) -> Result<&Node, NetworkError> {
+        self.nodes
+            .get(n.index())
+            .ok_or(NetworkError::InvalidNode(n))
+    }
+
+    /// Fallible edge lookup.
+    pub fn try_edge(&self, e: EdgeId) -> Result<&Edge, NetworkError> {
+        self.edges
+            .get(e.index())
+            .ok_or(NetworkError::InvalidEdge(e))
+    }
+
+    /// Weight `w(e)` of an edge.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].weight
+    }
+
+    /// Geometric length of the edge's straight-line embedding.
+    #[inline]
+    pub fn edge_length(&self, e: EdgeId) -> f64 {
+        let edge = &self.edges[e.index()];
+        self.nodes[edge.from.index()]
+            .point
+            .dist(&self.nodes[edge.to.index()].point)
+    }
+
+    /// Outgoing edges of `n`.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.out_index[n.index()] as usize;
+        let hi = self.out_index[n.index() + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Incoming edges of `n`.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.in_index[n.index()] as usize;
+        let hi = self.in_index[n.index() + 1] as usize;
+        &self.in_edges[lo..hi]
+    }
+
+    /// True when `b` can directly follow `a` on a path (`a.to == b.from`).
+    #[inline]
+    pub fn consecutive(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.edges[a.index()].to == self.edges[b.index()].from
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Start point of an edge's embedding.
+    #[inline]
+    pub fn edge_start(&self, e: EdgeId) -> Point {
+        self.nodes[self.edges[e.index()].from.index()].point
+    }
+
+    /// End point of an edge's embedding.
+    #[inline]
+    pub fn edge_end(&self, e: EdgeId) -> Point {
+        self.nodes[self.edges[e.index()].to.index()].point
+    }
+
+    /// Point at `offset` meters along the edge embedding (clamped).
+    pub fn point_on_edge(&self, e: EdgeId, offset: f64) -> Point {
+        let a = self.edge_start(e);
+        let b = self.edge_end(e);
+        let len = a.dist(&b);
+        if len <= f64::EPSILON {
+            return a;
+        }
+        a.lerp(&b, (offset / len).clamp(0.0, 1.0))
+    }
+
+    /// MBR of a single edge's embedding.
+    pub fn edge_mbr(&self, e: EdgeId) -> Mbr {
+        let mut mbr = Mbr::of_point(&self.edge_start(e));
+        mbr.expand_point(&self.edge_end(e));
+        mbr
+    }
+
+    /// Bounding box of the whole network.
+    pub fn bounding_box(&self) -> Mbr {
+        let mut mbr = Mbr::empty();
+        for node in &self.nodes {
+            mbr.expand_point(&node.point);
+        }
+        mbr
+    }
+
+    /// Validates that an edge sequence is a connected path in the network.
+    pub fn validate_path(&self, path: &[EdgeId]) -> Result<(), NetworkError> {
+        for e in path {
+            self.try_edge(*e)?;
+        }
+        for pair in path.windows(2) {
+            if !self.consecutive(pair[0], pair[1]) {
+                return Err(NetworkError::NotAdjacent(pair[0], pair[1]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total weight of an edge path.
+    pub fn path_weight(&self, path: &[EdgeId]) -> f64 {
+        path.iter().map(|&e| self.weight(e)).sum()
+    }
+
+    /// Approximate in-memory footprint in bytes (for the auxiliary-structure
+    /// report of §6.2).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.edges.len() * std::mem::size_of::<Edge>()
+            + (self.out_index.len() + self.in_index.len()) * 4
+            + (self.out_edges.len() + self.in_edges.len()) * 4
+    }
+}
+
+/// Builder accumulating nodes and edges, producing an immutable
+/// [`RoadNetwork`] with CSR adjacency.
+#[derive(Default, Debug)]
+pub struct RoadNetworkBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetworkBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        RoadNetworkBuilder {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, point: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { point });
+        id
+    }
+
+    /// Adds a directed edge with an explicit weight, returning its id.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<EdgeId, NetworkError> {
+        if from.index() >= self.nodes.len() {
+            return Err(NetworkError::InvalidNode(from));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(NetworkError::InvalidNode(to));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(NetworkError::Malformed(format!(
+                "edge weight must be finite and non-negative, got {weight}"
+            )));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { from, to, weight });
+        Ok(id)
+    }
+
+    /// Adds a directed edge weighted by the geometric distance between its
+    /// endpoints.
+    pub fn add_edge_geometric(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId, NetworkError> {
+        let w = self.nodes[from.index()]
+            .point
+            .dist(&self.nodes[to.index()].point);
+        self.add_edge(from, to, w)
+    }
+
+    /// Adds a pair of opposite directed edges (a two-way street), returning
+    /// both ids.
+    pub fn add_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        weight: f64,
+    ) -> Result<(EdgeId, EdgeId), NetworkError> {
+        Ok((self.add_edge(a, b, weight)?, self.add_edge(b, a, weight)?))
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`RoadNetwork`].
+    pub fn build(self) -> RoadNetwork {
+        let n = self.nodes.len();
+        // Counting sort of edges into CSR adjacency, forwards and backwards.
+        let mut out_count = vec![0u32; n + 1];
+        let mut in_count = vec![0u32; n + 1];
+        for e in &self.edges {
+            out_count[e.from.index() + 1] += 1;
+            in_count[e.to.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_count[i + 1] += out_count[i];
+            in_count[i + 1] += in_count[i];
+        }
+        let out_index = out_count.clone();
+        let in_index = in_count.clone();
+        let mut out_edges = vec![EdgeId(0); self.edges.len()];
+        let mut in_edges = vec![EdgeId(0); self.edges.len()];
+        let mut out_cursor = out_count;
+        let mut in_cursor = in_count;
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let oc = &mut out_cursor[e.from.index()];
+            out_edges[*oc as usize] = id;
+            *oc += 1;
+            let ic = &mut in_cursor[e.to.index()];
+            in_edges[*ic as usize] = id;
+            *ic += 1;
+        }
+        RoadNetwork {
+            nodes: self.nodes,
+            edges: self.edges,
+            out_index,
+            out_edges,
+            in_index,
+            in_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadNetwork {
+        // v0 -> v1 -> v2 -> v0 plus a chord v0 -> v2
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(0.0, 1.0));
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v2, 1.0).unwrap();
+        b.add_edge(v2, v0, 1.0).unwrap();
+        b.add_edge(v0, v2, 2.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_consistent_adjacency() {
+        let net = triangle();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 4);
+        assert_eq!(net.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(3)]);
+        assert_eq!(net.out_edges(NodeId(1)), &[EdgeId(1)]);
+        assert_eq!(net.in_edges(NodeId(2)), &[EdgeId(1), EdgeId(3)]);
+        assert_eq!(net.in_edges(NodeId(0)), &[EdgeId(2)]);
+    }
+
+    #[test]
+    fn consecutive_edges() {
+        let net = triangle();
+        assert!(net.consecutive(EdgeId(0), EdgeId(1)));
+        assert!(!net.consecutive(EdgeId(0), EdgeId(2)));
+    }
+
+    #[test]
+    fn validate_path_checks_adjacency() {
+        let net = triangle();
+        assert!(net
+            .validate_path(&[EdgeId(0), EdgeId(1), EdgeId(2)])
+            .is_ok());
+        assert_eq!(
+            net.validate_path(&[EdgeId(0), EdgeId(2)]),
+            Err(NetworkError::NotAdjacent(EdgeId(0), EdgeId(2)))
+        );
+        assert_eq!(
+            net.validate_path(&[EdgeId(99)]),
+            Err(NetworkError::InvalidEdge(EdgeId(99)))
+        );
+        assert!(net.validate_path(&[]).is_ok());
+    }
+
+    #[test]
+    fn path_weight_sums() {
+        let net = triangle();
+        let w = net.path_weight(&[EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!((w - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_edge_helpers() {
+        let net = triangle();
+        assert!((net.edge_length(EdgeId(0)) - 1.0).abs() < 1e-12);
+        let mid = net.point_on_edge(EdgeId(0), 0.5);
+        assert!((mid.x - 0.5).abs() < 1e-12 && mid.y.abs() < 1e-12);
+        // Clamp past the end.
+        let end = net.point_on_edge(EdgeId(0), 5.0);
+        assert!((end.x - 1.0).abs() < 1e-12);
+        let mbr = net.edge_mbr(EdgeId(1));
+        assert!(mbr.contains(&Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        assert!(matches!(
+            b.add_edge(v0, NodeId(5), 1.0),
+            Err(NetworkError::InvalidNode(_))
+        ));
+        assert!(matches!(
+            b.add_edge(v0, v0, f64::NAN),
+            Err(NetworkError::Malformed(_))
+        ));
+        assert!(matches!(
+            b.add_edge(v0, v0, -1.0),
+            Err(NetworkError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bounding_box_covers_all_nodes() {
+        let net = triangle();
+        let bb = net.bounding_box();
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(1.0, 0.0)));
+        assert!(bb.contains(&Point::new(0.0, 1.0)));
+        assert!(!bb.contains(&Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn two_way_adds_opposite_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(3.0, 4.0));
+        let (e1, e2) = b.add_two_way(a, c, 5.0).unwrap();
+        let net = b.build();
+        assert_eq!(net.edge(e1).from, a);
+        assert_eq!(net.edge(e2).from, c);
+        assert_eq!(net.weight(e1), net.weight(e2));
+    }
+
+    #[test]
+    fn approx_bytes_nonzero() {
+        assert!(triangle().approx_bytes() > 0);
+    }
+}

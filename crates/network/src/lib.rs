@@ -1,0 +1,44 @@
+//! # press-network
+//!
+//! Road-network substrate for the PRESS trajectory-compression framework
+//! (Song et al., VLDB 2014). A road network is a directed graph
+//! `G = (V, E)` with planar node embeddings and weighted edges (§2 of the
+//! paper). This crate provides:
+//!
+//! * strongly-typed ids ([`NodeId`], [`EdgeId`]),
+//! * a planar [geometry](crate::geometry) kit (points, projections, MBRs),
+//! * the immutable [`RoadNetwork`] graph with CSR adjacency,
+//! * [Dijkstra](crate::dijkstra) shortest paths with deterministic
+//!   tie-breaking,
+//! * the all-pair edge shortest-path table [`SpTable`] implementing the
+//!   paper's `SP(ei, ej)` / `SPend(ei, ej)` structures (§3.1),
+//! * a uniform-grid [spatial index](crate::index) over edges, and
+//! * [synthetic generators](crate::generators) (grid, ring-radial, random
+//!   geometric) standing in for the Singapore road network.
+//!
+//! Everything downstream (map matcher, compressors, query processor,
+//! baselines, workload generator) builds on this crate.
+
+pub mod dijkstra;
+pub mod error;
+pub mod generators;
+pub mod geometry;
+pub mod graph;
+pub mod id;
+pub mod index;
+pub mod sp_table;
+
+pub use dijkstra::{dijkstra, dijkstra_bounded, dijkstra_with, node_distance, ShortestPathTree};
+pub use error::NetworkError;
+pub use generators::{
+    grid_network, random_geometric_network, ring_radial_network, GridConfig, RandomGeometricConfig,
+    RingRadialConfig,
+};
+pub use geometry::{
+    dist_point_to_segment, dist_segment_to_segment, point_along_polyline, polyline_length,
+    project_onto_segment, segments_intersect, Mbr, Point, Projection,
+};
+pub use graph::{Edge, Node, RoadNetwork, RoadNetworkBuilder};
+pub use id::{EdgeId, NodeId};
+pub use index::EdgeSpatialIndex;
+pub use sp_table::SpTable;

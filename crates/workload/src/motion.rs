@@ -1,0 +1,198 @@
+//! Continuous motion profiles along a path.
+//!
+//! A trajectory's temporal behaviour is simulated *once* as a piecewise
+//! linear distance-over-time curve (per-edge cruising speeds plus dwell
+//! events where the vehicle stands still — the paper observes ~10 % of
+//! Singapore taxi samples are stationary). The profile can then be sampled
+//! at **any** GPS interval, which is what lets the Fig. 10(a) sampling-rate
+//! sweep re-sample identical journeys instead of regenerating different
+//! ones.
+
+use press_core::DtPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the motion simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct MotionConfig {
+    /// Mean cruising speed (m/s).
+    pub base_speed: f64,
+    /// Relative speed jitter per edge in `[0, 1)`.
+    pub speed_jitter: f64,
+    /// Probability of a dwell at each edge boundary.
+    pub stop_prob: f64,
+    /// Dwell duration range (seconds).
+    pub stop_duration: (f64, f64),
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        MotionConfig {
+            base_speed: 10.0,
+            speed_jitter: 0.35,
+            stop_prob: 0.08,
+            stop_duration: (20.0, 120.0),
+        }
+    }
+}
+
+/// A piecewise linear `d(t)` curve: the ground-truth motion of one vehicle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MotionProfile {
+    /// Breakpoints with strictly increasing `t` and non-decreasing `d`;
+    /// starts at `(0, 0)`.
+    pub breakpoints: Vec<DtPoint>,
+}
+
+impl MotionProfile {
+    /// Simulates motion over a path given as per-edge weights (meters).
+    pub fn simulate(edge_weights: &[f64], cfg: &MotionConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&cfg.speed_jitter),
+            "speed jitter must be in [0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut breakpoints = vec![DtPoint::new(0.0, 0.0)];
+        let mut d = 0.0f64;
+        let mut t = 0.0f64;
+        for &w in edge_weights {
+            // Dwell before entering the edge.
+            if cfg.stop_prob > 0.0 && rng.gen::<f64>() < cfg.stop_prob {
+                let dwell = rng.gen_range(cfg.stop_duration.0..=cfg.stop_duration.1);
+                t += dwell;
+                breakpoints.push(DtPoint::new(d, t));
+            }
+            let speed = cfg.base_speed
+                * if cfg.speed_jitter > 0.0 {
+                    1.0 + rng.gen_range(-cfg.speed_jitter..cfg.speed_jitter)
+                } else {
+                    1.0
+                };
+            d += w;
+            t += w / speed.max(0.1);
+            breakpoints.push(DtPoint::new(d, t));
+        }
+        MotionProfile { breakpoints }
+    }
+
+    /// Total distance of the journey.
+    pub fn total_distance(&self) -> f64 {
+        self.breakpoints.last().map_or(0.0, |p| p.d)
+    }
+
+    /// Total duration of the journey (seconds).
+    pub fn duration(&self) -> f64 {
+        self.breakpoints.last().map_or(0.0, |p| p.t)
+    }
+
+    /// Ground-truth distance at time `t` (clamped).
+    pub fn d_at(&self, t: f64) -> f64 {
+        press_core::temporal::dis_at(&self.breakpoints, t)
+    }
+
+    /// Samples the profile every `interval` seconds, always including the
+    /// final point — the `(d, t)` temporal sequence a GPS unit reporting at
+    /// that rate would produce.
+    pub fn sample(&self, interval: f64) -> Vec<DtPoint> {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        let end = self.duration();
+        let mut out = Vec::with_capacity((end / interval) as usize + 2);
+        let mut t = 0.0;
+        while t < end {
+            out.push(DtPoint::new(self.d_at(t), t));
+            t += interval;
+        }
+        out.push(DtPoint::new(
+            self.total_distance(),
+            end.max(t - interval + 1e-9),
+        ));
+        // Guard: strictly increasing t (the final push could coincide).
+        if out.len() >= 2 && out[out.len() - 2].t >= out[out.len() - 1].t {
+            let fixed_t = out[out.len() - 2].t + 1e-6;
+            let last = out.last_mut().unwrap();
+            last.t = fixed_t;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> MotionProfile {
+        MotionProfile::simulate(&[100.0, 120.0, 80.0, 100.0], &MotionConfig::default(), 7)
+    }
+
+    #[test]
+    fn profile_covers_full_distance() {
+        let p = profile();
+        assert!((p.total_distance() - 400.0).abs() < 1e-9);
+        assert!(p.duration() > 0.0);
+        assert_eq!(p.breakpoints[0], DtPoint::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let p = profile();
+        for w in p.breakpoints.windows(2) {
+            assert!(w[1].t > w[0].t);
+            assert!(w[1].d >= w[0].d);
+        }
+    }
+
+    #[test]
+    fn stops_produce_flat_segments() {
+        let cfg = MotionConfig {
+            stop_prob: 1.0,
+            ..MotionConfig::default()
+        };
+        let p = MotionProfile::simulate(&[100.0, 100.0], &cfg, 1);
+        let flats = p
+            .breakpoints
+            .windows(2)
+            .filter(|w| w[1].d == w[0].d && w[1].t > w[0].t)
+            .count();
+        assert_eq!(flats, 2, "every edge boundary should dwell: {p:?}");
+    }
+
+    #[test]
+    fn sampling_is_consistent_with_truth() {
+        let p = profile();
+        for interval in [1.0, 5.0, 30.0, 60.0] {
+            let samples = p.sample(interval);
+            assert!(samples.len() >= 2);
+            // Monotone and matching the ground-truth curve at sample times.
+            for w in samples.windows(2) {
+                assert!(w[1].t > w[0].t, "t must increase: {w:?}");
+                assert!(w[1].d >= w[0].d);
+            }
+            for s in &samples[..samples.len() - 1] {
+                assert!((p.d_at(s.t) - s.d).abs() < 1e-9);
+            }
+            // Last sample lands on the journey end.
+            assert!((samples.last().unwrap().d - p.total_distance()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn denser_sampling_yields_more_points() {
+        let p = profile();
+        assert!(p.sample(1.0).len() > p.sample(10.0).len());
+        assert!(p.sample(10.0).len() >= p.sample(60.0).len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = MotionProfile::simulate(&[50.0, 60.0], &MotionConfig::default(), 9);
+        let b = MotionProfile::simulate(&[50.0, 60.0], &MotionConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_path_gives_origin_only() {
+        let p = MotionProfile::simulate(&[], &MotionConfig::default(), 1);
+        assert_eq!(p.total_distance(), 0.0);
+        assert_eq!(p.breakpoints.len(), 1);
+    }
+}

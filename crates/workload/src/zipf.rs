@@ -1,0 +1,97 @@
+//! Zipf sampling over a finite rank set.
+//!
+//! Route popularity in urban taxi data is heavily skewed — the FST stage of
+//! PRESS exists because "certain edge sequences are much more popular than
+//! others" (§3.2). We model origin–destination demand with a Zipf
+//! distribution over a set of hub pairs.
+
+use rand::Rng;
+
+/// A precomputed Zipf distribution over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution with `n` ranks and exponent `s`
+    /// (`P(k) ∝ 1 / (k+1)^s`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range_and_skewed() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[19] * 3);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) < *min as f64 * 1.2, "{counts:?}");
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

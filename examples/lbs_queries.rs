@@ -1,0 +1,136 @@
+//! LBS queries over compressed trajectories (paper §5): `whereat`,
+//! `whenat`, `range`, plus the extended passes-near and min-distance
+//! queries — all answered **without decompressing**, with timing
+//! comparisons against the uncompressed forms.
+//!
+//! Run with: `cargo run --release --example lbs_queries`
+
+use press::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let net = Arc::new(grid_network(&GridConfig {
+        nx: 12,
+        ny: 12,
+        spacing: 160.0,
+        weight_jitter: 0.15,
+        seed: 23,
+        ..GridConfig::default()
+    }));
+    let sp = Arc::new(SpTable::build(net.clone()));
+    let workload = Workload::generate(
+        net.clone(),
+        sp.clone(),
+        WorkloadConfig {
+            num_trajectories: 150,
+            seed: 23,
+            min_trip_edges: 8,
+            ..WorkloadConfig::default()
+        },
+    );
+    let (train, eval) = workload.split(0.3);
+    let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
+    let press = Press::train(
+        sp,
+        &training_paths,
+        PressConfig {
+            bounds: BtcBounds::new(100.0, 30.0),
+            ..PressConfig::default()
+        },
+    )
+    .expect("training");
+    let engine = QueryEngine::new(press.model());
+
+    let trajectories: Vec<Trajectory> = eval.iter().map(|r| r.truth_trajectory(30.0)).collect();
+    let compressed: Vec<CompressedTrajectory> = trajectories
+        .iter()
+        .map(|t| press.compress(t).expect("compress"))
+        .collect();
+    println!(
+        "{} trajectories compressed; engine ready\n",
+        compressed.len()
+    );
+
+    // ---- whereat -------------------------------------------------------
+    let traj = &trajectories[0];
+    let ct = &compressed[0];
+    let (t0, t1) = traj.temporal.time_range().unwrap();
+    let probe_t = t0 + (t1 - t0) * 0.6;
+    let raw = engine.whereat_raw(traj, probe_t).unwrap();
+    let comp = engine.whereat(ct, probe_t).unwrap();
+    println!(
+        "whereat(T, {probe_t:.0}s)  raw ({:.1}, {:.1})  compressed ({:.1}, {:.1})  deviation {:.1} m",
+        raw.x,
+        raw.y,
+        comp.x,
+        comp.y,
+        raw.dist(&comp)
+    );
+
+    // ---- whenat --------------------------------------------------------
+    let total = traj.path.weight(&net);
+    let probe_p = traj.path.point_at(&net, total * 0.5).unwrap();
+    let raw_t = engine.whenat_raw(traj, probe_p, 1.0).unwrap();
+    let comp_t = engine.whenat(ct, probe_p, 1.0).unwrap();
+    println!(
+        "whenat(T, ({:.1}, {:.1}))  raw {raw_t:.1}s  compressed {comp_t:.1}s  deviation {:.1} s",
+        probe_p.x,
+        probe_p.y,
+        (raw_t - comp_t).abs()
+    );
+
+    // ---- range ---------------------------------------------------------
+    let region = Mbr::new(
+        probe_p.x - 120.0,
+        probe_p.y - 120.0,
+        probe_p.x + 120.0,
+        probe_p.y + 120.0,
+    );
+    let raw_hit = engine.range_raw(traj, t0, t1, &region).unwrap();
+    let comp_hit = engine.range(ct, t0, t1, &region).unwrap();
+    println!("range(T, [{t0:.0}, {t1:.0}], 240m box)  raw {raw_hit}  compressed {comp_hit}");
+
+    // ---- extended queries (§5.4) ----------------------------------------
+    let near = engine.passes_near(ct, probe_p, 50.0, t0, t1).unwrap();
+    println!("passes_near(T, midpoint, 50 m)  {near}");
+    let dist01 = engine.min_distance(&compressed[0], &compressed[1]).unwrap();
+    println!("min_distance(T0, T1)  {dist01:.1} m");
+
+    // ---- traffic snapshot (an advanced LBS from §5.4's examples) --------
+    let snapshot_t = t0 + 120.0;
+    let mut positions = 0usize;
+    for (t, c) in trajectories.iter().zip(&compressed) {
+        let (a, b) = t.temporal.time_range().unwrap();
+        if snapshot_t >= a && snapshot_t <= b && engine.whereat(c, snapshot_t).is_ok() {
+            positions += 1;
+        }
+    }
+    println!("traffic snapshot at t={snapshot_t:.0}s: {positions} vehicles located\n");
+
+    // ---- timing: compressed vs raw --------------------------------------
+    let reps = 50usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for (t, _) in trajectories.iter().zip(&compressed) {
+            let (a, b) = t.temporal.time_range().unwrap();
+            std::hint::black_box(engine.whereat_raw(t, (a + b) / 2.0).ok());
+        }
+    }
+    let raw_time = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..reps {
+        for (t, c) in trajectories.iter().zip(&compressed) {
+            let (a, b) = t.temporal.time_range().unwrap();
+            std::hint::black_box(engine.whereat(c, (a + b) / 2.0).ok());
+        }
+    }
+    let comp_time = start.elapsed();
+    println!(
+        "whereat timing over {} queries: raw {:.2?}, compressed {:.2?} (ratio {:.2})",
+        reps * trajectories.len(),
+        raw_time,
+        comp_time,
+        comp_time.as_secs_f64() / raw_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,129 @@
+//! Full pipeline on a simulated taxi fleet — the paper's Fig. 1 end to
+//! end: raw GPS → map matcher → trajectory re-formatter → paralleled
+//! spatial + temporal compression → storage report.
+//!
+//! Run with: `cargo run --release --example taxi_fleet`
+
+use press::core::stats::CompressionStats;
+use press::matcher::hmm::GpsSample;
+use press::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // City + fleet.
+    let net = Arc::new(grid_network(&GridConfig {
+        nx: 12,
+        ny: 12,
+        spacing: 160.0,
+        weight_jitter: 0.15,
+        removal_prob: 0.03,
+        seed: 11,
+    }));
+    let sp = Arc::new(SpTable::build(net.clone()));
+    let workload = Workload::generate(
+        net.clone(),
+        sp.clone(),
+        WorkloadConfig {
+            num_trajectories: 200,
+            seed: 11,
+            ..WorkloadConfig::default()
+        },
+    );
+    println!(
+        "fleet: {} journeys on a {}-edge network ({:.1}% stationary samples)",
+        workload.records.len(),
+        net.num_edges(),
+        workload.stationary_fraction() * 100.0
+    );
+
+    // Train on the first "day".
+    let (train, eval) = workload.split(0.3);
+    let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
+    let press = Press::train(
+        sp.clone(),
+        &training_paths,
+        PressConfig {
+            bounds: BtcBounds::new(50.0, 20.0),
+            ..PressConfig::default()
+        },
+    )
+    .expect("training");
+
+    // The map matcher (the paper's first component).
+    let matcher = MapMatcher::new(net.clone(), MatcherConfig::default());
+
+    let started = Instant::now();
+    let mut matched_ok = 0usize;
+    let mut exact_paths = 0usize;
+    let mut stats = CompressionStats::default();
+    let mut compressed_store: Vec<CompressedTrajectory> = Vec::new();
+    for record in eval {
+        // 1. The taxi reports raw GPS fixes every 30 s with ~8 m noise.
+        let gps = record.gps_trace(&net, 30.0, 8.0);
+        let samples: Vec<GpsSample> = gps
+            .points
+            .iter()
+            .map(|p| GpsSample {
+                point: p.point,
+                t: p.t,
+            })
+            .collect();
+        // 2. Map matching.
+        let Ok(matched) = matcher.match_trajectory(&samples) else {
+            continue;
+        };
+        matched_ok += 1;
+        if matched.edges == record.path {
+            exact_paths += 1;
+        }
+        // 3. Re-format into spatial path + (d, t) temporal sequence.
+        let path_samples: Vec<PathSample> = matched
+            .samples
+            .iter()
+            .map(|s| PathSample {
+                edge_idx: s.edge_idx,
+                frac: s.frac,
+                t: s.t,
+            })
+            .collect();
+        let trajectory = reformat(&net, matched.edges, &path_samples).expect("reformat");
+        // 4. Paralleled compression.
+        let compressed = press.compress_parallel(&trajectory).expect("compress");
+        stats.accumulate(&press.stats_vs_raw_gps(gps.len(), &compressed));
+        compressed_store.push(compressed);
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "pipeline: matched {matched_ok}/{} journeys ({exact_paths} bit-exact paths) in {:.2?}",
+        eval.len(),
+        elapsed
+    );
+    println!(
+        "storage: {} -> {} bytes, ratio {:.2} ({:.1}% saved)",
+        stats.original_bytes,
+        stats.compressed_bytes,
+        stats.ratio(),
+        stats.savings_pct()
+    );
+
+    // Static structures amortized across the fleet (the paper's §6.2
+    // justification).
+    let aux = press.model().auxiliary_sizes();
+    println!(
+        "auxiliary structures: sp {} KiB + automaton {} KiB + huffman {} KiB + query tables {} KiB (static)",
+        aux.sp_table_bytes / 1024,
+        aux.automaton_bytes / 1024,
+        aux.huffman_bytes / 1024,
+        (aux.node_dist_bytes + aux.node_mbr_bytes) / 1024
+    );
+    println!(
+        "compressed store holds {} trajectories in {} KiB",
+        compressed_store.len(),
+        compressed_store
+            .iter()
+            .map(|c| c.storage_bytes())
+            .sum::<usize>()
+            / 1024
+    );
+}

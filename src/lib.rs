@@ -1,0 +1,66 @@
+//! # press — PRESS: Paralleled Road-Network-Based Trajectory Compression
+//!
+//! A complete Rust implementation of the PRESS framework (Song, Sun,
+//! Zheng & Zheng, VLDB 2014) and everything its evaluation depends on:
+//! the road-network substrate, an HMM map matcher, the two published
+//! baselines (MMTC, Nonmaterial), ZIP/RAR-like byte compressors, a
+//! synthetic taxi workload, and an experiment harness regenerating every
+//! table and figure of the paper (see `DESIGN.md` / `EXPERIMENTS.md`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use press::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. A road network and its shortest-path table (static, per city).
+//! let net = Arc::new(grid_network(&GridConfig::default()));
+//! let sp = Arc::new(SpTable::build(net.clone()));
+//!
+//! // 2. A trajectory corpus (here: synthetic; normally map-matched GPS).
+//! let workload = Workload::generate(net.clone(), sp.clone(), WorkloadConfig {
+//!     num_trajectories: 40,
+//!     ..WorkloadConfig::default()
+//! });
+//!
+//! // 3. Train PRESS on one "day" of trajectories.
+//! let press = Press::train(sp, &workload.paths()[..20].to_vec(), PressConfig::default()).unwrap();
+//!
+//! // 4. Compress / decompress — spatially lossless, temporally bounded.
+//! let trajectory = workload.records[25].truth_trajectory(30.0);
+//! let compressed = press.compress(&trajectory).unwrap();
+//! let restored = press.decompress(&compressed).unwrap();
+//! assert_eq!(restored.path, trajectory.path);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`network`] | `press-network` | graph, geometry, Dijkstra, SP table, generators |
+//! | [`matcher`] | `press-matcher` | HMM map matching |
+//! | [`core`] | `press-core` | representation, HSC, BTC, queries, the `Press` façade |
+//! | [`baselines`] | `press-baselines` | MMTC, Nonmaterial, zipx/rarx, simplification kit |
+//! | [`workload`] | `press-workload` | synthetic taxi workload generator |
+
+pub use press_baselines as baselines;
+pub use press_core as core;
+pub use press_matcher as matcher;
+pub use press_network as network;
+pub use press_workload as workload;
+
+/// The commonly-used types in one import.
+pub mod prelude {
+    pub use press_core::query::QueryEngine;
+    pub use press_core::{
+        btc_compress, nstd, reformat, tsnd, BtcBounds, CompressedTrajectory, Decomposer, DtPoint,
+        GpsPoint, GpsTrajectory, HscModel, PathSample, Press, PressConfig, PressError, SpatialPath,
+        TemporalSequence, Trajectory,
+    };
+    pub use press_matcher::{MapMatcher, MatcherConfig};
+    pub use press_network::{
+        grid_network, EdgeId, GridConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder,
+        SpTable,
+    };
+    pub use press_workload::{Workload, WorkloadConfig};
+}

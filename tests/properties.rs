@@ -1,0 +1,267 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * HSC spatial compression is **lossless** for arbitrary valid paths.
+//! * SP compression round-trips and never inflates.
+//! * BTC respects its (τ, η) bounds for arbitrary temporal sequences and
+//!   equals the quadratic BOPW reference exactly.
+//! * Huffman coding round-trips arbitrary symbol streams.
+//! * The ZIP/RAR-like byte codecs round-trip arbitrary bytes.
+//! * The temporal metrics are symmetric and zero on identical curves.
+
+use press::baselines::{rarx, zipx};
+use press::core::spatial::{sp_compress, sp_decompress, HscModel};
+use press::core::temporal::{bopw_compress, btc_compress, nstd, tsnd, BtcBounds};
+use press::core::DtPoint;
+use press::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Shared fixture: a jittered grid, its SP table, and a trained model.
+struct Fixture {
+    net: Arc<RoadNetwork>,
+    sp: Arc<SpTable>,
+    model: Arc<HscModel>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 7,
+            ny: 7,
+            spacing: 100.0,
+            weight_jitter: 0.2,
+            removal_prob: 0.0,
+            seed: 99,
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        // Train on a few deterministic walks.
+        let mut training = Vec::new();
+        for s in 0..30u64 {
+            training.push(walk_from_choices(
+                &net,
+                (s % 49) as u32,
+                &(0..14)
+                    .map(|i| ((s * 31 + i * 7) % 4) as u8)
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let model = Arc::new(HscModel::train(sp.clone(), &training, 3).expect("train"));
+        Fixture { net, sp, model }
+    })
+}
+
+/// Deterministically turns a byte sequence into a valid connected path:
+/// each byte picks among the current node's outgoing edges, skipping
+/// immediate backtracking when possible.
+fn walk_from_choices(net: &RoadNetwork, start: u32, choices: &[u8]) -> Vec<EdgeId> {
+    let mut node = NodeId(start % net.num_nodes() as u32);
+    let mut path = Vec::with_capacity(choices.len());
+    for &c in choices {
+        let outs = net.out_edges(node);
+        if outs.is_empty() {
+            break;
+        }
+        let non_backtracking: Vec<EdgeId> = outs
+            .iter()
+            .copied()
+            .filter(|&e| {
+                path.last()
+                    .is_none_or(|&p: &EdgeId| net.edge(e).to != net.edge(p).from)
+            })
+            .collect();
+        let pool = if non_backtracking.is_empty() {
+            outs
+        } else {
+            &non_backtracking[..]
+        };
+        let e = pool[c as usize % pool.len()];
+        path.push(e);
+        node = net.edge(e).to;
+    }
+    path
+}
+
+/// Turns proptest-generated increments into a valid temporal sequence
+/// (strictly increasing t, non-decreasing d, with stalls).
+fn temporal_from_increments(incs: &[(u16, u16)]) -> Vec<DtPoint> {
+    let mut d = 0.0f64;
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(incs.len());
+    for &(dd, dt) in incs {
+        out.push(DtPoint::new(d, t));
+        d += dd as f64 / 16.0; // may be zero: a stall
+        t += 0.25 + dt as f64 / 64.0; // strictly positive
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hsc_roundtrip_is_lossless(start in 0u32..49, choices in proptest::collection::vec(0u8..8, 0..40)) {
+        let f = fixture();
+        let path = walk_from_choices(&f.net, start, &choices);
+        let cs = f.model.compress(&path).unwrap();
+        prop_assert_eq!(f.model.decompress(&cs).unwrap(), path);
+    }
+
+    #[test]
+    fn sp_compression_roundtrips_and_never_inflates(start in 0u32..49, choices in proptest::collection::vec(0u8..8, 0..40)) {
+        let f = fixture();
+        let path = walk_from_choices(&f.net, start, &choices);
+        let compressed = sp_compress(&f.sp, &path);
+        prop_assert!(compressed.len() <= path.len());
+        prop_assert_eq!(sp_decompress(&f.sp, &compressed).unwrap(), path);
+    }
+
+    #[test]
+    fn btc_respects_bounds_and_matches_bopw(
+        incs in proptest::collection::vec((0u16..400, 0u16..200), 0..120),
+        tau in 0.0f64..60.0,
+        eta in 0.0f64..30.0,
+    ) {
+        let pts = temporal_from_increments(&incs);
+        let bounds = BtcBounds::new(tau, eta);
+        let fast = btc_compress(&pts, bounds);
+        let slow = bopw_compress(&pts, bounds);
+        prop_assert_eq!(&fast, &slow, "angular-range and BOPW must agree");
+        if !pts.is_empty() {
+            prop_assert!(tsnd(&pts, &fast) <= tau + 1e-6);
+            prop_assert!(nstd(&pts, &fast) <= eta + 1e-6);
+            prop_assert_eq!(fast.first(), pts.first());
+            prop_assert_eq!(fast.last(), pts.last());
+        }
+        // Output is a subsequence of the input.
+        let mut it = pts.iter();
+        for o in &fast {
+            prop_assert!(it.any(|p| p == o));
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_streams(
+        freqs in proptest::collection::vec(0u64..1000, 2..64),
+        stream_seed in proptest::collection::vec(0usize..64, 0..200),
+    ) {
+        use press::core::spatial::{BitWriter, Huffman};
+        let h = Huffman::from_freqs(&freqs).unwrap();
+        let symbols: Vec<u32> = stream_seed.iter().map(|&s| (s % freqs.len()) as u32).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            h.encode_symbol(s, &mut w);
+        }
+        let bits = w.finish();
+        let mut r = bits.reader();
+        for &s in &symbols {
+            prop_assert_eq!(h.decode_symbol(&mut r).unwrap(), s);
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn byte_codecs_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        prop_assert_eq!(zipx::decompress(&zipx::compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(rarx::decompress(&rarx::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_and_zero_on_self(
+        incs in proptest::collection::vec((0u16..400, 0u16..200), 1..60),
+        other in proptest::collection::vec((0u16..400, 0u16..200), 1..60),
+    ) {
+        let a = temporal_from_increments(&incs);
+        let b = temporal_from_increments(&other);
+        prop_assert_eq!(tsnd(&a, &a), 0.0);
+        prop_assert_eq!(nstd(&a, &a), 0.0);
+        prop_assert_eq!(tsnd(&a, &b), tsnd(&b, &a));
+        prop_assert_eq!(nstd(&a, &b), nstd(&b, &a));
+        prop_assert!(tsnd(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn press_end_to_end_bounds_hold(
+        start in 0u32..49,
+        choices in proptest::collection::vec(0u8..8, 5..30),
+        incs in proptest::collection::vec((1u16..400, 0u16..200), 3..40),
+        tau in 0.0f64..100.0,
+        eta in 0.0f64..40.0,
+    ) {
+        let f = fixture();
+        let path = walk_from_choices(&f.net, start, &choices);
+        prop_assume!(!path.is_empty());
+        // Scale distances to the path weight so the temporal curve is
+        // consistent with the spatial path.
+        let total: f64 = path.iter().map(|&e| f.net.weight(e)).sum();
+        let mut pts = temporal_from_increments(&incs);
+        let dmax = pts.last().map_or(1.0, |p| p.d.max(1.0));
+        for p in &mut pts {
+            p.d = p.d / dmax * total;
+        }
+        let traj = Trajectory::new(
+            SpatialPath::new_unchecked(path),
+            TemporalSequence::new_unchecked(pts),
+        );
+        let press = Press::with_model(
+            f.model.clone(),
+            PressConfig {
+                bounds: BtcBounds::new(tau, eta),
+                ..PressConfig::default()
+            },
+        );
+        let compressed = press.compress(&traj).unwrap();
+        let restored = press.decompress(&compressed).unwrap();
+        prop_assert_eq!(&restored.path, &traj.path, "spatial losslessness");
+        prop_assert!(tsnd(&traj.temporal.points, &restored.temporal.points) <= tau + 1e-6);
+        prop_assert!(nstd(&traj.temporal.points, &restored.temporal.points) <= eta + 1e-6);
+    }
+}
+
+/// Separate (non-proptest) check: the greedy SP compression is optimal on
+/// small paths — no alternative valid "skip" subset is shorter. Exhaustive
+/// over all subsets for paths up to 10 edges.
+#[test]
+fn greedy_sp_is_optimal_exhaustively() {
+    let f = fixture();
+    let paths: Vec<Vec<EdgeId>> = (0..20u64)
+        .map(|s| {
+            walk_from_choices(
+                &f.net,
+                (s * 13 % 49) as u32,
+                &(0..9)
+                    .map(|i| ((s * 17 + i * 3) % 5) as u8)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    for path in paths.iter().filter(|p| p.len() >= 3) {
+        let greedy = sp_compress(&f.sp, path);
+        let n = path.len();
+        // Enumerate subsets of interior edges to keep; a subset is valid if
+        // expanding consecutive kept edges by shortest paths reproduces the
+        // original path.
+        let interior = n - 2;
+        let mut best = n;
+        for mask in 0..(1u32 << interior) {
+            let mut kept = vec![path[0]];
+            for (i, &e) in path.iter().enumerate().skip(1).take(interior) {
+                if mask & (1 << (i - 1)) != 0 {
+                    kept.push(e);
+                }
+            }
+            kept.push(path[n - 1]);
+            if let Ok(expanded) = sp_decompress(&f.sp, &kept) {
+                if expanded == *path {
+                    best = best.min(kept.len());
+                }
+            }
+        }
+        assert_eq!(
+            greedy.len(),
+            best,
+            "greedy must match the exhaustive optimum for {path:?}"
+        );
+    }
+}
