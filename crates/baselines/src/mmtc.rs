@@ -19,7 +19,7 @@
 
 use press_core::temporal::tim_at;
 use press_core::{DtPoint, SpatialPath, TemporalSequence, Trajectory};
-use press_network::{EdgeId, NodeId, RoadNetwork};
+use press_network::{EdgeId, NodeId, RoadNetwork, SpProvider};
 use std::collections::VecDeque;
 
 /// MMTC configuration.
@@ -150,7 +150,13 @@ fn vertex_hausdorff(net: &RoadNetwork, a: &[EdgeId], b: &[EdgeId]) -> f64 {
 }
 
 /// Compresses a trajectory with MMTC. Lossy; no decompression exists.
-pub fn compress(net: &RoadNetwork, traj: &Trajectory, cfg: &MmtcConfig) -> MmtcTrajectory {
+///
+/// MMTC consumes an [`SpProvider`] like every other compressor so it can
+/// run on any backend (it only walks the graph — the BFS replacement
+/// search is hop-based — but sharing the provider keeps the baselines on
+/// the same environment the PRESS pipeline uses).
+pub fn compress(sp: &dyn SpProvider, traj: &Trajectory, cfg: &MmtcConfig) -> MmtcTrajectory {
+    let net: &RoadNetwork = sp.network();
     let path = &traj.path.edges;
     let temporal = &traj.temporal.points;
     if path.is_empty() {
@@ -234,12 +240,12 @@ pub fn compress(net: &RoadNetwork, traj: &Trajectory, cfg: &MmtcConfig) -> MmtcT
 #[cfg(test)]
 mod tests {
     use super::*;
-    use press_network::{grid_network, GridConfig};
+    use press_network::{grid_network, GridConfig, LazySpCache};
     use std::sync::Arc;
 
     /// A deliberately wiggly path (staircase) that a fewer-intersection
     /// replacement can straighten.
-    fn fixture() -> (Arc<RoadNetwork>, Trajectory) {
+    fn fixture() -> (Arc<dyn SpProvider>, Trajectory) {
         let net = Arc::new(grid_network(&GridConfig {
             nx: 8,
             ny: 8,
@@ -278,7 +284,7 @@ mod tests {
         }
         pts.push(DtPoint::new(total, t));
         (
-            net.clone(),
+            Arc::new(LazySpCache::with_default_config(net.clone())),
             Trajectory::new(
                 SpatialPath::new_unchecked(path),
                 TemporalSequence::new(pts).unwrap(),
@@ -288,8 +294,9 @@ mod tests {
 
     #[test]
     fn output_is_a_valid_connected_path() {
-        let (net, traj) = fixture();
-        let c = compress(&net, &traj, &MmtcConfig::default());
+        let (sp, traj) = fixture();
+        let net = sp.network().clone();
+        let c = compress(&sp, &traj, &MmtcConfig::default());
         net.validate_path(&c.edges).unwrap();
         assert_eq!(c.times.len(), c.edges.len() + 1);
         // Same endpoints as the original.
@@ -302,8 +309,8 @@ mod tests {
 
     #[test]
     fn times_are_non_decreasing() {
-        let (net, traj) = fixture();
-        let c = compress(&net, &traj, &MmtcConfig::default());
+        let (sp, traj) = fixture();
+        let c = compress(&sp, &traj, &MmtcConfig::default());
         for w in c.times.windows(2) {
             assert!(w[1] >= w[0], "times must not decrease: {w:?}");
         }
@@ -311,9 +318,9 @@ mod tests {
 
     #[test]
     fn generous_epsilon_reduces_storage() {
-        let (net, traj) = fixture();
+        let (sp, traj) = fixture();
         let strict = compress(
-            &net,
+            &sp,
             &traj,
             &MmtcConfig {
                 epsilon_rel: 0.0,
@@ -321,7 +328,7 @@ mod tests {
             },
         );
         let loose = compress(
-            &net,
+            &sp,
             &traj,
             &MmtcConfig {
                 epsilon_rel: 0.6,
@@ -340,10 +347,11 @@ mod tests {
 
     #[test]
     fn replacement_is_lossy_but_length_bounded() {
-        let (net, traj) = fixture();
+        let (sp, traj) = fixture();
+        let net = sp.network().clone();
         let eps = 0.4;
         let c = compress(
-            &net,
+            &sp,
             &traj,
             &MmtcConfig {
                 epsilon_rel: eps,
@@ -362,18 +370,18 @@ mod tests {
 
     #[test]
     fn reconstruct_produces_queryable_trajectory() {
-        let (net, traj) = fixture();
-        let c = compress(&net, &traj, &MmtcConfig::default());
-        let r = c.reconstruct(&net);
+        let (sp, traj) = fixture();
+        let c = compress(&sp, &traj, &MmtcConfig::default());
+        let r = c.reconstruct(sp.network());
         assert_eq!(r.temporal.len(), c.times.len());
         TemporalSequence::new(r.temporal.points.clone()).unwrap();
     }
 
     #[test]
     fn empty_path() {
-        let (net, _) = fixture();
+        let (sp, _) = fixture();
         let empty = Trajectory::default();
-        let c = compress(&net, &empty, &MmtcConfig::default());
+        let c = compress(&sp, &empty, &MmtcConfig::default());
         assert!(c.edges.is_empty());
     }
 }

@@ -16,7 +16,7 @@
 use press_core::temporal::{dis_at, tim_at};
 use press_core::{DtPoint, SpatialPath, TemporalSequence, Trajectory};
 use press_network::EdgeId;
-use press_network::RoadNetwork;
+use press_network::SpProvider;
 
 /// Configuration: tolerance on the distance error (meters) of the
 /// uniform-speed assumption, evaluated at the dropped intersections'
@@ -65,10 +65,11 @@ impl NonmaterialTrajectory {
 /// (vertex) passage event; an opening window drops candidates while every
 /// skipped one's uniform-speed distance error stays within the tolerance.
 pub fn compress(
-    net: &RoadNetwork,
+    sp: &dyn SpProvider,
     traj: &Trajectory,
     cfg: &NonmaterialConfig,
 ) -> NonmaterialTrajectory {
+    let net = sp.network();
     let temporal = &traj.temporal.points;
     let mut candidates: Vec<DtPoint> = Vec::with_capacity(traj.path.len() + 2);
     if let (Some(first), Some(last)) = (temporal.first(), temporal.last()) {
@@ -136,10 +137,10 @@ pub fn decompress(nm: &NonmaterialTrajectory) -> Trajectory {
 mod tests {
     use super::*;
     use press_core::temporal::tsnd;
-    use press_network::{grid_network, GridConfig, NodeId};
+    use press_network::{grid_network, GridConfig, LazySpCache, NodeId};
     use std::sync::Arc;
 
-    fn fixture() -> (Arc<RoadNetwork>, Trajectory) {
+    fn fixture() -> (Arc<dyn SpProvider>, Trajectory) {
         let net = Arc::new(grid_network(&GridConfig {
             nx: 6,
             ny: 6,
@@ -164,7 +165,7 @@ mod tests {
         }
         pts.push(DtPoint::new(total, t));
         (
-            net.clone(),
+            Arc::new(LazySpCache::with_default_config(net.clone())),
             Trajectory::new(
                 SpatialPath::new_unchecked(path),
                 TemporalSequence::new(pts).unwrap(),
@@ -174,16 +175,16 @@ mod tests {
 
     #[test]
     fn spatial_path_is_kept_exactly() {
-        let (net, traj) = fixture();
-        let nm = compress(&net, &traj, &NonmaterialConfig { tolerance: 50.0 });
+        let (sp, traj) = fixture();
+        let nm = compress(&sp, &traj, &NonmaterialConfig { tolerance: 50.0 });
         assert_eq!(nm.edges, traj.path.edges);
         assert_eq!(decompress(&nm).path, traj.path);
     }
 
     #[test]
     fn anchors_are_monotone_and_bounded_in_count() {
-        let (net, traj) = fixture();
-        let nm = compress(&net, &traj, &NonmaterialConfig::default());
+        let (sp, traj) = fixture();
+        let nm = compress(&sp, &traj, &NonmaterialConfig::default());
         assert!(nm.anchors.len() <= traj.path.len() + 2);
         for w in nm.anchors.windows(2) {
             assert!(w[1].t > w[0].t);
@@ -201,13 +202,13 @@ mod tests {
         // the error of keeping *every* intersection timestamp. Accepted
         // windows are checked directly against the original curve, so the
         // final error is bounded by max(tolerance, floor).
-        let (net, traj) = fixture();
+        let (sp, traj) = fixture();
         let floor = {
-            let all = compress(&net, &traj, &NonmaterialConfig { tolerance: 0.0 });
+            let all = compress(&sp, &traj, &NonmaterialConfig { tolerance: 0.0 });
             tsnd(&traj.temporal.points, &decompress(&all).temporal.points)
         };
         for tol in [30.0, 80.0, 200.0] {
-            let nm = compress(&net, &traj, &NonmaterialConfig { tolerance: tol });
+            let nm = compress(&sp, &traj, &NonmaterialConfig { tolerance: tol });
             let back = decompress(&nm);
             let err = tsnd(&traj.temporal.points, &back.temporal.points);
             assert!(
@@ -219,17 +220,17 @@ mod tests {
 
     #[test]
     fn looser_tolerance_keeps_fewer_anchors() {
-        let (net, traj) = fixture();
-        let tight = compress(&net, &traj, &NonmaterialConfig { tolerance: 10.0 });
-        let loose = compress(&net, &traj, &NonmaterialConfig { tolerance: 500.0 });
+        let (sp, traj) = fixture();
+        let tight = compress(&sp, &traj, &NonmaterialConfig { tolerance: 10.0 });
+        let loose = compress(&sp, &traj, &NonmaterialConfig { tolerance: 500.0 });
         assert!(loose.anchors.len() <= tight.anchors.len());
         assert!(loose.storage_bytes() <= tight.storage_bytes());
     }
 
     #[test]
     fn storage_model() {
-        let (net, traj) = fixture();
-        let nm = compress(&net, &traj, &NonmaterialConfig::default());
+        let (sp, traj) = fixture();
+        let nm = compress(&sp, &traj, &NonmaterialConfig::default());
         assert_eq!(
             nm.storage_bytes(),
             nm.edges.len() * 4 + nm.anchors.len() * 8

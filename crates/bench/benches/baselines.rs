@@ -29,7 +29,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("nonmaterial", |b| {
         b.iter(|| {
             for t in subset {
-                black_box(nonmaterial::compress(&env.net, t, &nm_cfg));
+                black_box(nonmaterial::compress(&env.sp, t, &nm_cfg));
             }
         })
     });
@@ -37,7 +37,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("mmtc", |b| {
         b.iter(|| {
             for t in subset {
-                black_box(mmtc::compress(&env.net, t, &mmtc_cfg));
+                black_box(mmtc::compress(&env.sp, t, &mmtc_cfg));
             }
         })
     });

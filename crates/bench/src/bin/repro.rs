@@ -3,25 +3,29 @@
 //!
 //! Usage:
 //! ```text
-//! repro [EXPERIMENT…] [--full] [--seed N]
+//! repro [EXPERIMENT…] [--full] [--seed N] [--lazy]
 //!
 //! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
 //!             fig13 | fig14 | fig15 | fig16 | fig17 | aux | ablations
 //! --full      paper-shaped sweep sizes (slower)
 //! --seed N    workload seed (default 3)
+//! --lazy      run on the LazySpCache SP backend instead of the dense table
 //! ```
 
 use press_bench::{experiments, Env, Scale};
+use press_network::SpBackend;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut seed = 3u64;
+    let mut backend = SpBackend::Dense;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
+            "--lazy" => backend = SpBackend::lazy(),
             "--seed" => {
                 seed = it
                     .next()
@@ -42,11 +46,12 @@ fn main() {
     eprintln!(
         "Building environment (scale {scale:?}, seed {seed}); see DESIGN.md §5 for the experiment index…"
     );
-    let env = Env::standard(scale, seed);
+    let env = Env::standard_with_backend(scale, seed, backend);
     eprintln!(
-        "network: {} nodes / {} edges; workload: {} trajectories ({} train / {} eval); stationary fraction {:.1}%",
+        "network: {} nodes / {} edges ({:?} SP backend); workload: {} trajectories ({} train / {} eval); stationary fraction {:.1}%",
         env.net.num_nodes(),
         env.net.num_edges(),
+        env.backend,
         env.workload.records.len(),
         env.train_records().len(),
         env.eval_records().len(),
@@ -78,7 +83,7 @@ fn main() {
     let needs_queries = want("fig15") || want("fig16") || want("fig17");
     if needs_queries {
         eprintln!("Building long-haul environment for the query experiments…");
-        let qenv = Env::long_haul(scale, seed);
+        let qenv = Env::long_haul_with_backend(scale, seed, backend);
         if want("fig15") {
             experiments::fig15(&qenv, scale).print();
         }
@@ -103,7 +108,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N]"
+        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N] [--lazy]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

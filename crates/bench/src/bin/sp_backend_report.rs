@@ -1,0 +1,220 @@
+//! `sp_backend_report` — one-shot dense-vs-lazy SP backend comparison,
+//! written to `BENCH_sp_backend.json` (see ISSUE/CHANGES for the PR that
+//! introduced the tiered SP engine).
+//!
+//! Usage:
+//! ```text
+//! sp_backend_report [--large-nx N] [--trips N] [--out PATH]
+//!
+//! --large-nx N   side of the large grid (default 320 → 102,400 nodes)
+//! --trips N      workload size at the large scale (default 40)
+//! --out PATH     output JSON path (default BENCH_sp_backend.json)
+//! ```
+//!
+//! Two phases:
+//! * **moderate scale** (64×64 = 4,096 nodes): both backends run the same
+//!   train+compress pipeline; answers are cross-checked, wall times and
+//!   resident bytes reported.
+//! * **large scale** (default 102,400 nodes): the dense table would need
+//!   `|V|²·12` bytes (~126 GB) and is *not built*; the lazy backend runs
+//!   the full workload-generation → train → batch-compress → query
+//!   pipeline at a bounded footprint.
+
+use press_core::query::QueryEngine;
+use press_core::{Press, PressConfig};
+use press_network::{GridConfig, RoadNetwork, SpBackend, SpProvider};
+use press_workload::{Workload, WorkloadConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut large_nx = 320usize;
+    let mut trips = 40usize;
+    let mut out = "BENCH_sp_backend.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    fn usage(err: &str) -> ! {
+        eprintln!("error: {err}");
+        eprintln!("usage: sp_backend_report [--large-nx N] [--trips N] [--out PATH]");
+        std::process::exit(2);
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--large-nx" => {
+                large_nx = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--large-nx needs a number"))
+            }
+            "--trips" => {
+                trips = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trips needs a number"))
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a path"))
+                    .clone()
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if large_nx < 2 || trips == 0 {
+        usage("--large-nx must be >= 2 and --trips >= 1");
+    }
+
+    let mut json = String::from("{\n");
+
+    // ---- Moderate scale: both backends, same pipeline. -----------------
+    let nx = 64usize;
+    eprintln!("[moderate] building {nx}x{nx} grid…");
+    let net = grid(nx, 3);
+    let mut moderate = String::new();
+    let mut compressed_per_backend = Vec::new();
+    for (name, backend) in [
+        ("dense", SpBackend::Dense),
+        (
+            "lazy",
+            SpBackend::Lazy {
+                capacity_trees: 512,
+            },
+        ),
+    ] {
+        let t0 = Instant::now();
+        let sp = backend.build(net.clone());
+        let build_ms = ms(t0);
+        let (pipeline_ms, bytes, outputs) = run_pipeline(&net, &sp, 60, 3);
+        eprintln!(
+            "[moderate] {name}: build {build_ms:.0} ms, pipeline {pipeline_ms:.0} ms, resident {:.1} MiB",
+            bytes as f64 / (1 << 20) as f64
+        );
+        let _ = writeln!(
+            moderate,
+            "    \"{name}\": {{\"build_ms\": {build_ms:.1}, \"train_compress_query_ms\": {pipeline_ms:.1}, \"resident_bytes\": {bytes}}},"
+        );
+        compressed_per_backend.push(outputs);
+    }
+    assert_eq!(
+        compressed_per_backend[0], compressed_per_backend[1],
+        "dense and lazy backends must produce identical compressed output"
+    );
+    eprintln!("[moderate] outputs identical across backends ✔");
+    let _ = write!(
+        json,
+        "  \"moderate_scale\": {{\n    \"nodes\": {}, \"edges\": {},\n{moderate}    \"outputs_identical\": true\n  }},\n",
+        net.num_nodes(),
+        net.num_edges()
+    );
+
+    // ---- Large scale: lazy only. ----------------------------------------
+    eprintln!("[large] building {large_nx}x{large_nx} grid…");
+    let net = grid(large_nx, 3);
+    let dense_hypothetical = net.num_nodes() * net.num_nodes() * 12;
+    eprintln!(
+        "[large] {} nodes / {} edges; dense table would need {:.1} GiB — skipped",
+        net.num_nodes(),
+        net.num_edges(),
+        dense_hypothetical as f64 / (1u64 << 30) as f64
+    );
+    let sp = SpBackend::Lazy {
+        capacity_trees: 512,
+    }
+    .build(net.clone());
+    let (pipeline_ms, bytes, _) = run_pipeline(&net, &sp, trips, 3);
+    let vm_hwm_kb = vm_hwm_kb().unwrap_or(0);
+    eprintln!(
+        "[large] lazy pipeline {pipeline_ms:.0} ms; resident {:.1} MiB; peak RSS {:.1} MiB; dense/lazy memory ratio {:.0}x",
+        bytes as f64 / (1 << 20) as f64,
+        vm_hwm_kb as f64 / 1024.0,
+        dense_hypothetical as f64 / bytes.max(1) as f64
+    );
+    let _ = write!(
+        json,
+        "  \"large_scale\": {{\n    \"nodes\": {}, \"edges\": {}, \"trips\": {trips},\n    \"lazy_train_compress_query_ms\": {pipeline_ms:.1},\n    \"lazy_resident_bytes\": {bytes},\n    \"process_peak_rss_kb\": {vm_hwm_kb},\n    \"dense_hypothetical_bytes\": {dense_hypothetical},\n    \"dense_over_lazy_memory_ratio\": {:.1}\n  }}\n}}\n",
+        net.num_nodes(),
+        net.num_edges(),
+        dense_hypothetical as f64 / bytes.max(1) as f64
+    );
+
+    std::fs::write(&out, &json).expect("write report");
+    println!("wrote {out}");
+    print!("{json}");
+}
+
+fn grid(nx: usize, seed: u64) -> Arc<RoadNetwork> {
+    Arc::new(press_network::grid_network(&GridConfig {
+        nx,
+        ny: nx,
+        spacing: 160.0,
+        weight_jitter: 0.15,
+        removal_prob: 0.03,
+        seed,
+    }))
+}
+
+/// Workload → train → batch-compress → queries under one provider.
+/// Returns (wall ms, provider resident bytes, compressed outputs).
+fn run_pipeline(
+    net: &Arc<RoadNetwork>,
+    sp: &Arc<dyn SpProvider>,
+    trips: usize,
+    seed: u64,
+) -> (f64, usize, Vec<press_core::CompressedTrajectory>) {
+    let t0 = Instant::now();
+    let workload = Workload::generate(
+        net.clone(),
+        sp.clone(),
+        WorkloadConfig {
+            num_trajectories: trips,
+            seed,
+            min_trip_edges: 20,
+            ..WorkloadConfig::default()
+        },
+    );
+    // The generator may deliver fewer records than requested (attempt
+    // budget); split on what actually exists.
+    let got = workload.records.len();
+    assert!(got > 0, "workload generation produced no trips");
+    let split = (got / 3).clamp(1, got);
+    let training: Vec<_> = workload.records[..split]
+        .iter()
+        .map(|r| r.path.clone())
+        .collect();
+    let press = Press::train(sp.clone(), &training, PressConfig::default()).expect("train");
+    let trajs: Vec<_> = workload.records[split..]
+        .iter()
+        .map(|r| r.truth_trajectory(30.0))
+        .collect();
+    let compressed = press.compress_batch(&trajs, 4).expect("compress");
+    // Queries over the compressed forms (whereat + whenat per trajectory).
+    let engine = QueryEngine::new(press.model());
+    for (traj, ct) in trajs.iter().zip(&compressed) {
+        if let Some((a, b)) = traj.temporal.time_range() {
+            let _ = engine.whereat(ct, (a + b) / 2.0);
+        }
+        let total = traj.path.weight(net);
+        if let Ok(p) = traj.path.point_at(net, total / 2.0) {
+            let _ = engine.whenat(ct, p, 1.0);
+        }
+    }
+    (ms(t0), sp.approx_bytes(), compressed)
+}
+
+fn ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Peak resident set size of this process, from /proc (Linux).
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}

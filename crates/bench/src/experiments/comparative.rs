@@ -47,14 +47,14 @@ pub fn fig13(env: &Env, scale: Scale) -> Table {
         let start = Instant::now();
         let nm_out: Vec<_> = dataset
             .iter()
-            .map(|t| nonmaterial::compress(&env.net, t, &nm_cfg))
+            .map(|t| nonmaterial::compress(&env.sp, t, &nm_cfg))
             .collect();
         let nm_comp = start.elapsed().as_secs_f64() * 1e3;
         // MMTC compression (the slow one).
         let mmtc_cfg = mmtc::MmtcConfig::default();
         let start = Instant::now();
         for t in &dataset {
-            black_box(mmtc::compress(&env.net, t, &mmtc_cfg));
+            black_box(mmtc::compress(&env.sp, t, &mmtc_cfg));
         }
         let mmtc_comp = start.elapsed().as_secs_f64() * 1e3;
         // PRESS decompression (spatial expansion; temporal needs none).
@@ -134,13 +134,13 @@ pub fn fig14(env: &Env, scale: Scale) -> Table {
         };
         let mmtc_bytes: usize = trajs
             .iter()
-            .map(|t| mmtc::compress(&env.net, t, &mmtc_cfg).storage_bytes())
+            .map(|t| mmtc::compress(&env.sp, t, &mmtc_cfg).storage_bytes())
             .sum();
         // Nonmaterial.
         let nm_cfg = nonmaterial::NonmaterialConfig { tolerance: tsed };
         let nm_bytes: usize = trajs
             .iter()
-            .map(|t| nonmaterial::compress(&env.net, t, &nm_cfg).storage_bytes())
+            .map(|t| nonmaterial::compress(&env.sp, t, &nm_cfg).storage_bytes())
             .sum();
         table.row(vec![
             f2(tsed),

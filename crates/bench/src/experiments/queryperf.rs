@@ -52,11 +52,11 @@ fn compress_all(env: &Env, trajs: &[Trajectory], tau: f64, eta: f64) -> Compress
             .collect(),
         mmtc: trajs
             .iter()
-            .map(|t| mmtc::compress(&env.net, t, &mmtc_cfg).reconstruct(&env.net))
+            .map(|t| mmtc::compress(&env.sp, t, &mmtc_cfg).reconstruct(&env.net))
             .collect(),
         nonmat: trajs
             .iter()
-            .map(|t| nonmaterial::compress(&env.net, t, &nm_cfg).reconstruct())
+            .map(|t| nonmaterial::compress(&env.sp, t, &nm_cfg).reconstruct())
             .collect(),
     }
 }

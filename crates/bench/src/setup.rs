@@ -5,7 +5,7 @@
 //! dataset").
 
 use press_core::{Press, PressConfig, Trajectory};
-use press_network::{RoadNetwork, SpTable};
+use press_network::{RoadNetwork, SpBackend, SpProvider};
 use press_workload::{TrajectoryRecord, Workload, WorkloadConfig};
 use std::sync::Arc;
 
@@ -32,9 +32,11 @@ impl Scale {
 /// A ready-to-measure environment.
 pub struct Env {
     pub net: Arc<RoadNetwork>,
-    pub sp: Arc<SpTable>,
+    pub sp: Arc<dyn SpProvider>,
     pub workload: Workload,
     pub press: Press,
+    /// Which SP backend `sp` is.
+    pub backend: SpBackend,
     /// Fraction of records used for FST training.
     pub train_fraction: f64,
 }
@@ -45,6 +47,12 @@ impl Env {
     /// coded units for the temporal and query sweeps), a Zipf-skewed
     /// workload, PRESS trained at θ = 3 with lossless temporal bounds.
     pub fn standard(scale: Scale, seed: u64) -> Env {
+        Self::standard_with_backend(scale, seed, SpBackend::Dense)
+    }
+
+    /// [`Env::standard`] over an explicit SP backend, so every experiment
+    /// can run dense or lazy.
+    pub fn standard_with_backend(scale: Scale, seed: u64, backend: SpBackend) -> Env {
         let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
             nx: 16,
             ny: 16,
@@ -53,7 +61,7 @@ impl Env {
             removal_prob: 0.03,
             seed,
         }));
-        let sp = Arc::new(SpTable::build(net.clone()));
+        let sp = backend.build(net.clone());
         let workload = Workload::generate(
             net.clone(),
             sp.clone(),
@@ -75,6 +83,7 @@ impl Env {
             sp,
             workload,
             press,
+            backend,
             train_fraction,
         }
     }
@@ -85,6 +94,11 @@ impl Env {
     /// skipping coded units, which needs trajectories long enough that the
     /// α·γ·β factors dominate the per-query constants.
     pub fn long_haul(scale: Scale, seed: u64) -> Env {
+        Self::long_haul_with_backend(scale, seed, SpBackend::Dense)
+    }
+
+    /// [`Env::long_haul`] over an explicit SP backend.
+    pub fn long_haul_with_backend(scale: Scale, seed: u64, backend: SpBackend) -> Env {
         let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
             nx: 32,
             ny: 32,
@@ -93,7 +107,7 @@ impl Env {
             removal_prob: 0.03,
             seed,
         }));
-        let sp = Arc::new(SpTable::build(net.clone()));
+        let sp = backend.build(net.clone());
         let workload = Workload::generate(
             net.clone(),
             sp.clone(),
@@ -119,6 +133,7 @@ impl Env {
             sp,
             workload,
             press,
+            backend,
             train_fraction,
         }
     }
@@ -162,6 +177,28 @@ impl Env {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lazy_env_matches_dense_env() {
+        // Same seed, different backend: identical workload, identical
+        // compression output.
+        let dense = Env::standard(Scale::Small, 5);
+        let lazy = Env::standard_with_backend(Scale::Small, 5, SpBackend::lazy());
+        assert_eq!(dense.workload.records.len(), lazy.workload.records.len());
+        for (a, b) in dense.workload.records.iter().zip(&lazy.workload.records) {
+            assert_eq!(a.path, b.path);
+        }
+        for (ta, tb) in dense
+            .eval_trajectories()
+            .iter()
+            .zip(&lazy.eval_trajectories())
+            .take(10)
+        {
+            let ca = dense.press.compress(ta).unwrap();
+            let cb = lazy.press.compress(tb).unwrap();
+            assert_eq!(ca, cb, "backends must produce identical compression");
+        }
+    }
 
     #[test]
     fn standard_env_builds_and_splits() {

@@ -11,7 +11,7 @@ use crate::spatial::{CompressedSpatial, Decomposer, HscModel};
 use crate::stats::{self, CompressionStats, DT_TUPLE_BYTES};
 use crate::temporal::{btc_compress, BtcBounds};
 use crate::types::{SpatialPath, TemporalSequence, Trajectory};
-use press_network::{EdgeId, SpTable};
+use press_network::{EdgeId, SpProvider};
 use std::sync::Arc;
 
 /// Configuration of a PRESS instance.
@@ -60,10 +60,10 @@ pub struct Press {
 
 impl Press {
     /// Trains PRESS: builds the HSC model (Trie, automaton, Huffman tree)
-    /// from the training spatial paths. The shortest-path table is built
-    /// once per network and shared.
+    /// from the training spatial paths. The shortest-path provider is
+    /// built once per network and shared across instances and threads.
     pub fn train(
-        sp: Arc<SpTable>,
+        sp: Arc<dyn SpProvider>,
         training_paths: &[Vec<EdgeId>],
         config: PressConfig,
     ) -> Result<Self> {
@@ -131,6 +131,14 @@ impl Press {
 
     /// Compresses a batch across `threads` worker threads (dataset-scale
     /// operation used by the experiments).
+    ///
+    /// Work distribution is **work-stealing over a shared atomic cursor**
+    /// rather than fixed chunking: trajectory costs vary wildly (length,
+    /// cache hits in a lazy SP provider), so pre-chunking leaves threads
+    /// idle behind the slowest slice, while stealing one index at a time
+    /// keeps every worker busy until the batch is drained. All workers
+    /// share the model's single `SpProvider`, which is the point of the
+    /// sharded lazy cache: one worker's Dijkstra tree warms the others.
     pub fn compress_batch(
         &self,
         trajectories: &[Trajectory],
@@ -140,23 +148,38 @@ impl Press {
         if threads == 1 || trajectories.len() < 2 * threads {
             return trajectories.iter().map(|t| self.compress(t)).collect();
         }
-        let chunk = trajectories.len().div_ceil(threads);
-        let results: Vec<Result<Vec<CompressedTrajectory>>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = trajectories
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| slice.iter().map(|t| self.compress(t)).collect()))
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, Result<CompressedTrajectory>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(t) = trajectories.get(i) else {
+                                break;
+                            };
+                            local.push((i, self.compress(t)));
+                        }
+                        local
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("scope panicked");
-        let mut out = Vec::with_capacity(trajectories.len());
-        for r in results {
-            out.extend(r?);
+        });
+        let mut out: Vec<Option<CompressedTrajectory>> = vec![None; trajectories.len()];
+        for (i, r) in parts.into_iter().flatten() {
+            out[i] = Some(r?);
         }
-        Ok(out)
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("all indices drained"))
+            .collect())
     }
 
     /// Decompresses back to a full trajectory. The spatial path is restored
@@ -211,7 +234,7 @@ impl std::fmt::Debug for Press {
 mod tests {
     use super::*;
     use crate::types::DtPoint;
-    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork};
+    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork, SpTable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

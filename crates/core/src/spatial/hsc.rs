@@ -18,7 +18,7 @@ use crate::spatial::decompose::decompose_dp;
 use crate::spatial::huffman::Huffman;
 use crate::spatial::sp::{sp_compress, sp_decompress};
 use crate::spatial::trie::{node_to_symbol, symbol_to_node, Trie, TrieNodeId};
-use press_network::{EdgeId, Mbr, SpTable};
+use press_network::{EdgeId, Mbr, SpProvider};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -76,7 +76,7 @@ impl AuxiliarySizes {
 /// A trained HSC model: every static structure needed to compress,
 /// decompress and query spatial paths.
 pub struct HscModel {
-    sp: Arc<SpTable>,
+    sp: Arc<dyn SpProvider>,
     ac: AcAutomaton,
     huffman: Huffman,
     /// Fully-decompressed network distance of each Trie node's
@@ -91,15 +91,21 @@ impl HscModel {
     /// trajectory corpus **after** SP compression; we take raw paths and
     /// apply SP compression here so callers can't get the order wrong).
     ///
-    /// * `sp` — prebuilt all-pair shortest-path table.
+    /// * `sp` — shortest-path provider (dense table or lazy cache).
     /// * `training_paths` — raw (uncompressed) spatial paths.
     /// * `theta` — maximum FST length (paper's optimum for its data: 3).
-    pub fn train(sp: Arc<SpTable>, training_paths: &[Vec<EdgeId>], theta: usize) -> Result<Self> {
-        let compressed: Vec<Vec<EdgeId>> =
-            training_paths.iter().map(|p| sp_compress(&sp, p)).collect();
+    pub fn train(
+        sp: Arc<dyn SpProvider>,
+        training_paths: &[Vec<EdgeId>],
+        theta: usize,
+    ) -> Result<Self> {
+        let compressed: Vec<Vec<EdgeId>> = training_paths
+            .iter()
+            .map(|p| sp_compress(sp.as_ref(), p))
+            .collect();
         let trie = Trie::build(&compressed, theta, sp.network().num_edges())?;
         let huffman = Huffman::from_freqs(&trie.symbol_freqs())?;
-        let (node_dist, node_mbr) = Self::node_tables(&sp, &trie);
+        let (node_dist, node_mbr) = Self::node_tables(sp.as_ref(), &trie);
         Ok(HscModel {
             sp,
             ac: AcAutomaton::build(trie),
@@ -114,7 +120,7 @@ impl HscModel {
     /// may hide a shortest-path gap that must be expanded (§5.1: "we need
     /// to decompress the sub-trajectory Tsub(n) based on SP decompression
     /// in order to calculate the distance Tsub(n).d").
-    fn node_tables(sp: &SpTable, trie: &Trie) -> (Vec<f64>, Vec<Mbr>) {
+    fn node_tables(sp: &dyn SpProvider, trie: &Trie) -> (Vec<f64>, Vec<Mbr>) {
         let net = sp.network();
         let n = trie.num_nodes();
         let mut dist = vec![0.0f64; n];
@@ -163,7 +169,7 @@ impl HscModel {
         path: &[EdgeId],
         decomposer: Decomposer,
     ) -> Result<CompressedSpatial> {
-        let spc = sp_compress(&self.sp, path);
+        let spc = sp_compress(self.sp.as_ref(), path);
         let parts = match decomposer {
             Decomposer::Greedy => self.ac.decompose_greedy(&spc)?,
             Decomposer::Dp => decompose_dp(self.ac.trie(), &self.huffman, &spc)?,
@@ -201,11 +207,11 @@ impl HscModel {
     /// Fully decompresses back to the original spatial path. `O(|T|)`.
     pub fn decompress(&self, cs: &CompressedSpatial) -> Result<Vec<EdgeId>> {
         let spc = self.decode_sp_form(cs)?;
-        sp_decompress(&self.sp, &spc)
+        sp_decompress(self.sp.as_ref(), &spc)
     }
 
-    /// The shortest-path table.
-    pub fn sp(&self) -> &Arc<SpTable> {
+    /// The shortest-path provider.
+    pub fn sp(&self) -> &Arc<dyn SpProvider> {
         &self.sp
     }
 
@@ -261,7 +267,7 @@ impl std::fmt::Debug for HscModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork};
+    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork, SpTable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -10,13 +10,13 @@
 //! [`crate::spatial::sp_compress`] (property-tested). FST coding needs the
 //! whole SP-compressed prefix and is applied when the trip closes.
 
-use press_network::{EdgeId, SpTable};
+use press_network::{EdgeId, SpProvider};
 use std::sync::Arc;
 
 /// Streaming SP compressor for one in-progress trajectory.
 #[derive(Clone)]
 pub struct OnlineSpCompressor {
-    sp: Arc<SpTable>,
+    sp: Arc<dyn SpProvider>,
     /// Last emitted edge (the anchor of Algorithm 1).
     anchor: Option<EdgeId>,
     /// Most recent edge seen (Algorithm 1's lookahead slot).
@@ -25,7 +25,7 @@ pub struct OnlineSpCompressor {
 
 impl OnlineSpCompressor {
     /// New streaming compressor over a shortest-path table.
-    pub fn new(sp: Arc<SpTable>) -> Self {
+    pub fn new(sp: Arc<dyn SpProvider>) -> Self {
         OnlineSpCompressor {
             sp,
             anchor: None,
@@ -74,11 +74,11 @@ impl OnlineSpCompressor {
 mod tests {
     use super::*;
     use crate::spatial::sp::{sp_compress, sp_decompress};
-    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork};
+    use press_network::{grid_network, GridConfig, NodeId, RoadNetwork, SpTable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn setup() -> (Arc<RoadNetwork>, Arc<SpTable>) {
+    fn setup() -> (Arc<RoadNetwork>, Arc<dyn SpProvider>) {
         let net = Arc::new(grid_network(&GridConfig {
             nx: 7,
             ny: 7,
@@ -86,11 +86,11 @@ mod tests {
             seed: 5,
             ..GridConfig::default()
         }));
-        let sp = Arc::new(SpTable::build(net.clone()));
+        let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
         (net, sp)
     }
 
-    fn stream(sp: &Arc<SpTable>, path: &[EdgeId]) -> Vec<EdgeId> {
+    fn stream(sp: &Arc<dyn SpProvider>, path: &[EdgeId]) -> Vec<EdgeId> {
         let mut enc = OnlineSpCompressor::new(sp.clone());
         let mut out = Vec::new();
         for &e in path {

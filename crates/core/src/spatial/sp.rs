@@ -13,13 +13,13 @@
 //! a constant number of times.
 
 use crate::error::{PressError, Result};
-use press_network::{EdgeId, SpTable};
+use press_network::{EdgeId, SpProvider};
 
 /// Compresses a spatial path by shortest-path skipping (Algorithm 1).
 ///
 /// The output always starts with the first and ends with the last edge of
 /// the input; inputs with fewer than three edges are returned unchanged.
-pub fn sp_compress(sp: &SpTable, path: &[EdgeId]) -> Vec<EdgeId> {
+pub fn sp_compress(sp: &dyn SpProvider, path: &[EdgeId]) -> Vec<EdgeId> {
     if path.len() < 3 {
         return path.to_vec();
     }
@@ -43,7 +43,7 @@ pub fn sp_compress(sp: &SpTable, path: &[EdgeId]) -> Vec<EdgeId> {
 
 /// Decompresses an SP-compressed path by re-expanding every non-adjacent
 /// pair with its shortest path (§3.1).
-pub fn sp_decompress(sp: &SpTable, compressed: &[EdgeId]) -> Result<Vec<EdgeId>> {
+pub fn sp_decompress(sp: &dyn SpProvider, compressed: &[EdgeId]) -> Result<Vec<EdgeId>> {
     let net = sp.network();
     let mut out = Vec::with_capacity(compressed.len() * 2);
     let Some((&first, rest)) = compressed.split_first() else {
@@ -69,7 +69,7 @@ pub fn sp_decompress(sp: &SpTable, compressed: &[EdgeId]) -> Result<Vec<EdgeId>>
 /// The cumulative network distance spanned by an SP-compressed path,
 /// without materializing the decompressed edges. Used by the query
 /// processor to accumulate `d` while skipping whole shortest-path gaps.
-pub fn sp_compressed_weight(sp: &SpTable, compressed: &[EdgeId]) -> Result<f64> {
+pub fn sp_compressed_weight(sp: &dyn SpProvider, compressed: &[EdgeId]) -> Result<f64> {
     let net = sp.network();
     let mut total = 0.0;
     let mut prev: Option<EdgeId> = None;
@@ -92,7 +92,9 @@ pub fn sp_compressed_weight(sp: &SpTable, compressed: &[EdgeId]) -> Result<f64> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use press_network::{grid_network, GridConfig, Point, RoadNetwork, RoadNetworkBuilder};
+    use press_network::{
+        grid_network, GridConfig, Point, RoadNetwork, RoadNetworkBuilder, SpTable,
+    };
     use std::sync::Arc;
 
     /// Builds the paper's Fig. 4 running example: trajectory

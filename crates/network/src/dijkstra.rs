@@ -168,6 +168,41 @@ pub fn dijkstra_bounded(net: &RoadNetwork, source: NodeId, max_dist: f64) -> Sho
     }
 }
 
+/// Dijkstra over the **reversed** graph: `dist[v]` is the shortest
+/// distance from `v` *to* `target` (`f64::INFINITY` when `target` is not
+/// reachable from `v`). One call answers every `d(·, target)` question —
+/// the right shape for fixed-destination routing, where querying a
+/// per-source provider would pull one tree per visited node.
+pub fn reverse_distances(net: &RoadNetwork, target: NodeId) -> Vec<f64> {
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[target.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: target,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for &e in net.in_edges(u) {
+            let edge = net.edge(e);
+            let nd = d + edge.weight;
+            if nd < dist[edge.from.index()] {
+                dist[edge.from.index()] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: edge.from,
+                });
+            }
+        }
+    }
+    dist
+}
+
 /// Shortest network distance between two nodes; `f64::INFINITY` when
 /// unreachable. Terminates as soon as the target is settled.
 pub fn node_distance(net: &RoadNetwork, source: NodeId, target: NodeId) -> f64 {
@@ -301,6 +336,23 @@ mod tests {
         // v3 at distance 2 may or may not be settled, but never wrong if set.
         if tree.dist[3].is_finite() {
             assert_eq!(tree.dist[3], 2.0);
+        }
+    }
+
+    #[test]
+    fn reverse_distances_match_forward_trees() {
+        let net = diamond();
+        for target in net.node_ids() {
+            let rev = reverse_distances(&net, target);
+            for source in net.node_ids() {
+                let fwd = dijkstra(&net, source).dist[target.index()];
+                assert!(
+                    (rev[source.index()] == fwd) || (rev[source.index()] - fwd).abs() < 1e-9,
+                    "reverse {} vs forward {} for {source}->{target}",
+                    rev[source.index()],
+                    fwd
+                );
+            }
         }
     }
 

@@ -1,0 +1,541 @@
+//! Lazy, cached, thread-safe shortest-path provider.
+//!
+//! [`LazySpCache`] computes one Dijkstra shortest-path tree per **source
+//! node on demand** and keeps the results in a sharded, capacity-bounded
+//! LRU cache, instead of materializing the paper's all-pair table up
+//! front. Because every answer is read off the same deterministic
+//! [`dijkstra`] trees the dense [`SpTable`](crate::SpTable) is built from,
+//! the two backends return bit-identical distances, predecessor edges and
+//! MBRs — the lazy cache only changes *when* a tree is computed and *how
+//! long* it is retained.
+//!
+//! Memory model: at most `capacity_trees` trees are resident, each
+//! `O(|V|)` bytes, so the footprint is `O(capacity · |V|)` instead of
+//! `O(|V|²)` — on a 100k-node network that is the difference between a
+//! few hundred MB and ~120 GB. Compression workloads have strong source
+//! locality (Algorithm 1 advances an anchor edge monotonically; the §5
+//! query processor revisits the same coded-unit boundaries), so hit rates
+//! stay high at modest capacities; [`CacheStats`] reports them.
+//!
+//! Concurrency model: the cache is sharded by source id. A miss computes
+//! its Dijkstra tree **outside** the shard lock, so concurrent workers
+//! (e.g. `Press::compress_batch`'s work-stealing threads) never serialize
+//! on each other's misses; a racing duplicate computation is benign
+//! because the trees are identical. Frequently-rebuilt `sp_mbr`
+//! rectangles (§5.2 pruning) are memoized in a second bounded cache.
+
+use crate::dijkstra::{dijkstra, ShortestPathTree};
+use crate::geometry::Mbr;
+use crate::graph::RoadNetwork;
+use crate::id::{EdgeId, NodeId};
+use crate::provider::SpProvider;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`LazySpCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LazySpConfig {
+    /// Maximum number of resident shortest-path trees (LRU-evicted).
+    pub capacity_trees: usize,
+    /// Number of cache shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Maximum number of memoized `sp_mbr` rectangles.
+    pub mbr_capacity: usize,
+}
+
+impl Default for LazySpConfig {
+    fn default() -> Self {
+        LazySpConfig {
+            capacity_trees: 1024,
+            shards: 16,
+            mbr_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Hit/miss counters of a running cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Tree lookups served from the cache.
+    pub tree_hits: u64,
+    /// Tree lookups that ran a fresh Dijkstra.
+    pub tree_misses: u64,
+    /// Trees evicted to stay within capacity.
+    pub tree_evictions: u64,
+    /// `sp_mbr` lookups served from the memo.
+    pub mbr_hits: u64,
+    /// `sp_mbr` lookups that walked a shortest path.
+    pub mbr_misses: u64,
+}
+
+impl CacheStats {
+    /// Tree hit rate in `[0, 1]` (1.0 when no lookups happened).
+    pub fn tree_hit_rate(&self) -> f64 {
+        let total = self.tree_hits + self.tree_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.tree_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU shard: key → (value, last-touch tick) plus a lazily-pruned
+/// recency queue (stale queue entries are skipped at eviction time, so
+/// touches stay O(1) amortized).
+struct LruShard<V> {
+    map: HashMap<u32, (V, u64)>,
+    queue: VecDeque<(u32, u64)>,
+    tick: u64,
+}
+
+impl<V> LruShard<V> {
+    fn new() -> Self {
+        LruShard {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, key: u32) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key)?.1 = tick;
+        self.queue.push_back((key, tick));
+        self.compact();
+        self.map.get(&key).map(|(v, _)| v)
+    }
+
+    /// Drops stale recency slots once the queue outgrows the live entry
+    /// set. Without this, a hit-heavy steady state (no evictions running)
+    /// would grow the queue by one slot per lookup, unbounded.
+    fn compact(&mut self) {
+        if self.queue.len() > self.map.len() * 2 + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(k, t)| map.get(k).is_some_and(|(_, lt)| lt == t));
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, then evicts LRU entries down to
+    /// `capacity`. Returns the number of evictions.
+    fn insert(&mut self, key: u32, value: V, capacity: usize) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key, (value, tick));
+        self.queue.push_back((key, tick));
+        let mut evicted = 0;
+        while self.map.len() > capacity.max(1) {
+            match self.queue.pop_front() {
+                Some((k, t)) => {
+                    // Only drop the entry if this queue slot is its most
+                    // recent touch; otherwise the slot is stale.
+                    if self.map.get(&k).is_some_and(|(_, lt)| *lt == t) {
+                        self.map.remove(&k);
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.compact();
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Lazy shortest-path provider; see the module docs.
+pub struct LazySpCache {
+    net: Arc<RoadNetwork>,
+    tree_shards: Vec<Mutex<LruShard<Arc<ShortestPathTree>>>>,
+    mbr_shards: Vec<Mutex<HashMap<(u32, u32), Mbr>>>,
+    /// Max trees per shard (total capacity divided across shards).
+    trees_per_shard: usize,
+    /// Max rectangles per MBR shard.
+    mbrs_per_shard: usize,
+    shard_mask: usize,
+    tree_hits: AtomicU64,
+    tree_misses: AtomicU64,
+    tree_evictions: AtomicU64,
+    mbr_hits: AtomicU64,
+    mbr_misses: AtomicU64,
+}
+
+impl LazySpCache {
+    /// Creates a cache over `net` with the given bounds.
+    pub fn new(net: Arc<RoadNetwork>, config: LazySpConfig) -> Self {
+        // Fewer shards than requested when capacity is tiny, so the total
+        // never exceeds `capacity_trees` (per-shard capacities are floors).
+        let mut shards = config.shards.max(1).next_power_of_two();
+        while shards > 1 && shards > config.capacity_trees.max(1) {
+            shards /= 2;
+        }
+        let trees_per_shard = (config.capacity_trees.max(1) / shards).max(1);
+        let mbrs_per_shard = (config.mbr_capacity / shards).max(1);
+        LazySpCache {
+            net,
+            tree_shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
+            mbr_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            trees_per_shard,
+            mbrs_per_shard,
+            shard_mask: shards - 1,
+            tree_hits: AtomicU64::new(0),
+            tree_misses: AtomicU64::new(0),
+            tree_evictions: AtomicU64::new(0),
+            mbr_hits: AtomicU64::new(0),
+            mbr_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache with default bounds.
+    pub fn with_default_config(net: Arc<RoadNetwork>) -> Self {
+        Self::new(net, LazySpConfig::default())
+    }
+
+    #[inline]
+    fn shard_of(&self, source: NodeId) -> usize {
+        // Multiplicative hash so consecutive sources spread across shards.
+        (source.0 as usize).wrapping_mul(0x9e37_79b9) >> 16 & self.shard_mask
+    }
+
+    /// The shortest-path tree rooted at `source`: cached, or computed
+    /// outside the shard lock on a miss.
+    pub fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
+        let shard = &self.tree_shards[self.shard_of(source)];
+        if let Some(tree) = shard.lock().unwrap().touch(source.0) {
+            self.tree_hits.fetch_add(1, Ordering::Relaxed);
+            return tree.clone();
+        }
+        self.tree_misses.fetch_add(1, Ordering::Relaxed);
+        // Compute without holding the lock: a concurrent miss on the same
+        // source duplicates work but not state (identical deterministic
+        // trees), and other sources in the shard stay unblocked.
+        let tree = Arc::new(dijkstra(&self.net, source));
+        let evicted = shard
+            .lock()
+            .unwrap()
+            .insert(source.0, tree.clone(), self.trees_per_shard);
+        self.tree_evictions.fetch_add(evicted, Ordering::Relaxed);
+        tree
+    }
+
+    /// Number of trees currently resident across all shards.
+    pub fn cached_trees(&self) -> usize {
+        self.tree_shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum()
+    }
+
+    /// Total tree capacity (trees are never resident beyond this).
+    pub fn capacity_trees(&self) -> usize {
+        self.trees_per_shard * self.tree_shards.len()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            tree_hits: self.tree_hits.load(Ordering::Relaxed),
+            tree_misses: self.tree_misses.load(Ordering::Relaxed),
+            tree_evictions: self.tree_evictions.load(Ordering::Relaxed),
+            mbr_hits: self.mbr_hits.load(Ordering::Relaxed),
+            mbr_misses: self.mbr_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes of one resident tree (dist + pred vectors).
+    fn tree_bytes(&self) -> usize {
+        let n = self.net.num_nodes();
+        n * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<EdgeId>>())
+    }
+}
+
+impl SpProvider for LazySpCache {
+    fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
+        self.tree(u).dist[v.index()]
+    }
+
+    fn pred_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.tree(u).pred_edge[v.index()]
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let mbr_entries: usize = self
+            .mbr_shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum();
+        self.cached_trees() * self.tree_bytes()
+            + mbr_entries * (std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<Mbr>())
+    }
+
+    // `gap_dist`/`sp_end` use the trait defaults — those bottom out in
+    // `node_dist`/`pred_edge`, which is already exactly one tree fetch.
+    // Overridden below are only the walks that touch one tree many times.
+
+    fn sp_interior(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        if ei == ej {
+            return None;
+        }
+        let a = self.net.edge(ei);
+        let b = self.net.edge(ej);
+        if a.to == b.from {
+            return Some(Vec::new());
+        }
+        let tree = self.tree(a.to);
+        if !tree.dist[b.from.index()].is_finite() {
+            return None;
+        }
+        let mut interior = Vec::new();
+        let mut cur = b.from;
+        while cur != a.to {
+            let e = tree.pred_edge[cur.index()]?;
+            interior.push(e);
+            cur = self.net.edge(e).from;
+        }
+        interior.reverse();
+        Some(interior)
+    }
+
+    fn sp_mbr(&self, ei: EdgeId, ej: EdgeId) -> Option<Mbr> {
+        let key = (ei.0, ej.0);
+        let shard = &self.mbr_shards[self.shard_of(self.net.edge(ei).to)];
+        if let Some(mbr) = shard.lock().unwrap().get(&key) {
+            self.mbr_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(*mbr);
+        }
+        self.mbr_misses.fetch_add(1, Ordering::Relaxed);
+        let path = self.sp_path(ei, ej)?;
+        let mut mbr = Mbr::empty();
+        for e in path {
+            mbr.expand(&self.net.edge_mbr(e));
+        }
+        let mut guard = shard.lock().unwrap();
+        // Bounded memo: reset the shard rather than track recency — MBR
+        // entries are tiny and cheap to rebuild from a cached tree.
+        if guard.len() >= self.mbrs_per_shard {
+            guard.clear();
+        }
+        guard.insert(key, mbr);
+        Some(mbr)
+    }
+
+    fn source_tree(&self, source: NodeId) -> Option<Arc<ShortestPathTree>> {
+        Some(self.tree(source))
+    }
+}
+
+impl std::fmt::Debug for LazySpCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazySpCache")
+            .field("nodes", &self.net.num_nodes())
+            .field("cached_trees", &self.cached_trees())
+            .field("capacity_trees", &self.capacity_trees())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_network, GridConfig};
+    use crate::sp_table::SpTable;
+
+    fn test_net(seed: u64) -> Arc<RoadNetwork> {
+        Arc::new(grid_network(&GridConfig {
+            nx: 6,
+            ny: 6,
+            weight_jitter: 0.2,
+            removal_prob: 0.05,
+            seed,
+            ..GridConfig::default()
+        }))
+    }
+
+    #[test]
+    fn matches_dense_table_exactly() {
+        let net = test_net(4);
+        let dense = SpTable::build(net.clone());
+        let lazy = LazySpCache::with_default_config(net.clone());
+        for u in net.node_ids() {
+            for v in net.node_ids() {
+                assert_eq!(
+                    dense.node_dist(u, v).to_bits(),
+                    lazy.node_dist(u, v).to_bits(),
+                    "distance mismatch {u} -> {v}"
+                );
+                assert_eq!(dense.pred_edge(u, v), lazy.pred_edge(u, v));
+            }
+        }
+        let edges: Vec<EdgeId> = net.edge_ids().collect();
+        for &ei in edges.iter().take(15) {
+            for &ej in edges.iter().rev().take(15) {
+                assert_eq!(dense.sp_end(ei, ej), lazy.sp_end(ei, ej));
+                assert_eq!(dense.sp_interior(ei, ej), lazy.sp_interior(ei, ej));
+                assert_eq!(dense.sp_mbr(ei, ej), lazy.sp_mbr(ei, ej));
+                // Memoized second call agrees too.
+                assert_eq!(dense.sp_mbr(ei, ej), lazy.sp_mbr(ei, ej));
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_resident_trees() {
+        let net = test_net(9);
+        let lazy = LazySpCache::new(
+            net.clone(),
+            LazySpConfig {
+                capacity_trees: 8,
+                shards: 2,
+                mbr_capacity: 16,
+            },
+        );
+        for round in 0..3 {
+            for u in net.node_ids() {
+                for v in net.node_ids().take(4) {
+                    let _ = lazy.node_dist(u, v);
+                }
+            }
+            let _ = round;
+            assert!(
+                lazy.cached_trees() <= lazy.capacity_trees(),
+                "resident {} > capacity {}",
+                lazy.cached_trees(),
+                lazy.capacity_trees()
+            );
+        }
+        let stats = lazy.stats();
+        assert!(stats.tree_evictions > 0, "evictions must have happened");
+        assert!(stats.tree_hits > 0);
+        // Evicted sources still answer correctly (recompute on demand).
+        let dense = SpTable::build(net.clone());
+        for u in net.node_ids().take(6) {
+            for v in net.node_ids() {
+                assert_eq!(
+                    dense.node_dist(u, v).to_bits(),
+                    lazy.node_dist(u, v).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hit_heavy_lookups_do_not_grow_the_recency_queue() {
+        // Steady state with no evictions: touches must not accumulate
+        // unbounded recency slots.
+        let mut shard: LruShard<u32> = LruShard::new();
+        for k in 0..4 {
+            shard.insert(k, k, 4);
+        }
+        for _ in 0..100_000 {
+            assert!(shard.touch(0).is_some());
+        }
+        assert!(
+            shard.queue.len() <= shard.map.len() * 2 + 17,
+            "recency queue leaked: {} slots for {} entries",
+            shard.queue.len(),
+            shard.map.len()
+        );
+        // And at capacity, refreshing an existing key (insert path with no
+        // eviction) is bounded too.
+        for _ in 0..100_000 {
+            shard.insert(1, 1, 4);
+        }
+        assert!(shard.queue.len() <= shard.map.len() * 2 + 17);
+    }
+
+    #[test]
+    fn capacity_is_an_upper_bound_even_with_many_shards() {
+        // capacity 4 with 16 requested shards must not inflate to 16.
+        let net = test_net(5);
+        let lazy = LazySpCache::new(
+            net.clone(),
+            LazySpConfig {
+                capacity_trees: 4,
+                shards: 16,
+                mbr_capacity: 64,
+            },
+        );
+        assert!(lazy.capacity_trees() <= 4, "got {}", lazy.capacity_trees());
+        for u in net.node_ids() {
+            let _ = lazy.node_dist(u, NodeId(0));
+        }
+        assert!(lazy.cached_trees() <= 4);
+    }
+
+    #[test]
+    fn hot_sources_hit_the_cache() {
+        let net = test_net(2);
+        let lazy = LazySpCache::with_default_config(net.clone());
+        let u = NodeId(0);
+        for v in net.node_ids() {
+            let _ = lazy.node_dist(u, v);
+        }
+        let stats = lazy.stats();
+        assert_eq!(stats.tree_misses, 1);
+        assert_eq!(stats.tree_hits, net.num_nodes() as u64 - 1);
+        assert!(stats.tree_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let net = test_net(7);
+        let lazy = Arc::new(LazySpCache::new(
+            net.clone(),
+            LazySpConfig {
+                capacity_trees: 16,
+                shards: 4,
+                mbr_capacity: 64,
+            },
+        ));
+        let dense = Arc::new(SpTable::build(net.clone()));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let lazy = lazy.clone();
+                let dense = dense.clone();
+                let net = net.clone();
+                scope.spawn(move || {
+                    for u in net.node_ids() {
+                        let v = NodeId((u.0 + t) % net.num_nodes() as u32);
+                        assert_eq!(
+                            dense.node_dist(u, v).to_bits(),
+                            lazy.node_dist(u, v).to_bits()
+                        );
+                    }
+                });
+            }
+        });
+        assert!(lazy.cached_trees() <= lazy.capacity_trees());
+    }
+
+    #[test]
+    fn approx_bytes_tracks_residency() {
+        let net = test_net(3);
+        let lazy = LazySpCache::new(
+            net.clone(),
+            LazySpConfig {
+                capacity_trees: 4,
+                shards: 1,
+                mbr_capacity: 8,
+            },
+        );
+        assert_eq!(lazy.approx_bytes(), 0);
+        let _ = lazy.node_dist(NodeId(0), NodeId(1));
+        let per_tree = net.num_nodes() * 16;
+        assert!(lazy.approx_bytes() >= per_tree);
+        for u in net.node_ids() {
+            let _ = lazy.node_dist(u, NodeId(0));
+        }
+        assert!(lazy.approx_bytes() <= 4 * per_tree + 8 * 32);
+    }
+}

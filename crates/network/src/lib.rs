@@ -10,14 +10,26 @@
 //! * the immutable [`RoadNetwork`] graph with CSR adjacency,
 //! * [Dijkstra](crate::dijkstra) shortest paths with deterministic
 //!   tie-breaking,
-//! * the all-pair edge shortest-path table [`SpTable`] implementing the
-//!   paper's `SP(ei, ej)` / `SPend(ei, ej)` structures (§3.1),
+//! * the [`SpProvider`] abstraction over the paper's `SP(ei, ej)` /
+//!   `SPend(ei, ej)` structures (§3.1), with two interchangeable
+//!   backends — the eager dense [`SpTable`] and the lazy, sharded-LRU
+//!   [`LazySpCache`] — selected by [`SpBackend`],
 //! * a uniform-grid [spatial index](crate::index) over edges, and
 //! * [synthetic generators](crate::generators) (grid, ring-radial, random
 //!   geometric) standing in for the Singapore road network.
 //!
-//! Everything downstream (map matcher, compressors, query processor,
-//! baselines, workload generator) builds on this crate.
+//! ## Choosing an SP backend
+//!
+//! The dense [`SpTable`] stores `O(|V|²)` distances/predecessors for
+//! `O(1)` lookups — ideal below a few thousand nodes, impossible at city
+//! scale (100k nodes ≈ 120 GB). [`LazySpCache`] computes one Dijkstra
+//! tree per source on demand and LRU-bounds residency to
+//! `O(capacity · |V|)` bytes, trading a cache lookup (and occasional
+//! recompute) per query. Both are driven by the same deterministic
+//! Dijkstra, so results are bit-identical; pick with [`SpBackend`] based
+//! on network size and RAM. Everything downstream (map matcher,
+//! compressors, query processor, baselines, workload generator) consumes
+//! the trait, not a concrete backend.
 
 pub mod dijkstra;
 pub mod error;
@@ -26,9 +38,13 @@ pub mod geometry;
 pub mod graph;
 pub mod id;
 pub mod index;
+pub mod lazy_sp;
+pub mod provider;
 pub mod sp_table;
 
-pub use dijkstra::{dijkstra, dijkstra_bounded, dijkstra_with, node_distance, ShortestPathTree};
+pub use dijkstra::{
+    dijkstra, dijkstra_bounded, dijkstra_with, node_distance, reverse_distances, ShortestPathTree,
+};
 pub use error::NetworkError;
 pub use generators::{
     grid_network, random_geometric_network, ring_radial_network, GridConfig, RandomGeometricConfig,
@@ -41,4 +57,6 @@ pub use geometry::{
 pub use graph::{Edge, Node, RoadNetwork, RoadNetworkBuilder};
 pub use id::{EdgeId, NodeId};
 pub use index::EdgeSpatialIndex;
+pub use lazy_sp::{CacheStats, LazySpCache, LazySpConfig};
+pub use provider::{SpBackend, SpProvider};
 pub use sp_table::SpTable;

@@ -1,0 +1,243 @@
+//! The shortest-path **provider** abstraction — the seam between "how
+//! shortest-path facts are stored" and "who consumes them".
+//!
+//! The paper (§3.1) assumes all-pair shortest-path information exists via
+//! pre-processing; the seed implementation took that literally and baked
+//! an `O(|V|²)` table into every consumer. [`SpProvider`] inverts that:
+//! compression (§3), the query processor (§5) and the experiment harness
+//! all speak to this trait, and the *backend* decides the time/space
+//! trade-off:
+//!
+//! * [`SpTable`](crate::SpTable) — the dense table. `O(|V|²)` memory,
+//!   `O(1)` lookups. Right for small networks, and the correctness oracle
+//!   for everything else.
+//! * [`LazySpCache`](crate::LazySpCache) — one Dijkstra tree per *source
+//!   on demand*, kept in a sharded, capacity-bounded LRU cache.
+//!   `O(cached trees · |V|)` memory, amortized `O(1)` lookups on hot
+//!   sources. The only option once `|V|²` stops fitting in RAM.
+//!
+//! Both backends derive every query from the same deterministic
+//! [`dijkstra`](crate::dijkstra::dijkstra) trees, so their answers are
+//! **bit-identical** (property-tested in `tests/properties.rs`) — the
+//! prefix-consistency that Theorem 1's optimality proof needs holds for
+//! either. [`SpBackend`] is the value-level selector used by
+//! configuration surfaces (bench environments, examples).
+
+use crate::dijkstra::ShortestPathTree;
+use crate::geometry::Mbr;
+use crate::graph::RoadNetwork;
+use crate::id::{EdgeId, NodeId};
+use std::sync::Arc;
+
+/// Source of shortest-path facts over one road network.
+///
+/// Only four methods are backend-specific; everything the paper's
+/// algorithms consume (`SPend`, gap distances, path expansion, MBRs) is
+/// derived in default methods, so the derived semantics — including the
+/// SP-containment property Theorem 1 relies on — are shared by
+/// construction. Backends may still override the derived methods to batch
+/// tree lookups (as [`LazySpCache`](crate::LazySpCache) does).
+pub trait SpProvider: Send + Sync {
+    /// The underlying network.
+    fn network(&self) -> &Arc<RoadNetwork>;
+
+    /// Shortest node-to-node distance; `f64::INFINITY` when unreachable.
+    fn node_dist(&self, u: NodeId, v: NodeId) -> f64;
+
+    /// Final edge on the shortest node path `u → v` (`None` when `v` is
+    /// unreachable or `v == u`).
+    fn pred_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId>;
+
+    /// Approximate current in-memory footprint in bytes (for the §6.2
+    /// auxiliary-structure report).
+    fn approx_bytes(&self) -> usize;
+
+    /// Interior ("gap") distance of `SP(ei, ej)`: summed weight of the
+    /// edges strictly between `ei` and `ej`. Zero when the edges are
+    /// consecutive; `f64::INFINITY` when no path exists.
+    #[inline]
+    fn gap_dist(&self, ei: EdgeId, ej: EdgeId) -> f64 {
+        let net = self.network();
+        let a = net.edge(ei);
+        let b = net.edge(ej);
+        self.node_dist(a.to, b.from)
+    }
+
+    /// Total weight of `SP(ei, ej)` including both end edges;
+    /// `f64::INFINITY` when no path exists.
+    #[inline]
+    fn sp_weight(&self, ei: EdgeId, ej: EdgeId) -> f64 {
+        let gap = self.gap_dist(ei, ej);
+        if gap.is_finite() {
+            let net = self.network();
+            net.weight(ei) + gap + net.weight(ej)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `SPend(ei, ej)` — the edge right before `ej` on `SP(ei, ej)` (§3.1).
+    ///
+    /// When `ej` directly follows `ei`, this is `ei` itself. `None` when
+    /// `ej` is unreachable from `ei` or when `ei == ej`.
+    fn sp_end(&self, ei: EdgeId, ej: EdgeId) -> Option<EdgeId> {
+        if ei == ej {
+            return None;
+        }
+        let net = self.network();
+        let a = net.edge(ei);
+        let b = net.edge(ej);
+        if a.to == b.from {
+            return Some(ei);
+        }
+        self.pred_edge(a.to, b.from)
+    }
+
+    /// True when `ej` is reachable from `ei` by some edge path.
+    fn reachable(&self, ei: EdgeId, ej: EdgeId) -> bool {
+        self.gap_dist(ei, ej).is_finite()
+    }
+
+    /// The edges strictly between `ei` and `ej` on `SP(ei, ej)`, in path
+    /// order. Empty when the edges are consecutive; `None` when
+    /// unreachable (or `ei == ej`, which has no defined interior).
+    fn sp_interior(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        if ei == ej {
+            return None;
+        }
+        let net = self.network().clone();
+        let a = net.edge(ei);
+        let b = net.edge(ej);
+        if a.to == b.from {
+            return Some(Vec::new());
+        }
+        if !self.node_dist(a.to, b.from).is_finite() {
+            return None;
+        }
+        let mut interior = Vec::new();
+        let mut cur = b.from;
+        while cur != a.to {
+            let e = self.pred_edge(a.to, cur)?;
+            interior.push(e);
+            cur = net.edge(e).from;
+        }
+        interior.reverse();
+        Some(interior)
+    }
+
+    /// Reconstructs the full edge sequence of `SP(ei, ej)`, including `ei`
+    /// and `ej`. `None` when unreachable. Reconstruction walks `SPend`
+    /// backwards exactly as the decompression procedure of §3.1 describes,
+    /// so its cost is the length of the shortest path.
+    fn sp_path(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        let mut interior = self.sp_interior(ei, ej)?;
+        let mut path = Vec::with_capacity(interior.len() + 2);
+        path.push(ei);
+        path.append(&mut interior);
+        path.push(ej);
+        Some(path)
+    }
+
+    /// MBR of the embedding of `SP(ei, ej)` (used by `whenat`/`range`
+    /// pruning, §5.2). `None` when unreachable.
+    fn sp_mbr(&self, ei: EdgeId, ej: EdgeId) -> Option<Mbr> {
+        let net = self.network().clone();
+        let path = self.sp_path(ei, ej)?;
+        let mut mbr = Mbr::empty();
+        for e in path {
+            mbr.expand(&net.edge_mbr(e));
+        }
+        Some(mbr)
+    }
+
+    /// The full shortest-path tree rooted at `source`, when the backend
+    /// can hand one out cheaply (`None` means "derive what you need from
+    /// the point lookups instead"). Consumers that stream many lookups
+    /// against one source (unit expansion, gap walks) use this to avoid
+    /// per-call cache traffic.
+    fn source_tree(&self, _source: NodeId) -> Option<Arc<ShortestPathTree>> {
+        None
+    }
+}
+
+/// Forwarding impl so an `&Arc<dyn SpProvider>` (or `&Arc<SpTable>`)
+/// coerces straight into `&dyn SpProvider` at call sites. Every method —
+/// including the derived ones — forwards to the inner provider, so
+/// backend overrides (e.g. the lazy cache's memoized `sp_mbr`) are never
+/// bypassed by the trait defaults.
+impl<P: SpProvider + ?Sized> SpProvider for Arc<P> {
+    fn network(&self) -> &Arc<RoadNetwork> {
+        (**self).network()
+    }
+    fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
+        (**self).node_dist(u, v)
+    }
+    fn pred_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        (**self).pred_edge(u, v)
+    }
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+    fn gap_dist(&self, ei: EdgeId, ej: EdgeId) -> f64 {
+        (**self).gap_dist(ei, ej)
+    }
+    fn sp_weight(&self, ei: EdgeId, ej: EdgeId) -> f64 {
+        (**self).sp_weight(ei, ej)
+    }
+    fn sp_end(&self, ei: EdgeId, ej: EdgeId) -> Option<EdgeId> {
+        (**self).sp_end(ei, ej)
+    }
+    fn reachable(&self, ei: EdgeId, ej: EdgeId) -> bool {
+        (**self).reachable(ei, ej)
+    }
+    fn sp_interior(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        (**self).sp_interior(ei, ej)
+    }
+    fn sp_path(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        (**self).sp_path(ei, ej)
+    }
+    fn sp_mbr(&self, ei: EdgeId, ej: EdgeId) -> Option<Mbr> {
+        (**self).sp_mbr(ei, ej)
+    }
+    fn source_tree(&self, source: NodeId) -> Option<Arc<ShortestPathTree>> {
+        (**self).source_tree(source)
+    }
+}
+
+/// Value-level backend selector for configuration surfaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpBackend {
+    /// Eager dense all-pair table ([`SpTable`](crate::SpTable)):
+    /// `O(|V|²)` memory, built up front.
+    Dense,
+    /// Lazy per-source cache ([`LazySpCache`](crate::LazySpCache)) holding
+    /// at most `capacity_trees` Dijkstra trees.
+    Lazy {
+        /// Maximum number of cached shortest-path trees (each is
+        /// `O(|V|)` bytes).
+        capacity_trees: usize,
+    },
+}
+
+impl SpBackend {
+    /// A lazy backend with the default cache capacity.
+    pub fn lazy() -> Self {
+        SpBackend::Lazy {
+            capacity_trees: crate::lazy_sp::LazySpConfig::default().capacity_trees,
+        }
+    }
+
+    /// Builds the selected provider over `net`.
+    pub fn build(self, net: Arc<RoadNetwork>) -> Arc<dyn SpProvider> {
+        match self {
+            SpBackend::Dense => Arc::new(crate::sp_table::SpTable::build(net)),
+            SpBackend::Lazy { capacity_trees } => Arc::new(crate::lazy_sp::LazySpCache::new(
+                net,
+                crate::lazy_sp::LazySpConfig {
+                    capacity_trees,
+                    ..crate::lazy_sp::LazySpConfig::default()
+                },
+            )),
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! All-pair shortest-path table over *edges* (`SPend`, distances, paths).
+//! Dense all-pair shortest-path table over *edges* (`SPend`, distances,
+//! paths) — the eager [`SpProvider`] backend.
 //!
 //! Paper §3.1: "We assume that all-pair shortest path information is
 //! available via a pre-processing of the road network. [...] We assume
@@ -16,15 +17,26 @@
 //! exactly `SP(ei, b)`. Greedy SP compression (Algorithm 1) and its
 //! optimality proof (Theorem 1) rely on this "SP-containment" property.
 //!
-//! Storage is `O(|V|²)`: one distance and one predecessor edge per node pair,
-//! matching the paper's auxiliary-structure accounting in §5.4/§6.2. MBRs of
-//! shortest paths (used by the query processor, §5.2) are computed on demand
-//! by [`SpTable::sp_mbr`] and may be cached by callers.
+//! # Choosing a backend
+//!
+//! Storage here is `O(|V|²)`: one distance and one predecessor edge per
+//! node pair, matching the paper's auxiliary-structure accounting in
+//! §5.4/§6.2, with `O(1)` lookups and an up-front build of one Dijkstra
+//! per node. That is the right trade on networks up to a few thousand
+//! nodes (a 16×16 evaluation grid costs ~0.8 MB; 10k nodes ≈ 1.2 GB) and
+//! makes this table the **correctness oracle** the property tests compare
+//! against. Beyond that the quadratic RAM wall dominates — a 100k-node
+//! metro network would need ~120 GB — and the lazy, capacity-bounded
+//! [`LazySpCache`](crate::LazySpCache) is the only viable backend; see
+//! its module docs for the inverse trade-off. Derived queries (`SPend`,
+//! gaps, MBRs) live on the [`SpProvider`] trait so both backends share
+//! one implementation; sp-path MBRs are computed on demand here and
+//! memoized by the lazy backend.
 
 use crate::dijkstra::dijkstra;
-use crate::geometry::Mbr;
 use crate::graph::RoadNetwork;
 use crate::id::{EdgeId, NodeId};
+use crate::provider::SpProvider;
 use std::sync::Arc;
 
 /// Sentinel for "no predecessor edge" in the packed table.
@@ -78,19 +90,18 @@ impl SpTable {
         });
         SpTable { net, n, dist, pred }
     }
+}
 
-    /// The underlying network.
-    pub fn network(&self) -> &Arc<RoadNetwork> {
+impl SpProvider for SpTable {
+    fn network(&self) -> &Arc<RoadNetwork> {
         &self.net
     }
 
-    /// Shortest node-to-node distance; `f64::INFINITY` when unreachable.
     #[inline]
-    pub fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
+    fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
         self.dist[u.index() * self.n + v.index()]
     }
 
-    /// Final edge on the shortest node path `u → v`.
     #[inline]
     fn pred_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         match self.pred[u.index() * self.n + v.index()] {
@@ -99,101 +110,7 @@ impl SpTable {
         }
     }
 
-    /// Interior ("gap") distance of `SP(ei, ej)`: summed weight of the edges
-    /// strictly between `ei` and `ej`. Zero when the edges are consecutive;
-    /// `f64::INFINITY` when no path exists.
-    #[inline]
-    pub fn gap_dist(&self, ei: EdgeId, ej: EdgeId) -> f64 {
-        let a = self.net.edge(ei);
-        let b = self.net.edge(ej);
-        self.node_dist(a.to, b.from)
-    }
-
-    /// Total weight of `SP(ei, ej)` including both end edges;
-    /// `f64::INFINITY` when no path exists.
-    #[inline]
-    pub fn sp_weight(&self, ei: EdgeId, ej: EdgeId) -> f64 {
-        let gap = self.gap_dist(ei, ej);
-        if gap.is_finite() {
-            self.net.weight(ei) + gap + self.net.weight(ej)
-        } else {
-            f64::INFINITY
-        }
-    }
-
-    /// `SPend(ei, ej)` — the edge right before `ej` on `SP(ei, ej)` (§3.1).
-    ///
-    /// When `ej` directly follows `ei`, this is `ei` itself. `None` when `ej`
-    /// is unreachable from `ei` or when `ei == ej`.
-    pub fn sp_end(&self, ei: EdgeId, ej: EdgeId) -> Option<EdgeId> {
-        if ei == ej {
-            return None;
-        }
-        let a = self.net.edge(ei);
-        let b = self.net.edge(ej);
-        if a.to == b.from {
-            return Some(ei);
-        }
-        self.pred_edge(a.to, b.from)
-    }
-
-    /// True when `ej` is reachable from `ei` by some edge path.
-    pub fn reachable(&self, ei: EdgeId, ej: EdgeId) -> bool {
-        self.gap_dist(ei, ej).is_finite()
-    }
-
-    /// Reconstructs the full edge sequence of `SP(ei, ej)`, including `ei`
-    /// and `ej`. `None` when unreachable. Reconstruction walks `SPend`
-    /// backwards exactly as the decompression procedure of §3.1 describes,
-    /// so its cost is the length of the shortest path.
-    pub fn sp_path(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
-        let mut interior = self.sp_interior(ei, ej)?;
-        let mut path = Vec::with_capacity(interior.len() + 2);
-        path.push(ei);
-        path.append(&mut interior);
-        path.push(ej);
-        Some(path)
-    }
-
-    /// The edges strictly between `ei` and `ej` on `SP(ei, ej)`, in path
-    /// order. Empty when the edges are consecutive; `None` when unreachable
-    /// (or `ei == ej`, which has no defined interior).
-    pub fn sp_interior(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
-        if ei == ej {
-            return None;
-        }
-        let a = self.net.edge(ei);
-        let b = self.net.edge(ej);
-        if a.to == b.from {
-            return Some(Vec::new());
-        }
-        if !self.node_dist(a.to, b.from).is_finite() {
-            return None;
-        }
-        let mut interior = Vec::new();
-        let mut cur = b.from;
-        while cur != a.to {
-            let e = self.pred_edge(a.to, cur)?;
-            interior.push(e);
-            cur = self.net.edge(e).from;
-        }
-        interior.reverse();
-        Some(interior)
-    }
-
-    /// MBR of the embedding of `SP(ei, ej)` (used by `whenat`/`range`
-    /// pruning, §5.2). `None` when unreachable.
-    pub fn sp_mbr(&self, ei: EdgeId, ej: EdgeId) -> Option<Mbr> {
-        let path = self.sp_path(ei, ej)?;
-        let mut mbr = Mbr::empty();
-        for e in path {
-            mbr.expand(&self.net.edge_mbr(e));
-        }
-        Some(mbr)
-    }
-
-    /// Approximate in-memory footprint in bytes (for the §6.2 report).
-    pub fn approx_bytes(&self) -> usize {
+    fn approx_bytes(&self) -> usize {
         self.dist.len() * std::mem::size_of::<f64>() + self.pred.len() * std::mem::size_of::<u32>()
     }
 }
@@ -349,5 +266,13 @@ mod tests {
         let net = line_with_detour();
         let t = SpTable::build(net);
         assert_eq!(t.approx_bytes(), 5 * 5 * (8 + 4));
+    }
+
+    #[test]
+    fn usable_as_a_provider_object() {
+        let net = line_with_detour();
+        let provider: Arc<dyn SpProvider> = Arc::new(SpTable::build(net));
+        assert_eq!(provider.sp_end(EdgeId(0), EdgeId(2)), Some(EdgeId(1)));
+        assert!(provider.source_tree(NodeId(0)).is_none());
     }
 }

@@ -1,0 +1,306 @@
+//! Offline stand-in for `criterion`, covering the API surface the bench
+//! targets use: `Criterion::bench_function` / `benchmark_group`,
+//! `BenchmarkGroup::{sample_size, measurement_time, bench_function,
+//! bench_with_input, finish}`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up once, then runs batches of
+//! iterations until either `sample_size` samples are collected or the
+//! group's `measurement_time` budget is exhausted (whichever comes first,
+//! with at least one sample). Mean / min / max wall-clock per iteration
+//! are printed in a stable single-line format, and every completed
+//! benchmark is appended to the JSON file named by the
+//! `CRITERION_SHIM_JSON` environment variable when set — which is how the
+//! repo records `BENCH_*.json` artifacts without the real criterion's
+//! HTML machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly; see the module docs for the stopping rule.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup (also primes caches/lazy state).
+        black_box(f());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> Record {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+        budget,
+    };
+    f(&mut b);
+    let ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
+    let (mean, min, max) = if ns.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            ns.iter().sum::<f64>() / ns.len() as f64,
+            ns.iter().cloned().fold(f64::INFINITY, f64::min),
+            ns.iter().cloned().fold(0.0, f64::max),
+        )
+    };
+    let rec = Record {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: ns.len(),
+    };
+    println!(
+        "bench {:<48} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+        rec.name,
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        rec.samples
+    );
+    append_json(&rec);
+    rec
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Appends one record as a JSON line to `$CRITERION_SHIM_JSON`, if set.
+fn append_json(rec: &Record) {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+            rec.name.replace('"', "'"),
+            rec.mean_ns,
+            rec.min_ns,
+            rec.max_ns,
+            rec.samples
+        );
+    }
+}
+
+/// Group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Criterion {
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn effective_measurement_time(&self) -> Duration {
+        if self.measurement_time.is_zero() {
+            Duration::from_secs(2)
+        } else {
+            self.measurement_time
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (n, t) = (
+            self.effective_sample_size(),
+            self.effective_measurement_time(),
+        );
+        run_one(name, n, t, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (n, t) = (
+            self.effective_sample_size(),
+            self.effective_measurement_time(),
+        );
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: n,
+            measurement_time: t,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let rec = run_one("t/x", 5, Duration::from_millis(200), &mut |b| {
+            b.iter(|| std::hint::black_box(1 + 1))
+        });
+        assert!(rec.samples >= 1 && rec.samples <= 5);
+        assert!(rec.min_ns <= rec.mean_ns && rec.mean_ns <= rec.max_ns);
+    }
+
+    #[test]
+    fn group_chain_compiles() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(50)).sample_size(2);
+        g.bench_function("f", |b| b.iter(|| 42));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

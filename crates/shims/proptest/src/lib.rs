@@ -1,0 +1,327 @@
+//! Offline stand-in for `proptest`, covering the macro/strategy surface
+//! this workspace uses: the `proptest!` block with an optional
+//! `#![proptest_config(...)]` header, range and tuple strategies,
+//! `proptest::collection::vec`, `any::<T>()`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Semantics: each test runs `cases` deterministic pseudo-random inputs
+//! (seeded from the test name, so failures reproduce across runs). There
+//! is **no shrinking** — a failing case reports its inputs via the assert
+//! message instead. That trades minimal counterexamples for zero external
+//! dependencies, which the offline build requires.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type a proptest case body can produce.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: fail the whole test.
+    Fail(String),
+    /// `prop_assume!` rejection: skip this case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig;
+}
+
+/// A generator of values (subset of `proptest::strategy::Strategy` — no
+/// shrinking, just sampling).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+pub mod strategy {
+    pub use crate::Strategy;
+}
+
+// --- Range strategies -----------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// --- Tuple strategies -----------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// --- any::<T>() -----------------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- Collections ----------------------------------------------------------
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Deterministic per-test seed: hash of the test path, so each test has a
+/// stable but distinct stream.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Creates the RNG for one test case.
+pub fn case_rng(name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed_for(name, case))
+}
+
+// --- Macros ---------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// The `proptest!` block: an optional config header followed by `#[test]`
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            let mut ran: u32 = 0;
+            for case in 0..cfg.cases {
+                let mut __rng = $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    { $body }
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+            assert!(
+                ran > 0,
+                "proptest {}: every case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u32..10, v in crate::collection::vec((0u8..4, -1.0f64..1.0), 0..16)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 16);
+            for &(a, f) in &v {
+                prop_assert!(a < 4);
+                prop_assert!((-1.0..1.0).contains(&f), "f out of range: {f}");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..8) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..8).map(|_| rand::Rng::next_u64(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..8).map(|_| rand::Rng::next_u64(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` trait names
+//! plus re-exported no-op derives. See the `serde_derive` shim for why the
+//! derives expand to nothing in this offline build.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

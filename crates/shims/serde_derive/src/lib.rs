@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros. The workspace derives
+//! serde traits on its value types for downstream users, but nothing in
+//! this offline build serializes through serde — so the derives expand to
+//! nothing (the marker traits in the sibling `serde` shim are unused
+//! bounds). Helper `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -11,7 +11,7 @@ use crate::motion::{MotionConfig, MotionProfile};
 use crate::trips::{route_trip, RoutingConfig};
 use crate::zipf::Zipf;
 use press_core::{DtPoint, GpsPoint, GpsTrajectory, SpatialPath, TemporalSequence, Trajectory};
-use press_network::{NodeId, RoadNetwork, SpTable};
+use press_network::{NodeId, RoadNetwork, SpProvider};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -120,6 +120,30 @@ impl TrajectoryRecord {
     }
 }
 
+/// Graph-only reachability check (BFS over out-edges).
+fn bfs_reachable(net: &RoadNetwork, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; net.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from.index()] = true;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        for &e in net.out_edges(u) {
+            let v = net.edge(e).to;
+            if v == to {
+                return true;
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
 /// A standard Gaussian pair via Box–Muller (the `rand` crate alone ships no
 /// normal distribution).
 fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
@@ -133,14 +157,18 @@ fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
 /// A complete generated dataset.
 pub struct Workload {
     pub net: Arc<RoadNetwork>,
-    pub sp: Arc<SpTable>,
+    pub sp: Arc<dyn SpProvider>,
     pub config: WorkloadConfig,
     pub records: Vec<TrajectoryRecord>,
 }
 
 impl Workload {
     /// Generates the workload deterministically from the configuration.
-    pub fn generate(net: Arc<RoadNetwork>, sp: Arc<SpTable>, config: WorkloadConfig) -> Self {
+    pub fn generate(
+        net: Arc<RoadNetwork>,
+        sp: Arc<dyn SpProvider>,
+        config: WorkloadConfig,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n_nodes = net.num_nodes() as u32;
         // Hub OD pairs: random distinct reachable pairs, demand ~ Zipf.
@@ -148,7 +176,10 @@ impl Workload {
         while hubs.len() < config.hub_pairs {
             let a = NodeId(rng.gen_range(0..n_nodes));
             let b = NodeId(rng.gen_range(0..n_nodes));
-            if a != b && sp.node_dist(a, b).is_finite() {
+            // Plain BFS reachability: probing `sp.node_dist` here would run
+            // one full Dijkstra per random source on a lazy backend and
+            // pollute its LRU with never-reused trees.
+            if a != b && bfs_reachable(&net, a, b) {
                 hubs.push((a, b));
             }
         }
@@ -182,7 +213,7 @@ impl Workload {
                 )
             };
             let routed = if profiles.is_empty() {
-                route_trip(&net, &sp, origin, destination, &config.routing, &mut rng)
+                route_trip(&net, origin, destination, &config.routing, &mut rng)
             } else {
                 let profile = &profiles[rng.gen_range(0..profiles.len())];
                 crate::trips::route_trip_perceived(&net, origin, destination, profile)
@@ -300,7 +331,7 @@ pub fn default_test_workload(num_trajectories: usize, seed: u64) -> Workload {
         removal_prob: 0.03,
         seed,
     }));
-    let sp = Arc::new(SpTable::build(net.clone()));
+    let sp = press_network::SpBackend::Dense.build(net.clone());
     Workload::generate(
         net,
         sp,

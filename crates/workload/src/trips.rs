@@ -7,7 +7,7 @@
 //! concatenations of a few shortest paths — the regime where Algorithm 1
 //! shines without being trivial.
 
-use press_network::{EdgeId, NodeId, RoadNetwork, SpTable};
+use press_network::{reverse_distances, EdgeId, NodeId, RoadNetwork};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -30,12 +30,16 @@ impl Default for RoutingConfig {
     }
 }
 
-/// The shortest-path next edge from `u` towards `target`, if reachable:
-/// the out-edge minimizing `w(e) + dist(e.to, target)`.
-fn sp_next_edge(net: &RoadNetwork, sp: &SpTable, u: NodeId, target: NodeId) -> Option<EdgeId> {
+/// The shortest-path next edge from `u` towards the target, if reachable:
+/// the out-edge minimizing `w(e) + dist(e.to, target)`, answered from one
+/// reverse-Dijkstra distance array (`rev[v] = d(v, target)`). A per-source
+/// SP provider is the wrong shape for this fixed-target pattern — every
+/// probe would be a fresh source, i.e. a fresh full Dijkstra on a lazy
+/// backend — so routing carries its own reverse tree instead.
+fn sp_next_edge(net: &RoadNetwork, rev: &[f64], u: NodeId) -> Option<EdgeId> {
     let mut best: Option<(f64, EdgeId)> = None;
     for &e in net.out_edges(u) {
-        let d = net.weight(e) + sp.node_dist(net.edge(e).to, target);
+        let d = net.weight(e) + rev[net.edge(e).to.index()];
         if d.is_finite() && best.is_none_or(|(bd, _)| d < bd) {
             best = Some((d, e));
         }
@@ -70,7 +74,6 @@ pub fn route_trip_perceived(
 /// destination is unreachable or the detour budget is exhausted.
 pub fn route_trip(
     net: &RoadNetwork,
-    sp: &SpTable,
     origin: NodeId,
     destination: NodeId,
     cfg: &RoutingConfig,
@@ -79,7 +82,10 @@ pub fn route_trip(
     if origin == destination {
         return None;
     }
-    let sp_dist = sp.node_dist(origin, destination);
+    // One reverse Dijkstra serves every `d(·, destination)` query this
+    // trip makes (next-hop choice, detour reachability, stretch budget).
+    let rev = reverse_distances(net, destination);
+    let sp_dist = rev[origin.index()];
     if !sp_dist.is_finite() {
         return None;
     }
@@ -91,7 +97,7 @@ pub fn route_trip(
         if traveled > budget {
             return None;
         }
-        let sp_edge = sp_next_edge(net, sp, node, destination)?;
+        let sp_edge = sp_next_edge(net, &rev, node)?;
         let take_detour = cfg.detour_prob > 0.0 && rng.gen::<f64>() < cfg.detour_prob;
         let chosen = if take_detour {
             // A random alternative that still reaches the destination and
@@ -102,7 +108,7 @@ pub fn route_trip(
                 .copied()
                 .filter(|&e| {
                     e != sp_edge
-                        && sp.node_dist(net.edge(e).to, destination).is_finite()
+                        && rev[net.edge(e).to.index()].is_finite()
                         && path
                             .last()
                             .is_none_or(|&p: &EdgeId| net.edge(e).to != net.edge(p).from)
@@ -126,11 +132,11 @@ pub fn route_trip(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use press_network::{grid_network, GridConfig};
+    use press_network::{grid_network, GridConfig, SpProvider, SpTable};
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn setup() -> (Arc<RoadNetwork>, Arc<SpTable>) {
+    fn setup() -> (Arc<RoadNetwork>, Arc<dyn SpProvider>) {
         let net = Arc::new(grid_network(&GridConfig {
             nx: 8,
             ny: 8,
@@ -138,7 +144,7 @@ mod tests {
             seed: 13,
             ..GridConfig::default()
         }));
-        let sp = Arc::new(SpTable::build(net.clone()));
+        let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
         (net, sp)
     }
 
@@ -151,7 +157,7 @@ mod tests {
             ..RoutingConfig::default()
         };
         for (a, b) in [(0u32, 63u32), (7, 56), (20, 43)] {
-            let trip = route_trip(&net, &sp, NodeId(a), NodeId(b), &cfg, &mut rng).unwrap();
+            let trip = route_trip(&net, NodeId(a), NodeId(b), &cfg, &mut rng).unwrap();
             let w: f64 = trip.iter().map(|&e| net.weight(e)).sum();
             let d = sp.node_dist(NodeId(a), NodeId(b));
             assert!((w - d).abs() < 1e-9, "trip weight {w} vs SP {d}");
@@ -169,8 +175,7 @@ mod tests {
         };
         let mut longer = 0;
         for k in 0..20 {
-            let trip =
-                route_trip(&net, &sp, NodeId(0), NodeId(63), &cfg, &mut rng).unwrap_or_default();
+            let trip = route_trip(&net, NodeId(0), NodeId(63), &cfg, &mut rng).unwrap_or_default();
             if trip.is_empty() {
                 continue; // budget exhausted, allowed
             }
@@ -190,9 +195,9 @@ mod tests {
     fn same_node_and_unreachable_rejected() {
         let (net, sp) = setup();
         let mut rng = StdRng::seed_from_u64(3);
+        let _ = &sp;
         assert!(route_trip(
             &net,
-            &sp,
             NodeId(0),
             NodeId(0),
             &RoutingConfig::default(),
@@ -203,14 +208,13 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let (net, sp) = setup();
+        let (net, _sp) = setup();
         let cfg = RoutingConfig {
             detour_prob: 0.2,
             ..RoutingConfig::default()
         };
         let a = route_trip(
             &net,
-            &sp,
             NodeId(5),
             NodeId(60),
             &cfg,
@@ -218,7 +222,6 @@ mod tests {
         );
         let b = route_trip(
             &net,
-            &sp,
             NodeId(5),
             NodeId(60),
             &cfg,

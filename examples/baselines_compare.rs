@@ -19,7 +19,9 @@ fn main() {
         seed: 31,
         ..GridConfig::default()
     }));
-    let sp = Arc::new(SpTable::build(net.clone()));
+    // Any SpProvider backend works here; the lazy cache keeps the demo's
+    // memory proportional to the sources actually touched.
+    let sp = SpBackend::lazy().build(net.clone());
     let workload = Workload::generate(
         net.clone(),
         sp.clone(),
@@ -34,7 +36,7 @@ fn main() {
     let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
     let tau = 200.0; // shared error budget (meters)
     let press = Press::train(
-        sp,
+        sp.clone(),
         &training_paths,
         PressConfig {
             bounds: BtcBounds::new(tau, 60.0),
@@ -78,7 +80,7 @@ fn main() {
     let start = Instant::now();
     let mmtc_bytes: usize = trajectories
         .iter()
-        .map(|t| mmtc::compress(&net, t, &cfg).storage_bytes())
+        .map(|t| mmtc::compress(&sp, t, &cfg).storage_bytes())
         .sum();
     report(
         "MMTC",
@@ -93,7 +95,7 @@ fn main() {
     let start = Instant::now();
     let nm_bytes: usize = trajectories
         .iter()
-        .map(|t| nonmaterial::compress(&net, t, &cfg).storage_bytes())
+        .map(|t| nonmaterial::compress(&sp, t, &cfg).storage_bytes())
         .sum();
     report(
         "Nonmaterial",

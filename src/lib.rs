@@ -13,9 +13,11 @@
 //! use press::prelude::*;
 //! use std::sync::Arc;
 //!
-//! // 1. A road network and its shortest-path table (static, per city).
+//! // 1. A road network and a shortest-path provider (static, per city).
+//! //    `SpBackend::Dense` precomputes the O(|V|^2) table; at city scale
+//! //    use `SpBackend::lazy()` for the bounded per-source cache instead.
 //! let net = Arc::new(grid_network(&GridConfig::default()));
-//! let sp = Arc::new(SpTable::build(net.clone()));
+//! let sp = SpBackend::Dense.build(net.clone());
 //!
 //! // 2. A trajectory corpus (here: synthetic; normally map-matched GPS).
 //! let workload = Workload::generate(net.clone(), sp.clone(), WorkloadConfig {
@@ -52,6 +54,7 @@ pub use press_workload as workload;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use press_core::query::QueryEngine;
+    pub use press_core::query::ScanMode;
     pub use press_core::{
         btc_compress, nstd, reformat, tsnd, BtcBounds, CompressedTrajectory, Decomposer, DtPoint,
         GpsPoint, GpsTrajectory, HscModel, PathSample, Press, PressConfig, PressError, SpatialPath,
@@ -59,8 +62,8 @@ pub mod prelude {
     };
     pub use press_matcher::{MapMatcher, MatcherConfig};
     pub use press_network::{
-        grid_network, EdgeId, GridConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder,
-        SpTable,
+        grid_network, EdgeId, GridConfig, LazySpCache, LazySpConfig, Mbr, NodeId, Point,
+        RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider, SpTable,
     };
     pub use press_workload::{Workload, WorkloadConfig};
 }

@@ -11,11 +11,16 @@ use std::sync::Arc;
 
 struct World {
     net: Arc<RoadNetwork>,
+    sp: Arc<dyn SpProvider>,
     press: Press,
     workload: Workload,
 }
 
 fn world(seed: u64, bounds: BtcBounds) -> World {
+    world_with_backend(seed, bounds, SpBackend::Dense)
+}
+
+fn world_with_backend(seed: u64, bounds: BtcBounds, backend: SpBackend) -> World {
     let net = Arc::new(grid_network(&GridConfig {
         nx: 10,
         ny: 10,
@@ -24,7 +29,7 @@ fn world(seed: u64, bounds: BtcBounds) -> World {
         removal_prob: 0.02,
         seed,
     }));
-    let sp = Arc::new(SpTable::build(net.clone()));
+    let sp = backend.build(net.clone());
     let workload = Workload::generate(
         net.clone(),
         sp.clone(),
@@ -37,7 +42,7 @@ fn world(seed: u64, bounds: BtcBounds) -> World {
     let (train, _) = workload.split(0.4);
     let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
     let press = Press::train(
-        sp,
+        sp.clone(),
         &training_paths,
         PressConfig {
             bounds,
@@ -47,6 +52,7 @@ fn world(seed: u64, bounds: BtcBounds) -> World {
     .expect("training");
     World {
         net,
+        sp,
         press,
         workload,
     }
@@ -130,12 +136,12 @@ fn baselines_run_on_the_same_corpus() {
     for record in eval.iter().take(10) {
         let traj = record.truth_trajectory(30.0);
         // Nonmaterial keeps the exact street sequence.
-        let nm = nonmaterial::compress(&w.net, &traj, &nonmaterial::NonmaterialConfig::default());
+        let nm = nonmaterial::compress(&w.sp, &traj, &nonmaterial::NonmaterialConfig::default());
         assert_eq!(nm.edges, traj.path.edges);
         assert!(nm.storage_bytes() > 0);
         // MMTC produces a valid (possibly different) path with endpoints
         // preserved.
-        let mm = mmtc::compress(&w.net, &traj, &mmtc::MmtcConfig::default());
+        let mm = mmtc::compress(&w.sp, &traj, &mmtc::MmtcConfig::default());
         w.net.validate_path(&mm.edges).unwrap();
         assert_eq!(
             w.net.edge(mm.edges[0]).from,
@@ -161,7 +167,7 @@ fn press_beats_baselines_on_storage_with_matched_budgets() {
         raw_bytes += press::core::stats::raw_gps_bytes(traj.temporal.len());
         press_bytes += w.press.compress(&traj).unwrap().storage_bytes();
         nm_bytes += nonmaterial::compress(
-            &w.net,
+            &w.sp,
             &traj,
             &nonmaterial::NonmaterialConfig { tolerance: tau },
         )
@@ -240,7 +246,7 @@ fn theorem2_tsnd_dominates_tsed() {
         removal_prob: 0.02,
         seed: 55,
     }));
-    let sp = Arc::new(SpTable::build(net.clone()));
+    let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
     let workload = Workload::generate(
         net.clone(),
         sp.clone(),
@@ -253,7 +259,7 @@ fn theorem2_tsnd_dominates_tsed() {
     let (train, _) = workload.split(0.4);
     let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
     let press = Press::train(
-        sp,
+        sp.clone(),
         &training_paths,
         PressConfig {
             bounds: BtcBounds::new(120.0, 40.0),
@@ -263,6 +269,7 @@ fn theorem2_tsnd_dominates_tsed() {
     .expect("training");
     let w = World {
         net,
+        sp,
         press,
         workload,
     };
@@ -295,4 +302,48 @@ fn theorem2_tsnd_dominates_tsed() {
         checked += 1;
     }
     assert!(checked >= 10);
+}
+
+#[test]
+fn lazy_backend_reproduces_dense_pipeline_bit_for_bit() {
+    // The tiered SP engine's contract: swapping the dense table for the
+    // lazy cache changes memory behaviour, never answers. Run the whole
+    // pipeline (workload -> train -> compress -> decompress -> queries)
+    // under both backends and compare outputs exactly.
+    let bounds = BtcBounds::new(60.0, 20.0);
+    let dense = world(17, bounds);
+    let lazy = world_with_backend(17, bounds, SpBackend::Lazy { capacity_trees: 64 });
+    assert_eq!(dense.workload.records.len(), lazy.workload.records.len());
+    let d_engine = QueryEngine::new(dense.press.model());
+    let l_engine = QueryEngine::new(lazy.press.model());
+    let (_, eval) = dense.workload.split(0.4);
+    for (record, l_record) in eval.iter().zip(lazy.workload.split(0.4).1).take(15) {
+        assert_eq!(record.path, l_record.path, "workloads must be identical");
+        let traj = record.truth_trajectory(30.0);
+        let cd = dense.press.compress(&traj).unwrap();
+        let cl = lazy.press.compress(&traj).unwrap();
+        assert_eq!(cd, cl, "compressed forms must match bit-for-bit");
+        assert_eq!(
+            dense.press.decompress(&cd).unwrap().path,
+            lazy.press.decompress(&cl).unwrap().path
+        );
+        let (t0, t1) = traj.temporal.time_range().unwrap();
+        for k in 0..=4 {
+            let t = t0 + (t1 - t0) * k as f64 / 4.0;
+            let a = d_engine.whereat(&cd, t).unwrap();
+            let b = l_engine.whereat(&cl, t).unwrap();
+            assert!(a.dist(&b) < 1e-12, "whereat differs between backends");
+        }
+        let total = traj.path.weight(&dense.net);
+        let probe = traj.path.point_at(&dense.net, total * 0.5).unwrap();
+        match (
+            d_engine.whenat(&cd, probe, 0.5),
+            l_engine.whenat(&cl, probe, 0.5),
+        ) {
+            (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            (a, b) => assert_eq!(a.is_err(), b.is_err()),
+        }
+    }
+    // The lazy cache stayed within its configured bound the whole time.
+    assert!(lazy.sp.approx_bytes() <= 64 * dense.net.num_nodes() * 16 + (1 << 20));
 }
