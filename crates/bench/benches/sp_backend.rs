@@ -1,14 +1,14 @@
-//! SP-backend benchmarks: dense [`SpTable`] vs lazy [`LazySpCache`]
-//! behind the same `SpProvider` trait.
+//! SP-backend benchmarks: dense [`SpTable`] vs lazy [`LazySpCache`] vs
+//! the contraction hierarchy, behind the same `SpProvider` trait.
 //!
 //! Three claims are measured (see also the `sp_backend_report` binary,
 //! which writes `BENCH_sp_backend.json` with the large-scale numbers):
 //!
-//! 1. **Identical answers** — the small-scale groups assert dense/lazy
-//!    agreement on every probe they time, so any divergence fails the
-//!    bench rather than skewing it.
+//! 1. **Identical answers** — the small-scale groups assert agreement
+//!    across all backends on every probe they time, so any divergence
+//!    fails the bench rather than skewing it.
 //! 2. **No regression at small scale** — lookup and train+compress
-//!    timings run under both backends on the standard 16×16 environment.
+//!    timings run under every backend on the standard 16×16 environment.
 //! 3. **Feasibility at large scale** — a ≥100k-node grid, where the dense
 //!    table would need ~126 GB (`|V|²·12` bytes) and is not even
 //!    constructed, runs train+compress end-to-end under the lazy backend.
@@ -44,6 +44,7 @@ fn random_edge_pairs(num_edges: usize, n: usize, seed: u64) -> Vec<(EdgeId, Edge
 fn bench_lookups(c: &mut Criterion) {
     let dense_env = Env::standard(Scale::Small, 3);
     let lazy_env = Env::standard_with_backend(Scale::Small, 3, SpBackend::lazy());
+    let ch_env = Env::standard_with_backend(Scale::Small, 3, SpBackend::Ch);
     let pairs = random_edge_pairs(dense_env.net.num_edges(), 2000, 42);
     for &(a, b) in &pairs {
         assert_eq!(
@@ -51,7 +52,13 @@ fn bench_lookups(c: &mut Criterion) {
             lazy_env.sp.gap_dist(a, b).to_bits(),
             "backends disagree on gap_dist({a}, {b})"
         );
+        assert_eq!(
+            dense_env.sp.gap_dist(a, b).to_bits(),
+            ch_env.sp.gap_dist(a, b).to_bits(),
+            "ch disagrees on gap_dist({a}, {b})"
+        );
         assert_eq!(dense_env.sp.sp_end(a, b), lazy_env.sp.sp_end(a, b));
+        assert_eq!(dense_env.sp.sp_end(a, b), ch_env.sp.sp_end(a, b));
     }
     let mut group = c.benchmark_group("sp_gap_dist_2k_pairs");
     group
@@ -68,6 +75,13 @@ fn bench_lookups(c: &mut Criterion) {
         bch.iter(|| {
             for &(a, b) in &pairs {
                 black_box(lazy_env.sp.gap_dist(a, b));
+            }
+        })
+    });
+    group.bench_function("ch", |bch| {
+        bch.iter(|| {
+            for &(a, b) in &pairs {
+                black_box(ch_env.sp.gap_dist(a, b));
             }
         })
     });
@@ -100,7 +114,11 @@ fn bench_train_compress(c: &mut Criterion) {
     group
         .measurement_time(Duration::from_secs(5))
         .sample_size(5);
-    for (name, backend) in [("dense", SpBackend::Dense), ("lazy", SpBackend::lazy())] {
+    for (name, backend) in [
+        ("dense", SpBackend::Dense),
+        ("lazy", SpBackend::lazy()),
+        ("ch", SpBackend::Ch),
+    ] {
         let env = Env::standard_with_backend(Scale::Small, 3, backend);
         let training: Vec<_> = env.train_records().iter().map(|r| r.path.clone()).collect();
         let trajs = env.eval_trajectories();

@@ -3,13 +3,14 @@
 //!
 //! Usage:
 //! ```text
-//! repro [EXPERIMENT…] [--full] [--seed N] [--lazy]
+//! repro [EXPERIMENT…] [--full] [--seed N] [--lazy] [--ch]
 //!
 //! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
 //!             fig13 | fig14 | fig15 | fig16 | fig17 | aux | ablations
 //! --full      paper-shaped sweep sizes (slower)
 //! --seed N    workload seed (default 3)
 //! --lazy      run on the LazySpCache SP backend instead of the dense table
+//! --ch        run on the ContractionHierarchy SP backend
 //! ```
 
 use press_bench::{experiments, Env, Scale};
@@ -26,6 +27,7 @@ fn main() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--lazy" => backend = SpBackend::lazy(),
+            "--ch" => backend = SpBackend::Ch,
             "--seed" => {
                 seed = it
                     .next()
@@ -108,7 +110,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N] [--lazy]"
+        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N] [--lazy] [--ch]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

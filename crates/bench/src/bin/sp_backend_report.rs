@@ -1,29 +1,45 @@
-//! `sp_backend_report` — one-shot dense-vs-lazy SP backend comparison,
-//! written to `BENCH_sp_backend.json` (see ISSUE/CHANGES for the PR that
-//! introduced the tiered SP engine).
+//! `sp_backend_report` — one-shot SP-backend comparison (dense vs lazy
+//! vs contraction hierarchy), written to `BENCH_sp_backend.json`, and the
+//! CI perf-regression gate over a checked-in baseline of that file.
 //!
 //! Usage:
 //! ```text
-//! sp_backend_report [--large-nx N] [--trips N] [--out PATH]
+//! sp_backend_report [--large-nx N] [--trips N] [--out PATH] [--ch]
+//!                   [--check BASELINE] [--tolerance X]
 //!
-//! --large-nx N   side of the large grid (default 320 → 102,400 nodes)
-//! --trips N      workload size at the large scale (default 40)
-//! --out PATH     output JSON path (default BENCH_sp_backend.json)
+//! --large-nx N     side of the large grid (default 320 → 102,400 nodes)
+//! --trips N        workload size at the large scale (default 40)
+//! --out PATH       output JSON path (default BENCH_sp_backend.json)
+//! --ch             also run the contraction-hierarchy backend (extra
+//!                  moderate-scale column, large-scale pipeline, and the
+//!                  random point-lookup latency comparison)
+//! --check BASELINE compare the fresh run against a baseline report and
+//!                  exit non-zero on regression (see below)
+//! --tolerance X    max allowed slowdown factor for the gate (default 3)
 //! ```
 //!
-//! Two phases:
-//! * **moderate scale** (64×64 = 4,096 nodes): both backends run the same
-//!   train+compress pipeline; answers are cross-checked, wall times and
-//!   resident bytes reported.
+//! Phases:
+//! * **moderate scale** (64×64 = 4,096 nodes): every backend runs the
+//!   same train+compress+query pipeline; outputs are cross-checked for
+//!   bit-identity, wall times and resident bytes reported.
 //! * **large scale** (default 102,400 nodes): the dense table would need
-//!   `|V|²·12` bytes (~126 GB) and is *not built*; the lazy backend runs
-//!   the full workload-generation → train → batch-compress → query
-//!   pipeline at a bounded footprint.
+//!   `|V|²·12` bytes (~126 GB) and is *not built*; the lazy backend (and,
+//!   with `--ch`, the hierarchy) runs the full pipeline at a bounded
+//!   footprint, and random node-pair lookups are timed — the hierarchy's
+//!   headline claim is beating the lazy backend's cold-miss latency by
+//!   ≥ 10× there.
+//!
+//! The `--check` gate is deliberately generous: it fails only on a
+//! `> tolerance×` slowdown of a moderate-scale `train_compress_query_ms`
+//! (same 4,096-node pipeline regardless of `--large-nx`, so CI compares
+//! apples to apples), a backend column disappearing, or
+//! `outputs_identical: false` in the fresh run. Large-scale timings are
+//! informational — CI runs them at a reduced `--large-nx`.
 
+use press_bench::Json;
 use press_core::query::QueryEngine;
 use press_core::{Press, PressConfig};
-use press_network::{GridConfig, RoadNetwork, SpBackend, SpProvider};
-use press_workload::{Workload, WorkloadConfig};
+use press_network::{GridConfig, NodeId, RoadNetwork, SpBackend, SpProvider};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,11 +48,17 @@ fn main() {
     let mut large_nx = 320usize;
     let mut trips = 40usize;
     let mut out = "BENCH_sp_backend.json".to_string();
+    let mut with_ch = false;
+    let mut check: Option<String> = None;
+    let mut tolerance = 3.0f64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
-        eprintln!("usage: sp_backend_report [--large-nx N] [--trips N] [--out PATH]");
+        eprintln!(
+            "usage: sp_backend_report [--large-nx N] [--trips N] [--out PATH] [--ch] \
+             [--check BASELINE] [--tolerance X]"
+        );
         std::process::exit(2);
     }
     while let Some(a) = it.next() {
@@ -59,22 +81,39 @@ fn main() {
                     .unwrap_or_else(|| usage("--out needs a path"))
                     .clone()
             }
+            "--ch" => with_ch = true,
+            "--check" => {
+                check = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--check needs a path"))
+                        .clone(),
+                )
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"))
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
     if large_nx < 2 || trips == 0 {
         usage("--large-nx must be >= 2 and --trips >= 1");
     }
+    if tolerance <= 1.0 {
+        usage("--tolerance must be > 1");
+    }
 
     let mut json = String::from("{\n");
 
-    // ---- Moderate scale: both backends, same pipeline. -----------------
+    // ---- Moderate scale: every backend, same pipeline. -----------------
     let nx = 64usize;
     eprintln!("[moderate] building {nx}x{nx} grid…");
     let net = grid(nx, 3);
     let mut moderate = String::new();
     let mut compressed_per_backend = Vec::new();
-    for (name, backend) in [
+    let mut backends = vec![
         ("dense", SpBackend::Dense),
         (
             "lazy",
@@ -82,7 +121,11 @@ fn main() {
                 capacity_trees: 512,
             },
         ),
-    ] {
+    ];
+    if with_ch {
+        backends.push(("ch", SpBackend::Ch));
+    }
+    for &(name, backend) in &backends {
         let t0 = Instant::now();
         let sp = backend.build(net.clone());
         let build_ms = ms(t0);
@@ -97,9 +140,12 @@ fn main() {
         );
         compressed_per_backend.push(outputs);
     }
-    assert_eq!(
-        compressed_per_backend[0], compressed_per_backend[1],
-        "dense and lazy backends must produce identical compressed output"
+    let identical = compressed_per_backend
+        .iter()
+        .all(|o| *o == compressed_per_backend[0]);
+    assert!(
+        identical,
+        "all SP backends must produce identical compressed output"
     );
     eprintln!("[moderate] outputs identical across backends ✔");
     let _ = write!(
@@ -109,7 +155,7 @@ fn main() {
         net.num_edges()
     );
 
-    // ---- Large scale: lazy only. ----------------------------------------
+    // ---- Large scale: lazy (and optionally CH); dense is infeasible. ----
     eprintln!("[large] building {large_nx}x{large_nx} grid…");
     let net = grid(large_nx, 3);
     let dense_hypothetical = net.num_nodes() * net.num_nodes() * 12;
@@ -119,11 +165,11 @@ fn main() {
         net.num_edges(),
         dense_hypothetical as f64 / (1u64 << 30) as f64
     );
-    let sp = SpBackend::Lazy {
+    let lazy = SpBackend::Lazy {
         capacity_trees: 512,
     }
     .build(net.clone());
-    let (pipeline_ms, bytes, _) = run_pipeline(&net, &sp, trips, 3);
+    let (pipeline_ms, bytes, lazy_out) = run_pipeline(&net, &lazy, trips, 3);
     let vm_hwm_kb = vm_hwm_kb().unwrap_or(0);
     eprintln!(
         "[large] lazy pipeline {pipeline_ms:.0} ms; resident {:.1} MiB; peak RSS {:.1} MiB; dense/lazy memory ratio {:.0}x",
@@ -133,15 +179,160 @@ fn main() {
     );
     let _ = write!(
         json,
-        "  \"large_scale\": {{\n    \"nodes\": {}, \"edges\": {}, \"trips\": {trips},\n    \"lazy_train_compress_query_ms\": {pipeline_ms:.1},\n    \"lazy_resident_bytes\": {bytes},\n    \"process_peak_rss_kb\": {vm_hwm_kb},\n    \"dense_hypothetical_bytes\": {dense_hypothetical},\n    \"dense_over_lazy_memory_ratio\": {:.1}\n  }}\n}}\n",
+        "  \"large_scale\": {{\n    \"nodes\": {}, \"edges\": {}, \"trips\": {trips},\n    \"lazy_train_compress_query_ms\": {pipeline_ms:.1},\n    \"lazy_resident_bytes\": {bytes},\n    \"process_peak_rss_kb\": {vm_hwm_kb},\n    \"dense_hypothetical_bytes\": {dense_hypothetical},\n    \"dense_over_lazy_memory_ratio\": {:.1}",
         net.num_nodes(),
         net.num_edges(),
         dense_hypothetical as f64 / bytes.max(1) as f64
     );
 
+    if with_ch {
+        // CH pipeline at the same scale, cross-checked against lazy.
+        let t0 = Instant::now();
+        let ch = SpBackend::Ch.build(net.clone());
+        let ch_build_ms = ms(t0);
+        let (ch_pipeline_ms, ch_bytes, ch_out) = run_pipeline(&net, &ch, trips, 3);
+        assert_eq!(
+            lazy_out, ch_out,
+            "lazy and CH backends must produce identical compressed output at scale"
+        );
+        eprintln!(
+            "[large] ch: build {ch_build_ms:.0} ms, pipeline {ch_pipeline_ms:.0} ms, resident {:.1} MiB; outputs identical ✔",
+            ch_bytes as f64 / (1 << 20) as f64
+        );
+        let _ = write!(
+            json,
+            ",\n    \"ch\": {{\"build_ms\": {ch_build_ms:.1}, \"train_compress_query_ms\": {ch_pipeline_ms:.1}, \"resident_bytes\": {ch_bytes}}},\n    \"outputs_identical\": true"
+        );
+
+        // Random point lookups: fresh lazy cache (every distinct source is
+        // a cold miss = one full Dijkstra) vs the hierarchy.
+        let cold_pairs = 64usize.min(net.num_nodes() / 2);
+        let rounds = 8usize;
+        let pairs = random_node_pairs(net.num_nodes(), cold_pairs);
+        let cold = SpBackend::Lazy {
+            capacity_trees: 512,
+        }
+        .build(net.clone());
+        let t0 = Instant::now();
+        let mut lazy_acc = 0.0f64;
+        for &(u, v) in &pairs {
+            let d = cold.node_dist(u, v);
+            if d.is_finite() {
+                lazy_acc += d;
+            }
+        }
+        let lazy_us = ms(t0) * 1e3 / cold_pairs as f64;
+        let t0 = Instant::now();
+        let mut ch_acc = 0.0f64;
+        for _ in 0..rounds {
+            ch_acc = 0.0;
+            for &(u, v) in &pairs {
+                let d = ch.node_dist(u, v);
+                if d.is_finite() {
+                    ch_acc += d;
+                }
+            }
+        }
+        let ch_us = ms(t0) * 1e3 / (cold_pairs * rounds) as f64;
+        assert_eq!(
+            lazy_acc.to_bits(),
+            ch_acc.to_bits(),
+            "lazy and CH point lookups must agree bit-exactly"
+        );
+        let speedup = lazy_us / ch_us.max(1e-9);
+        eprintln!(
+            "[large] point lookups over {cold_pairs} random pairs: lazy cold {lazy_us:.0} us/query, ch {ch_us:.0} us/query — {speedup:.0}x"
+        );
+        let _ = write!(
+            json,
+            ",\n    \"point_lookup\": {{\"pairs\": {cold_pairs}, \"lazy_cold_us_per_query\": {lazy_us:.1}, \"ch_us_per_query\": {ch_us:.1}, \"ch_speedup_over_lazy_cold\": {speedup:.1}}}"
+        );
+    }
+    json.push_str("\n  }\n}\n");
+
     std::fs::write(&out, &json).expect("write report");
     println!("wrote {out}");
     print!("{json}");
+
+    if let Some(baseline_path) = check {
+        match run_gate(&json, &baseline_path, tolerance) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("[gate] {l}");
+                }
+                println!("[gate] OK (tolerance {tolerance}x)");
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("[gate] FAIL: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The perf-regression gate: fresh report vs baseline. Returns log lines
+/// on success, failure messages on regression.
+fn run_gate(fresh: &str, baseline_path: &str, tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return Err(vec![format!("cannot read baseline {baseline_path}: {e}")]),
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("baseline {baseline_path} is not JSON: {e}")]),
+    };
+    let fresh = Json::parse(fresh).expect("fresh report is well-formed by construction");
+    let mut log = Vec::new();
+    let mut failures = Vec::new();
+
+    if fresh.bool_at(&["moderate_scale", "outputs_identical"]) != Some(true) {
+        failures.push("moderate_scale.outputs_identical is not true".to_string());
+    }
+    if let Some(b) = fresh.bool_at(&["large_scale", "outputs_identical"]) {
+        if !b {
+            failures.push("large_scale.outputs_identical is not true".to_string());
+        }
+    }
+    for backend in baseline.keys_at(&["moderate_scale"]) {
+        let path = ["moderate_scale", backend, "train_compress_query_ms"];
+        let Some(base_ms) = baseline.num_at(&path) else {
+            continue; // not a backend column (nodes/edges/outputs_identical)
+        };
+        let Some(fresh_ms) = fresh.num_at(&path) else {
+            failures.push(format!(
+                "backend '{backend}' present in baseline but missing from fresh run"
+            ));
+            continue;
+        };
+        let factor = fresh_ms / base_ms.max(1e-9);
+        if factor > tolerance {
+            failures.push(format!(
+                "moderate_scale.{backend}.train_compress_query_ms regressed {factor:.2}x \
+                 ({base_ms:.1} ms -> {fresh_ms:.1} ms, tolerance {tolerance}x)"
+            ));
+        } else {
+            log.push(format!(
+                "moderate_scale.{backend}.train_compress_query_ms: {base_ms:.1} ms -> {fresh_ms:.1} ms ({factor:.2}x)"
+            ));
+        }
+    }
+    if let (Some(base), Some(fresh)) = (
+        baseline.num_at(&["large_scale", "point_lookup", "ch_speedup_over_lazy_cold"]),
+        fresh.num_at(&["large_scale", "point_lookup", "ch_speedup_over_lazy_cold"]),
+    ) {
+        // Informational: the CI gate runs a smaller large grid, so the
+        // ratio is not directly comparable to the checked-in full run.
+        log.push(format!(
+            "point-lookup ch speedup over lazy cold: baseline {base:.0}x, fresh {fresh:.0}x (informational)"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(log)
+    } else {
+        Err(failures)
+    }
 }
 
 fn grid(nx: usize, seed: u64) -> Arc<RoadNetwork> {
@@ -153,6 +344,28 @@ fn grid(nx: usize, seed: u64) -> Arc<RoadNetwork> {
         removal_prob: 0.03,
         seed,
     }))
+}
+
+/// Deterministic pseudo-random node pairs (splitmix-style LCG), distinct
+/// sources so every lazy lookup is a cold miss.
+fn random_node_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = NodeId(next() % n as u32);
+        let v = NodeId(next() % n as u32);
+        if u != v && seen.insert(u) {
+            pairs.push((u, v));
+        }
+    }
+    pairs
 }
 
 /// Workload → train → batch-compress → queries under one provider.
@@ -202,6 +415,8 @@ fn run_pipeline(
     }
     (ms(t0), sp.approx_bytes(), compressed)
 }
+
+use press_workload::{Workload, WorkloadConfig};
 
 fn ms(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3

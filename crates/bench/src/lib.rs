@@ -23,8 +23,10 @@
 //! | extra  | [`experiments::train_size`], [`experiments::btc_vs_bopw`] | ablations |
 
 pub mod experiments;
+pub mod json;
 pub mod setup;
 pub mod table;
 
+pub use json::Json;
 pub use setup::{Env, Scale};
 pub use table::Table;

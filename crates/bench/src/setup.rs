@@ -179,24 +179,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lazy_env_matches_dense_env() {
+    fn lazy_and_ch_envs_match_dense_env() {
         // Same seed, different backend: identical workload, identical
         // compression output.
         let dense = Env::standard(Scale::Small, 5);
-        let lazy = Env::standard_with_backend(Scale::Small, 5, SpBackend::lazy());
-        assert_eq!(dense.workload.records.len(), lazy.workload.records.len());
-        for (a, b) in dense.workload.records.iter().zip(&lazy.workload.records) {
-            assert_eq!(a.path, b.path);
-        }
-        for (ta, tb) in dense
-            .eval_trajectories()
-            .iter()
-            .zip(&lazy.eval_trajectories())
-            .take(10)
-        {
-            let ca = dense.press.compress(ta).unwrap();
-            let cb = lazy.press.compress(tb).unwrap();
-            assert_eq!(ca, cb, "backends must produce identical compression");
+        for backend in [SpBackend::lazy(), SpBackend::Ch] {
+            let other = Env::standard_with_backend(Scale::Small, 5, backend);
+            assert_eq!(dense.workload.records.len(), other.workload.records.len());
+            for (a, b) in dense.workload.records.iter().zip(&other.workload.records) {
+                assert_eq!(a.path, b.path);
+            }
+            for (ta, tb) in dense
+                .eval_trajectories()
+                .iter()
+                .zip(&other.eval_trajectories())
+                .take(10)
+            {
+                let ca = dense.press.compress(ta).unwrap();
+                let cb = other.press.compress(tb).unwrap();
+                assert_eq!(
+                    ca, cb,
+                    "{backend:?} must produce identical compression to dense"
+                );
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! The PRESS framework façade (paper Fig. 1).
 //!
 //! Wires the five components together: map matching and re-formatting
-//! happen upstream (`press-matcher`, [`crate::reformat`]); this module owns
+//! happen upstream (`press-matcher`, [`crate::reformat`](mod@crate::reformat)); this module owns
 //! the **paralleled** spatial + temporal compression (the "P" in PRESS —
 //! the two compressors are independent and run concurrently), the
 //! decompression path, and storage accounting.

@@ -99,10 +99,7 @@ impl HscModel {
         training_paths: &[Vec<EdgeId>],
         theta: usize,
     ) -> Result<Self> {
-        let compressed: Vec<Vec<EdgeId>> = training_paths
-            .iter()
-            .map(|p| sp_compress(sp.as_ref(), p))
-            .collect();
+        let compressed = Self::sp_compress_corpus(sp.as_ref(), training_paths);
         let trie = Trie::build(&compressed, theta, sp.network().num_edges())?;
         let huffman = Huffman::from_freqs(&trie.symbol_freqs())?;
         let (node_dist, node_mbr) = Self::node_tables(sp.as_ref(), &trie);
@@ -113,6 +110,64 @@ impl HscModel {
             node_dist,
             node_mbr,
         })
+    }
+
+    /// SP-compresses the whole training corpus, in parallel across the
+    /// available cores. Work distribution is the same **atomic-cursor
+    /// work-stealing** `Press::compress_batch` uses: path costs vary
+    /// wildly (length, SP-cache hits), so fixed chunking would idle
+    /// threads behind the slowest slice, while stealing one index at a
+    /// time drains the corpus evenly. Output order is preserved — each
+    /// worker writes results back by index — so training is bit-for-bit
+    /// identical to the sequential pass regardless of thread count.
+    fn sp_compress_corpus(sp: &dyn SpProvider, training_paths: &[Vec<EdgeId>]) -> Vec<Vec<EdgeId>> {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::sp_compress_corpus_with(sp, training_paths, threads)
+    }
+
+    /// [`Self::sp_compress_corpus`] with an explicit worker count, so
+    /// tests can pin the parallel branch regardless of host core count.
+    fn sp_compress_corpus_with(
+        sp: &dyn SpProvider,
+        training_paths: &[Vec<EdgeId>],
+        threads: usize,
+    ) -> Vec<Vec<EdgeId>> {
+        if threads == 1 || training_paths.len() < 2 * threads {
+            return training_paths.iter().map(|p| sp_compress(sp, p)).collect();
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, Vec<EdgeId>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(p) = training_paths.get(i) else {
+                                break;
+                            };
+                            local.push((i, sp_compress(sp, p)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("training worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<Vec<EdgeId>>> = vec![None; training_paths.len()];
+        for (i, c) in parts.into_iter().flatten() {
+            out[i] = Some(c);
+        }
+        out.into_iter()
+            .map(|c| c.expect("all indices drained"))
+            .collect()
     }
 
     /// Computes per-node decompressed distances and MBRs. A node's
@@ -310,6 +365,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let training: Vec<Vec<EdgeId>> = (0..60).map(|_| random_walk(net, &mut rng, 15)).collect();
         HscModel::train(sp, &training, 3).unwrap()
+    }
+
+    #[test]
+    fn parallel_corpus_compression_preserves_order() {
+        // The work-stealing pass must be indistinguishable from the
+        // sequential map, in content and order, for any thread count.
+        let net = test_net();
+        let sp = Arc::new(SpTable::build(net.clone()));
+        let mut rng = StdRng::seed_from_u64(13);
+        let training: Vec<Vec<EdgeId>> = (0..64).map(|_| random_walk(&net, &mut rng, 20)).collect();
+        let sequential: Vec<Vec<EdgeId>> = training
+            .iter()
+            .map(|p| sp_compress(sp.as_ref(), p))
+            .collect();
+        // Pin worker counts explicitly: the auto variant may legitimately
+        // fall back to sequential on many-core hosts (corpus too small),
+        // which would leave the work-stealing path untested.
+        for threads in [2, 4, 7] {
+            let parallel = HscModel::sp_compress_corpus_with(sp.as_ref(), &training, threads);
+            assert_eq!(sequential, parallel, "order broken at {threads} threads");
+        }
+        let auto = HscModel::sp_compress_corpus(sp.as_ref(), &training);
+        assert_eq!(sequential, auto);
     }
 
     #[test]

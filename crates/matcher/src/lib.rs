@@ -2,7 +2,7 @@
 //!
 //! Hidden-Markov-Model map matcher for the PRESS framework (the paper's
 //! *map matcher* component, Fig. 1). The paper uses the multi-core matcher
-//! of Song et al. [21]; any matcher producing a connected edge path plus
+//! of Song et al. \[21\]; any matcher producing a connected edge path plus
 //! per-sample positions works, so this crate implements the standard
 //! Newson–Krumm HMM formulation (GIS'09):
 //!

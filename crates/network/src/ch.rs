@@ -1,0 +1,1107 @@
+//! Contraction Hierarchies (CH) — the precomputed-but-sub-quadratic
+//! [`SpProvider`] backend.
+//!
+//! The dense [`SpTable`](crate::SpTable) answers point lookups in `O(1)`
+//! but stores `O(|V|²)` entries; the [`LazySpCache`](crate::LazySpCache)
+//! stores almost nothing but pays a full Dijkstra on every cache miss.
+//! A contraction hierarchy sits between the two: an `O(|V| + shortcuts)`
+//! structure built once per network, answering random point queries in
+//! microseconds by searching only "upward" in a node hierarchy.
+//!
+//! # Preprocessing: ordering and witness search
+//!
+//! Nodes are contracted bottom-up, one at a time. Contracting `v` removes
+//! it from the *core* graph; to preserve all shortest distances among the
+//! remaining nodes, every path `u → v → w` through `v` that is a unique
+//! shortest path must be replaced by a **shortcut arc** `u → w` of weight
+//! `w(u,v) + w(v,w)`. Whether the shortcut is needed is decided by a
+//! **witness search**: a bounded Dijkstra from `u` in the core graph
+//! *excluding* `v`. If it finds a path to `w` no longer than the shortcut
+//! ("a witness"), the shortcut is skipped; if the bounded search is
+//! inconclusive (settle cap reached), the shortcut is inserted anyway —
+//! extra shortcuts cost memory, never correctness.
+//!
+//! The contraction *order* determines how many shortcuts appear. We use
+//! the classic lazy-update heuristic: each node's priority is
+//! `2·edge_difference + deleted_neighbors + level`, where
+//! `edge_difference` is (shortcuts the contraction would insert) − (live
+//! arcs it removes), `deleted_neighbors` counts already-contracted
+//! neighbors (keeping the contraction spatially uniform), and `level`
+//! lower-bounds the node's hierarchy depth (keeping the hierarchy
+//! shallow). Priorities go stale as neighbors contract, so the queue is
+//! **lazy**: pop the minimum, re-evaluate, and contract only if it still
+//! beats the runner-up, else re-insert. Ties break on node id, making
+//! the whole preprocessing deterministic.
+//!
+//! # Queries
+//!
+//! Every original arc and shortcut goes "up" or "down" in contraction
+//! rank. Any shortest path can be rearranged into an up-down path, so a
+//! **bidirectional upward Dijkstra** — forward from `u` over up-arcs,
+//! backward from `v` over down-arcs — meets at the apex and explores only
+//! a few hundred nodes on road-like graphs, regardless of `|V|`.
+//!
+//! # Bit-identical answers
+//!
+//! The other backends derive everything from canonical Dijkstra trees
+//! (see [`crate::dijkstra`](mod@crate::dijkstra): `pred[v]` is the minimum edge id `e = (p,v)`
+//! with `dist[p] + w(e) == dist[v]`, as `f64` operations). This backend
+//! reproduces those trees **from distances alone**:
+//!
+//! * `node_dist` unpacks the winning up-down path to original edges and
+//!   re-accumulates the weight left-to-right — the same float-addition
+//!   order Dijkstra used — so tied paths (common on unjittered grids,
+//!   where sums are exact) yield the same bits;
+//! * `pred_edge` scans `v`'s incoming edges in ascending id and returns
+//!   the first `e = (p,v)` with `node_dist(u,p) + w(e) == node_dist(u,v)`
+//!   — the canonical-tree definition itself, evaluated with the identical
+//!   float expression.
+//!
+//! Scope of the guarantee: identity is *structural* whenever the minimal
+//! left-to-right sum is achieved by some path the search can select —
+//! which covers both realistic regimes: quantized weights (grids), where
+//! every tied sum is exact and any tied path re-accumulates to the same
+//! bits, and continuous jittered weights, where the shortest path is
+//! unique and unpacks verbatim. The one theoretical gap is a pair of
+//! *distinct* shortest paths whose left-to-right sums differ by ~1 ulp
+//! while the search's differently-associated internal totals (pre-summed
+//! shortcut weights) rank them the other way; `canonical_pred` then finds
+//! no float-tight in-edge and falls back to the unpacked path's last
+//! edge. This needs two independently-sampled weight sums to collide
+//! within rounding error of each other — never observed under the
+//! property tests (`tests/properties.rs` hammers both regimes) or the
+//! 102k-node pipeline cross-checks, but it is validated rather than
+//! proven for arbitrary adversarial weights.
+//!
+//! Precondition: **strictly positive edge weights** (asserted at build
+//! time). A zero-weight edge would let float-tight predecessor chains
+//! cycle, making the canonical tree ill-defined for every backend.
+
+use crate::graph::RoadNetwork;
+use crate::id::{EdgeId, NodeId};
+use crate::provider::SpProvider;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Sentinel arc id ("no parent").
+const NO_ARC: u32 = u32::MAX;
+
+/// Tuning knobs for [`ContractionHierarchy::build_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChConfig {
+    /// Maximum nodes a witness search may settle before giving up and
+    /// inserting the shortcut. Larger = slower build, fewer shortcuts.
+    pub witness_settle_limit: usize,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig {
+            witness_settle_limit: 128,
+        }
+    }
+}
+
+/// How an arc expands back to original edges.
+#[derive(Clone, Copy, Debug)]
+enum Unpack {
+    /// An original network edge.
+    Original(EdgeId),
+    /// A shortcut: the two constituent arc ids, in path order.
+    Shortcut(u32, u32),
+}
+
+/// One arc of the augmented (original ∪ shortcut) graph.
+#[derive(Clone, Copy, Debug)]
+struct ChArc {
+    tail: NodeId,
+    head: NodeId,
+    weight: f64,
+    unpack: Unpack,
+}
+
+/// Min-heap entry (reversed `Ord`, ties on node id — deterministic).
+#[derive(Copy, Clone, PartialEq)]
+struct QueueEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lazy contraction-queue entry: min by (priority, node id).
+#[derive(Copy, Clone, PartialEq, Eq)]
+struct PqEntry {
+    prio: i64,
+    node: u32,
+}
+
+impl Ord for PqEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .prio
+            .cmp(&self.prio)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for PqEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable per-thread query state: versioned distance/parent arrays and
+/// the two heaps. Versioning makes "reset" an integer bump instead of an
+/// `O(|V|)` clear; the arrays grow to the largest network queried on this
+/// thread and are shared across hierarchy instances.
+#[derive(Default)]
+struct QueryScratch {
+    ver: u32,
+    fdist: Vec<f64>,
+    fpar: Vec<u32>,
+    fver: Vec<u32>,
+    bdist: Vec<f64>,
+    bpar: Vec<u32>,
+    bver: Vec<u32>,
+    fheap: BinaryHeap<QueueEntry>,
+    bheap: BinaryHeap<QueueEntry>,
+}
+
+impl QueryScratch {
+    /// Starts a query over `n` nodes; returns the fresh version stamp.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.fdist.len() < n {
+            self.fdist.resize(n, f64::INFINITY);
+            self.fpar.resize(n, NO_ARC);
+            self.fver.resize(n, 0);
+            self.bdist.resize(n, f64::INFINITY);
+            self.bpar.resize(n, NO_ARC);
+            self.bver.resize(n, 0);
+        }
+        if self.ver == u32::MAX {
+            self.fver.fill(0);
+            self.bver.fill(0);
+            self.ver = 0;
+        }
+        self.ver += 1;
+        self.fheap.clear();
+        self.bheap.clear();
+        self.ver
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::default());
+}
+
+/// A built contraction hierarchy over one road network; see module docs.
+pub struct ContractionHierarchy {
+    net: Arc<RoadNetwork>,
+    /// Contraction order of each node (higher = contracted later = more
+    /// "important").
+    rank: Vec<u32>,
+    /// All arcs: originals first, then shortcuts.
+    arcs: Vec<ChArc>,
+    /// CSR over up-arcs (tail rank < head rank), indexed by tail.
+    fwd_index: Vec<u32>,
+    fwd_arcs: Vec<u32>,
+    /// CSR over down-arcs (tail rank > head rank), indexed by head — the
+    /// backward search relaxes these from the head side.
+    bwd_index: Vec<u32>,
+    bwd_arcs: Vec<u32>,
+    num_shortcuts: usize,
+}
+
+// ---------------------------------------------------------------------
+// Preprocessing
+// ---------------------------------------------------------------------
+
+/// Mutable contraction state; lives only inside `build_with`.
+struct Contractor {
+    cfg: ChConfig,
+    arcs: Vec<ChArc>,
+    /// Live out-/in-arc ids per node (arcs to/from contracted nodes are
+    /// pruned as their endpoints contract).
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+    contracted: Vec<bool>,
+    deleted_neighbors: Vec<u32>,
+    /// Lower bound on a node's depth in the hierarchy; penalizing it in
+    /// the priority keeps the hierarchy shallow (better query times).
+    level: Vec<u32>,
+    /// Arcs superseded by a strictly lighter parallel shortcut. A dead
+    /// arc can never lie on a minimal path, so it is dropped from the
+    /// search graphs — but it stays in `arcs`, because it may be the
+    /// child of an earlier shortcut and must remain expandable.
+    dead: Vec<bool>,
+    // Versioned witness-search scratch (single-threaded build).
+    wdist: Vec<f64>,
+    wver: Vec<u32>,
+    ver: u32,
+}
+
+impl Contractor {
+    fn new(net: &RoadNetwork, cfg: ChConfig) -> Self {
+        let n = net.num_nodes();
+        let mut arcs = Vec::with_capacity(net.num_edges() * 2);
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for e in net.edge_ids() {
+            let edge = net.edge(e);
+            assert!(
+                edge.weight > 0.0,
+                "ContractionHierarchy requires strictly positive edge weights \
+                 (edge {e} has weight {}); zero-weight edges make the canonical \
+                 predecessor tree ill-defined",
+                edge.weight
+            );
+            let id = arcs.len() as u32;
+            arcs.push(ChArc {
+                tail: edge.from,
+                head: edge.to,
+                weight: edge.weight,
+                unpack: Unpack::Original(e),
+            });
+            if edge.from != edge.to {
+                out[edge.from.index()].push(id);
+                inn[edge.to.index()].push(id);
+            }
+        }
+        let num_arcs = arcs.len();
+        Contractor {
+            cfg,
+            arcs,
+            out,
+            inn,
+            contracted: vec![false; n],
+            deleted_neighbors: vec![0; n],
+            level: vec![0; n],
+            dead: vec![false; num_arcs],
+            wdist: vec![f64::INFINITY; n],
+            wver: vec![0; n],
+            ver: 0,
+        }
+    }
+
+    /// Bounded Dijkstra from `source` in the live core graph, skipping
+    /// `excluded`; distances land in the versioned scratch.
+    fn witness_search(&mut self, source: NodeId, excluded: NodeId, bound: f64) {
+        self.ver += 1;
+        let ver = self.ver;
+        self.wdist[source.index()] = 0.0;
+        self.wver[source.index()] = ver;
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueEntry {
+            dist: 0.0,
+            node: source.0,
+        });
+        let mut settled = 0usize;
+        while let Some(QueueEntry { dist: d, node: u }) = heap.pop() {
+            let u = u as usize;
+            if d > self.wdist[u] || self.wver[u] != ver {
+                continue; // stale
+            }
+            if d > bound {
+                break;
+            }
+            settled += 1;
+            if settled > self.cfg.witness_settle_limit {
+                break;
+            }
+            for i in 0..self.out[u].len() {
+                let arc = self.arcs[self.out[u][i] as usize];
+                let v = arc.head;
+                if v == excluded || self.contracted[v.index()] {
+                    continue;
+                }
+                let nd = d + arc.weight;
+                let vi = v.index();
+                if self.wver[vi] != ver || nd < self.wdist[vi] {
+                    self.wdist[vi] = nd;
+                    self.wver[vi] = ver;
+                    heap.push(QueueEntry {
+                        dist: nd,
+                        node: v.0,
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn witness_dist(&self, v: NodeId) -> f64 {
+        if self.wver[v.index()] == self.ver {
+            self.wdist[v.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The shortcuts contracting `v` would insert: `(in_arc, out_arc,
+    /// weight)` triples for which no witness was found.
+    fn shortcuts_for(&mut self, v: NodeId) -> Vec<(u32, u32, f64)> {
+        let vi = v.index();
+        let in_live = self.inn[vi].clone();
+        let out_live = self.out[vi].clone();
+        let mut result = Vec::new();
+        for &ia in &in_live {
+            let u = self.arcs[ia as usize].tail;
+            let w_uv = self.arcs[ia as usize].weight;
+            let mut bound = f64::NEG_INFINITY;
+            for &oa in &out_live {
+                let arc = self.arcs[oa as usize];
+                if arc.head != u {
+                    bound = bound.max(w_uv + arc.weight);
+                }
+            }
+            if bound == f64::NEG_INFINITY {
+                continue; // no targets besides u itself
+            }
+            self.witness_search(u, v, bound);
+            for &oa in &out_live {
+                let arc = self.arcs[oa as usize];
+                if arc.head == u {
+                    continue;
+                }
+                let sw = w_uv + arc.weight;
+                if self.witness_dist(arc.head) <= sw {
+                    continue; // a path avoiding v is at least as good
+                }
+                result.push((ia, oa, sw));
+            }
+        }
+        result
+    }
+
+    /// Priority of contracting `v` given its would-be shortcut count.
+    fn priority(&self, v: NodeId, num_shortcuts: usize) -> i64 {
+        let vi = v.index();
+        let degree = (self.inn[vi].len() + self.out[vi].len()) as i64;
+        let edge_difference = num_shortcuts as i64 - degree;
+        2 * edge_difference + self.deleted_neighbors[vi] as i64 + self.level[vi] as i64
+    }
+
+    /// Contracts `v`: materializes `shortcuts`, prunes `v` from its
+    /// neighbors' live lists, and bumps their `deleted_neighbors`.
+    fn contract(&mut self, v: NodeId, shortcuts: Vec<(u32, u32, f64)>) {
+        let vi = v.index();
+        for (ia, oa, weight) in shortcuts {
+            let tail = self.arcs[ia as usize].tail;
+            let head = self.arcs[oa as usize].head;
+            // Retire strictly heavier parallel core arcs: the witness
+            // search already suppresses the new shortcut when an existing
+            // arc is at least as light, so only the `heavier` direction
+            // needs handling here.
+            let mut i = 0;
+            while i < self.out[tail.index()].len() {
+                let old = self.out[tail.index()][i];
+                let old_arc = self.arcs[old as usize];
+                if old_arc.head == head && old_arc.weight > weight {
+                    self.out[tail.index()].swap_remove(i);
+                    if let Some(p) = self.inn[head.index()].iter().position(|&a| a == old) {
+                        self.inn[head.index()].swap_remove(p);
+                    }
+                    self.dead[old as usize] = true;
+                } else {
+                    i += 1;
+                }
+            }
+            let id = self.arcs.len() as u32;
+            self.arcs.push(ChArc {
+                tail,
+                head,
+                weight,
+                unpack: Unpack::Shortcut(ia, oa),
+            });
+            self.dead.push(false);
+            self.out[tail.index()].push(id);
+            self.inn[head.index()].push(id);
+        }
+        self.contracted[vi] = true;
+        let arcs = &self.arcs;
+        for list in [
+            std::mem::take(&mut self.inn[vi]),
+            std::mem::take(&mut self.out[vi]),
+        ] {
+            for aid in list {
+                let arc = arcs[aid as usize];
+                let x = if arc.tail == v { arc.head } else { arc.tail };
+                if self.contracted[x.index()] {
+                    continue;
+                }
+                self.deleted_neighbors[x.index()] += 1;
+                self.level[x.index()] = self.level[x.index()].max(self.level[vi] + 1);
+                self.out[x.index()].retain(|&a| arcs[a as usize].head != v);
+                self.inn[x.index()].retain(|&a| arcs[a as usize].tail != v);
+            }
+        }
+    }
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy with default tuning.
+    pub fn build(net: Arc<RoadNetwork>) -> Self {
+        Self::build_with(net, ChConfig::default())
+    }
+
+    /// Builds the hierarchy; fully deterministic for a given network and
+    /// config. Panics if any edge weight is not strictly positive.
+    pub fn build_with(net: Arc<RoadNetwork>, cfg: ChConfig) -> Self {
+        let n = net.num_nodes();
+        let num_original = net.num_edges();
+        let mut c = Contractor::new(&net, cfg);
+        let mut rank = vec![0u32; n];
+        let mut pq = BinaryHeap::with_capacity(n);
+        for v in net.node_ids() {
+            let sc = c.shortcuts_for(v);
+            pq.push(PqEntry {
+                prio: c.priority(v, sc.len()),
+                node: v.0,
+            });
+        }
+        let mut next_rank = 0u32;
+        while let Some(PqEntry { node, .. }) = pq.pop() {
+            let v = NodeId(node);
+            if c.contracted[v.index()] {
+                continue;
+            }
+            // Lazy re-evaluation: stale priorities are recomputed on pop
+            // and the node re-queued unless it still beats the runner-up.
+            let shortcuts = c.shortcuts_for(v);
+            let prio = c.priority(v, shortcuts.len());
+            if let Some(top) = pq.peek() {
+                if prio > top.prio {
+                    pq.push(PqEntry { prio, node });
+                    continue;
+                }
+            }
+            c.contract(v, shortcuts);
+            rank[v.index()] = next_rank;
+            next_rank += 1;
+        }
+        debug_assert_eq!(next_rank as usize, n);
+
+        // Partition arcs into the two upward search graphs (CSR),
+        // skipping self-loops (never on a shortest path with w > 0) and
+        // arcs superseded by lighter parallel shortcuts.
+        let arcs = c.arcs;
+        let dead = c.dead;
+        let num_shortcuts = arcs.len() - num_original;
+        let mut fwd_count = vec![0u32; n + 1];
+        let mut bwd_count = vec![0u32; n + 1];
+        for (id, arc) in arcs.iter().enumerate() {
+            if arc.tail == arc.head || dead[id] {
+                continue;
+            }
+            if rank[arc.tail.index()] < rank[arc.head.index()] {
+                fwd_count[arc.tail.index() + 1] += 1;
+            } else {
+                bwd_count[arc.head.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fwd_count[i + 1] += fwd_count[i];
+            bwd_count[i + 1] += bwd_count[i];
+        }
+        let fwd_index = fwd_count.clone();
+        let bwd_index = bwd_count.clone();
+        let mut fwd_arcs = vec![0u32; fwd_index[n] as usize];
+        let mut bwd_arcs = vec![0u32; bwd_index[n] as usize];
+        let mut fwd_cursor = fwd_count;
+        let mut bwd_cursor = bwd_count;
+        for (id, arc) in arcs.iter().enumerate() {
+            if arc.tail == arc.head || dead[id] {
+                continue;
+            }
+            if rank[arc.tail.index()] < rank[arc.head.index()] {
+                let c = &mut fwd_cursor[arc.tail.index()];
+                fwd_arcs[*c as usize] = id as u32;
+                *c += 1;
+            } else {
+                let c = &mut bwd_cursor[arc.head.index()];
+                bwd_arcs[*c as usize] = id as u32;
+                *c += 1;
+            }
+        }
+        ContractionHierarchy {
+            net,
+            rank,
+            arcs,
+            fwd_index,
+            fwd_arcs,
+            bwd_index,
+            bwd_arcs,
+            num_shortcuts,
+        }
+    }
+
+    /// Number of shortcut arcs the contraction inserted.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Contraction rank of a node (0 = contracted first).
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// Bidirectional upward query. Returns the exact distance (weight
+    /// re-accumulated left-to-right over the unpacked original edges, so
+    /// it is bit-identical to the canonical Dijkstra distance) and the
+    /// unpacked edge path. `None` when `t` is unreachable from `s`;
+    /// `Some((0.0, []))` when `s == t`.
+    ///
+    /// Label state lives in thread-local versioned arrays (no per-query
+    /// allocation or clearing), and settled nodes are **stalled on
+    /// demand**: a node whose label is *strictly* beaten by a detour over
+    /// a higher-ranked neighbor cannot lie on any minimal up-down path,
+    /// so its relaxations are skipped. Strict inequality keeps exactly-
+    /// tied paths alive, preserving the canonical tie handling.
+    fn query(&self, s: NodeId, t: NodeId) -> Option<(f64, Vec<EdgeId>)> {
+        if s == t {
+            return Some((0.0, Vec::new()));
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let ver = scratch.begin(self.net.num_nodes());
+            let xi = s.index();
+            scratch.fdist[xi] = 0.0;
+            scratch.fpar[xi] = NO_ARC;
+            scratch.fver[xi] = ver;
+            let xi = t.index();
+            scratch.bdist[xi] = 0.0;
+            scratch.bpar[xi] = NO_ARC;
+            scratch.bver[xi] = ver;
+            scratch.fheap.push(QueueEntry {
+                dist: 0.0,
+                node: s.0,
+            });
+            scratch.bheap.push(QueueEntry {
+                dist: 0.0,
+                node: t.0,
+            });
+            let mut best = f64::INFINITY;
+            let mut meet: Option<u32> = None;
+
+            let mut f_done = false;
+            let mut b_done = false;
+            while !(f_done && b_done) {
+                if !f_done {
+                    f_done = Self::settle_step(
+                        &self.arcs,
+                        &self.fwd_index,
+                        &self.fwd_arcs,
+                        &self.bwd_index,
+                        &self.bwd_arcs,
+                        true,
+                        &mut scratch.fheap,
+                        &mut scratch.fdist,
+                        &mut scratch.fpar,
+                        &mut scratch.fver,
+                        &scratch.bdist,
+                        &scratch.bver,
+                        ver,
+                        &mut best,
+                        &mut meet,
+                    );
+                }
+                if !b_done {
+                    b_done = Self::settle_step(
+                        &self.arcs,
+                        &self.bwd_index,
+                        &self.bwd_arcs,
+                        &self.fwd_index,
+                        &self.fwd_arcs,
+                        false,
+                        &mut scratch.bheap,
+                        &mut scratch.bdist,
+                        &mut scratch.bpar,
+                        &mut scratch.bver,
+                        &scratch.fdist,
+                        &scratch.fver,
+                        ver,
+                        &mut best,
+                        &mut meet,
+                    );
+                }
+            }
+            let m = meet? as usize;
+
+            // Reconstruct: forward parents give s→m (reversed), backward
+            // parents give m→t (already in path order).
+            let mut chain = Vec::new();
+            let mut x = m;
+            loop {
+                let parent = scratch.fpar[x];
+                if parent == NO_ARC {
+                    break;
+                }
+                chain.push(parent);
+                x = self.arcs[parent as usize].tail.index();
+            }
+            chain.reverse();
+            let mut edges = Vec::new();
+            for aid in chain {
+                self.expand(aid, &mut edges);
+            }
+            let mut x = m;
+            loop {
+                let parent = scratch.bpar[x];
+                if parent == NO_ARC {
+                    break;
+                }
+                self.expand(parent, &mut edges);
+                x = self.arcs[parent as usize].head.index();
+            }
+            // Left-to-right re-accumulation — the exact float-addition
+            // order Dijkstra's `dist[v] = dist[p] + w(e)` recursion uses.
+            let mut dist = 0.0f64;
+            for &e in &edges {
+                dist += self.net.weight(e);
+            }
+            Some((dist, edges))
+        })
+    }
+
+    /// Settles (at most) one node in one search direction; returns true
+    /// when the direction is exhausted (empty queue or min key ≥ best).
+    #[allow(clippy::too_many_arguments)]
+    fn settle_step(
+        arcs: &[ChArc],
+        index: &[u32],
+        arc_ids: &[u32],
+        stall_index: &[u32],
+        stall_arc_ids: &[u32],
+        forward: bool,
+        heap: &mut BinaryHeap<QueueEntry>,
+        dist: &mut [f64],
+        par: &mut [u32],
+        verv: &mut [u32],
+        odist: &[f64],
+        over: &[u32],
+        ver: u32,
+        best: &mut f64,
+        meet: &mut Option<u32>,
+    ) -> bool {
+        loop {
+            let Some(QueueEntry { dist: d, node: x }) = heap.pop() else {
+                return true;
+            };
+            let xi = x as usize;
+            if d > dist[xi] {
+                continue; // stale
+            }
+            if d >= *best {
+                return true;
+            }
+            // Stall-on-demand: the opposite CSR holds exactly the arcs
+            // that *descend into* x (forward case) or *ascend out of* x
+            // (backward case); a strictly better label through any such
+            // higher-ranked neighbor proves x's label is off-path.
+            let mut stalled = false;
+            for &aid in &stall_arc_ids[stall_index[xi] as usize..stall_index[xi + 1] as usize] {
+                let arc = arcs[aid as usize];
+                let c = if forward { arc.tail } else { arc.head };
+                let ci = c.index();
+                if verv[ci] == ver && dist[ci] + arc.weight < d {
+                    stalled = true;
+                    break;
+                }
+            }
+            if stalled {
+                continue;
+            }
+            for &aid in &arc_ids[index[xi] as usize..index[xi + 1] as usize] {
+                let arc = arcs[aid as usize];
+                let y = if forward { arc.head } else { arc.tail };
+                let yi = y.index();
+                let nd = d + arc.weight;
+                if verv[yi] != ver || nd < dist[yi] {
+                    dist[yi] = nd;
+                    par[yi] = aid;
+                    verv[yi] = ver;
+                    heap.push(QueueEntry {
+                        dist: nd,
+                        node: y.0,
+                    });
+                    if over[yi] == ver {
+                        let total = nd + odist[yi];
+                        if total < *best {
+                            *best = total;
+                            *meet = Some(y.0);
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+    }
+
+    /// Expands an arc (recursively, via an explicit stack) to the
+    /// original edges it represents, in path order.
+    fn expand(&self, arc: u32, out: &mut Vec<EdgeId>) {
+        let mut stack = vec![arc];
+        while let Some(a) = stack.pop() {
+            match self.arcs[a as usize].unpack {
+                Unpack::Original(e) => out.push(e),
+                Unpack::Shortcut(first, second) => {
+                    stack.push(second);
+                    stack.push(first);
+                }
+            }
+        }
+    }
+
+    /// The canonical predecessor of `v` in the shortest-path tree rooted
+    /// at `u`, given `d_uv = node_dist(u, v)`: the first (= minimum id,
+    /// since CSR in-lists are id-ascending) incoming edge `e = (p, v)`
+    /// with `node_dist(u, p) + w(e) == d_uv`. Returns the edge and
+    /// `node_dist(u, p)` so tree walks can descend without re-querying.
+    fn canonical_pred(&self, u: NodeId, v: NodeId, d_uv: f64) -> Option<(EdgeId, f64)> {
+        for &e in self.net.in_edges(v) {
+            let edge = self.net.edge(e);
+            if edge.from == edge.to {
+                continue;
+            }
+            let dp = match self.query(u, edge.from) {
+                Some((d, _)) => d,
+                None => continue,
+            };
+            if dp + edge.weight == d_uv {
+                return Some((e, dp));
+            }
+        }
+        None
+    }
+}
+
+impl SpProvider for ContractionHierarchy {
+    fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
+        match self.query(u, v) {
+            Some((d, _)) => d,
+            None => f64::INFINITY,
+        }
+    }
+
+    fn pred_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (d, path) = self.query(u, v)?;
+        match self.canonical_pred(u, v, d) {
+            Some((e, _)) => Some(e),
+            // Unreachable in practice (the Dijkstra predecessor always
+            // satisfies the float-tight equation); keep the unpacked
+            // path's last edge as a safety net.
+            None => path.last().copied(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.arcs.len() * std::mem::size_of::<ChArc>()
+            + self.rank.len() * 4
+            + (self.fwd_index.len() + self.bwd_index.len()) * 4
+            + (self.fwd_arcs.len() + self.bwd_arcs.len()) * 4
+    }
+
+    fn sp_interior(&self, ei: EdgeId, ej: EdgeId) -> Option<Vec<EdgeId>> {
+        if ei == ej {
+            return None;
+        }
+        let a = *self.net.edge(ei);
+        let b = *self.net.edge(ej);
+        if a.to == b.from {
+            return Some(Vec::new());
+        }
+        let (d, path) = self.query(a.to, b.from)?;
+        // Walk the canonical tree backwards, reusing each predecessor's
+        // distance instead of re-deriving it per step.
+        let mut interior = Vec::with_capacity(path.len());
+        let mut cur = b.from;
+        let mut d_cur = d;
+        let mut steps = 0usize;
+        while cur != a.to {
+            steps += 1;
+            if steps > self.net.num_edges() + 1 {
+                return Some(path); // degenerate tie cycle: unpacked path is still a shortest path
+            }
+            match self.canonical_pred(a.to, cur, d_cur) {
+                Some((e, dp)) => {
+                    interior.push(e);
+                    cur = self.net.edge(e).from;
+                    d_cur = dp;
+                }
+                None => return Some(path),
+            }
+        }
+        interior.reverse();
+        Some(interior)
+    }
+}
+
+impl std::fmt::Debug for ContractionHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContractionHierarchy")
+            .field("nodes", &self.net.num_nodes())
+            .field("original_arcs", &self.net.num_edges())
+            .field("shortcuts", &self.num_shortcuts)
+            .field("bytes", &self.approx_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_network, GridConfig};
+    use crate::geometry::Point;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::sp_table::SpTable;
+
+    fn assert_matches_dense(net: &Arc<RoadNetwork>, ch: &ContractionHierarchy) {
+        let dense = SpTable::build(net.clone());
+        for u in net.node_ids() {
+            for v in net.node_ids() {
+                assert_eq!(
+                    dense.node_dist(u, v).to_bits(),
+                    ch.node_dist(u, v).to_bits(),
+                    "distance mismatch {u} -> {v}"
+                );
+                assert_eq!(
+                    dense.pred_edge(u, v),
+                    ch.pred_edge(u, v),
+                    "pred mismatch {u} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_with_detour_matches_dense() {
+        // v0 → v1 → v2 → v3 with a longer detour v1 → v4 → v2.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(2.0, 0.0));
+        let v3 = b.add_node(Point::new(3.0, 0.0));
+        let v4 = b.add_node(Point::new(1.5, 1.0));
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v2, 1.0).unwrap();
+        b.add_edge(v2, v3, 1.0).unwrap();
+        b.add_edge(v1, v4, 2.0).unwrap();
+        b.add_edge(v4, v2, 2.0).unwrap();
+        let net = Arc::new(b.build());
+        let ch = ContractionHierarchy::build(net.clone());
+        assert_matches_dense(&net, &ch);
+        // Derived queries too.
+        let dense = SpTable::build(net.clone());
+        assert_eq!(ch.sp_end(EdgeId(0), EdgeId(2)), Some(EdgeId(1)));
+        assert_eq!(
+            ch.sp_path(EdgeId(0), EdgeId(2)),
+            dense.sp_path(EdgeId(0), EdgeId(2))
+        );
+        assert_eq!(
+            ch.sp_mbr(EdgeId(3), EdgeId(2)),
+            dense.sp_mbr(EdgeId(3), EdgeId(2))
+        );
+    }
+
+    #[test]
+    fn jittered_grid_matches_dense_exactly() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 6,
+            ny: 6,
+            weight_jitter: 0.2,
+            removal_prob: 0.05,
+            seed: 4,
+            ..GridConfig::default()
+        }));
+        let ch = ContractionHierarchy::build(net.clone());
+        assert!(ch.num_shortcuts() > 0, "a 6x6 grid must need shortcuts");
+        assert_matches_dense(&net, &ch);
+    }
+
+    #[test]
+    fn tied_grid_matches_dense_exactly() {
+        // Zero jitter: every block has the same weight, so shortest paths
+        // tie massively — the canonical tie-break must keep CH and dense
+        // bit-identical, including predecessor edges.
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 5,
+            ny: 5,
+            weight_jitter: 0.0,
+            removal_prob: 0.0,
+            seed: 1,
+            ..GridConfig::default()
+        }));
+        let ch = ContractionHierarchy::build(net.clone());
+        assert_matches_dense(&net, &ch);
+        // Edge-level derived queries on a sample.
+        let dense = SpTable::build(net.clone());
+        let edges: Vec<EdgeId> = net.edge_ids().collect();
+        for &ei in edges.iter().step_by(5) {
+            for &ej in edges.iter().rev().step_by(7) {
+                assert_eq!(dense.sp_end(ei, ej), ch.sp_end(ei, ej));
+                assert_eq!(dense.sp_interior(ei, ej), ch.sp_interior(ei, ej));
+                assert_eq!(dense.sp_mbr(ei, ej), ch.sp_mbr(ei, ej));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinite() {
+        // Two components: v0 → v1 and v2 → v3.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        let v2 = b.add_node(Point::new(5.0, 0.0));
+        let v3 = b.add_node(Point::new(6.0, 0.0));
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v2, v3, 1.0).unwrap();
+        let net = Arc::new(b.build());
+        let ch = ContractionHierarchy::build(net.clone());
+        assert_matches_dense(&net, &ch);
+        assert_eq!(ch.node_dist(v0, v2), f64::INFINITY);
+        assert_eq!(ch.pred_edge(v0, v2), None);
+        assert_eq!(ch.node_dist(v1, v0), f64::INFINITY);
+        assert!(ch.sp_interior(EdgeId(0), EdgeId(1)).is_none());
+        // Self distances.
+        assert_eq!(ch.node_dist(v2, v2), 0.0);
+        assert_eq!(ch.pred_edge(v2, v2), None);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 5,
+            ny: 4,
+            weight_jitter: 0.15,
+            removal_prob: 0.05,
+            seed: 8,
+            ..GridConfig::default()
+        }));
+        let a = ContractionHierarchy::build(net.clone());
+        let b = ContractionHierarchy::build(net.clone());
+        assert_eq!(a.num_shortcuts(), b.num_shortcuts());
+        for v in net.node_ids() {
+            assert_eq!(a.rank(v), b.rank(v));
+        }
+    }
+
+    #[test]
+    fn memory_is_far_below_dense() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 8,
+            ny: 8,
+            weight_jitter: 0.15,
+            seed: 2,
+            ..GridConfig::default()
+        }));
+        let ch = ContractionHierarchy::build(net.clone());
+        let dense = SpTable::build(net.clone());
+        assert!(
+            ch.approx_bytes() < dense.approx_bytes(),
+            "CH {} bytes vs dense {} bytes",
+            ch.approx_bytes(),
+            dense.approx_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_weight_edges_are_rejected() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(v0, v1, 0.0).unwrap();
+        let net = Arc::new(b.build());
+        let _ = ContractionHierarchy::build(net);
+    }
+
+    #[test]
+    #[ignore = "perf smoke: run explicitly with --ignored --nocapture"]
+    fn large_grid_build_and_query_smoke() {
+        let nx = std::env::var("CH_SMOKE_NX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120usize);
+        let net = Arc::new(grid_network(&GridConfig {
+            nx,
+            ny: nx,
+            spacing: 160.0,
+            weight_jitter: 0.15,
+            removal_prob: 0.03,
+            seed: 3,
+        }));
+        let t0 = std::time::Instant::now();
+        let ch = ContractionHierarchy::build(net.clone());
+        let build = t0.elapsed();
+        let n = net.num_nodes() as u64;
+        let mut acc = 0.0f64;
+        let pairs = 200u64;
+        let t0 = std::time::Instant::now();
+        for i in 0..pairs {
+            let u = NodeId(((i * 6364136223846793005 + 1) % n) as u32);
+            let v = NodeId(((i * 1442695040888963407 + 7) % n) as u32);
+            let d = ch.node_dist(u, v);
+            if d.is_finite() {
+                acc += d;
+            }
+        }
+        let q = t0.elapsed();
+        println!(
+            "{} nodes: build {:.2?}, {} shortcuts, {:.1} MiB, {} queries in {:.2?} ({:.1} us/query), acc {acc:.0}",
+            net.num_nodes(),
+            build,
+            ch.num_shortcuts(),
+            ch.approx_bytes() as f64 / (1 << 20) as f64,
+            pairs,
+            q,
+            q.as_secs_f64() * 1e6 / pairs as f64
+        );
+    }
+
+    #[test]
+    fn usable_as_a_provider_object() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 4,
+            ny: 4,
+            weight_jitter: 0.1,
+            seed: 6,
+            ..GridConfig::default()
+        }));
+        let provider: Arc<dyn SpProvider> = Arc::new(ContractionHierarchy::build(net.clone()));
+        let dense = SpTable::build(net.clone());
+        for &(a, b) in &[(EdgeId(0), EdgeId(5)), (EdgeId(3), EdgeId(1))] {
+            assert_eq!(provider.sp_end(a, b), dense.sp_end(a, b));
+            assert_eq!(
+                provider.gap_dist(a, b).to_bits(),
+                dense.gap_dist(a, b).to_bits()
+            );
+        }
+        assert!(provider.source_tree(NodeId(0)).is_none());
+    }
+}

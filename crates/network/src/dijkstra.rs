@@ -5,12 +5,19 @@
 //! * the HMM map matcher's transition probabilities (bounded searches),
 //! * the MMTC baseline's sub-path replacement search.
 //!
-//! Ties are broken deterministically: a node's distance is only updated on a
-//! strict improvement, and the binary heap pops equal keys in LIFO order of
-//! insertion, so a fixed edge iteration order yields a fixed shortest-path
-//! tree. The PRESS SP-compression proof (Theorem 1) relies on *one*
-//! consistent shortest path per pair, which a single predecessor tree per
-//! source provides by construction.
+//! Ties are broken **canonically**: distances only update on a strict
+//! improvement, and when a relaxation reaches a node at exactly its current
+//! distance (bit-equal `f64`) through a positive-weight edge, the
+//! predecessor switches to the smaller edge id. The resulting tree is
+//! therefore a pure function of the distance values — `pred[v]` is the
+//! minimum edge id `e = (p, v)` with `dist[p] + w(e) == dist[v]` (float
+//! comparison) — and does not depend on heap pop order. That matters
+//! beyond determinism: alternative shortest-path backends (the contraction
+//! hierarchy in [`crate::ch`]) reproduce the same trees from distances
+//! alone, which is what makes every backend bit-identical. The PRESS
+//! SP-compression proof (Theorem 1) relies on *one* consistent shortest
+//! path per pair, which a single canonical tree per source provides by
+//! construction.
 
 use crate::graph::RoadNetwork;
 use crate::id::{EdgeId, NodeId};
@@ -111,12 +118,22 @@ pub fn dijkstra_with(net: &RoadNetwork, source: NodeId, weights: &[f64]) -> Shor
         }
         settled[u.index()] = true;
         for &e in net.out_edges(u) {
-            let nd = d + weights[e.index()];
-            let v = net.edge(e).to;
+            let w = weights[e.index()];
+            let edge = net.edge(e);
+            let v = edge.to;
+            let nd = d + w;
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 pred_edge[v.index()] = Some(e);
                 heap.push(HeapEntry { dist: nd, node: v });
+            } else if nd == dist[v.index()]
+                && w > 0.0
+                && edge.from != edge.to
+                && pred_edge[v.index()].is_some_and(|p| e.0 < p.0)
+            {
+                // Canonical tie-break: among float-tight predecessors,
+                // keep the smallest edge id (see module docs).
+                pred_edge[v.index()] = Some(e);
             }
         }
     }
@@ -153,11 +170,19 @@ pub fn dijkstra_bounded(net: &RoadNetwork, source: NodeId, max_dist: f64) -> Sho
             let edge = net.edge(e);
             let nd = d + edge.weight;
             let v = edge.to;
-            // Strict improvement only: keeps one deterministic tree.
             if nd < dist[v.index()] {
+                // Strict improvement: adopt the new distance and edge.
                 dist[v.index()] = nd;
                 pred_edge[v.index()] = Some(e);
                 heap.push(HeapEntry { dist: nd, node: v });
+            } else if nd == dist[v.index()]
+                && edge.weight > 0.0
+                && edge.from != edge.to
+                && pred_edge[v.index()].is_some_and(|p| e.0 < p.0)
+            {
+                // Canonical tie-break: among float-tight predecessors,
+                // keep the smallest edge id (see module docs).
+                pred_edge[v.index()] = Some(e);
             }
         }
     }
@@ -379,6 +404,42 @@ mod tests {
                     "mismatch {u}->{v}: dijkstra {a} vs fw {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_minimum_edge_id() {
+        // Two exactly-tied routes into v3; the canonical tree must pick the
+        // predecessor with the smaller edge id regardless of heap order.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 1.0));
+        let v2 = b.add_node(Point::new(1.0, -1.0));
+        let v3 = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(v0, v1, 1.0).unwrap(); // e0
+        b.add_edge(v0, v2, 1.0).unwrap(); // e1
+        b.add_edge(v1, v3, 1.0).unwrap(); // e2  (tight into v3)
+        b.add_edge(v2, v3, 1.0).unwrap(); // e3  (tight into v3, larger id)
+        let net = b.build();
+        let tree = dijkstra(&net, NodeId(0));
+        assert_eq!(tree.pred_edge[3], Some(EdgeId(2)));
+        // The rule is order-independent: pred[v] is the minimum edge id e =
+        // (p, v) with dist[p] + w(e) == dist[v], checkable after the fact.
+        for v in net.node_ids() {
+            let Some(p) = tree.pred_edge[v.index()] else {
+                continue;
+            };
+            let canonical = net
+                .in_edges(v)
+                .iter()
+                .copied()
+                .find(|&e| {
+                    let edge = net.edge(e);
+                    edge.from != edge.to
+                        && tree.dist[edge.from.index()] + edge.weight == tree.dist[v.index()]
+                })
+                .unwrap();
+            assert_eq!(p, canonical, "non-canonical predecessor for {v}");
         }
     }
 

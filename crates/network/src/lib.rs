@@ -6,14 +6,15 @@
 //! paper). This crate provides:
 //!
 //! * strongly-typed ids ([`NodeId`], [`EdgeId`]),
-//! * a planar [geometry](crate::geometry) kit (points, projections, MBRs),
+//! * a planar [geometry](mod@crate::geometry) kit (points, projections, MBRs),
 //! * the immutable [`RoadNetwork`] graph with CSR adjacency,
-//! * [Dijkstra](crate::dijkstra) shortest paths with deterministic
+//! * [Dijkstra](mod@crate::dijkstra) shortest paths with deterministic
 //!   tie-breaking,
 //! * the [`SpProvider`] abstraction over the paper's `SP(ei, ej)` /
-//!   `SPend(ei, ej)` structures (§3.1), with two interchangeable
-//!   backends — the eager dense [`SpTable`] and the lazy, sharded-LRU
-//!   [`LazySpCache`] — selected by [`SpBackend`],
+//!   `SPend(ei, ej)` structures (§3.1), with three interchangeable
+//!   backends — the eager dense [`SpTable`], the lazy, sharded-LRU
+//!   [`LazySpCache`], and the [`ContractionHierarchy`] — selected by
+//!   [`SpBackend`],
 //! * a uniform-grid [spatial index](crate::index) over edges, and
 //! * [synthetic generators](crate::generators) (grid, ring-radial, random
 //!   geometric) standing in for the Singapore road network.
@@ -24,13 +25,18 @@
 //! `O(1)` lookups — ideal below a few thousand nodes, impossible at city
 //! scale (100k nodes ≈ 120 GB). [`LazySpCache`] computes one Dijkstra
 //! tree per source on demand and LRU-bounds residency to
-//! `O(capacity · |V|)` bytes, trading a cache lookup (and occasional
-//! recompute) per query. Both are driven by the same deterministic
-//! Dijkstra, so results are bit-identical; pick with [`SpBackend`] based
-//! on network size and RAM. Everything downstream (map matcher,
-//! compressors, query processor, baselines, workload generator) consumes
-//! the trait, not a concrete backend.
+//! `O(capacity · |V|)` bytes, trading a cache lookup (and a full Dijkstra
+//! on a cold miss) per query. The [`ContractionHierarchy`] preprocesses a
+//! node hierarchy in `O(|V| + shortcuts)` memory and answers random point
+//! lookups in microseconds via bidirectional upward search — the backend
+//! for query-heavy workloads at city scale. All three derive from the
+//! same canonical shortest-path trees, so results are bit-identical; pick
+//! with [`SpBackend`] based on network size, RAM, and access pattern.
+//! Everything downstream (map matcher, compressors, query processor,
+//! baselines, workload generator) consumes the trait, not a concrete
+//! backend.
 
+pub mod ch;
 pub mod dijkstra;
 pub mod error;
 pub mod generators;
@@ -42,6 +48,7 @@ pub mod lazy_sp;
 pub mod provider;
 pub mod sp_table;
 
+pub use ch::{ChConfig, ContractionHierarchy};
 pub use dijkstra::{
     dijkstra, dijkstra_bounded, dijkstra_with, node_distance, reverse_distances, ShortestPathTree,
 };

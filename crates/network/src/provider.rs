@@ -14,14 +14,21 @@
 //! * [`LazySpCache`](crate::LazySpCache) — one Dijkstra tree per *source
 //!   on demand*, kept in a sharded, capacity-bounded LRU cache.
 //!   `O(cached trees · |V|)` memory, amortized `O(1)` lookups on hot
-//!   sources. The only option once `|V|²` stops fitting in RAM.
+//!   sources. The right trade once `|V|²` stops fitting in RAM and the
+//!   workload has source locality.
+//! * [`ContractionHierarchy`](crate::ContractionHierarchy) — a node
+//!   hierarchy with shortcut arcs, preprocessed once in
+//!   `O(|V| + shortcuts)` memory; random point queries resolve in
+//!   microseconds via bidirectional upward search, with no per-source
+//!   state at all.
 //!
-//! Both backends derive every query from the same deterministic
-//! [`dijkstra`](crate::dijkstra::dijkstra) trees, so their answers are
-//! **bit-identical** (property-tested in `tests/properties.rs`) — the
-//! prefix-consistency that Theorem 1's optimality proof needs holds for
-//! either. [`SpBackend`] is the value-level selector used by
-//! configuration surfaces (bench environments, examples).
+//! All backends derive every query from the same **canonical**
+//! shortest-path trees (see [`crate::dijkstra`](mod@crate::dijkstra) for the tie-break rule),
+//! so their answers are **bit-identical** (property-tested in
+//! `tests/properties.rs`) — the prefix-consistency that Theorem 1's
+//! optimality proof needs holds for any of them. [`SpBackend`] is the
+//! value-level selector used by configuration surfaces (bench
+//! environments, examples).
 
 use crate::dijkstra::ShortestPathTree;
 use crate::geometry::Mbr;
@@ -217,6 +224,12 @@ pub enum SpBackend {
         /// `O(|V|)` bytes).
         capacity_trees: usize,
     },
+    /// Contraction hierarchy
+    /// ([`ContractionHierarchy`](crate::ContractionHierarchy)):
+    /// `O(|V| + shortcuts)` memory, microsecond point queries after a
+    /// one-time preprocessing pass. Requires strictly positive edge
+    /// weights.
+    Ch,
 }
 
 impl SpBackend {
@@ -238,6 +251,7 @@ impl SpBackend {
                     ..crate::lazy_sp::LazySpConfig::default()
                 },
             )),
+            SpBackend::Ch => Arc::new(crate::ch::ContractionHierarchy::build(net)),
         }
     }
 }

@@ -62,8 +62,9 @@ pub mod prelude {
     };
     pub use press_matcher::{MapMatcher, MatcherConfig};
     pub use press_network::{
-        grid_network, EdgeId, GridConfig, LazySpCache, LazySpConfig, Mbr, NodeId, Point,
-        RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider, SpTable,
+        grid_network, ChConfig, ContractionHierarchy, EdgeId, GridConfig, LazySpCache,
+        LazySpConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider,
+        SpTable,
     };
     pub use press_workload::{Workload, WorkloadConfig};
 }
