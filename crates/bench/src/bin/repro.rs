@@ -4,23 +4,32 @@
 //! Usage:
 //! ```text
 //! repro [EXPERIMENT…] [--full] [--seed N] [--lazy] [--ch]
+//!       [--save-dir DIR] [--load-dir DIR]
 //!
 //! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
 //!             fig13 | fig14 | fig15 | fig16 | fig17 | aux | ablations
-//! --full      paper-shaped sweep sizes (slower)
-//! --seed N    workload seed (default 3)
-//! --lazy      run on the LazySpCache SP backend instead of the dense table
-//! --ch        run on the ContractionHierarchy SP backend
+//! --full          paper-shaped sweep sizes (slower)
+//! --seed N        workload seed (default 3)
+//! --lazy          run on the LazySpCache SP backend instead of the dense table
+//! --ch            run on the ContractionHierarchy SP backend
+//! --save-dir DIR  after building, persist network / SP structure / trained
+//!                 model under DIR (press-store artifacts)
+//! --load-dir DIR  warm-start from artifacts saved by a --save-dir run with
+//!                 the same seed and backend, skipping SP preprocessing and
+//!                 training; outputs are bit-identical to a fresh build
 //! ```
 
-use press_bench::{experiments, Env, Scale};
+use press_bench::{experiments, Env, Scale, StoreMode};
 use press_network::SpBackend;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut seed = 3u64;
     let mut backend = SpBackend::Dense;
+    let mut save_dir: Option<String> = None;
+    let mut load_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -34,11 +43,33 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--save-dir" => {
+                save_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--save-dir needs a path"))
+                        .clone(),
+                );
+            }
+            "--load-dir" => {
+                load_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--load-dir needs a path"))
+                        .clone(),
+                );
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => wanted.push(other.to_string()),
         }
     }
+    if save_dir.is_some() && load_dir.is_some() {
+        usage("--save-dir and --load-dir are mutually exclusive");
+    }
+    let store = match (&save_dir, &load_dir) {
+        (Some(d), _) => StoreMode::Save(std::path::Path::new(d)),
+        (_, Some(d)) => StoreMode::Load(std::path::Path::new(d)),
+        _ => StoreMode::None,
+    };
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
@@ -48,7 +79,17 @@ fn main() {
     eprintln!(
         "Building environment (scale {scale:?}, seed {seed}); see DESIGN.md §5 for the experiment index…"
     );
-    let env = Env::standard_with_backend(scale, seed, backend);
+    let t0 = Instant::now();
+    let env = Env::standard_with_store(scale, seed, backend, store);
+    eprintln!(
+        "environment ready in {:.0} ms{}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        match store {
+            StoreMode::Load(_) => " (warm-start from artifact store)",
+            StoreMode::Save(_) => " (artifacts saved)",
+            StoreMode::None => "",
+        }
+    );
     eprintln!(
         "network: {} nodes / {} edges ({:?} SP backend); workload: {} trajectories ({} train / {} eval); stationary fraction {:.1}%",
         env.net.num_nodes(),
@@ -85,7 +126,12 @@ fn main() {
     let needs_queries = want("fig15") || want("fig16") || want("fig17");
     if needs_queries {
         eprintln!("Building long-haul environment for the query experiments…");
-        let qenv = Env::long_haul_with_backend(scale, seed, backend);
+        let t0 = Instant::now();
+        let qenv = Env::long_haul_with_store(scale, seed, backend, store);
+        eprintln!(
+            "long-haul environment ready in {:.0} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
         if want("fig15") {
             experiments::fig15(&qenv, scale).print();
         }
@@ -110,7 +156,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… [--full] [--seed N] [--lazy] [--ch]"
+        "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… \
+         [--full] [--seed N] [--lazy] [--ch] [--save-dir DIR] [--load-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -28,5 +28,5 @@ pub mod setup;
 pub mod table;
 
 pub use json::Json;
-pub use setup::{Env, Scale};
+pub use setup::{Env, Scale, StoreMode};
 pub use table::Table;

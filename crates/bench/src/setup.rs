@@ -3,10 +3,21 @@
 //! (Singapore) and a trajectory corpus split into training and evaluation
 //! (§6: "we take the trajectories corresponding to one day as a training
 //! dataset").
+//!
+//! Environments can also **warm-start** from the on-disk artifact tier
+//! ([`StoreMode`]): `Save` persists the network, the SP backend's
+//! structure, and the trained HSC model after building; `Load` restores
+//! them in a fresh process and skips the SP preprocessing and training
+//! entirely. Loaded artifacts are bit-identical to built ones, so every
+//! experiment produces the same numbers either way (the workload itself
+//! is regenerated — it is seeded and cheap).
 
-use press_core::{Press, PressConfig, Trajectory};
-use press_network::{RoadNetwork, SpBackend, SpProvider};
+use press_core::{HscModel, Press, PressConfig, Trajectory};
+use press_network::{
+    ContractionHierarchy, LazySpCache, LazySpConfig, RoadNetwork, SpBackend, SpProvider, SpTable,
+};
 use press_workload::{TrajectoryRecord, Workload, WorkloadConfig};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Experiment scale, selecting workload sizes so the quick mode finishes
@@ -29,6 +40,28 @@ impl Scale {
     }
 }
 
+/// How an [`Env`] interacts with the on-disk artifact store.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum StoreMode<'a> {
+    /// Build everything in memory (the default).
+    #[default]
+    None,
+    /// Build, then persist network / SP structure / trained model under
+    /// the directory (one subdirectory per environment flavor).
+    Save(&'a Path),
+    /// Warm-start: load the artifacts saved by a previous `Save` run.
+    Load(&'a Path),
+}
+
+/// Artifact file names inside an environment's store subdirectory.
+fn sp_file_name(backend: SpBackend) -> &'static str {
+    match backend {
+        SpBackend::Dense => "sp_dense.press",
+        SpBackend::Lazy { .. } => "sp_lazy.press",
+        SpBackend::Ch => "sp_ch.press",
+    }
+}
+
 /// A ready-to-measure environment.
 pub struct Env {
     pub net: Arc<RoadNetwork>,
@@ -39,6 +72,56 @@ pub struct Env {
     pub backend: SpBackend,
     /// Fraction of records used for FST training.
     pub train_fraction: f64,
+}
+
+/// An SP provider kept concretely typed so it can be persisted after the
+/// run warms it up (the trait object cannot be downcast).
+enum ConcreteSp {
+    Dense(Arc<SpTable>),
+    Lazy(Arc<LazySpCache>),
+    Ch(Arc<ContractionHierarchy>),
+}
+
+impl ConcreteSp {
+    fn build(backend: SpBackend, net: Arc<RoadNetwork>) -> ConcreteSp {
+        match backend {
+            SpBackend::Dense => ConcreteSp::Dense(Arc::new(SpTable::build(net))),
+            SpBackend::Lazy { capacity_trees } => ConcreteSp::Lazy(Arc::new(LazySpCache::new(
+                net,
+                LazySpConfig {
+                    capacity_trees,
+                    ..LazySpConfig::default()
+                },
+            ))),
+            SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::build(net))),
+        }
+    }
+
+    fn load(backend: SpBackend, net: Arc<RoadNetwork>, path: &Path) -> press_store::Result<Self> {
+        Ok(match backend {
+            SpBackend::Dense => ConcreteSp::Dense(Arc::new(SpTable::load_from(net, path)?)),
+            SpBackend::Lazy { .. } => {
+                ConcreteSp::Lazy(Arc::new(LazySpCache::load_from(net, path)?))
+            }
+            SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::load_from(net, path)?)),
+        })
+    }
+
+    fn save(&self, path: &Path) -> press_store::Result<()> {
+        match self {
+            ConcreteSp::Dense(t) => t.save_to(path),
+            ConcreteSp::Lazy(c) => c.save_hot_trees(path),
+            ConcreteSp::Ch(ch) => ch.save_to(path),
+        }
+    }
+
+    fn erased(&self) -> Arc<dyn SpProvider> {
+        match self {
+            ConcreteSp::Dense(t) => t.clone(),
+            ConcreteSp::Lazy(c) => c.clone(),
+            ConcreteSp::Ch(ch) => ch.clone(),
+        }
+    }
 }
 
 impl Env {
@@ -53,39 +136,32 @@ impl Env {
     /// [`Env::standard`] over an explicit SP backend, so every experiment
     /// can run dense or lazy.
     pub fn standard_with_backend(scale: Scale, seed: u64, backend: SpBackend) -> Env {
-        let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
+        Self::standard_with_store(scale, seed, backend, StoreMode::None)
+    }
+
+    /// [`Env::standard_with_backend`] with an explicit [`StoreMode`]
+    /// (artifacts live under `<dir>/standard/`).
+    pub fn standard_with_store(
+        scale: Scale,
+        seed: u64,
+        backend: SpBackend,
+        store: StoreMode<'_>,
+    ) -> Env {
+        let grid = press_network::GridConfig {
             nx: 16,
             ny: 16,
             spacing: 160.0,
             weight_jitter: 0.15,
             removal_prob: 0.03,
             seed,
-        }));
-        let sp = backend.build(net.clone());
-        let workload = Workload::generate(
-            net.clone(),
-            sp.clone(),
-            WorkloadConfig {
-                num_trajectories: scale.num_trajectories(),
-                seed,
-                min_trip_edges: 12,
-                ..WorkloadConfig::default()
-            },
-        );
-        let train_fraction = 0.3;
-        let (train, _) = workload.split(train_fraction);
-        let training_paths: Vec<Vec<press_network::EdgeId>> =
-            train.iter().map(|r| r.path.clone()).collect();
-        let press =
-            Press::train(sp.clone(), &training_paths, PressConfig::default()).expect("training");
-        Env {
-            net,
-            sp,
-            workload,
-            press,
-            backend,
-            train_fraction,
-        }
+        };
+        let wl = WorkloadConfig {
+            num_trajectories: scale.num_trajectories(),
+            seed,
+            min_trip_edges: 12,
+            ..WorkloadConfig::default()
+        };
+        Self::build_env(grid, wl, backend, store, "standard")
     }
 
     /// A larger environment with **long-haul** trips (32×32 grid, minimum
@@ -99,35 +175,148 @@ impl Env {
 
     /// [`Env::long_haul`] over an explicit SP backend.
     pub fn long_haul_with_backend(scale: Scale, seed: u64, backend: SpBackend) -> Env {
-        let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
+        Self::long_haul_with_store(scale, seed, backend, StoreMode::None)
+    }
+
+    /// [`Env::long_haul_with_backend`] with an explicit [`StoreMode`]
+    /// (artifacts live under `<dir>/long_haul/`).
+    pub fn long_haul_with_store(
+        scale: Scale,
+        seed: u64,
+        backend: SpBackend,
+        store: StoreMode<'_>,
+    ) -> Env {
+        let grid = press_network::GridConfig {
             nx: 32,
             ny: 32,
             spacing: 160.0,
             weight_jitter: 0.15,
             removal_prob: 0.03,
             seed,
-        }));
-        let sp = backend.build(net.clone());
-        let workload = Workload::generate(
-            net.clone(),
-            sp.clone(),
-            WorkloadConfig {
-                num_trajectories: match scale {
-                    Scale::Small => 80,
-                    Scale::Full => 300,
-                },
-                seed,
-                min_trip_edges: 40,
-                sampling_interval: 5.0,
-                ..WorkloadConfig::default()
+        };
+        let wl = WorkloadConfig {
+            num_trajectories: match scale {
+                Scale::Small => 80,
+                Scale::Full => 300,
             },
-        );
+            seed,
+            min_trip_edges: 40,
+            sampling_interval: 5.0,
+            ..WorkloadConfig::default()
+        };
+        Self::build_env(grid, wl, backend, store, "long_haul")
+    }
+
+    /// Configuration fingerprint persisted next to the artifacts: the
+    /// grid, workload, and backend parameters the artifacts were built
+    /// under. A `Load` whose requested configuration fingerprints
+    /// differently would silently produce results from mismatched
+    /// artifacts, so it is rejected instead.
+    fn provenance_bytes(
+        grid: &press_network::GridConfig,
+        wl: &WorkloadConfig,
+        backend: SpBackend,
+    ) -> Vec<u8> {
+        let mut w = press_store::ByteWriter::with_capacity(96);
+        w.put_u64(grid.nx as u64);
+        w.put_u64(grid.ny as u64);
+        w.put_f64(grid.spacing);
+        w.put_f64(grid.weight_jitter);
+        w.put_f64(grid.removal_prob);
+        w.put_u64(grid.seed);
+        w.put_u64(wl.num_trajectories as u64);
+        w.put_u64(wl.seed);
+        w.put_u64(wl.min_trip_edges as u64);
+        w.put_f64(wl.sampling_interval);
+        let (tag, cap) = match backend {
+            SpBackend::Dense => (0u64, 0u64),
+            SpBackend::Lazy { capacity_trees } => (1, capacity_trees as u64),
+            SpBackend::Ch => (2, 0),
+        };
+        w.put_u64(tag);
+        w.put_u64(cap);
+        w.into_bytes()
+    }
+
+    /// Shared construction: network → SP provider → workload → trained
+    /// PRESS, with the network / SP structure / model either built (and
+    /// optionally saved) or warm-started from a store directory.
+    fn build_env(
+        grid: press_network::GridConfig,
+        wl: WorkloadConfig,
+        backend: SpBackend,
+        store: StoreMode<'_>,
+        flavor: &str,
+    ) -> Env {
+        let fail = |what: &str, e: press_store::StoreError| -> ! {
+            panic!("artifact store: cannot {what} for the {flavor} environment: {e}")
+        };
+        let provenance = Self::provenance_bytes(&grid, &wl, backend);
+        let (net, concrete, loaded_model) = match store {
+            StoreMode::Load(base) => {
+                let dir = base.join(flavor);
+                let meta = press_store::StoreFile::open(&dir.join("env_meta.press"))
+                    .unwrap_or_else(|e| fail("read the environment provenance", e));
+                let saved = meta
+                    .expect_kind(press_store::kind::META)
+                    .and_then(|()| meta.section("provenance"))
+                    .unwrap_or_else(|e| fail("read the environment provenance", e));
+                assert!(
+                    saved == provenance.as_slice(),
+                    "artifact store: {} was saved under a different seed, scale, grid, \
+                     workload, or SP backend than this run requests; rebuild it with \
+                     --save-dir using the same flags",
+                    dir.display()
+                );
+                let net = Arc::new(
+                    RoadNetwork::load_from(&dir.join("network.press"))
+                        .unwrap_or_else(|e| fail("load the network", e)),
+                );
+                let concrete =
+                    ConcreteSp::load(backend, net.clone(), &dir.join(sp_file_name(backend)))
+                        .unwrap_or_else(|e| fail("load the SP structure", e));
+                let model = HscModel::load_from(concrete.erased(), &dir.join("hsc.press"))
+                    .unwrap_or_else(|e| fail("load the HSC model", e));
+                (net, concrete, Some(model))
+            }
+            _ => {
+                let net = Arc::new(press_network::grid_network(&grid));
+                let concrete = ConcreteSp::build(backend, net.clone());
+                (net, concrete, None)
+            }
+        };
+        let sp = concrete.erased();
+        let workload = Workload::generate(net.clone(), sp.clone(), wl);
         let train_fraction = 0.3;
-        let (train, _) = workload.split(train_fraction);
-        let training_paths: Vec<Vec<press_network::EdgeId>> =
-            train.iter().map(|r| r.path.clone()).collect();
-        let press =
-            Press::train(sp.clone(), &training_paths, PressConfig::default()).expect("training");
+        let press = match loaded_model {
+            Some(model) => Press::with_model(Arc::new(model), PressConfig::default()),
+            None => {
+                let (train, _) = workload.split(train_fraction);
+                let training_paths: Vec<Vec<press_network::EdgeId>> =
+                    train.iter().map(|r| r.path.clone()).collect();
+                Press::train(sp.clone(), &training_paths, PressConfig::default()).expect("training")
+            }
+        };
+        if let StoreMode::Save(base) = store {
+            let dir = base.join(flavor);
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| fail("create the store directory", e.into()));
+            net.save_to(&dir.join("network.press"))
+                .unwrap_or_else(|e| fail("save the network", e));
+            // Saved after the workload + training passes so a lazy cache
+            // persists its warmed hot set.
+            concrete
+                .save(&dir.join(sp_file_name(backend)))
+                .unwrap_or_else(|e| fail("save the SP structure", e));
+            press
+                .model()
+                .save_to(&dir.join("hsc.press"))
+                .unwrap_or_else(|e| fail("save the HSC model", e));
+            let mut w = press_store::StoreWriter::new(press_store::kind::META);
+            w.section("provenance", provenance);
+            w.write_to(&dir.join("env_meta.press"))
+                .unwrap_or_else(|e| fail("save the environment provenance", e));
+        }
         Env {
             net,
             sp,
@@ -217,5 +406,42 @@ mod tests {
         assert!(env.mean_speed() > 1.0 && env.mean_speed() < 40.0);
         let trajs = env.eval_trajectories();
         assert_eq!(trajs.len(), env.eval_records().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "saved under a different seed")]
+    fn warm_start_rejects_mismatched_provenance() {
+        let dir = std::env::temp_dir().join(format!("press-env-prov-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = Env::standard_with_store(Scale::Small, 5, SpBackend::Dense, StoreMode::Save(&dir));
+        // Different seed: the artifacts on disk do not describe this run.
+        let _ = Env::standard_with_store(Scale::Small, 6, SpBackend::Dense, StoreMode::Load(&dir));
+    }
+
+    #[test]
+    fn saved_then_loaded_env_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("press-env-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for backend in [SpBackend::Dense, SpBackend::lazy(), SpBackend::Ch] {
+            let built = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Save(&dir));
+            let warm = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Load(&dir));
+            assert_eq!(built.workload.records.len(), warm.workload.records.len());
+            for (ta, tb) in built
+                .eval_trajectories()
+                .iter()
+                .zip(&warm.eval_trajectories())
+                .take(8)
+            {
+                assert_eq!(ta, tb, "workload must regenerate identically");
+                let ca = built.press.compress(ta).unwrap();
+                let cb = warm.press.compress(tb).unwrap();
+                assert_eq!(ca, cb, "{backend:?} warm-start must compress identically");
+                assert_eq!(
+                    built.press.decompress(&ca).unwrap().path,
+                    warm.press.decompress(&cb).unwrap().path
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

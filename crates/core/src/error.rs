@@ -23,6 +23,8 @@ pub enum PressError {
     InvalidTraining(String),
     /// Configuration value out of range.
     InvalidConfig(String),
+    /// The on-disk artifact tier failed (I/O, corruption, versioning).
+    Store(press_store::StoreError),
 }
 
 impl fmt::Display for PressError {
@@ -38,6 +40,7 @@ impl fmt::Display for PressError {
             PressError::OutOfDomain(msg) => write!(f, "query out of domain: {msg}"),
             PressError::InvalidTraining(msg) => write!(f, "invalid training set: {msg}"),
             PressError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PressError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -46,6 +49,7 @@ impl std::error::Error for PressError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PressError::Network(e) => Some(e),
+            PressError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -54,6 +58,12 @@ impl std::error::Error for PressError {
 impl From<NetworkError> for PressError {
     fn from(e: NetworkError) -> Self {
         PressError::Network(e)
+    }
+}
+
+impl From<press_store::StoreError> for PressError {
+    fn from(e: press_store::StoreError) -> Self {
+        PressError::Store(e)
     }
 }
 

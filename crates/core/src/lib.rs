@@ -6,11 +6,13 @@
 //! and the end-to-end [`press::Press`] façade with storage accounting.
 
 pub mod error;
+pub mod parallel;
 pub mod press;
 pub mod query;
 pub mod reformat;
 pub mod spatial;
 pub mod stats;
+pub mod store;
 pub mod temporal;
 pub mod types;
 
@@ -18,5 +20,6 @@ pub use error::{PressError, Result};
 pub use press::{CompressedTrajectory, Press, PressConfig};
 pub use reformat::{reformat, PathSample};
 pub use spatial::{CompressedSpatial, Decomposer, HscModel};
+pub use store::TrajectoryStore;
 pub use temporal::{btc_compress, nstd, tsnd, BtcBounds};
 pub use types::{DtPoint, GpsPoint, GpsTrajectory, SpatialPath, TemporalSequence, Trajectory};

@@ -1,0 +1,129 @@
+//! Work-stealing parallel map over a shared atomic cursor.
+//!
+//! Both dataset-scale passes in PRESS — batch compression
+//! ([`Press::compress_batch`](crate::press::Press::compress_batch)) and
+//! HSC corpus training (`sp_compress` over the training paths) — have the
+//! same shape: per-item costs vary wildly (path length, SP-cache hits),
+//! so fixed chunking idles threads behind the slowest slice, while
+//! stealing one index at a time from a shared atomic cursor keeps every
+//! worker busy until the input drains. This module is that one shared
+//! loop; output order is preserved (workers write results back by index),
+//! so a parallel pass is bit-for-bit identical to the sequential map for
+//! any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` with `threads` workers stealing indices from a
+/// shared atomic cursor. Results come back in input order.
+///
+/// Falls back to a plain sequential map when `threads <= 1` or the input
+/// is too small to amortize thread startup (< 2 items per worker). `f`
+/// receives `(index, item)`; it must be `Sync` because all workers share
+/// it.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn work_steal_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() < 2 * threads {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("work-stealing worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, r) in parts.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("all indices drained"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 200] {
+            let parallel = work_steal_map(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(sequential, parallel, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn passes_the_item_index_through() {
+        let items = vec!["a", "b", "c", "d", "e", "f", "g", "h"];
+        let out = work_steal_map(&items, 4, |i, &s| (i, s.to_string()));
+        for (i, (j, s)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*s, items[i]);
+        }
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let items: Vec<usize> = (0..64).collect();
+        let calls = AtomicUsize::new(0);
+        let out = work_steal_map(&items, 8, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(work_steal_map(&empty, 8, |_, &x| x).is_empty());
+        // Below the 2*threads threshold: the sequential path runs.
+        let tiny = vec![1u32, 2, 3];
+        assert_eq!(work_steal_map(&tiny, 8, |_, &x| x + 1), vec![2, 3, 4]);
+        // threads = 0 is clamped to 1.
+        assert_eq!(work_steal_map(&tiny, 0, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn uneven_workloads_still_complete() {
+        // Items with wildly different costs (the motivating case).
+        let items: Vec<u64> = (0..40)
+            .map(|i| if i % 7 == 0 { 20_000 } else { 10 })
+            .collect();
+        let out = work_steal_map(&items, 4, |_, &n| (0..n).sum::<u64>());
+        let expect: Vec<u64> = items.iter().map(|&n| (0..n).sum()).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -132,54 +132,23 @@ impl Press {
     /// Compresses a batch across `threads` worker threads (dataset-scale
     /// operation used by the experiments).
     ///
-    /// Work distribution is **work-stealing over a shared atomic cursor**
-    /// rather than fixed chunking: trajectory costs vary wildly (length,
-    /// cache hits in a lazy SP provider), so pre-chunking leaves threads
-    /// idle behind the slowest slice, while stealing one index at a time
-    /// keeps every worker busy until the batch is drained. All workers
-    /// share the model's single `SpProvider`, which is the point of the
-    /// sharded lazy cache: one worker's Dijkstra tree warms the others.
+    /// Work distribution is the shared
+    /// [`work_steal_map`](crate::parallel::work_steal_map) loop —
+    /// work-stealing over an atomic cursor rather than fixed chunking:
+    /// trajectory costs vary wildly (length, cache hits in a lazy SP
+    /// provider), so pre-chunking leaves threads idle behind the slowest
+    /// slice, while stealing one index at a time keeps every worker busy
+    /// until the batch is drained. All workers share the model's single
+    /// `SpProvider`, which is the point of the sharded lazy cache: one
+    /// worker's Dijkstra tree warms the others.
     pub fn compress_batch(
         &self,
         trajectories: &[Trajectory],
         threads: usize,
     ) -> Result<Vec<CompressedTrajectory>> {
-        let threads = threads.max(1);
-        if threads == 1 || trajectories.len() < 2 * threads {
-            return trajectories.iter().map(|t| self.compress(t)).collect();
-        }
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let next = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, Result<CompressedTrajectory>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(t) = trajectories.get(i) else {
-                                break;
-                            };
-                            local.push((i, self.compress(t)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let mut out: Vec<Option<CompressedTrajectory>> = vec![None; trajectories.len()];
-        for (i, r) in parts.into_iter().flatten() {
-            out[i] = Some(r?);
-        }
-        Ok(out
+        crate::parallel::work_steal_map(trajectories, threads, |_, t| self.compress(t))
             .into_iter()
-            .map(|c| c.expect("all indices drained"))
-            .collect())
+            .collect()
     }
 
     /// Decompresses back to a full trajectory. The spatial path is restored

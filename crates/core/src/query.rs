@@ -656,6 +656,20 @@ impl<'a> QueryEngine<'a> {
         Ok(best)
     }
 
+    /// Conservative MBR of a whole compressed spatial path, unioned from
+    /// the per-unit synopses without expanding anything. This is the
+    /// rectangle the block-oriented [`crate::store::TrajectoryStore`]
+    /// records per block: over-approximation only costs extra candidate
+    /// blocks, never a missed hit.
+    pub fn spatial_mbr(&self, cs: &CompressedSpatial) -> Result<Mbr> {
+        let mut mbr = Mbr::empty();
+        self.for_each_unit(cs, |unit, _| {
+            mbr.expand(&self.unit_mbr(unit)?);
+            Ok(false)
+        })?;
+        Ok(mbr)
+    }
+
     /// Collects `(unit, mbr)` summaries for a compressed path.
     fn collect_units(&self, cs: &CompressedSpatial) -> Result<Vec<(Unit, Mbr)>> {
         let mut units = Vec::new();

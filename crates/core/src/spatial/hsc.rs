@@ -113,13 +113,13 @@ impl HscModel {
     }
 
     /// SP-compresses the whole training corpus, in parallel across the
-    /// available cores. Work distribution is the same **atomic-cursor
-    /// work-stealing** `Press::compress_batch` uses: path costs vary
-    /// wildly (length, SP-cache hits), so fixed chunking would idle
-    /// threads behind the slowest slice, while stealing one index at a
-    /// time drains the corpus evenly. Output order is preserved — each
-    /// worker writes results back by index — so training is bit-for-bit
-    /// identical to the sequential pass regardless of thread count.
+    /// available cores, via the shared
+    /// [`work_steal_map`](crate::parallel::work_steal_map) loop (the same
+    /// atomic-cursor work-stealing `Press::compress_batch` uses): path
+    /// costs vary wildly (length, SP-cache hits), so fixed chunking would
+    /// idle threads behind the slowest slice. Output order is preserved,
+    /// so training is bit-for-bit identical to the sequential pass
+    /// regardless of thread count.
     fn sp_compress_corpus(sp: &dyn SpProvider, training_paths: &[Vec<EdgeId>]) -> Vec<Vec<EdgeId>> {
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -134,40 +134,27 @@ impl HscModel {
         training_paths: &[Vec<EdgeId>],
         threads: usize,
     ) -> Vec<Vec<EdgeId>> {
-        if threads == 1 || training_paths.len() < 2 * threads {
-            return training_paths.iter().map(|p| sp_compress(sp, p)).collect();
+        crate::parallel::work_steal_map(training_paths, threads, |_, p| sp_compress(sp, p))
+    }
+
+    /// Reassembles a model from its persisted parts (the artifact tier's
+    /// load path — see [`crate::store`]). The automaton is rebuilt from
+    /// the trie by the same deterministic BFS construction training uses,
+    /// so a loaded model is indistinguishable from the trained one.
+    pub(crate) fn from_parts(
+        sp: Arc<dyn SpProvider>,
+        trie: crate::spatial::trie::Trie,
+        huffman: Huffman,
+        node_dist: Vec<f64>,
+        node_mbr: Vec<Mbr>,
+    ) -> Self {
+        HscModel {
+            sp,
+            ac: AcAutomaton::build(trie),
+            huffman,
+            node_dist,
+            node_mbr,
         }
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let next = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, Vec<EdgeId>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(p) = training_paths.get(i) else {
-                                break;
-                            };
-                            local.push((i, sp_compress(sp, p)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("training worker panicked"))
-                .collect()
-        });
-        let mut out: Vec<Option<Vec<EdgeId>>> = vec![None; training_paths.len()];
-        for (i, c) in parts.into_iter().flatten() {
-            out[i] = Some(c);
-        }
-        out.into_iter()
-            .map(|c| c.expect("all indices drained"))
-            .collect()
     }
 
     /// Computes per-node decompressed distances and MBRs. A node's

@@ -94,6 +94,80 @@ impl Trie {
         Ok(trie)
     }
 
+    /// Reconstructs a Trie from its serialized per-node records (the
+    /// artifact tier's load path). `nodes[i]` describes non-root node
+    /// `i + 1` as `(parent, last edge, depth, frequency)`; nodes must be
+    /// listed parents-first (`parent < id`), exactly as [`Trie::build`]
+    /// creates them, and the first `num_edges` nodes must be the complete
+    /// first level in edge order. Children/level1 indexes are rebuilt;
+    /// because children are re-inserted in the same id order the builder
+    /// used, the reconstructed Trie is field-for-field identical.
+    ///
+    /// Violations return an error string (the caller maps it to a typed
+    /// store error) — never a panic.
+    pub(crate) fn from_raw_parts(
+        theta: usize,
+        num_edges: usize,
+        nodes: &[(TrieNodeId, EdgeId, u16, u64)],
+    ) -> std::result::Result<Self, String> {
+        if theta == 0 {
+            return Err("theta must be at least 1".into());
+        }
+        if num_edges == 0 {
+            return Err("network has no edges".into());
+        }
+        if nodes.len() < num_edges {
+            return Err(format!(
+                "{} nodes cannot hold a complete {num_edges}-edge first level",
+                nodes.len()
+            ));
+        }
+        let mut trie = Trie {
+            nodes: vec![TrieNode {
+                parent: 0,
+                edge: EdgeId(u32::MAX),
+                depth: 0,
+                freq: 0,
+                children: Vec::with_capacity(num_edges),
+            }],
+            theta,
+            level1: vec![0; num_edges],
+        };
+        for (i, &(parent, edge, depth, freq)) in nodes.iter().enumerate() {
+            let id = (i + 1) as TrieNodeId;
+            if parent >= id {
+                return Err(format!("node {id} has non-prior parent {parent}"));
+            }
+            if edge.index() >= num_edges {
+                return Err(format!("node {id} labelled with out-of-alphabet {edge}"));
+            }
+            let expected_depth = trie.nodes[parent as usize].depth + 1;
+            if depth != expected_depth {
+                return Err(format!(
+                    "node {id} depth {depth} != parent depth + 1 ({expected_depth})"
+                ));
+            }
+            if depth as usize > theta {
+                return Err(format!("node {id} deeper than theta {theta}"));
+            }
+            if i < num_edges && (parent != Self::ROOT || edge != EdgeId(i as u32)) {
+                return Err(format!(
+                    "node {id} must be the level-1 node of edge e{i} (complete first level)"
+                ));
+            }
+            if trie.child(parent, edge).is_some() {
+                return Err(format!("node {id} duplicates child {edge} of {parent}"));
+            }
+            let created = trie.push_node(parent, edge, depth);
+            debug_assert_eq!(created, id);
+            trie.nodes[id as usize].freq = freq;
+            if depth == 1 {
+                trie.level1[edge.index()] = id;
+            }
+        }
+        Ok(trie)
+    }
+
     fn push_node(&mut self, parent: TrieNodeId, edge: EdgeId, depth: u16) -> TrieNodeId {
         let id = self.nodes.len() as TrieNodeId;
         self.nodes.push(TrieNode {

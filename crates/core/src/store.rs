@@ -1,0 +1,801 @@
+//! On-disk artifacts of the PRESS core: the trained HSC model and a
+//! block-oriented compressed-trajectory store, both in the shared
+//! [`press_store`] container format.
+//!
+//! # Model persistence
+//!
+//! [`HscModel`] training is a corpus-wide pass (SP compression of every
+//! training path, trie mining, Huffman construction, per-node tables);
+//! the result is small and static. `HscModel::save_to` persists the trie
+//! records, the canonical Huffman code lengths, and the per-node
+//! distance/MBR tables; `HscModel::load_from` reassembles the model over
+//! a shortest-path provider, rebuilding the Aho–Corasick automaton with
+//! the same deterministic construction training uses — so a loaded model
+//! compresses, decompresses and answers queries **bit-identically** to
+//! the trained one.
+//!
+//! # The block store
+//!
+//! [`TrajectoryStore`] keeps a compressed corpus on disk in fixed-size
+//! blocks, each carrying a **synopsis**: the union MBR of its
+//! trajectories' spatial extents (from the query engine's per-unit
+//! rectangles — no decompression) and the union of their observed time
+//! spans. Queries consult the synopses to skip whole blocks, borrowing
+//! the metadata-driven data-skipping idea of provenance-based block
+//! synopses (see PAPERS.md):
+//!
+//! * [`TrajectoryStore::range`] skips blocks whose time span misses
+//!   `[t1, t2]` or whose MBR misses the region;
+//! * [`TrajectoryStore::whenat`] rejects probes outside the containing
+//!   block's (tolerance-inflated) MBR without decoding it;
+//! * [`TrajectoryStore::whereat`]/[`TrajectoryStore::get`] decode only
+//!   the one block holding the requested trajectory.
+//!
+//! Synopses are conservative over-approximations: a skipped block can
+//! never contain a hit, so store-level answers equal the brute-force
+//! scan (asserted in tests). Range semantics: a trajectory qualifies
+//! only when its **observed time span overlaps** the query window —
+//! trajectories that ended before `t1` or started after `t2` are not
+//! "passing the region within `[t1, t2]`".
+
+use crate::error::{PressError, Result};
+use crate::press::CompressedTrajectory;
+use crate::query::QueryEngine;
+use crate::spatial::{BitStream, CompressedSpatial, HscModel, Huffman, Trie};
+use crate::types::{DtPoint, TemporalSequence};
+use press_network::{EdgeId, Mbr, Point, SpProvider};
+use press_store::{kind, ByteReader, ByteWriter, StoreError, StoreFile, StoreWriter};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// HSC model persistence
+// ---------------------------------------------------------------------
+
+impl HscModel {
+    /// Serializes the trained model into a [`press_store`] container: the
+    /// trie's per-node records, the canonical Huffman code lengths, and
+    /// the per-node distance/MBR tables of §5.1–§5.2.
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let trie = self.trie();
+        let n = trie.num_nodes();
+        let mut meta = ByteWriter::with_capacity(24);
+        meta.put_u64(trie.theta() as u64);
+        meta.put_u64(trie.alphabet_size() as u64);
+        meta.put_u64(n as u64);
+        let mut nodes = ByteWriter::with_capacity((n - 1) * 18);
+        for id in trie.node_ids() {
+            nodes.put_u32(trie.parent(id));
+            nodes.put_u32(trie.last_edge(id).0);
+            nodes.put_u16(trie.depth(id) as u16);
+            nodes.put_u64(trie.freq(id));
+        }
+        let lens = self.huffman().code_lengths();
+        let mut dist = ByteWriter::with_capacity(n * 8);
+        let mut mbr = ByteWriter::with_capacity(n * 32);
+        for id in 0..n as u32 {
+            dist.put_f64(self.node_dist(id));
+            let m = self.node_mbr(id);
+            mbr.put_f64(m.min_x);
+            mbr.put_f64(m.min_y);
+            mbr.put_f64(m.max_x);
+            mbr.put_f64(m.max_y);
+        }
+        let mut w = StoreWriter::new(kind::HSC_MODEL);
+        w.section("meta", meta.into_bytes());
+        w.section("trie", nodes.into_bytes());
+        w.section("hufflens", lens);
+        w.section("node_dist", dist.into_bytes());
+        w.section("node_mbr", mbr.into_bytes());
+        w.to_bytes()
+    }
+
+    /// Writes the model artifact to `path`.
+    pub fn save_to(&self, path: &Path) -> press_store::Result<()> {
+        std::fs::write(path, self.to_store_bytes())?;
+        Ok(())
+    }
+
+    /// Reassembles a model over `sp` from container bytes, validating the
+    /// trie structure, the Huffman code lengths (Kraft equality), and the
+    /// table sizes. The model's edge alphabet must match `sp`'s network.
+    pub fn from_store_bytes(
+        sp: Arc<dyn SpProvider>,
+        bytes: Vec<u8>,
+    ) -> press_store::Result<HscModel> {
+        let file = StoreFile::from_bytes(bytes)?;
+        file.expect_kind(kind::HSC_MODEL)?;
+        let mut meta = file.reader("meta")?;
+        let theta = meta.get_len(u16::MAX as usize, "theta")?;
+        let alphabet = meta.get_len(u32::MAX as usize, "alphabet")?;
+        let num_nodes = meta.get_len(u32::MAX as usize, "trie node")?;
+        meta.expect_end("meta")?;
+        if alphabet != sp.network().num_edges() {
+            return Err(StoreError::Corrupt(format!(
+                "model alphabet {alphabet} != network edge count {}",
+                sp.network().num_edges()
+            )));
+        }
+        if num_nodes == 0 {
+            return Err(StoreError::Corrupt("trie has no root".into()));
+        }
+        let mut r = file.reader("trie")?;
+        let mut records = Vec::with_capacity(num_nodes - 1);
+        for _ in 1..num_nodes {
+            let parent = r.get_u32()?;
+            let edge = EdgeId(r.get_u32()?);
+            let depth = r.get_u16()?;
+            let freq = r.get_u64()?;
+            records.push((parent, edge, depth, freq));
+        }
+        r.expect_end("trie")?;
+        let trie = Trie::from_raw_parts(theta, alphabet, &records)
+            .map_err(|e| StoreError::Corrupt(format!("trie: {e}")))?;
+        let lens = file.section("hufflens")?.to_vec();
+        if lens.len() != num_nodes - 1 {
+            return Err(StoreError::Corrupt(format!(
+                "{} Huffman code lengths for {} symbols",
+                lens.len(),
+                num_nodes - 1
+            )));
+        }
+        validate_code_lengths(&lens)?;
+        let huffman = Huffman::from_code_lengths(lens)
+            .map_err(|e| StoreError::Corrupt(format!("huffman: {e}")))?;
+        let mut r = file.reader("node_dist")?;
+        let mut node_dist = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            node_dist.push(r.get_f64()?);
+        }
+        r.expect_end("node_dist")?;
+        let mut r = file.reader("node_mbr")?;
+        let mut node_mbr = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            node_mbr.push(Mbr {
+                min_x: r.get_f64()?,
+                min_y: r.get_f64()?,
+                max_x: r.get_f64()?,
+                max_y: r.get_f64()?,
+            });
+        }
+        r.expect_end("node_mbr")?;
+        Ok(HscModel::from_parts(sp, trie, huffman, node_dist, node_mbr))
+    }
+
+    /// Loads a model artifact from `path` (one contiguous read).
+    pub fn load_from(sp: Arc<dyn SpProvider>, path: &Path) -> press_store::Result<HscModel> {
+        Self::from_store_bytes(sp, std::fs::read(path)?)
+    }
+}
+
+/// Rejects code-length vectors that could not have come from a Huffman
+/// build: lengths must be in `1..=64` and — for more than one symbol —
+/// satisfy the Kraft **equality** `Σ 2^(64−len) == 2^64` (an optimal
+/// prefix code wastes no code space). The single-symbol code is `0` with
+/// length 1 by convention.
+fn validate_code_lengths(lens: &[u8]) -> press_store::Result<()> {
+    if lens.len() == 1 {
+        if lens[0] != 1 {
+            return Err(StoreError::Corrupt(format!(
+                "single-symbol code must have length 1, got {}",
+                lens[0]
+            )));
+        }
+        return Ok(());
+    }
+    let mut kraft: u128 = 0;
+    for &l in lens {
+        if !(1..=64).contains(&l) {
+            return Err(StoreError::Corrupt(format!(
+                "Huffman code length {l} outside 1..=64"
+            )));
+        }
+        kraft += 1u128 << (64 - l as u32);
+    }
+    if kraft != 1u128 << 64 {
+        return Err(StoreError::Corrupt(
+            "Huffman code lengths violate the Kraft equality".into(),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Block-oriented compressed-trajectory store
+// ---------------------------------------------------------------------
+
+/// Per-block metadata consulted before any decompression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockSynopsis {
+    /// Union MBR of the block's trajectories' spatial extents
+    /// (conservative, from per-unit rectangles).
+    pub mbr: Mbr,
+    /// Earliest observed timestamp in the block.
+    pub t0: f64,
+    /// Latest observed timestamp in the block.
+    pub t1: f64,
+    /// Index of the block's first trajectory.
+    pub start: usize,
+    /// Number of trajectories in the block.
+    pub len: usize,
+}
+
+/// A block-oriented on-disk store of compressed trajectories; see the
+/// module docs for the skipping semantics.
+pub struct TrajectoryStore {
+    file: StoreFile,
+    block_size: usize,
+    len: usize,
+    blocks: Vec<BlockSynopsis>,
+    /// Most-recently-decoded block (queries stream block-locally).
+    cache: Mutex<Option<(usize, Arc<Vec<CompressedTrajectory>>)>>,
+    blocks_decoded: AtomicU64,
+    blocks_skipped: AtomicU64,
+}
+
+impl TrajectoryStore {
+    /// Serializes a compressed corpus into container bytes, computing
+    /// per-block synopses through `engine` (whose model must be the one
+    /// that produced the trajectories).
+    pub fn to_store_bytes(
+        engine: &QueryEngine<'_>,
+        trajectories: &[CompressedTrajectory],
+        block_size: usize,
+    ) -> Result<Vec<u8>> {
+        if block_size == 0 {
+            return Err(PressError::InvalidConfig(
+                "block_size must be at least 1".into(),
+            ));
+        }
+        let num_blocks = trajectories.len().div_ceil(block_size);
+        let mut synopsis = ByteWriter::with_capacity(num_blocks * 64);
+        let mut w = StoreWriter::new(kind::TRAJECTORY_STORE);
+        let mut meta = ByteWriter::with_capacity(24);
+        meta.put_u64(trajectories.len() as u64);
+        meta.put_u64(block_size as u64);
+        meta.put_u64(num_blocks as u64);
+        let mut payloads = Vec::with_capacity(num_blocks);
+        for (b, chunk) in trajectories.chunks(block_size).enumerate() {
+            let mut mbr = Mbr::empty();
+            let mut t0 = f64::INFINITY;
+            let mut t1 = f64::NEG_INFINITY;
+            let mut payload = ByteWriter::new();
+            for ct in chunk {
+                mbr.expand(&engine.spatial_mbr(&ct.spatial)?);
+                if let Some((a, b)) = ct.temporal.time_range() {
+                    t0 = t0.min(a);
+                    t1 = t1.max(b);
+                }
+                let bits = &ct.spatial.bits;
+                payload.put_u64(bits.len_bits());
+                payload.put_bytes(&bits.to_bytes());
+                payload.put_u64(ct.temporal.len() as u64);
+                for p in &ct.temporal.points {
+                    payload.put_f64(p.d);
+                    payload.put_f64(p.t);
+                }
+            }
+            synopsis.put_f64(mbr.min_x);
+            synopsis.put_f64(mbr.min_y);
+            synopsis.put_f64(mbr.max_x);
+            synopsis.put_f64(mbr.max_y);
+            synopsis.put_f64(t0);
+            synopsis.put_f64(t1);
+            synopsis.put_u64((b * block_size) as u64);
+            synopsis.put_u64(chunk.len() as u64);
+            payloads.push(payload.into_bytes());
+        }
+        w.section("meta", meta.into_bytes());
+        w.section("synopsis", synopsis.into_bytes());
+        for (b, payload) in payloads.into_iter().enumerate() {
+            w.section(&format!("blk{b}"), payload);
+        }
+        Ok(w.to_bytes())
+    }
+
+    /// Writes a compressed corpus to `path` as a block store.
+    pub fn create(
+        path: &Path,
+        engine: &QueryEngine<'_>,
+        trajectories: &[CompressedTrajectory],
+        block_size: usize,
+    ) -> Result<()> {
+        let bytes = Self::to_store_bytes(engine, trajectories, block_size)?;
+        std::fs::write(path, bytes).map_err(StoreError::from)?;
+        Ok(())
+    }
+
+    /// Opens a store from container bytes, validating the synopsis table.
+    pub fn from_store_bytes(bytes: Vec<u8>) -> Result<TrajectoryStore> {
+        let file = StoreFile::from_bytes(bytes)?;
+        file.expect_kind(kind::TRAJECTORY_STORE)?;
+        let mut meta = file.reader("meta")?;
+        let len = meta.get_len(u32::MAX as usize, "trajectory")?;
+        let block_size = meta.get_len(u32::MAX as usize, "block size")?;
+        let num_blocks = meta.get_len(u32::MAX as usize, "block")?;
+        meta.expect_end("meta")?;
+        if block_size == 0 || num_blocks != len.div_ceil(block_size) {
+            return Err(StoreError::Corrupt(format!(
+                "{num_blocks} blocks of size {block_size} cannot hold {len} trajectories"
+            ))
+            .into());
+        }
+        let mut r = file.reader("synopsis")?;
+        let mut blocks = Vec::with_capacity(num_blocks);
+        for b in 0..num_blocks {
+            let mbr = Mbr {
+                min_x: r.get_f64()?,
+                min_y: r.get_f64()?,
+                max_x: r.get_f64()?,
+                max_y: r.get_f64()?,
+            };
+            let t0 = r.get_f64()?;
+            let t1 = r.get_f64()?;
+            let start = r.get_len(len, "block start")?;
+            let blen = r.get_len(block_size, "block length")?;
+            let expected_start = b * block_size;
+            let expected_len = block_size.min(len - expected_start);
+            if start != expected_start || blen != expected_len {
+                return Err(StoreError::Corrupt(format!(
+                    "block {b} covers [{start}, {start}+{blen}) instead of \
+                     [{expected_start}, {expected_start}+{expected_len})"
+                ))
+                .into());
+            }
+            if !file.has_section(&format!("blk{b}")) {
+                return Err(StoreError::MissingSection(format!("blk{b}")).into());
+            }
+            blocks.push(BlockSynopsis {
+                mbr,
+                t0,
+                t1,
+                start,
+                len: blen,
+            });
+        }
+        r.expect_end("synopsis")?;
+        Ok(TrajectoryStore {
+            file,
+            block_size,
+            len,
+            blocks,
+            cache: Mutex::new(None),
+            blocks_decoded: AtomicU64::new(0),
+            blocks_skipped: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a store file (one contiguous read).
+    pub fn open(path: &Path) -> Result<TrajectoryStore> {
+        Self::from_store_bytes(std::fs::read(path).map_err(StoreError::from)?)
+    }
+
+    /// Number of trajectories in the store.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the store holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Trajectories per (full) block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Synopsis of block `b`.
+    pub fn synopsis(&self, b: usize) -> &BlockSynopsis {
+        &self.blocks[b]
+    }
+
+    /// `(blocks decoded, blocks skipped via synopsis)` so far — the
+    /// observable effect of data skipping.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (
+            self.blocks_decoded.load(Ordering::Relaxed),
+            self.blocks_skipped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Decodes (or returns the cached) block `b`.
+    fn block(&self, b: usize) -> Result<Arc<Vec<CompressedTrajectory>>> {
+        {
+            let guard = self.cache.lock().unwrap();
+            if let Some((idx, block)) = guard.as_ref() {
+                if *idx == b {
+                    return Ok(block.clone());
+                }
+            }
+        }
+        let syn = &self.blocks[b];
+        let mut r = self.file.reader(&format!("blk{b}"))?;
+        let mut out = Vec::with_capacity(syn.len);
+        for _ in 0..syn.len {
+            out.push(decode_trajectory(&mut r)?);
+        }
+        r.expect_end("block")?;
+        self.blocks_decoded.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(out);
+        *self.cache.lock().unwrap() = Some((b, block.clone()));
+        Ok(block)
+    }
+
+    /// The compressed trajectory at `idx`, decoding only its block.
+    pub fn get(&self, idx: usize) -> Result<CompressedTrajectory> {
+        if idx >= self.len {
+            return Err(PressError::OutOfDomain(format!(
+                "trajectory {idx} out of range 0..{}",
+                self.len
+            )));
+        }
+        let block = self.block(idx / self.block_size)?;
+        Ok(block[idx % self.block_size].clone())
+    }
+
+    /// `whereat` on trajectory `idx`: decodes only the containing block
+    /// and answers identically to
+    /// [`QueryEngine::whereat`] on the in-memory trajectory.
+    pub fn whereat(&self, engine: &QueryEngine<'_>, idx: usize, t: f64) -> Result<Point> {
+        if idx >= self.len {
+            return Err(PressError::OutOfDomain(format!(
+                "trajectory {idx} out of range 0..{}",
+                self.len
+            )));
+        }
+        let block = self.block(idx / self.block_size)?;
+        engine.whereat(&block[idx % self.block_size], t)
+    }
+
+    /// `whenat` on trajectory `idx`. The containing block's synopsis is
+    /// consulted first: a probe farther than `tolerance` from the block
+    /// MBR cannot lie on any of its trajectories, so the block is not
+    /// decoded at all (same `OutOfDomain` answer, zero I/O).
+    pub fn whenat(
+        &self,
+        engine: &QueryEngine<'_>,
+        idx: usize,
+        p: Point,
+        tolerance: f64,
+    ) -> Result<f64> {
+        if idx >= self.len {
+            return Err(PressError::OutOfDomain(format!(
+                "trajectory {idx} out of range 0..{}",
+                self.len
+            )));
+        }
+        let b = idx / self.block_size;
+        if self.blocks[b].mbr.min_dist_to_point(&p) > tolerance {
+            self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+            return Err(PressError::OutOfDomain(format!(
+                "point ({}, {}) not on the trajectory (tolerance {tolerance})",
+                p.x, p.y
+            )));
+        }
+        let block = self.block(b)?;
+        engine.whenat(&block[idx % self.block_size], p, tolerance)
+    }
+
+    /// Indices of all trajectories whose observed time span overlaps
+    /// `[t1, t2]` and that pass through `region` within it
+    /// ([`QueryEngine::range`]). Blocks whose synopsis rules them out are
+    /// skipped without decompression; the result equals the brute-force
+    /// scan over every trajectory (synopses are conservative).
+    pub fn range(
+        &self,
+        engine: &QueryEngine<'_>,
+        t1: f64,
+        t2: f64,
+        region: &Mbr,
+    ) -> Result<Vec<usize>> {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mut hits = Vec::new();
+        for (b, syn) in self.blocks.iter().enumerate() {
+            if syn.t1 < lo || syn.t0 > hi || !syn.mbr.intersects(region) {
+                self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let block = self.block(b)?;
+            for (i, ct) in block.iter().enumerate() {
+                let Some((a, z)) = ct.temporal.time_range() else {
+                    continue;
+                };
+                if z < lo || a > hi {
+                    continue;
+                }
+                if engine.range(ct, lo, hi, region)? {
+                    hits.push(syn.start + i);
+                }
+            }
+        }
+        Ok(hits)
+    }
+}
+
+impl std::fmt::Debug for TrajectoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (decoded, skipped) = self.io_stats();
+        f.debug_struct("TrajectoryStore")
+            .field("trajectories", &self.len)
+            .field("blocks", &self.blocks.len())
+            .field("block_size", &self.block_size)
+            .field("blocks_decoded", &decoded)
+            .field("blocks_skipped", &skipped)
+            .finish()
+    }
+}
+
+/// Decodes one trajectory record (spatial bit stream + temporal tuples).
+fn decode_trajectory(r: &mut ByteReader<'_>) -> Result<CompressedTrajectory> {
+    let len_bits = r.get_len(r.remaining().saturating_mul(8), "spatial bit")? as u64;
+    let byte_len = (len_bits as usize).div_ceil(8);
+    let bits = BitStream::from_bytes(r.get_bytes(byte_len)?, len_bits);
+    let count = r.get_len(r.remaining() / 16 + 1, "temporal tuple")?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let d = r.get_f64()?;
+        let t = r.get_f64()?;
+        points.push(DtPoint::new(d, t));
+    }
+    Ok(CompressedTrajectory {
+        spatial: CompressedSpatial { bits },
+        temporal: TemporalSequence::new_unchecked(points),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::press::{Press, PressConfig};
+    use crate::types::{SpatialPath, Trajectory};
+    use press_network::{grid_network, GridConfig, NodeId, SpBackend, SpTable};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture() -> (Press, Vec<Trajectory>, Vec<CompressedTrajectory>) {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 7,
+            ny: 7,
+            weight_jitter: 0.12,
+            seed: 31,
+            ..GridConfig::default()
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut paths = Vec::new();
+        while paths.len() < 40 {
+            let a = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let b = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            if let Some(p) = press_network::dijkstra(&net, a).edge_path_to(&net, b) {
+                if p.len() >= 5 {
+                    paths.push(p);
+                }
+            }
+        }
+        let press = Press::train(sp, &paths, PressConfig::default()).unwrap();
+        let trajs: Vec<Trajectory> = paths
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+                let mut pts = Vec::new();
+                let mut d = 0.0;
+                // Stagger start times so time-span synopses differ.
+                let mut t = (k as f64) * 500.0;
+                while d < total {
+                    pts.push(DtPoint::new(d, t));
+                    d = (d + rng.gen_range(20.0f64..50.0)).min(total);
+                    t += rng.gen_range(3.0..7.0);
+                }
+                pts.push(DtPoint::new(total, t));
+                Trajectory::new(
+                    SpatialPath::new_unchecked(p.clone()),
+                    TemporalSequence::new(pts).unwrap(),
+                )
+            })
+            .collect();
+        let compressed = trajs.iter().map(|t| press.compress(t).unwrap()).collect();
+        (press, trajs, compressed)
+    }
+
+    #[test]
+    fn model_store_roundtrip_is_bit_identical() {
+        let (press, trajs, compressed) = fixture();
+        let model = press.model();
+        let sp = model.sp().clone();
+        let loaded = HscModel::from_store_bytes(sp, model.to_store_bytes()).unwrap();
+        // Structure.
+        let (a, b) = (model.trie(), loaded.trie());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.theta(), b.theta());
+        for id in a.node_ids() {
+            assert_eq!(a.parent(id), b.parent(id));
+            assert_eq!(a.last_edge(id), b.last_edge(id));
+            assert_eq!(a.depth(id), b.depth(id));
+            assert_eq!(a.freq(id), b.freq(id));
+            assert_eq!(
+                model.node_dist(id).to_bits(),
+                loaded.node_dist(id).to_bits()
+            );
+            assert_eq!(model.node_mbr(id), loaded.node_mbr(id));
+        }
+        assert_eq!(
+            model.huffman().code_lengths(),
+            loaded.huffman().code_lengths()
+        );
+        // Behavior: identical compression bits and lossless roundtrip.
+        for (traj, ct) in trajs.iter().zip(&compressed) {
+            let again = loaded.compress(&traj.path.edges).unwrap();
+            assert_eq!(ct.spatial, again);
+            assert_eq!(loaded.decompress(&again).unwrap(), traj.path.edges);
+        }
+    }
+
+    #[test]
+    fn model_store_rejects_corruption() {
+        let (press, _, _) = fixture();
+        let model = press.model();
+        let sp = model.sp().clone();
+        let bytes = model.to_store_bytes();
+        // Truncation.
+        let r = HscModel::from_store_bytes(sp.clone(), bytes[..bytes.len() / 3].to_vec());
+        assert!(r.is_err());
+        // Wrong artifact kind.
+        let net_bytes = sp.network().to_store_bytes();
+        assert!(matches!(
+            HscModel::from_store_bytes(sp.clone(), net_bytes),
+            Err(StoreError::WrongKind { .. })
+        ));
+        // Wrong network (different edge alphabet).
+        let other = Arc::new(grid_network(&GridConfig {
+            nx: 3,
+            ny: 3,
+            seed: 1,
+            ..GridConfig::default()
+        }));
+        let other_sp: Arc<dyn SpProvider> = SpBackend::Dense.build(other);
+        assert!(matches!(
+            HscModel::from_store_bytes(other_sp, bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn code_length_validation() {
+        assert!(validate_code_lengths(&[1]).is_ok());
+        assert!(validate_code_lengths(&[2]).is_err());
+        assert!(validate_code_lengths(&[1, 2, 2]).is_ok());
+        assert!(validate_code_lengths(&[1, 2, 3]).is_err()); // underfull
+        assert!(validate_code_lengths(&[1, 1, 1]).is_err()); // overfull
+        assert!(validate_code_lengths(&[0, 1]).is_err());
+        assert!(validate_code_lengths(&[65, 1]).is_err());
+    }
+
+    #[test]
+    fn trajectory_store_roundtrip_and_block_addressing() {
+        let (press, _, compressed) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let bytes = TrajectoryStore::to_store_bytes(&engine, &compressed, 8).unwrap();
+        let store = TrajectoryStore::from_store_bytes(bytes).unwrap();
+        assert_eq!(store.len(), compressed.len());
+        assert_eq!(store.num_blocks(), compressed.len().div_ceil(8));
+        for (i, ct) in compressed.iter().enumerate() {
+            assert_eq!(store.get(i).unwrap(), *ct, "trajectory {i} roundtrip");
+        }
+        // Accessing one trajectory decodes exactly one block (cached after).
+        let fresh = TrajectoryStore::from_store_bytes(
+            TrajectoryStore::to_store_bytes(&engine, &compressed, 8).unwrap(),
+        )
+        .unwrap();
+        let _ = fresh.get(3).unwrap();
+        let _ = fresh.get(5).unwrap();
+        assert_eq!(
+            fresh.io_stats().0,
+            1,
+            "same-block reads must share a decode"
+        );
+        assert!(fresh.get(compressed.len()).is_err());
+    }
+
+    #[test]
+    fn store_queries_match_in_memory_and_skip_blocks() {
+        let (press, trajs, compressed) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let store = TrajectoryStore::from_store_bytes(
+            TrajectoryStore::to_store_bytes(&engine, &compressed, 5).unwrap(),
+        )
+        .unwrap();
+        // whereat: bit-identical to the in-memory path.
+        for (i, (traj, ct)) in trajs.iter().zip(&compressed).enumerate() {
+            let (a, b) = traj.temporal.time_range().unwrap();
+            for k in 0..4 {
+                let t = a + (b - a) * k as f64 / 3.0;
+                let mem = engine.whereat(ct, t).unwrap();
+                let disk = store.whereat(&engine, i, t).unwrap();
+                assert_eq!(mem.x.to_bits(), disk.x.to_bits());
+                assert_eq!(mem.y.to_bits(), disk.y.to_bits());
+            }
+        }
+        // range: equals brute force under the same time-overlap predicate,
+        // and the staggered time spans force some blocks to be skipped.
+        let net = press.model().sp().network().clone();
+        let bb = net.bounding_box();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut skipped_somewhere = false;
+        for _ in 0..12 {
+            let cx = rng.gen_range(bb.min_x..bb.max_x);
+            let cy = rng.gen_range(bb.min_y..bb.max_y);
+            let half = rng.gen_range(50.0..300.0);
+            let region = Mbr::new(cx - half, cy - half, cx + half, cy + half);
+            let t1 = rng.gen_range(0.0..15_000.0);
+            let t2 = t1 + rng.gen_range(100.0..4000.0);
+            let before = store.io_stats().1;
+            let fast = store.range(&engine, t1, t2, &region).unwrap();
+            skipped_somewhere |= store.io_stats().1 > before;
+            let brute: Vec<usize> = compressed
+                .iter()
+                .enumerate()
+                .filter(|(_, ct)| {
+                    let (a, z) = ct.temporal.time_range().unwrap();
+                    z >= t1 && a <= t2 && engine.range(ct, t1, t2, &region).unwrap()
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, brute, "range mismatch for region {region:?}");
+        }
+        assert!(skipped_somewhere, "synopses never skipped a block");
+        // whenat: far probes are rejected from the synopsis alone.
+        let (decoded_before, skipped_before) = store.io_stats();
+        assert!(store.whenat(&engine, 0, Point::new(1e8, 1e8), 1.0).is_err());
+        let (decoded_after, skipped_after) = store.io_stats();
+        assert_eq!(decoded_before, decoded_after, "far whenat must not decode");
+        assert_eq!(skipped_before + 1, skipped_after);
+        // Near probes agree with the in-memory engine.
+        let probe = engine
+            .whereat(&compressed[2], trajs[2].temporal.points[1].t)
+            .unwrap();
+        let mem = engine.whenat(&compressed[2], probe, 0.5).unwrap();
+        let disk = store.whenat(&engine, 2, probe, 0.5).unwrap();
+        assert_eq!(mem.to_bits(), disk.to_bits());
+    }
+
+    #[test]
+    fn trajectory_store_corruption_is_typed() {
+        let (press, _, compressed) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let bytes = TrajectoryStore::to_store_bytes(&engine, &compressed, 4).unwrap();
+        // Bit flip in the last block's payload.
+        let mut corrupted = bytes.clone();
+        let len = corrupted.len();
+        corrupted[len - 2] ^= 0x20;
+        let store = TrajectoryStore::from_store_bytes(corrupted).unwrap();
+        let last = compressed.len() - 1;
+        assert!(matches!(
+            store.get(last),
+            Err(PressError::Store(StoreError::ChecksumMismatch { .. }))
+        ));
+        // Truncated file.
+        assert!(TrajectoryStore::from_store_bytes(bytes[..40].to_vec()).is_err());
+        // Zero block size on write.
+        assert!(TrajectoryStore::to_store_bytes(&engine, &compressed, 0).is_err());
+        // Empty store is fine.
+        let empty = TrajectoryStore::from_store_bytes(
+            TrajectoryStore::to_store_bytes(&engine, &[], 4).unwrap(),
+        )
+        .unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(
+            empty
+                .range(&engine, 0.0, 1.0, &Mbr::new(0.0, 0.0, 1.0, 1.0))
+                .unwrap(),
+            vec![]
+        );
+    }
+}

@@ -199,6 +199,88 @@ impl RoadNetwork {
             + (self.out_index.len() + self.in_index.len()) * 4
             + (self.out_edges.len() + self.in_edges.len()) * 4
     }
+
+    // -----------------------------------------------------------------
+    // Persistence (press-store artifact tier)
+    // -----------------------------------------------------------------
+
+    /// Serializes the network into a [`press_store`] container. Only the
+    /// node and edge arrays are stored; the CSR adjacency is rebuilt on
+    /// load through the same counting sort [`RoadNetworkBuilder::build`]
+    /// uses, so a loaded network is field-for-field identical to the
+    /// built one.
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let mut meta = press_store::ByteWriter::with_capacity(16);
+        meta.put_u64(self.nodes.len() as u64);
+        meta.put_u64(self.edges.len() as u64);
+        let mut nodes = press_store::ByteWriter::with_capacity(self.nodes.len() * 16);
+        for n in &self.nodes {
+            nodes.put_f64(n.point.x);
+            nodes.put_f64(n.point.y);
+        }
+        let mut edges = press_store::ByteWriter::with_capacity(self.edges.len() * 16);
+        for e in &self.edges {
+            edges.put_u32(e.from.0);
+            edges.put_u32(e.to.0);
+            edges.put_f64(e.weight);
+        }
+        let mut w = press_store::StoreWriter::new(press_store::kind::NETWORK);
+        w.section("meta", meta.into_bytes());
+        w.section("nodes", nodes.into_bytes());
+        w.section("edges", edges.into_bytes());
+        w.to_bytes()
+    }
+
+    /// Writes the network artifact to `path`.
+    pub fn save_to(&self, path: &std::path::Path) -> press_store::Result<()> {
+        std::fs::write(path, self.to_store_bytes())?;
+        Ok(())
+    }
+
+    /// Reconstructs a network from container bytes, validating structural
+    /// invariants (endpoint ids in range, finite non-negative weights).
+    pub fn from_store_bytes(bytes: Vec<u8>) -> press_store::Result<RoadNetwork> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::from_bytes(bytes)?;
+        file.expect_kind(press_store::kind::NETWORK)?;
+        let mut meta = file.reader("meta")?;
+        let num_nodes = meta.get_len(u32::MAX as usize, "node")?;
+        let num_edges = meta.get_len(u32::MAX as usize, "edge")?;
+        meta.expect_end("meta")?;
+        let mut r = file.reader("nodes")?;
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            nodes.push(Node {
+                point: Point::new(r.get_f64()?, r.get_f64()?),
+            });
+        }
+        r.expect_end("nodes")?;
+        let mut r = file.reader("edges")?;
+        let mut edges = Vec::with_capacity(num_edges);
+        for i in 0..num_edges {
+            let from = NodeId(r.get_u32()?);
+            let to = NodeId(r.get_u32()?);
+            let weight = r.get_f64()?;
+            if from.index() >= num_nodes || to.index() >= num_nodes {
+                return Err(StoreError::Corrupt(format!(
+                    "edge {i} references node outside 0..{num_nodes}"
+                )));
+            }
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(StoreError::Corrupt(format!(
+                    "edge {i} has invalid weight {weight}"
+                )));
+            }
+            edges.push(Edge { from, to, weight });
+        }
+        r.expect_end("edges")?;
+        Ok(RoadNetworkBuilder { nodes, edges }.build())
+    }
+
+    /// Loads a network artifact from `path` (one contiguous read).
+    pub fn load_from(path: &std::path::Path) -> press_store::Result<RoadNetwork> {
+        Self::from_store_bytes(std::fs::read(path)?)
+    }
 }
 
 /// Builder accumulating nodes and edges, producing an immutable
@@ -438,5 +520,38 @@ mod tests {
     #[test]
     fn approx_bytes_nonzero() {
         assert!(triangle().approx_bytes() > 0);
+    }
+
+    #[test]
+    fn store_roundtrip_is_field_identical() {
+        let net = triangle();
+        let loaded = RoadNetwork::from_store_bytes(net.to_store_bytes()).unwrap();
+        assert_eq!(loaded.nodes, net.nodes);
+        assert_eq!(loaded.edges, net.edges);
+        assert_eq!(loaded.out_index, net.out_index);
+        assert_eq!(loaded.out_edges, net.out_edges);
+        assert_eq!(loaded.in_index, net.in_index);
+        assert_eq!(loaded.in_edges, net.in_edges);
+    }
+
+    #[test]
+    fn store_load_rejects_bad_edges() {
+        // Hand-craft a container whose edge references a missing node.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_node(Point::new(0.0, 0.0));
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(v0, v1, 1.0).unwrap();
+        let mut net = b.build();
+        net.edges[0].to = NodeId(99);
+        assert!(matches!(
+            RoadNetwork::from_store_bytes(net.to_store_bytes()),
+            Err(press_store::StoreError::Corrupt(_))
+        ));
+        net.edges[0].to = NodeId(1);
+        net.edges[0].weight = -2.0;
+        assert!(matches!(
+            RoadNetwork::from_store_bytes(net.to_store_bytes()),
+            Err(press_store::StoreError::Corrupt(_))
+        ));
     }
 }

@@ -54,6 +54,28 @@ impl Default for LazySpConfig {
     }
 }
 
+impl LazySpConfig {
+    /// Sizes the LRU from a **byte budget** instead of a tree count: the
+    /// capacity becomes the largest tree count whose resident footprint
+    /// (`num_nodes · 16 B` per tree) fits in `budget_bytes`, with a floor
+    /// of one tree (the cache cannot function with zero capacity, so a
+    /// budget below one tree's size is exceeded by that one tree).
+    pub fn with_byte_budget(net: &RoadNetwork, budget_bytes: usize) -> Self {
+        let per_tree = tree_bytes_for(net.num_nodes()).max(1);
+        LazySpConfig {
+            capacity_trees: (budget_bytes / per_tree).max(1),
+            ..LazySpConfig::default()
+        }
+    }
+}
+
+/// Resident bytes of one shortest-path tree over `num_nodes` nodes
+/// (dist + pred vectors).
+#[inline]
+fn tree_bytes_for(num_nodes: usize) -> usize {
+    num_nodes * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<EdgeId>>())
+}
+
 /// Hit/miss counters of a running cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -197,6 +219,13 @@ impl LazySpCache {
         Self::new(net, LazySpConfig::default())
     }
 
+    /// Cache sized from a byte budget (see
+    /// [`LazySpConfig::with_byte_budget`]).
+    pub fn with_byte_budget(net: Arc<RoadNetwork>, budget_bytes: usize) -> Self {
+        let config = LazySpConfig::with_byte_budget(&net, budget_bytes);
+        Self::new(net, config)
+    }
+
     #[inline]
     fn shard_of(&self, source: NodeId) -> usize {
         // Multiplicative hash so consecutive sources spread across shards.
@@ -250,8 +279,134 @@ impl LazySpCache {
 
     /// Bytes of one resident tree (dist + pred vectors).
     fn tree_bytes(&self) -> usize {
+        tree_bytes_for(self.net.num_nodes())
+    }
+
+    // -----------------------------------------------------------------
+    // Persistence (press-store artifact tier)
+    // -----------------------------------------------------------------
+
+    /// Serializes the cache's **hot set** — its exact sharding geometry
+    /// plus every currently-resident shortest-path tree (sorted by source
+    /// for determinism) — into a [`press_store`] container. Loading warms
+    /// a fresh cache with the same trees, so a restarted process answers
+    /// its first queries from the cache instead of paying cold Dijkstras.
+    pub fn to_store_bytes(&self) -> Vec<u8> {
         let n = self.net.num_nodes();
-        n * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<EdgeId>>())
+        let mut cfg = press_store::ByteWriter::with_capacity(24);
+        cfg.put_u64(self.tree_shards.len() as u64);
+        cfg.put_u64(self.trees_per_shard as u64);
+        cfg.put_u64(self.mbrs_per_shard as u64);
+        let mut resident: Vec<Arc<ShortestPathTree>> = Vec::new();
+        for shard in &self.tree_shards {
+            let guard = shard.lock().unwrap();
+            resident.extend(guard.map.values().map(|(t, _)| t.clone()));
+        }
+        resident.sort_by_key(|t| t.source.0);
+        let mut trees = press_store::ByteWriter::with_capacity(8 + resident.len() * (4 + 12 * n));
+        trees.put_u64(resident.len() as u64);
+        for tree in &resident {
+            trees.put_u32(tree.source.0);
+            for &d in &tree.dist {
+                trees.put_f64(d);
+            }
+            for pe in &tree.pred_edge {
+                trees.put_u32(pe.map_or(u32::MAX, |e| e.0));
+            }
+        }
+        let mut w = press_store::StoreWriter::new(press_store::kind::SP_LAZY_TREES);
+        w.section("config", cfg.into_bytes());
+        w.section("trees", trees.into_bytes());
+        w.to_bytes()
+    }
+
+    /// Writes the hot-tree artifact to `path`.
+    pub fn save_hot_trees(&self, path: &std::path::Path) -> press_store::Result<()> {
+        std::fs::write(path, self.to_store_bytes())?;
+        Ok(())
+    }
+
+    /// Reconstructs a cache over `net` from container bytes: the same
+    /// sharding geometry, warmed with the saved trees. Counters start at
+    /// zero (loaded trees are neither hits nor misses until touched).
+    pub fn from_store_bytes(
+        net: Arc<RoadNetwork>,
+        bytes: Vec<u8>,
+    ) -> press_store::Result<LazySpCache> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::from_bytes(bytes)?;
+        file.expect_kind(press_store::kind::SP_LAZY_TREES)?;
+        let mut cfg = file.reader("config")?;
+        let shards = cfg.get_len(1 << 20, "shard")?;
+        let trees_per_shard = cfg.get_len(u32::MAX as usize, "per-shard capacity")?;
+        let mbrs_per_shard = cfg.get_len(u32::MAX as usize, "per-shard MBR capacity")?;
+        cfg.expect_end("config")?;
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(StoreError::Corrupt(format!(
+                "shard count {shards} is not a power of two"
+            )));
+        }
+        if trees_per_shard == 0 || mbrs_per_shard == 0 {
+            return Err(StoreError::Corrupt("zero per-shard capacity".into()));
+        }
+        let n = net.num_nodes();
+        let cache = LazySpCache {
+            net: net.clone(),
+            tree_shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
+            mbr_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            trees_per_shard,
+            mbrs_per_shard,
+            shard_mask: shards - 1,
+            tree_hits: AtomicU64::new(0),
+            tree_misses: AtomicU64::new(0),
+            tree_evictions: AtomicU64::new(0),
+            mbr_hits: AtomicU64::new(0),
+            mbr_misses: AtomicU64::new(0),
+        };
+        let mut r = file.reader("trees")?;
+        let count = r.get_len(shards * trees_per_shard, "resident tree")?;
+        for _ in 0..count {
+            let source = NodeId(r.get_u32()?);
+            if source.index() >= n {
+                return Err(StoreError::Corrupt(format!(
+                    "tree source {source} outside the network's {n} nodes"
+                )));
+            }
+            let mut dist = Vec::with_capacity(n);
+            for _ in 0..n {
+                dist.push(r.get_f64()?);
+            }
+            let mut pred_edge = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = r.get_u32()?;
+                if p != u32::MAX && p as usize >= net.num_edges() {
+                    return Err(StoreError::Corrupt(format!(
+                        "tree {source} references edge {p} outside the network's {} edges",
+                        net.num_edges()
+                    )));
+                }
+                pred_edge.push((p != u32::MAX).then_some(EdgeId(p)));
+            }
+            let tree = Arc::new(ShortestPathTree {
+                source,
+                dist,
+                pred_edge,
+            });
+            cache.tree_shards[cache.shard_of(source)]
+                .lock()
+                .unwrap()
+                .insert(source.0, tree, trees_per_shard);
+        }
+        r.expect_end("trees")?;
+        Ok(cache)
+    }
+
+    /// Loads a hot-tree artifact from `path` (one contiguous read).
+    pub fn load_from(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<LazySpCache> {
+        Self::from_store_bytes(net, std::fs::read(path)?)
     }
 }
 
@@ -516,6 +671,84 @@ mod tests {
             }
         });
         assert!(lazy.cached_trees() <= lazy.capacity_trees());
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_tree_bytes() {
+        let net = test_net(6);
+        let per_tree = super::tree_bytes_for(net.num_nodes());
+        // Budget for exactly three trees (plus change).
+        let budget = 3 * per_tree + per_tree / 2;
+        let lazy = LazySpCache::with_byte_budget(net.clone(), budget);
+        // Shard rounding may land below the requested count, never above.
+        assert!((1..=3).contains(&lazy.capacity_trees()));
+        for u in net.node_ids() {
+            for v in net.node_ids().take(3) {
+                let _ = lazy.node_dist(u, v);
+            }
+        }
+        assert!(
+            lazy.cached_trees() * per_tree <= budget,
+            "resident {} trees x {per_tree} B exceed budget {budget}",
+            lazy.cached_trees()
+        );
+        // Answers stay correct under the tight budget.
+        let dense = SpTable::build(net.clone());
+        for u in net.node_ids().take(5) {
+            for v in net.node_ids() {
+                assert_eq!(
+                    dense.node_dist(u, v).to_bits(),
+                    lazy.node_dist(u, v).to_bits()
+                );
+            }
+        }
+        // A budget below one tree still yields a working one-tree cache.
+        let tiny = LazySpCache::with_byte_budget(net.clone(), 1);
+        assert_eq!(tiny.capacity_trees(), 1);
+        let _ = tiny.node_dist(NodeId(0), NodeId(1));
+        assert!(tiny.cached_trees() <= 1);
+    }
+
+    #[test]
+    fn hot_tree_store_roundtrip_warms_the_cache() {
+        let net = test_net(8);
+        let cache = LazySpCache::new(
+            net.clone(),
+            LazySpConfig {
+                capacity_trees: 8,
+                shards: 4,
+                mbr_capacity: 32,
+            },
+        );
+        // Warm a handful of sources.
+        for u in net.node_ids().take(6) {
+            let _ = cache.node_dist(u, NodeId(0));
+        }
+        let resident_before = cache.cached_trees();
+        assert!(resident_before > 0);
+        let loaded = LazySpCache::from_store_bytes(net.clone(), cache.to_store_bytes()).unwrap();
+        assert_eq!(loaded.cached_trees(), resident_before);
+        assert_eq!(loaded.capacity_trees(), cache.capacity_trees());
+        assert_eq!(loaded.stats(), CacheStats::default());
+        // Warm sources are hits (no Dijkstra), and answers bit-match.
+        for u in net.node_ids().take(6) {
+            for v in net.node_ids() {
+                assert_eq!(
+                    cache.node_dist(u, v).to_bits(),
+                    loaded.node_dist(u, v).to_bits()
+                );
+            }
+        }
+        assert_eq!(loaded.stats().tree_misses, 0, "warm sources must hit");
+        assert!(loaded.stats().tree_hits > 0);
+        // Corrupting the tree payload is a typed error.
+        let mut bytes = cache.to_store_bytes();
+        let len = bytes.len();
+        bytes[len - 3] ^= 0x10;
+        assert!(matches!(
+            LazySpCache::from_store_bytes(net.clone(), bytes),
+            Err(press_store::StoreError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

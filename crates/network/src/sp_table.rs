@@ -90,6 +90,100 @@ impl SpTable {
         });
         SpTable { net, n, dist, pred }
     }
+
+    // -----------------------------------------------------------------
+    // Persistence (press-store artifact tier)
+    // -----------------------------------------------------------------
+
+    /// Serializes the table (distances as IEEE bit patterns, predecessors
+    /// as packed `u32`) into a [`press_store`] container. The network is
+    /// **not** embedded — it is persisted separately and supplied again
+    /// on [`SpTable::load_from`], which validates the node count.
+    pub fn to_store_bytes(&self) -> Vec<u8> {
+        let mut meta = press_store::ByteWriter::with_capacity(8);
+        meta.put_u64(self.n as u64);
+        let mut dist = press_store::ByteWriter::with_capacity(self.dist.len() * 8);
+        for &d in &self.dist {
+            dist.put_f64(d);
+        }
+        let mut pred = press_store::ByteWriter::with_capacity(self.pred.len() * 4);
+        for &p in &self.pred {
+            pred.put_u32(p);
+        }
+        let mut w = press_store::StoreWriter::new(press_store::kind::SP_TABLE);
+        w.section("meta", meta.into_bytes());
+        w.section("dist", dist.into_bytes());
+        w.section("pred", pred.into_bytes());
+        w.to_bytes()
+    }
+
+    /// Writes the table artifact to `path`.
+    pub fn save_to(&self, path: &std::path::Path) -> press_store::Result<()> {
+        std::fs::write(path, self.to_store_bytes())?;
+        Ok(())
+    }
+
+    /// Reconstructs a table over `net` from container bytes. The loaded
+    /// table is field-for-field identical to the one [`SpTable::build`]
+    /// produces, so every lookup is bit-identical.
+    pub fn from_store_bytes(net: Arc<RoadNetwork>, bytes: Vec<u8>) -> press_store::Result<SpTable> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::from_bytes(bytes)?;
+        file.expect_kind(press_store::kind::SP_TABLE)?;
+        let mut meta = file.reader("meta")?;
+        let n = meta.get_len(u32::MAX as usize, "node")?;
+        meta.expect_end("meta")?;
+        if n != net.num_nodes() {
+            return Err(StoreError::Corrupt(format!(
+                "table covers {n} nodes but the network has {}",
+                net.num_nodes()
+            )));
+        }
+        let cells = n
+            .checked_mul(n)
+            .ok_or_else(|| StoreError::Corrupt(format!("{n}x{n} table overflows usize")))?;
+        let dist_bytes = file.section("dist")?;
+        if dist_bytes.len() != cells * 8 {
+            return Err(StoreError::Corrupt(format!(
+                "dist section holds {} bytes, expected {}",
+                dist_bytes.len(),
+                cells * 8
+            )));
+        }
+        let dist: Vec<f64> = dist_bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        let pred_bytes = file.section("pred")?;
+        if pred_bytes.len() != cells * 4 {
+            return Err(StoreError::Corrupt(format!(
+                "pred section holds {} bytes, expected {}",
+                pred_bytes.len(),
+                cells * 4
+            )));
+        }
+        let pred: Vec<u32> = pred_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for (i, &p) in pred.iter().enumerate() {
+            if p != NO_PRED && p as usize >= net.num_edges() {
+                return Err(StoreError::Corrupt(format!(
+                    "pred cell {i} references edge {p} outside the network's {} edges",
+                    net.num_edges()
+                )));
+            }
+        }
+        Ok(SpTable { net, n, dist, pred })
+    }
+
+    /// Loads a table artifact from `path` (one contiguous read).
+    pub fn load_from(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<SpTable> {
+        Self::from_store_bytes(net, std::fs::read(path)?)
+    }
 }
 
 impl SpProvider for SpTable {
@@ -266,6 +360,28 @@ mod tests {
         let net = line_with_detour();
         let t = SpTable::build(net);
         assert_eq!(t.approx_bytes(), 5 * 5 * (8 + 4));
+    }
+
+    #[test]
+    fn store_roundtrip_is_bit_identical() {
+        let net = line_with_detour();
+        let built = SpTable::build(net.clone());
+        let loaded = SpTable::from_store_bytes(net.clone(), built.to_store_bytes()).unwrap();
+        assert_eq!(loaded.n, built.n);
+        for (a, b) in built.dist.iter().zip(&loaded.dist) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(built.pred, loaded.pred);
+        // Wrong network size is a typed error, not a panic.
+        let tiny = {
+            let mut b = RoadNetworkBuilder::new();
+            b.add_node(Point::new(0.0, 0.0));
+            Arc::new(b.build())
+        };
+        assert!(matches!(
+            SpTable::from_store_bytes(tiny, built.to_store_bytes()),
+            Err(press_store::StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), the per-section checksum of
+//! the container format. Table-driven with a compile-time-built table, so
+//! the crate stays dependency-free.
+
+/// 256-entry lookup table for the reflected polynomial `0xEDB88320`.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (initial value `!0`, final XOR `!0` — the standard
+/// IEEE parameterization, check value `0xCBF43926` for `"123456789"`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}

@@ -1,0 +1,720 @@
+//! # press-store
+//!
+//! The on-disk artifact tier of PRESS: **one** versioned, checksummed,
+//! little-endian binary container format shared by every artifact the
+//! pipeline produces — road networks, dense SP tables, lazy-cache hot
+//! trees, contraction hierarchies, trained HSC models, and block-oriented
+//! compressed-trajectory stores.
+//!
+//! # File layout
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ header (24 B): magic "PRSSTORE" · format version u32 ·     │
+//! │                artifact kind u32 · section count u32 ·     │
+//! │                CRC32 of the section table u32              │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ section table: one 40 B entry per section —                │
+//! │   name (16 B, NUL-padded UTF-8) · offset u64 · len u64 ·   │
+//! │   CRC32 of the payload u32 · reserved u32                  │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ section payloads, back to back                             │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian; `f64` values are stored as their IEEE
+//! bit patterns (`to_bits`), so floating-point round-trips are exact and
+//! loaded structures answer **bit-identically** to freshly built ones.
+//!
+//! # Integrity and versioning
+//!
+//! Every access is validated: a wrong magic is [`StoreError::BadMagic`],
+//! an unknown format version is [`StoreError::UnsupportedVersion`], a
+//! short file is [`StoreError::Truncated`], a payload whose CRC32 does
+//! not match its table entry is [`StoreError::ChecksumMismatch`] — typed
+//! errors in all cases, never a panic. The format version covers the
+//! container layout; each artifact additionally carries its own schema
+//! inside its sections and validates semantic invariants on load.
+//!
+//! Versioning policy: readers accept exactly [`FORMAT_VERSION`]. Layout
+//! changes bump the version; additive changes (new sections) do not,
+//! because unknown sections are simply ignored by older readers.
+//!
+//! # Access model
+//!
+//! A [`StoreWriter`] buffers named sections and emits the file in one
+//! `write`. A [`StoreFile`] ingests the whole file in one `read` (the
+//! layout is position-independent and mmap-ready — a future zero-copy
+//! reader can map the same bytes) and hands out CRC-checked `&[u8]`
+//! payload slices. [`ByteWriter`]/[`ByteReader`] provide the bounds- and
+//! endianness-checked primitive encoding used inside sections.
+
+use std::fmt;
+use std::path::Path;
+
+mod crc32;
+
+pub use crc32::crc32;
+
+/// File magic, first 8 bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"PRSSTORE";
+
+/// Container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes per section-table entry (name 16 + offset 8 + len 8 + crc 4 +
+/// reserved 4).
+const DIR_ENTRY_BYTES: usize = 40;
+
+/// Header bytes before the section table.
+const HEADER_BYTES: usize = 24;
+
+/// Maximum bytes of a section name (NUL-padded in the table).
+pub const MAX_SECTION_NAME: usize = 16;
+
+/// Artifact kind ids, stored in the header so a reader can refuse to
+/// interpret (say) a trajectory store as a contraction hierarchy.
+pub mod kind {
+    /// A [`RoadNetwork`](../../press_network/graph/struct.RoadNetwork.html).
+    pub const NETWORK: u32 = 1;
+    /// The dense all-pair `SpTable`.
+    pub const SP_TABLE: u32 = 2;
+    /// Serialized `LazySpCache` hot trees (config + resident trees).
+    pub const SP_LAZY_TREES: u32 = 3;
+    /// A built `ContractionHierarchy`.
+    pub const CONTRACTION_HIERARCHY: u32 = 4;
+    /// A trained HSC model (trie + Huffman + per-node tables).
+    pub const HSC_MODEL: u32 = 5;
+    /// A block-oriented compressed-trajectory store.
+    pub const TRAJECTORY_STORE: u32 = 6;
+    /// Free-form store-directory metadata (build timings etc.).
+    pub const META: u32 = 7;
+}
+
+/// Errors raised by the artifact tier. Every corruption mode maps to a
+/// typed variant; loading never panics on bad bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem error, with the underlying message.
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The container format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The artifact kind in the header is not the one the caller expects.
+    WrongKind {
+        /// Kind the caller asked for (see [`kind`]).
+        expected: u32,
+        /// Kind found in the header.
+        found: u32,
+    },
+    /// The file ends before the declared structure does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: String,
+    },
+    /// A section payload does not match its recorded CRC32.
+    ChecksumMismatch {
+        /// Name of the failing section (or `"section table"`).
+        section: String,
+    },
+    /// A required section is absent.
+    MissingSection(String),
+    /// The bytes decoded but violate a semantic invariant of the artifact.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::BadMagic => write!(f, "not a PRESS store file (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported store format version {found} (this build reads version {supported})"
+            ),
+            StoreError::WrongKind { expected, found } => write!(
+                f,
+                "wrong artifact kind: expected {expected}, file holds {found}"
+            ),
+            StoreError::Truncated { what } => {
+                write!(f, "store file truncated while reading {what}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section '{section}'")
+            }
+            StoreError::MissingSection(name) => write!(f, "missing section '{name}'"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Buffers named sections and emits one container file.
+#[derive(Debug)]
+pub struct StoreWriter {
+    kind: u32,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl StoreWriter {
+    /// New writer for an artifact of the given [`kind`].
+    pub fn new(kind: u32) -> Self {
+        StoreWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a section. Names are programmer-chosen constants; they must
+    /// be unique, non-empty, and at most [`MAX_SECTION_NAME`] bytes.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        assert!(
+            !name.is_empty() && name.len() <= MAX_SECTION_NAME,
+            "section name '{name}' must be 1..={MAX_SECTION_NAME} bytes"
+        );
+        assert!(
+            self.sections.iter().all(|(n, _)| n != name),
+            "duplicate section name '{name}'"
+        );
+        self.sections.push((name.to_string(), payload));
+        self
+    }
+
+    /// Serializes the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_len = self.sections.len() * DIR_ENTRY_BYTES;
+        let mut offset = (HEADER_BYTES + table_len) as u64;
+        let mut table = Vec::with_capacity(table_len);
+        for (name, payload) in &self.sections {
+            let mut name_bytes = [0u8; MAX_SECTION_NAME];
+            name_bytes[..name.len()].copy_from_slice(name.as_bytes());
+            table.extend_from_slice(&name_bytes);
+            table.extend_from_slice(&offset.to_le_bytes());
+            table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            table.extend_from_slice(&crc32(payload).to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(HEADER_BYTES + table_len + payload_total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&table).to_le_bytes());
+        out.extend_from_slice(&table);
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Writes the container to `path` (parent directories must exist).
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone)]
+struct SectionEntry {
+    name: String,
+    offset: usize,
+    len: usize,
+    crc: u32,
+}
+
+/// A loaded container file: owns the raw bytes, hands out CRC-checked
+/// payload slices.
+#[derive(Debug)]
+pub struct StoreFile {
+    kind: u32,
+    data: Vec<u8>,
+    table: Vec<SectionEntry>,
+}
+
+impl StoreFile {
+    /// Ingests a container from raw bytes, validating magic, version,
+    /// the section table's CRC, and every entry's bounds.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self> {
+        if data.len() < HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                what: "header".into(),
+            });
+        }
+        if data[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = u32::from_le_bytes(data[12..16].try_into().unwrap());
+        let count = u32::from_le_bytes(data[16..20].try_into().unwrap()) as usize;
+        let table_crc = u32::from_le_bytes(data[20..24].try_into().unwrap());
+        let table_end = HEADER_BYTES + count.saturating_mul(DIR_ENTRY_BYTES);
+        if table_end > data.len() {
+            return Err(StoreError::Truncated {
+                what: "section table".into(),
+            });
+        }
+        let table_bytes = &data[HEADER_BYTES..table_end];
+        if crc32(table_bytes) != table_crc {
+            return Err(StoreError::ChecksumMismatch {
+                section: "section table".into(),
+            });
+        }
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let e = &table_bytes[i * DIR_ENTRY_BYTES..(i + 1) * DIR_ENTRY_BYTES];
+            let name_end = e[..MAX_SECTION_NAME]
+                .iter()
+                .position(|&b| b == 0)
+                .unwrap_or(MAX_SECTION_NAME);
+            let name = std::str::from_utf8(&e[..name_end])
+                .map_err(|_| StoreError::Corrupt("section name is not UTF-8".into()))?
+                .to_string();
+            let offset = u64::from_le_bytes(e[16..24].try_into().unwrap());
+            let len = u64::from_le_bytes(e[24..32].try_into().unwrap());
+            let crc = u32::from_le_bytes(e[32..36].try_into().unwrap());
+            let end = offset.checked_add(len).ok_or(StoreError::Truncated {
+                what: format!("section '{name}'"),
+            })?;
+            if end > data.len() as u64 {
+                return Err(StoreError::Truncated {
+                    what: format!("section '{name}'"),
+                });
+            }
+            table.push(SectionEntry {
+                name,
+                offset: offset as usize,
+                len: len as usize,
+                crc,
+            });
+        }
+        Ok(StoreFile { kind, data, table })
+    }
+
+    /// Opens a container file (one contiguous read).
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Artifact kind from the header (see [`kind`]).
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// Errors unless the artifact kind matches.
+    pub fn expect_kind(&self, expected: u32) -> Result<()> {
+        if self.kind != expected {
+            return Err(StoreError::WrongKind {
+                expected,
+                found: self.kind,
+            });
+        }
+        Ok(())
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.table.iter().map(|e| e.name.as_str())
+    }
+
+    /// True when a section exists.
+    pub fn has_section(&self, name: &str) -> bool {
+        self.table.iter().any(|e| e.name == name)
+    }
+
+    /// CRC-checked payload of a section.
+    pub fn section(&self, name: &str) -> Result<&[u8]> {
+        let entry = self
+            .table
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| StoreError::MissingSection(name.to_string()))?;
+        let payload = &self.data[entry.offset..entry.offset + entry.len];
+        if crc32(payload) != entry.crc {
+            return Err(StoreError::ChecksumMismatch {
+                section: name.to_string(),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// A [`ByteReader`] over a CRC-checked section.
+    pub fn reader(&self, name: &str) -> Result<ByteReader<'_>> {
+        Ok(ByteReader::new(self.section(name)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------
+
+/// Little-endian primitive encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalizes into the payload vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over a section payload.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Truncated { what: what.into() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and converts it to `usize`, erroring on overflow
+    /// (32-bit hosts) or on values beyond `limit` — a cheap way to reject
+    /// absurd corrupted counts before allocating.
+    pub fn get_len(&mut self, limit: usize, what: &str) -> Result<usize> {
+        let v = self.get_u64()?;
+        let v = usize::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{what} count {v} overflows usize")))?;
+        if v > limit {
+            return Err(StoreError::Corrupt(format!(
+                "{what} count {v} exceeds plausible limit {limit}"
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Reads an `f64` from its IEEE bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n, "bytes")
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreWriter {
+        let mut w = StoreWriter::new(kind::META);
+        let mut a = ByteWriter::new();
+        a.put_u32(7);
+        a.put_f64(1.5);
+        w.section("meta", a.into_bytes());
+        w.section("payload", vec![1, 2, 3, 4, 5]);
+        w
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = sample().to_bytes();
+        let f = StoreFile::from_bytes(bytes).unwrap();
+        assert_eq!(f.kind(), kind::META);
+        f.expect_kind(kind::META).unwrap();
+        assert_eq!(
+            f.expect_kind(kind::NETWORK),
+            Err(StoreError::WrongKind {
+                expected: kind::NETWORK,
+                found: kind::META
+            })
+        );
+        assert_eq!(f.section_names().collect::<Vec<_>>(), ["meta", "payload"]);
+        assert!(f.has_section("meta") && !f.has_section("nope"));
+        let mut r = f.reader("meta").unwrap();
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        r.expect_end("meta").unwrap();
+        assert_eq!(f.section("payload").unwrap(), &[1, 2, 3, 4, 5]);
+        assert!(matches!(
+            f.section("nope"),
+            Err(StoreError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("press-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.press");
+        sample().write_to(&path).unwrap();
+        let f = StoreFile::open(&path).unwrap();
+        assert_eq!(f.section("payload").unwrap(), &[1, 2, 3, 4, 5]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            StoreFile::from_bytes(bytes).unwrap_err(),
+            StoreError::BadMagic
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99; // version lives at offset 8
+        assert_eq!(
+            StoreFile::from_bytes(bytes).unwrap_err(),
+            StoreError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_everywhere() {
+        let bytes = sample().to_bytes();
+        // Every possible truncation point yields a typed error or — when
+        // the cut only removes payload bytes — a checksum/bounds error at
+        // section access time. Never a panic.
+        for cut in 0..bytes.len() {
+            match StoreFile::from_bytes(bytes[..cut].to_vec()) {
+                Ok(f) => {
+                    for name in ["meta", "payload"] {
+                        match f.section(name) {
+                            Ok(_) | Err(StoreError::ChecksumMismatch { .. }) => {}
+                            Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+                        }
+                    }
+                }
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::BadMagic
+                    | StoreError::UnsupportedVersion { .. },
+                ) => {}
+                Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bitflip_fails_checksum() {
+        let bytes = sample().to_bytes();
+        let full = StoreFile::from_bytes(bytes.clone()).unwrap();
+        let payload_start = bytes.len() - 5; // "payload" section is last
+        for i in payload_start..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            let f = StoreFile::from_bytes(corrupted).unwrap();
+            assert_eq!(
+                f.section("payload").unwrap_err(),
+                StoreError::ChecksumMismatch {
+                    section: "payload".into()
+                }
+            );
+            // The untouched section still reads fine.
+            assert_eq!(f.section("meta").unwrap(), full.section("meta").unwrap());
+        }
+    }
+
+    #[test]
+    fn table_bitflip_fails_table_checksum() {
+        let mut bytes = sample().to_bytes();
+        bytes[HEADER_BYTES + 3] ^= 0x01; // inside the first table entry
+        assert_eq!(
+            StoreFile::from_bytes(bytes).unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: "section table".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        let w = StoreWriter::new(kind::META);
+        let f = StoreFile::from_bytes(w.to_bytes()).unwrap();
+        assert_eq!(f.section_names().count(), 0);
+    }
+
+    #[test]
+    fn byte_reader_bounds_and_limits() {
+        let mut w = ByteWriter::with_capacity(16);
+        w.put_u8(1);
+        w.put_u16(2);
+        w.put_u64(1 << 40);
+        assert_eq!(w.len(), 11);
+        assert!(!w.is_empty());
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u16().unwrap(), 2);
+        assert!(matches!(
+            r.clone().get_len(1000, "trees"),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert_eq!(r.get_len(1 << 41, "trees").unwrap(), 1 << 40);
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.get_u32(), Err(StoreError::Truncated { .. })));
+        assert!(matches!(
+            ByteReader::new(&bytes[..3]).get_f64(),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StoreError::ChecksumMismatch {
+            section: "arcs".into(),
+        };
+        assert!(e.to_string().contains("arcs"));
+        assert!(StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains('9'));
+        assert!(StoreError::from(std::io::Error::other("x"))
+            .to_string()
+            .contains("I/O"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Property tests for the press-store artifact tier: save → load → query
+//! must be **bit-identical** to the in-memory path for every SP backend
+//! and for the trained HSC model, and every corruption mode (truncation,
+//! bit flips, wrong magic/version/kind) must yield a typed error — never
+//! a panic, never a silently wrong structure.
+
+use press::core::query::QueryEngine;
+use press::core::spatial::HscModel;
+use press::core::TrajectoryStore;
+use press::network::{
+    grid_network, ContractionHierarchy, GridConfig, LazySpCache, RoadNetwork, SpProvider, SpTable,
+};
+use press::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A (freshly built, loaded-from-store, label) provider triple.
+type ProviderPair = (Arc<dyn SpProvider>, Arc<dyn SpProvider>, &'static str);
+
+/// A small jittered grid from proptest-drawn parameters.
+fn net_from(nx: usize, ny: usize, jitter: f64, seed: u64) -> Arc<RoadNetwork> {
+    Arc::new(grid_network(&GridConfig {
+        nx,
+        ny,
+        spacing: 120.0,
+        weight_jitter: jitter,
+        removal_prob: 0.05,
+        seed,
+    }))
+}
+
+/// Deterministically turns choice bytes into a valid connected path.
+fn walk_from_choices(net: &RoadNetwork, start: u32, choices: &[u8]) -> Vec<EdgeId> {
+    let mut node = NodeId(start % net.num_nodes() as u32);
+    let mut path: Vec<EdgeId> = Vec::with_capacity(choices.len());
+    for &c in choices {
+        let out = net.out_edges(node);
+        if out.is_empty() {
+            break;
+        }
+        let candidates: Vec<EdgeId> = out
+            .iter()
+            .copied()
+            .filter(|&e| {
+                path.last()
+                    .is_none_or(|&p| net.edge(e).to != net.edge(p).from)
+            })
+            .collect();
+        let pool = if candidates.is_empty() {
+            out.to_vec()
+        } else {
+            candidates
+        };
+        let e = pool[c as usize % pool.len()];
+        path.push(e);
+        node = net.edge(e).to;
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All three SP backends: the loaded structure answers node_dist /
+    /// pred_edge / sp_mbr bit-identically to the built one on random
+    /// networks.
+    #[test]
+    fn sp_backends_roundtrip_bit_identically(
+        nx in 3usize..6,
+        ny in 3usize..6,
+        jitter in 0.0f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let net = net_from(nx, ny, jitter, seed);
+        let dense = SpTable::build(net.clone());
+        let dense_loaded =
+            SpTable::from_store_bytes(net.clone(), dense.to_store_bytes()).expect("dense load");
+        let lazy = LazySpCache::with_default_config(net.clone());
+        for u in net.node_ids() {
+            let _ = lazy.node_dist(u, NodeId(0));
+        }
+        let lazy_loaded =
+            LazySpCache::from_store_bytes(net.clone(), lazy.to_store_bytes()).expect("lazy load");
+        let ch = ContractionHierarchy::build(net.clone());
+        let ch_loaded =
+            ContractionHierarchy::from_store_bytes(net.clone(), ch.to_store_bytes())
+                .expect("ch load");
+        let pairs: Vec<ProviderPair> = vec![
+            (Arc::new(dense), Arc::new(dense_loaded), "dense"),
+            (Arc::new(lazy), Arc::new(lazy_loaded), "lazy"),
+            (Arc::new(ch), Arc::new(ch_loaded), "ch"),
+        ];
+        for (fresh, warm, name) in &pairs {
+            for u in net.node_ids() {
+                for v in net.node_ids() {
+                    prop_assert_eq!(
+                        fresh.node_dist(u, v).to_bits(),
+                        warm.node_dist(u, v).to_bits(),
+                        "{} node_dist({}, {})", name, u, v
+                    );
+                    prop_assert_eq!(
+                        fresh.pred_edge(u, v),
+                        warm.pred_edge(u, v),
+                        "{} pred_edge({}, {})", name, u, v
+                    );
+                }
+            }
+            let edges: Vec<EdgeId> = net.edge_ids().collect();
+            for &ei in edges.iter().step_by(7) {
+                for &ej in edges.iter().rev().step_by(11) {
+                    prop_assert_eq!(fresh.sp_end(ei, ej), warm.sp_end(ei, ej));
+                    prop_assert_eq!(fresh.sp_mbr(ei, ej), warm.sp_mbr(ei, ej));
+                }
+            }
+        }
+    }
+
+    /// The persisted HSC model compresses, decompresses, and answers
+    /// whereat/whenat queries bit-identically to the trained one.
+    #[test]
+    fn hsc_model_roundtrips_bit_identically(
+        seed in 0u64..300,
+        starts in proptest::collection::vec((0u32..1000, proptest::collection::vec(0u8..8, 4..20)), 6..14),
+    ) {
+        let net = net_from(5, 5, 0.15, seed);
+        let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
+        let training: Vec<Vec<EdgeId>> = starts
+            .iter()
+            .map(|(s, cs)| walk_from_choices(&net, *s, cs))
+            .filter(|p| !p.is_empty())
+            .collect();
+        prop_assume!(!training.is_empty());
+        let model = HscModel::train(sp.clone(), &training, 3).expect("train");
+        let loaded = HscModel::from_store_bytes(sp, model.to_store_bytes()).expect("load");
+        for path in &training {
+            let a = model.compress(path).expect("compress fresh");
+            let b = loaded.compress(path).expect("compress loaded");
+            prop_assert_eq!(&a, &b, "compressed bits differ");
+            prop_assert_eq!(
+                model.decompress(&a).expect("decompress"),
+                loaded.decompress(&b).expect("decompress loaded")
+            );
+        }
+        // Query engines over both models agree bit-for-bit.
+        let fresh_engine = QueryEngine::new(&model);
+        let warm_engine = QueryEngine::new(&loaded);
+        for path in training.iter().take(4) {
+            let total: f64 = path.iter().map(|&e| net.weight(e)).sum();
+            let pts = vec![DtPoint::new(0.0, 0.0), DtPoint::new(total, 60.0)];
+            let ct = CompressedTrajectory {
+                spatial: model.compress(path).expect("compress"),
+                temporal: press::core::TemporalSequence::new(pts).expect("temporal"),
+            };
+            for k in 0..5 {
+                let t = 60.0 * k as f64 / 4.0;
+                let a = fresh_engine.whereat(&ct, t).expect("whereat");
+                let b = warm_engine.whereat(&ct, t).expect("whereat loaded");
+                prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+                prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+            }
+        }
+    }
+
+    /// Corrupting any single byte of any artifact yields a typed error or
+    /// an unchanged (still-valid) load — never a panic and never a
+    /// structurally different artifact that answers differently.
+    #[test]
+    fn single_byte_corruption_never_panics(seed in 0u64..200, flip in 0usize..4096, bit in 0u8..8) {
+        let net = net_from(4, 4, 0.1, seed);
+        let ch = ContractionHierarchy::build(net.clone());
+        let bytes = ch.to_store_bytes();
+        let idx = flip % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 1 << bit;
+        match ContractionHierarchy::from_store_bytes(net.clone(), corrupted) {
+            // CRCs catch payload damage; header damage is typed.
+            Err(_) => {}
+            Ok(loaded) => {
+                // A flip that still loads must have hit dead bytes
+                // (section padding/reserved): answers are unchanged.
+                for u in net.node_ids().take(6) {
+                    for v in net.node_ids().take(6) {
+                        prop_assert_eq!(
+                            ch.node_dist(u, v).to_bits(),
+                            loaded.node_dist(u, v).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-proptest corruption matrix: the exact typed error per mode.
+#[test]
+fn corruption_modes_are_typed() {
+    use press_store::StoreError;
+    let net = net_from(4, 4, 0.12, 7);
+    let table = SpTable::build(net.clone());
+    let good = table.to_store_bytes();
+
+    // Truncated file (every prefix).
+    for cut in [0, 7, 23, good.len() / 2, good.len() - 1] {
+        let err = SpTable::from_store_bytes(net.clone(), good[..cut].to_vec());
+        assert!(err.is_err(), "cut at {cut} must fail");
+    }
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        SpTable::from_store_bytes(net.clone(), bad),
+        Err(StoreError::BadMagic)
+    ));
+    // Wrong version.
+    let mut bad = good.clone();
+    bad[8] = 77;
+    assert!(matches!(
+        SpTable::from_store_bytes(net.clone(), bad),
+        Err(StoreError::UnsupportedVersion { found: 77, .. })
+    ));
+    // Wrong artifact kind: feed the network file to the table loader.
+    assert!(matches!(
+        SpTable::from_store_bytes(net.clone(), net.to_store_bytes()),
+        Err(StoreError::WrongKind { .. })
+    ));
+    // Payload bit flip: CRC catches it.
+    let mut bad = good.clone();
+    let n = bad.len();
+    bad[n - 10] ^= 0x08;
+    assert!(matches!(
+        SpTable::from_store_bytes(net.clone(), bad),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+/// End-to-end: a trajectory corpus written as a block store round-trips
+/// and answers queries identically to the in-memory compressed forms.
+#[test]
+fn trajectory_store_end_to_end() {
+    let net = net_from(6, 6, 0.15, 42);
+    let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
+    let mut training = Vec::new();
+    for s in 0..40u64 {
+        let choices: Vec<u8> = (0..16).map(|i| ((s * 13 + i * 5) % 6) as u8).collect();
+        let p = walk_from_choices(&net, (s * 7) as u32, &choices);
+        if p.len() >= 4 {
+            training.push(p);
+        }
+    }
+    let model = HscModel::train(sp, &training, 3).expect("train");
+    let press = Press::with_model(Arc::new(model), PressConfig::default());
+    let trajs: Vec<Trajectory> = training
+        .iter()
+        .enumerate()
+        .map(|(k, p)| {
+            let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+            let pts = vec![
+                DtPoint::new(0.0, k as f64 * 100.0),
+                DtPoint::new(total / 2.0, k as f64 * 100.0 + 40.0),
+                DtPoint::new(total, k as f64 * 100.0 + 90.0),
+            ];
+            Trajectory::new(
+                SpatialPath::new_unchecked(p.clone()),
+                TemporalSequence::new(pts).expect("temporal"),
+            )
+        })
+        .collect();
+    let compressed: Vec<CompressedTrajectory> = trajs
+        .iter()
+        .map(|t| press.compress(t).expect("compress"))
+        .collect();
+    let engine = QueryEngine::new(press.model());
+    let dir = std::env::temp_dir().join(format!("press-trajstore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("corpus.press");
+    TrajectoryStore::create(&path, &engine, &compressed, 6).expect("create");
+    let store = TrajectoryStore::open(&path).expect("open");
+    assert_eq!(store.len(), compressed.len());
+    for (i, ct) in compressed.iter().enumerate() {
+        assert_eq!(&store.get(i).expect("get"), ct);
+    }
+    // Queries equal the in-memory engine.
+    for (i, (traj, ct)) in trajs.iter().zip(&compressed).enumerate().step_by(3) {
+        let (t0, t1) = traj.temporal.time_range().expect("range");
+        let t = (t0 + t1) / 2.0;
+        let mem = engine.whereat(ct, t).expect("whereat");
+        let disk = store.whereat(&engine, i, t).expect("whereat disk");
+        assert_eq!(mem.x.to_bits(), disk.x.to_bits());
+        assert_eq!(mem.y.to_bits(), disk.y.to_bits());
+    }
+    // The staggered time spans let range skip blocks; results match brute force.
+    let bb = net.bounding_box();
+    let region = Mbr::new(bb.min_x, bb.min_y, bb.max_x, bb.max_y);
+    let hits = store.range(&engine, 0.0, 250.0, &region).expect("range");
+    let brute: Vec<usize> = compressed
+        .iter()
+        .enumerate()
+        .filter(|(_, ct)| {
+            let (a, z) = ct.temporal.time_range().expect("range");
+            z >= 0.0 && a <= 250.0 && engine.range(ct, 0.0, 250.0, &region).expect("range")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits, brute);
+    let (_, skipped) = store.io_stats();
+    assert!(skipped > 0, "time-span synopses must have skipped blocks");
+    let _ = std::fs::remove_dir_all(&dir);
+}
