@@ -1,5 +1,6 @@
 //! SP-backend benchmarks: dense [`SpTable`] vs lazy [`LazySpCache`] vs
-//! the contraction hierarchy, behind the same `SpProvider` trait.
+//! the contraction hierarchy vs 2-hop hub labels, behind the same
+//! `SpProvider` trait.
 //!
 //! Three claims are measured (see also the `sp_backend_report` binary,
 //! which writes `BENCH_sp_backend.json` with the large-scale numbers):
@@ -45,6 +46,7 @@ fn bench_lookups(c: &mut Criterion) {
     let dense_env = Env::standard(Scale::Small, 3);
     let lazy_env = Env::standard_with_backend(Scale::Small, 3, SpBackend::lazy());
     let ch_env = Env::standard_with_backend(Scale::Small, 3, SpBackend::Ch);
+    let hl_env = Env::standard_with_backend(Scale::Small, 3, SpBackend::Hl);
     let pairs = random_edge_pairs(dense_env.net.num_edges(), 2000, 42);
     for &(a, b) in &pairs {
         assert_eq!(
@@ -57,8 +59,14 @@ fn bench_lookups(c: &mut Criterion) {
             ch_env.sp.gap_dist(a, b).to_bits(),
             "ch disagrees on gap_dist({a}, {b})"
         );
+        assert_eq!(
+            dense_env.sp.gap_dist(a, b).to_bits(),
+            hl_env.sp.gap_dist(a, b).to_bits(),
+            "hl disagrees on gap_dist({a}, {b})"
+        );
         assert_eq!(dense_env.sp.sp_end(a, b), lazy_env.sp.sp_end(a, b));
         assert_eq!(dense_env.sp.sp_end(a, b), ch_env.sp.sp_end(a, b));
+        assert_eq!(dense_env.sp.sp_end(a, b), hl_env.sp.sp_end(a, b));
     }
     let mut group = c.benchmark_group("sp_gap_dist_2k_pairs");
     group
@@ -82,6 +90,13 @@ fn bench_lookups(c: &mut Criterion) {
         bch.iter(|| {
             for &(a, b) in &pairs {
                 black_box(ch_env.sp.gap_dist(a, b));
+            }
+        })
+    });
+    group.bench_function("hl", |bch| {
+        bch.iter(|| {
+            for &(a, b) in &pairs {
+                black_box(hl_env.sp.gap_dist(a, b));
             }
         })
     });
@@ -118,6 +133,7 @@ fn bench_train_compress(c: &mut Criterion) {
         ("dense", SpBackend::Dense),
         ("lazy", SpBackend::lazy()),
         ("ch", SpBackend::Ch),
+        ("hl", SpBackend::Hl),
     ] {
         let env = Env::standard_with_backend(Scale::Small, 3, backend);
         let training: Vec<_> = env.train_records().iter().map(|r| r.path.clone()).collect();

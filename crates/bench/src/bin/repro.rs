@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [EXPERIMENT…] [--full] [--seed N] [--lazy] [--ch]
+//! repro [EXPERIMENT…] [--full] [--seed N] [--lazy] [--ch] [--hl]
 //!       [--save-dir DIR] [--load-dir DIR]
 //!
 //! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
@@ -12,6 +12,7 @@
 //! --seed N        workload seed (default 3)
 //! --lazy          run on the LazySpCache SP backend instead of the dense table
 //! --ch            run on the ContractionHierarchy SP backend
+//! --hl            run on the HubLabels SP backend (2-hop labels over the CH order)
 //! --save-dir DIR  after building, persist network / SP structure / trained
 //!                 model under DIR (press-store artifacts)
 //! --load-dir DIR  warm-start from artifacts saved by a --save-dir run with
@@ -37,6 +38,7 @@ fn main() {
             "--full" => scale = Scale::Full,
             "--lazy" => backend = SpBackend::lazy(),
             "--ch" => backend = SpBackend::Ch,
+            "--hl" => backend = SpBackend::Hl,
             "--seed" => {
                 seed = it
                     .next()
@@ -157,7 +159,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… \
-         [--full] [--seed N] [--lazy] [--ch] [--save-dir DIR] [--load-dir DIR]"
+         [--full] [--seed N] [--lazy] [--ch] [--hl] [--save-dir DIR] [--load-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

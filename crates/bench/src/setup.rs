@@ -14,7 +14,8 @@
 
 use press_core::{HscModel, Press, PressConfig, Trajectory};
 use press_network::{
-    ContractionHierarchy, LazySpCache, LazySpConfig, RoadNetwork, SpBackend, SpProvider, SpTable,
+    ContractionHierarchy, HubLabels, LazySpCache, LazySpConfig, RoadNetwork, SpBackend, SpProvider,
+    SpTable,
 };
 use press_workload::{TrajectoryRecord, Workload, WorkloadConfig};
 use std::path::Path;
@@ -59,6 +60,7 @@ fn sp_file_name(backend: SpBackend) -> &'static str {
         SpBackend::Dense => "sp_dense.press",
         SpBackend::Lazy { .. } => "sp_lazy.press",
         SpBackend::Ch => "sp_ch.press",
+        SpBackend::Hl => "sp_hl.press",
     }
 }
 
@@ -80,6 +82,7 @@ enum ConcreteSp {
     Dense(Arc<SpTable>),
     Lazy(Arc<LazySpCache>),
     Ch(Arc<ContractionHierarchy>),
+    Hl(Arc<HubLabels>),
 }
 
 impl ConcreteSp {
@@ -94,6 +97,7 @@ impl ConcreteSp {
                 },
             ))),
             SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::build(net))),
+            SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::build(net))),
         }
     }
 
@@ -104,6 +108,7 @@ impl ConcreteSp {
                 ConcreteSp::Lazy(Arc::new(LazySpCache::load_from(net, path)?))
             }
             SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::load_from(net, path)?)),
+            SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::load_from(net, path)?)),
         })
     }
 
@@ -112,6 +117,7 @@ impl ConcreteSp {
             ConcreteSp::Dense(t) => t.save_to(path),
             ConcreteSp::Lazy(c) => c.save_hot_trees(path),
             ConcreteSp::Ch(ch) => ch.save_to(path),
+            ConcreteSp::Hl(hl) => hl.save_to(path),
         }
     }
 
@@ -120,6 +126,7 @@ impl ConcreteSp {
             ConcreteSp::Dense(t) => t.clone(),
             ConcreteSp::Lazy(c) => c.clone(),
             ConcreteSp::Ch(ch) => ch.clone(),
+            ConcreteSp::Hl(hl) => hl.clone(),
         }
     }
 }
@@ -232,6 +239,7 @@ impl Env {
             SpBackend::Dense => (0u64, 0u64),
             SpBackend::Lazy { capacity_trees } => (1, capacity_trees as u64),
             SpBackend::Ch => (2, 0),
+            SpBackend::Hl => (3, 0),
         };
         w.put_u64(tag);
         w.put_u64(cap);
@@ -372,7 +380,7 @@ mod tests {
         // Same seed, different backend: identical workload, identical
         // compression output.
         let dense = Env::standard(Scale::Small, 5);
-        for backend in [SpBackend::lazy(), SpBackend::Ch] {
+        for backend in [SpBackend::lazy(), SpBackend::Ch, SpBackend::Hl] {
             let other = Env::standard_with_backend(Scale::Small, 5, backend);
             assert_eq!(dense.workload.records.len(), other.workload.records.len());
             for (a, b) in dense.workload.records.iter().zip(&other.workload.records) {
@@ -422,7 +430,12 @@ mod tests {
     fn saved_then_loaded_env_is_bit_identical() {
         let dir = std::env::temp_dir().join(format!("press-env-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        for backend in [SpBackend::Dense, SpBackend::lazy(), SpBackend::Ch] {
+        for backend in [
+            SpBackend::Dense,
+            SpBackend::lazy(),
+            SpBackend::Ch,
+            SpBackend::Hl,
+        ] {
             let built = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Save(&dir));
             let warm = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Load(&dir));
             assert_eq!(built.workload.records.len(), warm.workload.records.len());

@@ -6,9 +6,14 @@
 //! and the end-to-end [`press::Press`] façade with storage accounting.
 
 pub mod error;
-pub mod parallel;
 pub mod press;
 pub mod query;
+
+/// The shared work-stealing parallel map. The loop itself lives in
+/// `press-network` (the lowest compute crate, so the hub-label builder can
+/// share it); this alias keeps the historical `press_core::parallel` path
+/// working for batch compression and HSC corpus training call sites.
+pub use press_network::parallel;
 pub mod reformat;
 pub mod spatial;
 pub mod stats;

@@ -85,8 +85,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// Sentinel arc id ("no parent").
-const NO_ARC: u32 = u32::MAX;
+/// Sentinel arc id ("no parent"); shared with the hub-label backend,
+/// whose label entries use the same arc-id space.
+pub(crate) const NO_ARC: u32 = u32::MAX;
 
 /// Tuning knobs for [`ContractionHierarchy::build_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,27 +107,126 @@ impl Default for ChConfig {
 
 /// How an arc expands back to original edges.
 #[derive(Clone, Copy, Debug)]
-enum Unpack {
+pub(crate) enum Unpack {
     /// An original network edge.
     Original(EdgeId),
     /// A shortcut: the two constituent arc ids, in path order.
     Shortcut(u32, u32),
 }
 
-/// One arc of the augmented (original ∪ shortcut) graph.
+/// One arc of the augmented (original ∪ shortcut) graph. Shared with the
+/// hub-label backend, which carries a copy of the arc set so label parent
+/// pointers can unpack to original edges.
 #[derive(Clone, Copy, Debug)]
-struct ChArc {
-    tail: NodeId,
-    head: NodeId,
-    weight: f64,
-    unpack: Unpack,
+pub(crate) struct ChArc {
+    pub(crate) tail: NodeId,
+    pub(crate) head: NodeId,
+    pub(crate) weight: f64,
+    pub(crate) unpack: Unpack,
+}
+
+/// Expands an arc (recursively, via an explicit stack) to the original
+/// edges it represents, in path order. Free function so the hub-label
+/// backend can expand over its own copy of the arc set.
+pub(crate) fn expand_arc(arcs: &[ChArc], arc: u32, out: &mut Vec<EdgeId>) {
+    let mut stack = vec![arc];
+    while let Some(a) = stack.pop() {
+        match arcs[a as usize].unpack {
+            Unpack::Original(e) => out.push(e),
+            Unpack::Shortcut(first, second) => {
+                stack.push(second);
+                stack.push(first);
+            }
+        }
+    }
+}
+
+/// Encodes an arc set as the compact `arcs_c` section (delta+varint).
+///
+/// Two structural facts make the arc array almost free to store:
+///
+/// * the contractor lays out **original arcs first, in edge-id order**,
+///   so arc `i < |E|` is exactly network edge `i` — zero bytes each;
+/// * a **shortcut** is fully determined by its two child arc ids: tail,
+///   head, and weight are `first.tail`, `second.head`, and the exact
+///   float sum `first.weight + second.weight` the contraction computed
+///   (the legacy loader validated those equalities byte-for-byte, which
+///   is what licenses deriving them instead of storing them).
+///
+/// So the section is just two zigzag varint deltas (child id − own id)
+/// per shortcut — ~3–6 B instead of the legacy 25 B per arc, with no
+/// floats at all. Shared by the contraction-hierarchy and hub-label
+/// artifacts.
+pub(crate) fn encode_arcs_compact(arcs: &[ChArc], num_original: usize) -> Vec<u8> {
+    let mut w = press_store::ByteWriter::with_capacity((arcs.len() - num_original) * 4);
+    for (id, arc) in arcs.iter().enumerate() {
+        match arc.unpack {
+            Unpack::Original(e) => {
+                debug_assert_eq!(e.0 as usize, id, "original arcs must mirror edge ids");
+            }
+            Unpack::Shortcut(first, second) => {
+                debug_assert!(id >= num_original, "shortcuts come after originals");
+                w.put_ivarint(first as i64 - id as i64);
+                w.put_ivarint(second as i64 - id as i64);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes the compact `arcs_c` section back to the full arc set (see
+/// [`encode_arcs_compact`]), validating every derived invariant: child
+/// ids strictly below the shortcut's own id, and children contiguous at
+/// the middle node. Original arcs are materialized straight from the
+/// network, so there is nothing about them to corrupt.
+pub(crate) fn decode_arcs_compact(
+    net: &RoadNetwork,
+    bytes: &[u8],
+    num_arcs: usize,
+) -> press_store::Result<Vec<ChArc>> {
+    use press_store::StoreError;
+    let mut arcs = Vec::with_capacity(num_arcs);
+    for e in net.edge_ids() {
+        let edge = net.edge(e);
+        arcs.push(ChArc {
+            tail: edge.from,
+            head: edge.to,
+            weight: edge.weight,
+            unpack: Unpack::Original(e),
+        });
+    }
+    let mut r = press_store::ByteReader::new(bytes);
+    for id in net.num_edges()..num_arcs {
+        let first = id as i64 + r.get_ivarint()?;
+        let second = id as i64 + r.get_ivarint()?;
+        if first < 0 || second < 0 || first >= id as i64 || second >= id as i64 {
+            return Err(StoreError::Corrupt(format!(
+                "shortcut arc {id} unpacks to an out-of-range arc ({first}, {second})"
+            )));
+        }
+        let a = arcs[first as usize];
+        let b = arcs[second as usize];
+        if a.head != b.tail {
+            return Err(StoreError::Corrupt(format!(
+                "shortcut arc {id} does not concatenate its children ({first}, {second})"
+            )));
+        }
+        arcs.push(ChArc {
+            tail: a.tail,
+            head: b.head,
+            weight: a.weight + b.weight,
+            unpack: Unpack::Shortcut(first as u32, second as u32),
+        });
+    }
+    r.expect_end("arcs_c")?;
+    Ok(arcs)
 }
 
 /// Min-heap entry (reversed `Ord`, ties on node id — deterministic).
 #[derive(Copy, Clone, PartialEq)]
-struct QueueEntry {
-    dist: f64,
-    node: u32,
+pub(crate) struct QueueEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: u32,
 }
 
 impl Eq for QueueEntry {}
@@ -214,20 +314,22 @@ thread_local! {
 }
 
 /// A built contraction hierarchy over one road network; see module docs.
+/// Internals are crate-visible so the hub-label backend can be built from
+/// the same rank order and upward search graphs.
 pub struct ContractionHierarchy {
-    net: Arc<RoadNetwork>,
+    pub(crate) net: Arc<RoadNetwork>,
     /// Contraction order of each node (higher = contracted later = more
     /// "important").
-    rank: Vec<u32>,
+    pub(crate) rank: Vec<u32>,
     /// All arcs: originals first, then shortcuts.
-    arcs: Vec<ChArc>,
+    pub(crate) arcs: Vec<ChArc>,
     /// CSR over up-arcs (tail rank < head rank), indexed by tail.
-    fwd_index: Vec<u32>,
-    fwd_arcs: Vec<u32>,
+    pub(crate) fwd_index: Vec<u32>,
+    pub(crate) fwd_arcs: Vec<u32>,
     /// CSR over down-arcs (tail rank > head rank), indexed by head — the
     /// backward search relaxes these from the head side.
-    bwd_index: Vec<u32>,
-    bwd_arcs: Vec<u32>,
+    pub(crate) bwd_index: Vec<u32>,
+    pub(crate) bwd_arcs: Vec<u32>,
     num_shortcuts: usize,
 }
 
@@ -569,49 +671,53 @@ impl ContractionHierarchy {
     /// layout**, so a warm-started hierarchy answers every query
     /// bit-identically to the freshly built one while skipping the
     /// contraction entirely (the dominant preprocessing cost at city
-    /// scale: ~100 s at 102k nodes vs a single ~50 MiB read).
+    /// scale: ~100 s at 102k nodes vs a single small read).
+    ///
+    /// The arc and CSR sections are **delta+varint compressed**
+    /// (`arcs_c`, `*_c` — see the crate-private `store_codec` module and
+    /// `encode_arcs_compact`): original arcs are implicit in the
+    /// network, a shortcut is fully determined by its two child arc ids,
+    /// and the id arrays delta down to mostly one byte per element. This
+    /// is a purely additive section change (no container format-version
+    /// bump): this reader still accepts files written with the raw
+    /// fixed-width sections of earlier builds.
     pub fn to_store_bytes(&self) -> Vec<u8> {
-        let mut meta = press_store::ByteWriter::with_capacity(24);
+        let mut meta = press_store::ByteWriter::with_capacity(28);
         meta.put_u64(self.rank.len() as u64);
         meta.put_u64(self.arcs.len() as u64);
         meta.put_u64(self.num_shortcuts as u64);
+        // Edge-set fingerprint: the compact arc codec derives original
+        // arcs from the load-time network, so the pairing check that the
+        // legacy weight-carrying section performed byte-for-byte moves
+        // here (see `store_codec::edge_fingerprint`).
+        meta.put_u32(crate::store_codec::edge_fingerprint(&self.net));
         let mut rank = press_store::ByteWriter::with_capacity(self.rank.len() * 4);
         for &r in &self.rank {
             rank.put_u32(r);
         }
-        let mut arcs = press_store::ByteWriter::with_capacity(self.arcs.len() * 25);
-        for arc in &self.arcs {
-            arcs.put_u32(arc.tail.0);
-            arcs.put_u32(arc.head.0);
-            arcs.put_f64(arc.weight);
-            match arc.unpack {
-                Unpack::Original(e) => {
-                    arcs.put_u8(0);
-                    arcs.put_u32(e.0);
-                    arcs.put_u32(0);
-                }
-                Unpack::Shortcut(first, second) => {
-                    arcs.put_u8(1);
-                    arcs.put_u32(first);
-                    arcs.put_u32(second);
-                }
-            }
-        }
-        let csr = |ids: &[u32]| {
-            let mut w = press_store::ByteWriter::with_capacity(ids.len() * 4);
-            for &v in ids {
-                w.put_u32(v);
-            }
-            w.into_bytes()
-        };
         let mut w = press_store::StoreWriter::new(press_store::kind::CONTRACTION_HIERARCHY);
         w.section("meta", meta.into_bytes());
         w.section("rank", rank.into_bytes());
-        w.section("arcs", arcs.into_bytes());
-        w.section("fwd_index", csr(&self.fwd_index));
-        w.section("fwd_arcs", csr(&self.fwd_arcs));
-        w.section("bwd_index", csr(&self.bwd_index));
-        w.section("bwd_arcs", csr(&self.bwd_arcs));
+        w.section(
+            "arcs_c",
+            encode_arcs_compact(&self.arcs, self.net.num_edges()),
+        );
+        w.section(
+            "fwd_index_c",
+            crate::store_codec::encode_index(&self.fwd_index),
+        );
+        w.section(
+            "fwd_arcs_c",
+            crate::store_codec::encode_grouped_ascending(&self.fwd_index, &self.fwd_arcs),
+        );
+        w.section(
+            "bwd_index_c",
+            crate::store_codec::encode_index(&self.bwd_index),
+        );
+        w.section(
+            "bwd_arcs_c",
+            crate::store_codec::encode_grouped_ascending(&self.bwd_index, &self.bwd_arcs),
+        );
         w.to_bytes()
     }
 
@@ -621,48 +727,17 @@ impl ContractionHierarchy {
         Ok(())
     }
 
-    /// Reconstructs a hierarchy over `net` from container bytes,
-    /// validating every structural invariant (rank permutation, arc
-    /// endpoints, original arcs matching the network's edges, shortcut
-    /// unpack acyclicity, CSR monotonicity) so corrupt input yields a
-    /// typed error instead of unsound queries.
-    pub fn from_store_bytes(
-        net: Arc<RoadNetwork>,
-        bytes: Vec<u8>,
-    ) -> press_store::Result<ContractionHierarchy> {
+    /// Decodes the raw fixed-width `arcs` section written by builds that
+    /// predate the compact codec, with the full validation the format
+    /// always had (endpoints in range, originals matching the network
+    /// edge byte-for-byte, shortcuts concatenating their children).
+    fn decode_arcs_legacy(
+        net: &RoadNetwork,
+        file: &press_store::StoreFile,
+        num_arcs: usize,
+    ) -> press_store::Result<Vec<ChArc>> {
         use press_store::StoreError;
-        let file = press_store::StoreFile::from_bytes(bytes)?;
-        file.expect_kind(press_store::kind::CONTRACTION_HIERARCHY)?;
-        let mut meta = file.reader("meta")?;
-        let n = meta.get_len(u32::MAX as usize, "node")?;
-        let num_arcs = meta.get_len(u32::MAX as usize, "arc")?;
-        let num_shortcuts = meta.get_len(u32::MAX as usize, "shortcut")?;
-        meta.expect_end("meta")?;
-        if n != net.num_nodes() {
-            return Err(StoreError::Corrupt(format!(
-                "hierarchy covers {n} nodes but the network has {}",
-                net.num_nodes()
-            )));
-        }
-        if num_arcs < net.num_edges() || num_arcs - net.num_edges() != num_shortcuts {
-            return Err(StoreError::Corrupt(format!(
-                "arc count {num_arcs} inconsistent with {} original edges + {num_shortcuts} shortcuts",
-                net.num_edges()
-            )));
-        }
-        let mut r = file.reader("rank")?;
-        let mut rank = Vec::with_capacity(n);
-        let mut seen = vec![false; n];
-        for v in 0..n {
-            let rk = r.get_u32()?;
-            if rk as usize >= n || std::mem::replace(&mut seen[rk as usize], true) {
-                return Err(StoreError::Corrupt(format!(
-                    "rank of node {v} ({rk}) breaks the 0..{n} permutation"
-                )));
-            }
-            rank.push(rk);
-        }
-        r.expect_end("rank")?;
+        let n = net.num_nodes();
         let mut r = file.reader("arcs")?;
         let mut arcs = Vec::with_capacity(num_arcs);
         for id in 0..num_arcs {
@@ -734,30 +809,118 @@ impl ContractionHierarchy {
             });
         }
         r.expect_end("arcs")?;
+        Ok(arcs)
+    }
+
+    /// Reconstructs a hierarchy over `net` from container bytes,
+    /// validating every structural invariant (rank permutation, arc
+    /// endpoints, original arcs matching the network's edges, shortcut
+    /// unpack acyclicity, CSR monotonicity) so corrupt input yields a
+    /// typed error instead of unsound queries.
+    pub fn from_store_bytes(
+        net: Arc<RoadNetwork>,
+        bytes: Vec<u8>,
+    ) -> press_store::Result<ContractionHierarchy> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::from_bytes(bytes)?;
+        file.expect_kind(press_store::kind::CONTRACTION_HIERARCHY)?;
+        let mut meta = file.reader("meta")?;
+        let n = meta.get_len(u32::MAX as usize, "node")?;
+        let num_arcs = meta.get_len(u32::MAX as usize, "arc")?;
+        let num_shortcuts = meta.get_len(u32::MAX as usize, "shortcut")?;
+        // Files from builds that predate the compact codec have no
+        // fingerprint — their raw arcs section carries every weight and
+        // the legacy decoder cross-checks those against the network.
+        if meta.remaining() > 0 {
+            let fp = meta.get_u32()?;
+            let expect = crate::store_codec::edge_fingerprint(&net);
+            if fp != expect {
+                return Err(StoreError::Corrupt(
+                    "hierarchy was built over a network with a different edge set \
+                     (weight fingerprint mismatch)"
+                        .into(),
+                ));
+            }
+        }
+        meta.expect_end("meta")?;
+        if n != net.num_nodes() {
+            return Err(StoreError::Corrupt(format!(
+                "hierarchy covers {n} nodes but the network has {}",
+                net.num_nodes()
+            )));
+        }
+        if num_arcs < net.num_edges() || num_arcs - net.num_edges() != num_shortcuts {
+            return Err(StoreError::Corrupt(format!(
+                "arc count {num_arcs} inconsistent with {} original edges + {num_shortcuts} shortcuts",
+                net.num_edges()
+            )));
+        }
+        let mut r = file.reader("rank")?;
+        let mut rank = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for v in 0..n {
+            let rk = r.get_u32()?;
+            if rk as usize >= n || std::mem::replace(&mut seen[rk as usize], true) {
+                return Err(StoreError::Corrupt(format!(
+                    "rank of node {v} ({rk}) breaks the 0..{n} permutation"
+                )));
+            }
+            rank.push(rk);
+        }
+        r.expect_end("rank")?;
+        let arcs = if file.has_section("arcs_c") {
+            decode_arcs_compact(&net, file.section("arcs_c")?, num_arcs)?
+        } else {
+            Self::decode_arcs_legacy(&net, &file, num_arcs)?
+        };
         // `forward` selects which CSR is read: up-arcs grouped by tail
         // (forward search) or down-arcs grouped by head (backward); each
         // arc must belong to its group's node and point up in rank.
-        let read_csr = |index_name: &str,
+        // Compact (`*_c`, delta+varint) sections are preferred; the raw
+        // fixed-width sections of earlier builds are still accepted.
+        let read_csr = |compact_index: &str,
+                        compact_arcs: &str,
+                        index_name: &str,
                         arcs_name: &str,
                         forward: bool|
          -> press_store::Result<(Vec<u32>, Vec<u32>)> {
-            let mut r = file.reader(index_name)?;
-            let mut index = Vec::with_capacity(n + 1);
-            for _ in 0..n + 1 {
-                index.push(r.get_u32()?);
-            }
-            r.expect_end(index_name)?;
-            if index[0] != 0 || index.windows(2).any(|w| w[0] > w[1]) {
-                return Err(StoreError::Corrupt(format!(
-                    "{index_name} is not a monotone CSR index"
-                )));
-            }
-            let count = index[n] as usize;
-            let mut r = file.reader(arcs_name)?;
-            let mut ids = Vec::with_capacity(count);
+            let (index, ids) = if file.has_section(compact_index) {
+                let index = crate::store_codec::decode_index(
+                    file.section(compact_index)?,
+                    n + 1,
+                    arcs.len() as u64,
+                    compact_index,
+                )?;
+                let ids = crate::store_codec::decode_grouped_ascending(
+                    file.section(compact_arcs)?,
+                    &index,
+                    arcs.len() as u64,
+                    compact_arcs,
+                )?;
+                (index, ids)
+            } else {
+                let mut r = file.reader(index_name)?;
+                let mut index = Vec::with_capacity(n + 1);
+                for _ in 0..n + 1 {
+                    index.push(r.get_u32()?);
+                }
+                r.expect_end(index_name)?;
+                if index[0] != 0 || index.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(StoreError::Corrupt(format!(
+                        "{index_name} is not a monotone CSR index"
+                    )));
+                }
+                let count = index[n] as usize;
+                let mut r = file.reader(arcs_name)?;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(r.get_u32()?);
+                }
+                r.expect_end(arcs_name)?;
+                (index, ids)
+            };
             for node in 0..n {
-                for _ in index[node]..index[node + 1] {
-                    let a = r.get_u32()?;
+                for &a in &ids[index[node] as usize..index[node + 1] as usize] {
                     let Some(arc) = arcs.get(a as usize) else {
                         return Err(StoreError::Corrupt(format!(
                             "{arcs_name} references arc {a} outside 0..{num_arcs}"
@@ -774,14 +937,14 @@ impl ContractionHierarchy {
                              its upward arcs"
                         )));
                     }
-                    ids.push(a);
                 }
             }
-            r.expect_end(arcs_name)?;
             Ok((index, ids))
         };
-        let (fwd_index, fwd_arcs) = read_csr("fwd_index", "fwd_arcs", true)?;
-        let (bwd_index, bwd_arcs) = read_csr("bwd_index", "bwd_arcs", false)?;
+        let (fwd_index, fwd_arcs) =
+            read_csr("fwd_index_c", "fwd_arcs_c", "fwd_index", "fwd_arcs", true)?;
+        let (bwd_index, bwd_arcs) =
+            read_csr("bwd_index_c", "bwd_arcs_c", "bwd_index", "bwd_arcs", false)?;
         Ok(ContractionHierarchy {
             net,
             rank,
@@ -999,19 +1162,9 @@ impl ContractionHierarchy {
         }
     }
 
-    /// Expands an arc (recursively, via an explicit stack) to the
-    /// original edges it represents, in path order.
+    /// Expands an arc to the original edges it represents, in path order.
     fn expand(&self, arc: u32, out: &mut Vec<EdgeId>) {
-        let mut stack = vec![arc];
-        while let Some(a) = stack.pop() {
-            match self.arcs[a as usize].unpack {
-                Unpack::Original(e) => out.push(e),
-                Unpack::Shortcut(first, second) => {
-                    stack.push(second);
-                    stack.push(first);
-                }
-            }
-        }
+        expand_arc(&self.arcs, arc, out);
     }
 
     /// The canonical predecessor of `v` in the shortest-path tree rooted

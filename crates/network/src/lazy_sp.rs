@@ -17,6 +17,16 @@
 //! query processor revisits the same coded-unit boundaries), so hit rates
 //! stay high at modest capacities; [`CacheStats`] reports them.
 //!
+//! Cold-miss model: a `node_dist` miss does **not** immediately pay a
+//! full Dijkstra tree. The first [`LazySpConfig::point_probe_budget`]
+//! probes against an uncached source are answered by a bounded
+//! bidirectional point search
+//! ([`bidirectional_distance`](crate::dijkstra::bidirectional_distance()),
+//! two small balls instead of one full tree, still bit-identical), and
+//! only a source the workload keeps returning to graduates to a cached
+//! tree. Structure queries (`pred_edge`, `sp_interior`, `source_tree`)
+//! always build the tree — they need more than one distance from it.
+//!
 //! Concurrency model: the cache is sharded by source id. A miss computes
 //! its Dijkstra tree **outside** the shard lock, so concurrent workers
 //! (e.g. `Press::compress_batch`'s work-stealing threads) never serialize
@@ -24,7 +34,7 @@
 //! because the trees are identical. Frequently-rebuilt `sp_mbr`
 //! rectangles (§5.2 pruning) are memoized in a second bounded cache.
 
-use crate::dijkstra::{dijkstra, ShortestPathTree};
+use crate::dijkstra::{bidirectional_distance, dijkstra, ShortestPathTree};
 use crate::geometry::Mbr;
 use crate::graph::RoadNetwork;
 use crate::id::{EdgeId, NodeId};
@@ -42,6 +52,17 @@ pub struct LazySpConfig {
     pub shards: usize,
     /// Maximum number of memoized `sp_mbr` rectangles.
     pub mbr_capacity: usize,
+    /// How many `node_dist` probes an **uncached source** answers with a
+    /// bounded bidirectional point search
+    /// ([`bidirectional_distance`](crate::dijkstra::bidirectional_distance()))
+    /// before the cache commits to building its full Dijkstra tree. A
+    /// one-off distance probe then costs two small search balls instead
+    /// of an `O(|V| log |V|)` tree that nothing else will read, while a
+    /// source probed repeatedly still graduates to a cached tree (and
+    /// `pred_edge`/`sp_interior`/`source_tree`, which need the tree
+    /// structure, always build it). `0` disables probing (every miss
+    /// builds the tree, the pre-probe behavior).
+    pub point_probe_budget: usize,
 }
 
 impl Default for LazySpConfig {
@@ -50,6 +71,7 @@ impl Default for LazySpConfig {
             capacity_trees: 1024,
             shards: 16,
             mbr_capacity: 1 << 16,
+            point_probe_budget: 3,
         }
     }
 }
@@ -89,6 +111,10 @@ pub struct CacheStats {
     pub mbr_hits: u64,
     /// `sp_mbr` lookups that walked a shortest path.
     pub mbr_misses: u64,
+    /// `node_dist` misses answered by a bounded bidirectional point
+    /// search instead of a full tree build (see
+    /// [`LazySpConfig::point_probe_budget`]).
+    pub point_probes: u64,
 }
 
 impl CacheStats {
@@ -176,16 +202,21 @@ pub struct LazySpCache {
     net: Arc<RoadNetwork>,
     tree_shards: Vec<Mutex<LruShard<Arc<ShortestPathTree>>>>,
     mbr_shards: Vec<Mutex<HashMap<(u32, u32), Mbr>>>,
+    /// Per-shard probe counters for uncached sources (see
+    /// [`LazySpConfig::point_probe_budget`]).
+    probe_shards: Vec<Mutex<HashMap<u32, u32>>>,
     /// Max trees per shard (total capacity divided across shards).
     trees_per_shard: usize,
     /// Max rectangles per MBR shard.
     mbrs_per_shard: usize,
+    point_probe_budget: usize,
     shard_mask: usize,
     tree_hits: AtomicU64,
     tree_misses: AtomicU64,
     tree_evictions: AtomicU64,
     mbr_hits: AtomicU64,
     mbr_misses: AtomicU64,
+    point_probes: AtomicU64,
 }
 
 impl LazySpCache {
@@ -203,14 +234,17 @@ impl LazySpCache {
             net,
             tree_shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
             mbr_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            probe_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             trees_per_shard,
             mbrs_per_shard,
+            point_probe_budget: config.point_probe_budget,
             shard_mask: shards - 1,
             tree_hits: AtomicU64::new(0),
             tree_misses: AtomicU64::new(0),
             tree_evictions: AtomicU64::new(0),
             mbr_hits: AtomicU64::new(0),
             mbr_misses: AtomicU64::new(0),
+            point_probes: AtomicU64::new(0),
         }
     }
 
@@ -232,14 +266,32 @@ impl LazySpCache {
         (source.0 as usize).wrapping_mul(0x9e37_79b9) >> 16 & self.shard_mask
     }
 
+    /// The cached tree for `source`, if resident (touches the LRU, does
+    /// not count a hit or build anything).
+    fn cached_tree(&self, source: NodeId) -> Option<Arc<ShortestPathTree>> {
+        self.tree_shards[self.shard_of(source)]
+            .lock()
+            .unwrap()
+            .touch(source.0)
+            .cloned()
+    }
+
+    /// Bumps and returns the probe count of an uncached source.
+    fn bump_probe_count(&self, source: NodeId) -> u32 {
+        let mut shard = self.probe_shards[self.shard_of(source)].lock().unwrap();
+        let count = shard.entry(source.0).or_insert(0);
+        *count = count.saturating_add(1);
+        *count
+    }
+
     /// The shortest-path tree rooted at `source`: cached, or computed
     /// outside the shard lock on a miss.
     pub fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
-        let shard = &self.tree_shards[self.shard_of(source)];
-        if let Some(tree) = shard.lock().unwrap().touch(source.0) {
+        if let Some(tree) = self.cached_tree(source) {
             self.tree_hits.fetch_add(1, Ordering::Relaxed);
-            return tree.clone();
+            return tree;
         }
+        let shard = &self.tree_shards[self.shard_of(source)];
         self.tree_misses.fetch_add(1, Ordering::Relaxed);
         // Compute without holding the lock: a concurrent miss on the same
         // source duplicates work but not state (identical deterministic
@@ -274,6 +326,7 @@ impl LazySpCache {
             tree_evictions: self.tree_evictions.load(Ordering::Relaxed),
             mbr_hits: self.mbr_hits.load(Ordering::Relaxed),
             mbr_misses: self.mbr_misses.load(Ordering::Relaxed),
+            point_probes: self.point_probes.load(Ordering::Relaxed),
         }
     }
 
@@ -354,14 +407,19 @@ impl LazySpCache {
             net: net.clone(),
             tree_shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
             mbr_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            probe_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             trees_per_shard,
             mbrs_per_shard,
+            // The probe budget is a runtime tuning knob, not persisted
+            // state; a warm-started cache gets the default.
+            point_probe_budget: LazySpConfig::default().point_probe_budget,
             shard_mask: shards - 1,
             tree_hits: AtomicU64::new(0),
             tree_misses: AtomicU64::new(0),
             tree_evictions: AtomicU64::new(0),
             mbr_hits: AtomicU64::new(0),
             mbr_misses: AtomicU64::new(0),
+            point_probes: AtomicU64::new(0),
         };
         let mut r = file.reader("trees")?;
         let count = r.get_len(shards * trees_per_shard, "resident tree")?;
@@ -416,6 +474,22 @@ impl SpProvider for LazySpCache {
     }
 
     fn node_dist(&self, u: NodeId, v: NodeId) -> f64 {
+        if let Some(tree) = self.cached_tree(u) {
+            self.tree_hits.fetch_add(1, Ordering::Relaxed);
+            return tree.dist[v.index()];
+        }
+        // Uncached source: a lone distance probe does not justify a full
+        // Dijkstra tree — answer the first `point_probe_budget` probes
+        // with a bounded bidirectional search (bit-identical to the tree
+        // distance), and only then commit to building the tree. Sources
+        // the workload keeps coming back to graduate quickly; one-off
+        // probes never pay tree cost at all.
+        if self.point_probe_budget > 0
+            && self.bump_probe_count(u) as u64 <= self.point_probe_budget as u64
+        {
+            self.point_probes.fetch_add(1, Ordering::Relaxed);
+            return bidirectional_distance(&self.net, u, v);
+        }
         self.tree(u).dist[v.index()]
     }
 
@@ -429,8 +503,14 @@ impl SpProvider for LazySpCache {
             .iter()
             .map(|s| s.lock().unwrap().len())
             .sum();
+        let probe_entries: usize = self
+            .probe_shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum();
         self.cached_trees() * self.tree_bytes()
             + mbr_entries * (std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<Mbr>())
+            + probe_entries * std::mem::size_of::<(u32, u32)>()
     }
 
     // `gap_dist`/`sp_end` use the trait defaults — those bottom out in
@@ -553,6 +633,7 @@ mod tests {
                 capacity_trees: 8,
                 shards: 2,
                 mbr_capacity: 16,
+                point_probe_budget: 2,
             },
         );
         for round in 0..3 {
@@ -572,6 +653,10 @@ mod tests {
         let stats = lazy.stats();
         assert!(stats.tree_evictions > 0, "evictions must have happened");
         assert!(stats.tree_hits > 0);
+        assert!(
+            stats.point_probes > 0,
+            "cold sources must start with point probes"
+        );
         // Evicted sources still answer correctly (recompute on demand).
         let dense = SpTable::build(net.clone());
         for u in net.node_ids().take(6) {
@@ -619,6 +704,7 @@ mod tests {
                 capacity_trees: 4,
                 shards: 16,
                 mbr_capacity: 64,
+                point_probe_budget: 0,
             },
         );
         assert!(lazy.capacity_trees() <= 4, "got {}", lazy.capacity_trees());
@@ -632,14 +718,60 @@ mod tests {
     fn hot_sources_hit_the_cache() {
         let net = test_net(2);
         let lazy = LazySpCache::with_default_config(net.clone());
+        let budget = LazySpConfig::default().point_probe_budget as u64;
         let u = NodeId(0);
         for v in net.node_ids() {
             let _ = lazy.node_dist(u, v);
         }
+        // The first `budget` probes are bounded point searches; the next
+        // call commits to the tree; everything after hits it.
         let stats = lazy.stats();
+        assert_eq!(stats.point_probes, budget);
         assert_eq!(stats.tree_misses, 1);
-        assert_eq!(stats.tree_hits, net.num_nodes() as u64 - 1);
+        assert_eq!(stats.tree_hits, net.num_nodes() as u64 - 1 - budget);
         assert!(stats.tree_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn point_probes_match_tree_distances_bit_for_bit() {
+        // Jittered and fully tied regimes: the bidirectional probe must
+        // return the exact bits the tree (and dense oracle) would.
+        for (seed, jitter) in [(3u64, 0.2), (5, 0.0)] {
+            let net = Arc::new(grid_network(&GridConfig {
+                nx: 6,
+                ny: 6,
+                weight_jitter: jitter,
+                removal_prob: 0.08,
+                seed,
+                ..GridConfig::default()
+            }));
+            let dense = SpTable::build(net.clone());
+            // Budget high enough that every lookup below stays a probe.
+            let lazy = LazySpCache::new(
+                net.clone(),
+                LazySpConfig {
+                    capacity_trees: 64,
+                    shards: 2,
+                    mbr_capacity: 16,
+                    point_probe_budget: usize::MAX,
+                },
+            );
+            for u in net.node_ids() {
+                for v in net.node_ids() {
+                    assert_eq!(
+                        dense.node_dist(u, v).to_bits(),
+                        lazy.node_dist(u, v).to_bits(),
+                        "probe mismatch {u} -> {v} (jitter {jitter})"
+                    );
+                }
+            }
+            let stats = lazy.stats();
+            assert_eq!(stats.tree_misses, 0, "no trees may be built");
+            assert_eq!(
+                stats.point_probes,
+                (net.num_nodes() * net.num_nodes()) as u64
+            );
+        }
     }
 
     #[test]
@@ -651,6 +783,7 @@ mod tests {
                 capacity_trees: 16,
                 shards: 4,
                 mbr_capacity: 64,
+                point_probe_budget: 3,
             },
         ));
         let dense = Arc::new(SpTable::build(net.clone()));
@@ -683,7 +816,8 @@ mod tests {
         // Shard rounding may land below the requested count, never above.
         assert!((1..=3).contains(&lazy.capacity_trees()));
         for u in net.node_ids() {
-            for v in net.node_ids().take(3) {
+            // Past the probe budget so trees actually materialize.
+            for v in net.node_ids().take(6) {
                 let _ = lazy.node_dist(u, v);
             }
         }
@@ -718,6 +852,7 @@ mod tests {
                 capacity_trees: 8,
                 shards: 4,
                 mbr_capacity: 32,
+                point_probe_budget: 0,
             },
         );
         // Warm a handful of sources.
@@ -760,6 +895,7 @@ mod tests {
                 capacity_trees: 4,
                 shards: 1,
                 mbr_capacity: 8,
+                point_probe_budget: 0,
             },
         );
         assert_eq!(lazy.approx_bytes(), 0);

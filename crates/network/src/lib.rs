@@ -11,10 +11,10 @@
 //! * [Dijkstra](mod@crate::dijkstra) shortest paths with deterministic
 //!   tie-breaking,
 //! * the [`SpProvider`] abstraction over the paper's `SP(ei, ej)` /
-//!   `SPend(ei, ej)` structures (§3.1), with three interchangeable
+//!   `SPend(ei, ej)` structures (§3.1), with four interchangeable
 //!   backends — the eager dense [`SpTable`], the lazy, sharded-LRU
-//!   [`LazySpCache`], and the [`ContractionHierarchy`] — selected by
-//!   [`SpBackend`],
+//!   [`LazySpCache`], the [`ContractionHierarchy`], and the 2-hop
+//!   [`HubLabels`] built from the CH order — selected by [`SpBackend`],
 //! * a uniform-grid [spatial index](crate::index) over edges, and
 //! * [synthetic generators](crate::generators) (grid, ring-radial, random
 //!   geometric) standing in for the Singapore road network.
@@ -25,13 +25,17 @@
 //! `O(1)` lookups — ideal below a few thousand nodes, impossible at city
 //! scale (100k nodes ≈ 120 GB). [`LazySpCache`] computes one Dijkstra
 //! tree per source on demand and LRU-bounds residency to
-//! `O(capacity · |V|)` bytes, trading a cache lookup (and a full Dijkstra
-//! on a cold miss) per query. The [`ContractionHierarchy`] preprocesses a
-//! node hierarchy in `O(|V| + shortcuts)` memory and answers random point
-//! lookups in microseconds via bidirectional upward search — the backend
-//! for query-heavy workloads at city scale. All three derive from the
-//! same canonical shortest-path trees, so results are bit-identical; pick
-//! with [`SpBackend`] based on network size, RAM, and access pattern.
+//! `O(capacity · |V|)` bytes, trading a cache lookup (a bounded
+//! bidirectional probe or a full Dijkstra on a cold miss) per query. The
+//! [`ContractionHierarchy`] preprocesses a node hierarchy in
+//! `O(|V| + shortcuts)` memory and answers random point lookups in about
+//! a millisecond at 100k nodes via bidirectional upward search. The
+//! [`HubLabels`] backend precomputes those searches into per-node label
+//! arrays (~10× the CH memory) and answers the same lookups in
+//! microseconds by a flat sorted merge — the backend for lookup-dominated
+//! serving at city scale. All four derive from the same canonical
+//! shortest-path trees, so results are bit-identical; pick with
+//! [`SpBackend`] based on network size, RAM, and access pattern.
 //! Everything downstream (map matcher, compressors, query processor,
 //! baselines, workload generator) consumes the trait, not a concrete
 //! backend.
@@ -42,15 +46,19 @@ pub mod error;
 pub mod generators;
 pub mod geometry;
 pub mod graph;
+pub mod hub_labels;
 pub mod id;
 pub mod index;
 pub mod lazy_sp;
+pub mod parallel;
 pub mod provider;
 pub mod sp_table;
+mod store_codec;
 
 pub use ch::{ChConfig, ContractionHierarchy};
 pub use dijkstra::{
-    dijkstra, dijkstra_bounded, dijkstra_with, node_distance, reverse_distances, ShortestPathTree,
+    bidirectional_distance, dijkstra, dijkstra_bounded, dijkstra_with, node_distance,
+    reverse_distances, ShortestPathTree,
 };
 pub use error::NetworkError;
 pub use generators::{
@@ -62,6 +70,7 @@ pub use geometry::{
     project_onto_segment, segments_intersect, Mbr, Point, Projection,
 };
 pub use graph::{Edge, Node, RoadNetwork, RoadNetworkBuilder};
+pub use hub_labels::HubLabels;
 pub use id::{EdgeId, NodeId};
 pub use index::EdgeSpatialIndex;
 pub use lazy_sp::{CacheStats, LazySpCache, LazySpConfig};

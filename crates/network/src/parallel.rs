@@ -1,15 +1,18 @@
 //! Work-stealing parallel map over a shared atomic cursor.
 //!
-//! Both dataset-scale passes in PRESS — batch compression
-//! ([`Press::compress_batch`](crate::press::Press::compress_batch)) and
-//! HSC corpus training (`sp_compress` over the training paths) — have the
-//! same shape: per-item costs vary wildly (path length, SP-cache hits),
-//! so fixed chunking idles threads behind the slowest slice, while
-//! stealing one index at a time from a shared atomic cursor keeps every
-//! worker busy until the input drains. This module is that one shared
-//! loop; output order is preserved (workers write results back by index),
-//! so a parallel pass is bit-for-bit identical to the sequential map for
-//! any thread count.
+//! Every dataset-scale pass in PRESS — batch compression
+//! (`Press::compress_batch` in `press-core`), HSC corpus training
+//! (`sp_compress` over the training paths), and hub-label construction
+//! ([`HubLabels`](crate::hub_labels::HubLabels), one label search per
+//! node) — has the same shape: per-item costs vary wildly (path length,
+//! SP-cache hits, label sizes), so fixed chunking idles threads behind
+//! the slowest slice, while stealing one index at a time from a shared
+//! atomic cursor keeps every worker busy until the input drains. This
+//! module is that one shared loop; output order is preserved (workers
+//! write results back by index), so a parallel pass is bit-for-bit
+//! identical to the sequential map for any thread count. It lives in
+//! `press-network` (the lowest compute crate) and is re-exported as
+//! `press_core::parallel` for the historical call sites.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

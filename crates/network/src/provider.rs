@@ -18,9 +18,12 @@
 //!   workload has source locality.
 //! * [`ContractionHierarchy`](crate::ContractionHierarchy) — a node
 //!   hierarchy with shortcut arcs, preprocessed once in
-//!   `O(|V| + shortcuts)` memory; random point queries resolve in
-//!   microseconds via bidirectional upward search, with no per-source
-//!   state at all.
+//!   `O(|V| + shortcuts)` memory; random point queries resolve via
+//!   bidirectional upward search, with no per-source state at all.
+//! * [`HubLabels`](crate::HubLabels) — 2-hop labels precomputed from the
+//!   CH order: per-node sorted hub arrays answering random point queries
+//!   by a flat merge in microseconds, trading ~10× the CH memory for
+//!   ~100× its lookup speed. The backend for lookup-dominated serving.
 //!
 //! All backends derive every query from the same **canonical**
 //! shortest-path trees (see [`crate::dijkstra`](mod@crate::dijkstra) for the tie-break rule),
@@ -226,10 +229,15 @@ pub enum SpBackend {
     },
     /// Contraction hierarchy
     /// ([`ContractionHierarchy`](crate::ContractionHierarchy)):
-    /// `O(|V| + shortcuts)` memory, microsecond point queries after a
+    /// `O(|V| + shortcuts)` memory, sub-millisecond point queries after a
     /// one-time preprocessing pass. Requires strictly positive edge
     /// weights.
     Ch,
+    /// 2-hop hub labels ([`HubLabels`](crate::HubLabels)) computed from
+    /// the CH order: ~10× the CH memory for point lookups that are a
+    /// flat sorted merge (single-digit microseconds at 100k nodes).
+    /// Requires strictly positive edge weights.
+    Hl,
 }
 
 impl SpBackend {
@@ -252,6 +260,7 @@ impl SpBackend {
                 },
             )),
             SpBackend::Ch => Arc::new(crate::ch::ContractionHierarchy::build(net)),
+            SpBackend::Hl => Arc::new(crate::hub_labels::HubLabels::build(net)),
         }
     }
 }

@@ -26,7 +26,9 @@ fn main() {
     // Dense = eager O(|V|^2) table; `SpBackend::lazy()` = bounded
     // per-source cache for networks where |V|^2 cannot fit in RAM;
     // `SpBackend::Ch` = contraction hierarchy for query-heavy workloads
-    // at city scale. All three answer bit-identically.
+    // at city scale; `SpBackend::Hl` = 2-hop hub labels over the CH
+    // order, trading ~10x the CH memory for flat-merge microsecond point
+    // lookups. All four answer bit-identically.
     let sp = SpBackend::Dense.build(net.clone());
     println!(
         "sp backend (dense): {:.1} MiB",
@@ -84,6 +86,20 @@ fn main() {
     println!(
         "ch sp backend: {:.2} MiB resident, same compressed bits",
         ch.approx_bytes() as f64 / (1 << 20) as f64
+    );
+    // And hub labels: the CH searches precomputed into per-node label
+    // arrays — point lookups become a flat sorted merge, the fastest
+    // backend for lookup-dominated serving, still bit-identical.
+    let hl = SpBackend::Hl.build(net.clone());
+    let press_hl = Press::train(hl.clone(), &training_paths, config).expect("training (hl)");
+    assert_eq!(
+        press.compress(&sample).expect("dense compress"),
+        press_hl.compress(&sample).expect("hl compress"),
+        "HL backend must compress identically"
+    );
+    println!(
+        "hl sp backend: {:.2} MiB resident, same compressed bits",
+        hl.approx_bytes() as f64 / (1 << 20) as f64
     );
     println!("trained: {:?}", press.model());
 

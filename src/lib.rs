@@ -62,7 +62,7 @@ pub mod prelude {
     };
     pub use press_matcher::{MapMatcher, MatcherConfig};
     pub use press_network::{
-        grid_network, ChConfig, ContractionHierarchy, EdgeId, GridConfig, LazySpCache,
+        grid_network, ChConfig, ContractionHierarchy, EdgeId, GridConfig, HubLabels, LazySpCache,
         LazySpConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider,
         SpTable,
     };

@@ -244,12 +244,16 @@ proptest! {
             seed,
         }));
         let dense = SpTable::build(net.clone());
+        // Probe budget on: the first lookups per source go through the
+        // bounded bidirectional point search, which must be bit-identical
+        // too (including the fully tied regime).
         let lazy = LazySpCache::new(
             net.clone(),
             LazySpConfig {
                 capacity_trees: capacity,
                 shards: 2,
                 mbr_capacity: 32,
+                point_probe_budget: 3,
             },
         );
         for u in net.node_ids() {
@@ -331,11 +335,69 @@ proptest! {
         }
     }
 
-    /// Full-pipeline bit-identity: training and compressing the same
-    /// corpus over the CH backend yields byte-identical output to the
-    /// dense oracle (the property `sp_backend_report` asserts at scale).
+    /// Tentpole invariant (PR 4): the hub-label backend is
+    /// **bit-identical** to the dense all-pair oracle on arbitrary grid
+    /// networks — distances, canonical predecessor edges, interiors and
+    /// MBRs — including `v == u`, disconnected pairs (`f64::INFINITY` /
+    /// `None`), and the zero-jitter regime where shortest paths tie
+    /// massively and only the canonical tie handling (strict stalling in
+    /// the label searches, minimal-sum meet, left-to-right
+    /// re-accumulation) keeps answers aligned.
     #[test]
-    fn ch_pipeline_output_matches_dense(
+    fn hl_matches_dense_oracle(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        seed in 0u64..1000,
+        jitter_milli in 0u32..300,
+        removal_milli in 0u32..120,
+    ) {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx,
+            ny,
+            spacing: 90.0,
+            weight_jitter: jitter_milli as f64 / 1000.0,
+            removal_prob: removal_milli as f64 / 1000.0,
+            seed,
+        }));
+        let dense = SpTable::build(net.clone());
+        let hl = HubLabels::build(net.clone());
+        for u in net.node_ids() {
+            for v in net.node_ids() {
+                let dd = dense.node_dist(u, v);
+                let dh = hl.node_dist(u, v);
+                prop_assert_eq!(
+                    dd.to_bits(), dh.to_bits(),
+                    "distance mismatch {} -> {}: dense {} vs hl {}", u, v, dd, dh
+                );
+                prop_assert_eq!(
+                    dense.pred_edge(u, v), hl.pred_edge(u, v),
+                    "pred mismatch {} -> {}", u, v
+                );
+                if u == v {
+                    prop_assert_eq!(dh, 0.0);
+                    prop_assert_eq!(hl.pred_edge(u, v), None);
+                }
+                if dd == f64::INFINITY {
+                    prop_assert_eq!(hl.pred_edge(u, v), None);
+                }
+            }
+        }
+        let edges: Vec<EdgeId> = net.edge_ids().collect();
+        for &ei in edges.iter().step_by(7) {
+            for &ej in edges.iter().rev().step_by(11) {
+                prop_assert_eq!(dense.sp_end(ei, ej), hl.sp_end(ei, ej));
+                prop_assert_eq!(dense.sp_interior(ei, ej), hl.sp_interior(ei, ej));
+                prop_assert_eq!(dense.sp_mbr(ei, ej), hl.sp_mbr(ei, ej));
+            }
+        }
+    }
+
+    /// Full-pipeline bit-identity: training and compressing the same
+    /// corpus over the CH and HL backends yields byte-identical output to
+    /// the dense oracle (the property `sp_backend_report` asserts at
+    /// scale).
+    #[test]
+    fn ch_and_hl_pipeline_output_matches_dense(
         seed in 0u64..200,
         starts in proptest::collection::vec((0u32..36, proptest::collection::vec(0u8..6, 4..18)), 8..20),
     ) {
@@ -355,14 +417,19 @@ proptest! {
         prop_assume!(paths.len() >= 4);
         let dense: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
         let ch: Arc<dyn SpProvider> = Arc::new(ContractionHierarchy::build(net.clone()));
+        let hl: Arc<dyn SpProvider> = Arc::new(HubLabels::build(net.clone()));
         let split = paths.len() / 2;
         let md = HscModel::train(dense, &paths[..split], 3).unwrap();
         let mc = HscModel::train(ch, &paths[..split], 3).unwrap();
+        let mh = HscModel::train(hl, &paths[..split], 3).unwrap();
         for p in &paths[split..] {
             let cd = md.compress(p).unwrap();
             let cc = mc.compress(p).unwrap();
+            let ch_ = mh.compress(p).unwrap();
             prop_assert_eq!(&cd, &cc, "compressed bits differ between dense and CH");
+            prop_assert_eq!(&cd, &ch_, "compressed bits differ between dense and HL");
             prop_assert_eq!(mc.decompress(&cc).unwrap(), p.clone());
+            prop_assert_eq!(mh.decompress(&ch_).unwrap(), p.clone());
         }
     }
 
@@ -383,12 +450,15 @@ proptest! {
             removal_prob: 0.0,
             seed,
         }));
+        // Probes off: this test measures tree churn, so every miss must
+        // actually build (and evict) a tree.
         let lazy = LazySpCache::new(
             net.clone(),
             LazySpConfig {
                 capacity_trees: capacity,
                 shards: 1,
                 mbr_capacity: 8,
+                point_probe_budget: 0,
             },
         );
         let per_tree_bytes = net.num_nodes() * 16;

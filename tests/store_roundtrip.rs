@@ -8,7 +8,8 @@ use press::core::query::QueryEngine;
 use press::core::spatial::HscModel;
 use press::core::TrajectoryStore;
 use press::network::{
-    grid_network, ContractionHierarchy, GridConfig, LazySpCache, RoadNetwork, SpProvider, SpTable,
+    grid_network, ContractionHierarchy, GridConfig, HubLabels, LazySpCache, RoadNetwork,
+    SpProvider, SpTable,
 };
 use press::prelude::*;
 use proptest::prelude::*;
@@ -61,7 +62,7 @@ fn walk_from_choices(net: &RoadNetwork, start: u32, choices: &[u8]) -> Vec<EdgeI
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// All three SP backends: the loaded structure answers node_dist /
+    /// All four SP backends: the loaded structure answers node_dist /
     /// pred_edge / sp_mbr bit-identically to the built one on random
     /// networks.
     #[test]
@@ -77,7 +78,9 @@ proptest! {
             SpTable::from_store_bytes(net.clone(), dense.to_store_bytes()).expect("dense load");
         let lazy = LazySpCache::with_default_config(net.clone());
         for u in net.node_ids() {
-            let _ = lazy.node_dist(u, NodeId(0));
+            // tree(), not node_dist(): distance probes deliberately stay
+            // treeless now, and this test wants a warm resident set.
+            let _ = lazy.tree(u);
         }
         let lazy_loaded =
             LazySpCache::from_store_bytes(net.clone(), lazy.to_store_bytes()).expect("lazy load");
@@ -85,10 +88,14 @@ proptest! {
         let ch_loaded =
             ContractionHierarchy::from_store_bytes(net.clone(), ch.to_store_bytes())
                 .expect("ch load");
+        let hl = HubLabels::from_ch(&ch, 2);
+        let hl_loaded =
+            HubLabels::from_store_bytes(net.clone(), hl.to_store_bytes()).expect("hl load");
         let pairs: Vec<ProviderPair> = vec![
             (Arc::new(dense), Arc::new(dense_loaded), "dense"),
             (Arc::new(lazy), Arc::new(lazy_loaded), "lazy"),
             (Arc::new(ch), Arc::new(ch_loaded), "ch"),
+            (Arc::new(hl), Arc::new(hl_loaded), "hl"),
         ];
         for (fresh, warm, name) in &pairs {
             for u in net.node_ids() {
@@ -163,16 +170,39 @@ proptest! {
 
     /// Corrupting any single byte of any artifact yields a typed error or
     /// an unchanged (still-valid) load — never a panic and never a
-    /// structurally different artifact that answers differently.
+    /// structurally different artifact that answers differently. Covers
+    /// both the hierarchy and the hub-label artifacts (the two compact
+    /// delta+varint formats).
     #[test]
-    fn single_byte_corruption_never_panics(seed in 0u64..200, flip in 0usize..4096, bit in 0u8..8) {
+    fn single_byte_corruption_never_panics(
+        seed in 0u64..200,
+        flip in 0usize..4096,
+        bit in 0u8..8,
+        which in 0usize..2,
+    ) {
         let net = net_from(4, 4, 0.1, seed);
         let ch = ContractionHierarchy::build(net.clone());
-        let bytes = ch.to_store_bytes();
+        let fresh: Arc<dyn SpProvider> = if which == 0 {
+            Arc::new(ContractionHierarchy::from_store_bytes(net.clone(), ch.to_store_bytes()).expect("ch reload"))
+        } else {
+            Arc::new(HubLabels::from_ch(&ch, 1))
+        };
+        let bytes = if which == 0 {
+            ch.to_store_bytes()
+        } else {
+            HubLabels::from_ch(&ch, 1).to_store_bytes()
+        };
         let idx = flip % bytes.len();
         let mut corrupted = bytes.clone();
         corrupted[idx] ^= 1 << bit;
-        match ContractionHierarchy::from_store_bytes(net.clone(), corrupted) {
+        let loaded: Result<Arc<dyn SpProvider>, press_store::StoreError> = if which == 0 {
+            ContractionHierarchy::from_store_bytes(net.clone(), corrupted)
+                .map(|c| Arc::new(c) as Arc<dyn SpProvider>)
+        } else {
+            HubLabels::from_store_bytes(net.clone(), corrupted)
+                .map(|h| Arc::new(h) as Arc<dyn SpProvider>)
+        };
+        match loaded {
             // CRCs catch payload damage; header damage is typed.
             Err(_) => {}
             Ok(loaded) => {
@@ -181,7 +211,7 @@ proptest! {
                 for u in net.node_ids().take(6) {
                     for v in net.node_ids().take(6) {
                         prop_assert_eq!(
-                            ch.node_dist(u, v).to_bits(),
+                            fresh.node_dist(u, v).to_bits(),
                             loaded.node_dist(u, v).to_bits()
                         );
                     }
