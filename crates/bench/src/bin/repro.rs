@@ -4,7 +4,7 @@
 //! Usage:
 //! ```text
 //! repro [EXPERIMENT…] [--full] [--seed N] [--lazy] [--ch] [--hl]
-//!       [--save-dir DIR] [--load-dir DIR]
+//!       [--threads N] [--save-dir DIR] [--load-dir DIR]
 //!
 //! EXPERIMENT: all (default) | fig10a | fig10b | fig11 | fig12a | fig12b |
 //!             fig13 | fig14 | fig15 | fig16 | fig17 | aux | ablations
@@ -13,6 +13,9 @@
 //! --lazy          run on the LazySpCache SP backend instead of the dense table
 //! --ch            run on the ContractionHierarchy SP backend
 //! --hl            run on the HubLabels SP backend (2-hop labels over the CH order)
+//! --threads N     SP preprocessing workers (default 0 = one per core);
+//!                 never changes any result — builds are bit-identical
+//!                 for every thread count — only how fast preprocessing runs
 //! --save-dir DIR  after building, persist network / SP structure / trained
 //!                 model under DIR (press-store artifacts)
 //! --load-dir DIR  warm-start from artifacts saved by a --save-dir run with
@@ -29,6 +32,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut seed = 3u64;
     let mut backend = SpBackend::Dense;
+    let mut threads = 0usize;
     let mut save_dir: Option<String> = None;
     let mut load_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -44,6 +48,12 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
             }
             "--save-dir" => {
                 save_dir = Some(
@@ -82,7 +92,7 @@ fn main() {
         "Building environment (scale {scale:?}, seed {seed}); see DESIGN.md §5 for the experiment index…"
     );
     let t0 = Instant::now();
-    let env = Env::standard_with_store(scale, seed, backend, store);
+    let env = Env::standard_sp_threads(scale, seed, backend, store, threads);
     eprintln!(
         "environment ready in {:.0} ms{}",
         t0.elapsed().as_secs_f64() * 1e3,
@@ -129,7 +139,7 @@ fn main() {
     if needs_queries {
         eprintln!("Building long-haul environment for the query experiments…");
         let t0 = Instant::now();
-        let qenv = Env::long_haul_with_store(scale, seed, backend, store);
+        let qenv = Env::long_haul_sp_threads(scale, seed, backend, store, threads);
         eprintln!(
             "long-haul environment ready in {:.0} ms",
             t0.elapsed().as_secs_f64() * 1e3
@@ -159,7 +169,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… \
-         [--full] [--seed N] [--lazy] [--ch] [--hl] [--save-dir DIR] [--load-dir DIR]"
+         [--full] [--seed N] [--lazy] [--ch] [--hl] [--threads N] [--save-dir DIR] [--load-dir DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -86,7 +86,14 @@ enum ConcreteSp {
 }
 
 impl ConcreteSp {
-    fn build(backend: SpBackend, net: Arc<RoadNetwork>) -> ConcreteSp {
+    /// Builds the backend with `threads` preprocessing workers (0 = one
+    /// per core; bit-identical output for any value). The HL backend
+    /// contracts **once** and derives its labels from that hierarchy.
+    fn build(backend: SpBackend, net: Arc<RoadNetwork>, threads: usize) -> ConcreteSp {
+        let ch_cfg = press_network::ChConfig {
+            threads,
+            ..press_network::ChConfig::default()
+        };
         match backend {
             SpBackend::Dense => ConcreteSp::Dense(Arc::new(SpTable::build(net))),
             SpBackend::Lazy { capacity_trees } => ConcreteSp::Lazy(Arc::new(LazySpCache::new(
@@ -96,8 +103,10 @@ impl ConcreteSp {
                     ..LazySpConfig::default()
                 },
             ))),
-            SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::build(net))),
-            SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::build(net))),
+            SpBackend::Ch => {
+                ConcreteSp::Ch(Arc::new(ContractionHierarchy::build_with(net, ch_cfg)))
+            }
+            SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::build_with_threads(net, threads))),
         }
     }
 
@@ -154,6 +163,20 @@ impl Env {
         backend: SpBackend,
         store: StoreMode<'_>,
     ) -> Env {
+        Self::standard_sp_threads(scale, seed, backend, store, 0)
+    }
+
+    /// [`Env::standard_with_store`] with an explicit SP preprocessing
+    /// worker count (0 = one per core). Thread count never changes any
+    /// result — it only bounds build parallelism (e.g. on shared
+    /// machines), so every experiment is reproducible regardless.
+    pub fn standard_sp_threads(
+        scale: Scale,
+        seed: u64,
+        backend: SpBackend,
+        store: StoreMode<'_>,
+        sp_threads: usize,
+    ) -> Env {
         let grid = press_network::GridConfig {
             nx: 16,
             ny: 16,
@@ -168,7 +191,7 @@ impl Env {
             min_trip_edges: 12,
             ..WorkloadConfig::default()
         };
-        Self::build_env(grid, wl, backend, store, "standard")
+        Self::build_env(grid, wl, backend, store, sp_threads, "standard")
     }
 
     /// A larger environment with **long-haul** trips (32×32 grid, minimum
@@ -193,6 +216,18 @@ impl Env {
         backend: SpBackend,
         store: StoreMode<'_>,
     ) -> Env {
+        Self::long_haul_sp_threads(scale, seed, backend, store, 0)
+    }
+
+    /// [`Env::long_haul_with_store`] with an explicit SP preprocessing
+    /// worker count (0 = one per core); see [`Env::standard_sp_threads`].
+    pub fn long_haul_sp_threads(
+        scale: Scale,
+        seed: u64,
+        backend: SpBackend,
+        store: StoreMode<'_>,
+        sp_threads: usize,
+    ) -> Env {
         let grid = press_network::GridConfig {
             nx: 32,
             ny: 32,
@@ -211,7 +246,7 @@ impl Env {
             sampling_interval: 5.0,
             ..WorkloadConfig::default()
         };
-        Self::build_env(grid, wl, backend, store, "long_haul")
+        Self::build_env(grid, wl, backend, store, sp_threads, "long_haul")
     }
 
     /// Configuration fingerprint persisted next to the artifacts: the
@@ -254,6 +289,7 @@ impl Env {
         wl: WorkloadConfig,
         backend: SpBackend,
         store: StoreMode<'_>,
+        sp_threads: usize,
         flavor: &str,
     ) -> Env {
         let fail = |what: &str, e: press_store::StoreError| -> ! {
@@ -289,7 +325,7 @@ impl Env {
             }
             _ => {
                 let net = Arc::new(press_network::grid_network(&grid));
-                let concrete = ConcreteSp::build(backend, net.clone());
+                let concrete = ConcreteSp::build(backend, net.clone(), sp_threads);
                 (net, concrete, None)
             }
         };

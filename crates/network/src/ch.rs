@@ -21,17 +21,54 @@
 //! inconclusive (settle cap reached), the shortcut is inserted anyway —
 //! extra shortcuts cost memory, never correctness.
 //!
-//! The contraction *order* determines how many shortcuts appear. We use
-//! the classic lazy-update heuristic: each node's priority is
+//! The contraction *order* determines how many shortcuts appear. Each
+//! node's priority is the classic heuristic
 //! `2·edge_difference + deleted_neighbors + level`, where
 //! `edge_difference` is (shortcuts the contraction would insert) − (live
 //! arcs it removes), `deleted_neighbors` counts already-contracted
 //! neighbors (keeping the contraction spatially uniform), and `level`
 //! lower-bounds the node's hierarchy depth (keeping the hierarchy
-//! shallow). Priorities go stale as neighbors contract, so the queue is
-//! **lazy**: pop the minimum, re-evaluate, and contract only if it still
-//! beats the runner-up, else re-insert. Ties break on node id, making
-//! the whole preprocessing deterministic.
+//! shallow).
+//!
+//! # Batched independent-set contraction and the determinism contract
+//!
+//! Contraction proceeds in **rounds** over the shrinking overlay graph
+//! (live nodes + live arcs), not one node at a time, so the dominant
+//! preprocessing cost — the witness searches — spreads across all cores
+//! ([`ChConfig::threads`]). Every round has four phases:
+//!
+//! 1. **Priority recompute (parallel, read-only).** Nodes *dirtied* by
+//!    the previous round (neighbors of what was contracted) re-evaluate
+//!    their priority — one bounded witness pass each — via
+//!    [`work_steal_map_indexed`](crate::parallel::work_steal_map_indexed)
+//!    over a pool of per-worker versioned scratch. The overlay is
+//!    immutable here, so each priority is a pure function of (overlay,
+//!    node).
+//! 2. **Independent-set selection (sequential, deterministic).** A live
+//!    node is selected iff its `(priority, node id)` key is strictly
+//!    smaller than every live overlay neighbor's — local minima under a
+//!    total order, so the set is independent (no two selected nodes
+//!    adjacent) and uniquely determined by the overlay state. The global
+//!    minimum is always selected, so every round makes progress.
+//! 3. **Witness searches (parallel, read-only).** Each selected node
+//!    computes its definitive shortcut list against the immutable
+//!    overlay. These searches skip **every** selected node, not just the
+//!    one being contracted: two selected nodes may not certify each
+//!    other as witnesses, since both leave the overlay together (the
+//!    classic mutual-witness unsoundness of batched contraction). The
+//!    cost is at most a few extra shortcuts — never correctness.
+//! 4. **Commit (sequential, deterministic).** Selected nodes contract in
+//!    ascending node id: shortcut arcs are appended in that order,
+//!    ranks assigned consecutively, neighbor lists pruned,
+//!    `deleted_neighbors`/`level` bumped, and the neighbors marked dirty
+//!    for the next round.
+//!
+//! Phases 1 and 3 only ever *read* the overlay and return results in
+//! input order; everything that writes is single-threaded and keyed on
+//! node id. Hence the contract: **the rank order, the shortcut arc set
+//! (including arc ids), and the serialized `sp_ch.press` bytes are
+//! identical for every thread count** — `threads` is a throughput knob,
+//! never a semantic one (property-tested across 1/2/3/7 workers).
 //!
 //! # Queries
 //!
@@ -89,18 +126,35 @@ use std::sync::Arc;
 /// whose label entries use the same arc-id space.
 pub(crate) const NO_ARC: u32 = u32::MAX;
 
+/// Batch-shaping constants for the quality guard in
+/// [`ContractionHierarchy::build_with`]: a round contracts the
+/// candidates within `PRIORITY_SLACK` of its minimum priority, widened —
+/// when that would leave work too serial — to at least the
+/// `MIN_BATCH`-th smallest candidate priority. Both are fixed (never
+/// derived from the machine), so the schedule, and with it the artifact
+/// bytes, are identical everywhere.
+const PRIORITY_SLACK: i64 = 2;
+const MIN_BATCH: usize = 256;
+
 /// Tuning knobs for [`ContractionHierarchy::build_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChConfig {
     /// Maximum nodes a witness search may settle before giving up and
     /// inserting the shortcut. Larger = slower build, fewer shortcuts.
     pub witness_settle_limit: usize,
+    /// Worker threads for the batched contraction rounds (priority
+    /// recomputation and witness searches); `0` means one per available
+    /// core. Purely a throughput knob: the built hierarchy — rank order,
+    /// shortcut arcs, serialized bytes — is **bit-identical for any
+    /// value** (see the module docs' determinism contract).
+    pub threads: usize,
 }
 
 impl Default for ChConfig {
     fn default() -> Self {
         ChConfig {
             witness_settle_limit: 128,
+            threads: 0,
         }
     }
 }
@@ -247,28 +301,6 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// Lazy contraction-queue entry: min by (priority, node id).
-#[derive(Copy, Clone, PartialEq, Eq)]
-struct PqEntry {
-    prio: i64,
-    node: u32,
-}
-
-impl Ord for PqEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .prio
-            .cmp(&self.prio)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for PqEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Reusable per-thread query state: versioned distance/parent arrays and
 /// the two heaps. Versioning makes "reset" an integer bump instead of an
 /// `O(|V|)` clear; the arrays grow to the largest network queried on this
@@ -337,15 +369,54 @@ pub struct ContractionHierarchy {
 // Preprocessing
 // ---------------------------------------------------------------------
 
-/// Mutable contraction state; lives only inside `build_with`.
-struct Contractor {
-    cfg: ChConfig,
+/// Per-worker witness-search scratch: versioned distance array (reset is
+/// an integer bump) plus the search heap, reused across every evaluation
+/// one worker runs over the whole build.
+struct WitnessScratch {
+    wdist: Vec<f64>,
+    wver: Vec<u32>,
+    ver: u32,
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl WitnessScratch {
+    fn new(n: usize) -> Self {
+        WitnessScratch {
+            wdist: vec![f64::INFINITY; n],
+            wver: vec![0; n],
+            ver: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn dist(&self, v: NodeId) -> f64 {
+        if self.wver[v.index()] == self.ver {
+            self.wdist[v.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The shrinking overlay graph the contraction rounds run over. During
+/// the parallel phases of a round (priority recomputation, witness
+/// searches) it is **immutable** — workers share `&Overlay` — and all
+/// mutation happens in the sequential commit phase; that split is what
+/// makes the build bit-identical for any thread count (module docs).
+struct Overlay {
+    witness_settle_limit: usize,
     arcs: Vec<ChArc>,
     /// Live out-/in-arc ids per node (arcs to/from contracted nodes are
     /// pruned as their endpoints contract).
     out: Vec<Vec<u32>>,
     inn: Vec<Vec<u32>>,
     contracted: Vec<bool>,
+    /// Nodes selected for contraction in the current round. Witness
+    /// searches skip them exactly like contracted nodes: two selected
+    /// nodes must not certify each other as witnesses, because both
+    /// leave the overlay together at commit.
+    selected: Vec<bool>,
     deleted_neighbors: Vec<u32>,
     /// Lower bound on a node's depth in the hierarchy; penalizing it in
     /// the priority keeps the hierarchy shallow (better query times).
@@ -355,14 +426,10 @@ struct Contractor {
     /// search graphs — but it stays in `arcs`, because it may be the
     /// child of an earlier shortcut and must remain expandable.
     dead: Vec<bool>,
-    // Versioned witness-search scratch (single-threaded build).
-    wdist: Vec<f64>,
-    wver: Vec<u32>,
-    ver: u32,
 }
 
-impl Contractor {
-    fn new(net: &RoadNetwork, cfg: ChConfig) -> Self {
+impl Overlay {
+    fn new(net: &RoadNetwork, witness_settle_limit: usize) -> Self {
         let n = net.num_nodes();
         let mut arcs = Vec::with_capacity(net.num_edges() * 2);
         let mut out = vec![Vec::new(); n];
@@ -389,58 +456,69 @@ impl Contractor {
             }
         }
         let num_arcs = arcs.len();
-        Contractor {
-            cfg,
+        Overlay {
+            witness_settle_limit,
             arcs,
             out,
             inn,
             contracted: vec![false; n],
+            selected: vec![false; n],
             deleted_neighbors: vec![0; n],
             level: vec![0; n],
             dead: vec![false; num_arcs],
-            wdist: vec![f64::INFINITY; n],
-            wver: vec![0; n],
-            ver: 0,
         }
     }
 
     /// Bounded Dijkstra from `source` in the live core graph, skipping
-    /// `excluded`; distances land in the versioned scratch.
-    fn witness_search(&mut self, source: NodeId, excluded: NodeId, bound: f64) {
-        self.ver += 1;
-        let ver = self.ver;
-        self.wdist[source.index()] = 0.0;
-        self.wver[source.index()] = ver;
-        let mut heap = BinaryHeap::new();
-        heap.push(QueueEntry {
+    /// `excluded` and every currently selected node; distances land in
+    /// the worker's versioned scratch. Read-only on the overlay, so any
+    /// number of workers may search concurrently.
+    fn witness_search(
+        &self,
+        scr: &mut WitnessScratch,
+        source: NodeId,
+        excluded: NodeId,
+        bound: f64,
+        settle_limit: usize,
+    ) {
+        if scr.ver == u32::MAX {
+            scr.wver.fill(0);
+            scr.ver = 0;
+        }
+        scr.ver += 1;
+        let ver = scr.ver;
+        scr.wdist[source.index()] = 0.0;
+        scr.wver[source.index()] = ver;
+        scr.heap.clear();
+        scr.heap.push(QueueEntry {
             dist: 0.0,
             node: source.0,
         });
         let mut settled = 0usize;
-        while let Some(QueueEntry { dist: d, node: u }) = heap.pop() {
+        while let Some(QueueEntry { dist: d, node: u }) = scr.heap.pop() {
             let u = u as usize;
-            if d > self.wdist[u] || self.wver[u] != ver {
+            if d > scr.wdist[u] || scr.wver[u] != ver {
                 continue; // stale
             }
             if d > bound {
                 break;
             }
             settled += 1;
-            if settled > self.cfg.witness_settle_limit {
+            if settled > settle_limit {
                 break;
             }
-            for i in 0..self.out[u].len() {
-                let arc = self.arcs[self.out[u][i] as usize];
+            for &aid in &self.out[u] {
+                let arc = self.arcs[aid as usize];
                 let v = arc.head;
-                if v == excluded || self.contracted[v.index()] {
+                if v == excluded || self.contracted[v.index()] || self.selected[v.index()] {
                     continue;
                 }
                 let nd = d + arc.weight;
                 let vi = v.index();
-                if self.wver[vi] != ver || nd < self.wdist[vi] {
-                    self.wdist[vi] = nd;
-                    self.wver[vi] = ver;
-                    heap.push(QueueEntry {
+                if scr.wver[vi] != ver || nd < scr.wdist[vi] {
+                    scr.wdist[vi] = nd;
+                    scr.wver[vi] = ver;
+                    scr.heap.push(QueueEntry {
                         dist: nd,
                         node: v.0,
                     });
@@ -449,27 +527,24 @@ impl Contractor {
         }
     }
 
-    #[inline]
-    fn witness_dist(&self, v: NodeId) -> f64 {
-        if self.wver[v.index()] == self.ver {
-            self.wdist[v.index()]
-        } else {
-            f64::INFINITY
-        }
-    }
-
-    /// The shortcuts contracting `v` would insert: `(in_arc, out_arc,
-    /// weight)` triples for which no witness was found.
-    fn shortcuts_for(&mut self, v: NodeId) -> Vec<(u32, u32, f64)> {
+    /// Runs the witness searches for contracting `v` and feeds every
+    /// shortcut that survives them — `(in_arc, out_arc, weight)` with no
+    /// witness found — to `f`. Shared by the counting (priority) and
+    /// collecting (contraction) passes, which differ only in their
+    /// settle budget.
+    fn for_each_shortcut(
+        &self,
+        scr: &mut WitnessScratch,
+        v: NodeId,
+        settle_limit: usize,
+        mut f: impl FnMut(u32, u32, f64),
+    ) {
         let vi = v.index();
-        let in_live = self.inn[vi].clone();
-        let out_live = self.out[vi].clone();
-        let mut result = Vec::new();
-        for &ia in &in_live {
+        for &ia in &self.inn[vi] {
             let u = self.arcs[ia as usize].tail;
             let w_uv = self.arcs[ia as usize].weight;
             let mut bound = f64::NEG_INFINITY;
-            for &oa in &out_live {
+            for &oa in &self.out[vi] {
                 let arc = self.arcs[oa as usize];
                 if arc.head != u {
                     bound = bound.max(w_uv + arc.weight);
@@ -478,20 +553,91 @@ impl Contractor {
             if bound == f64::NEG_INFINITY {
                 continue; // no targets besides u itself
             }
-            self.witness_search(u, v, bound);
-            for &oa in &out_live {
+            self.witness_search(scr, u, v, bound, settle_limit);
+            for &oa in &self.out[vi] {
                 let arc = self.arcs[oa as usize];
                 if arc.head == u {
                     continue;
                 }
                 let sw = w_uv + arc.weight;
-                if self.witness_dist(arc.head) <= sw {
+                if scr.dist(arc.head) <= sw {
                     continue; // a path avoiding v is at least as good
                 }
-                result.push((ia, oa, sw));
+                f(ia, oa, sw);
             }
         }
+    }
+
+    /// Would-be shortcut count of contracting `v` — the priority input.
+    /// Counting runs on a quarter of the witness budget: an inconclusive
+    /// search just overestimates the count (shifting the heuristic order
+    /// a little), while the definitive pass that actually *inserts*
+    /// shortcuts keeps the full budget, so correctness and the shortcut
+    /// set never depend on this shortcut. Estimation is the dominant
+    /// witness volume, so the smaller budget is most of the single-thread
+    /// build cost.
+    fn count_shortcuts(&self, scr: &mut WitnessScratch, v: NodeId) -> usize {
+        let mut count = 0usize;
+        self.for_each_shortcut(
+            scr,
+            v,
+            (self.witness_settle_limit / 4).max(16),
+            |_, _, _| count += 1,
+        );
+        count
+    }
+
+    /// Definitive shortcut list for contracting `v` (full settle budget).
+    fn collect_shortcuts(&self, scr: &mut WitnessScratch, v: NodeId) -> Vec<(u32, u32, f64)> {
+        let mut result = Vec::new();
+        self.for_each_shortcut(scr, v, self.witness_settle_limit, |ia, oa, sw| {
+            result.push((ia, oa, sw))
+        });
         result
+    }
+
+    /// Whether `v`'s `(priority, id)` key beats every live overlay
+    /// neighbor's — the independent-set membership test. Strict total
+    /// order, so no two adjacent nodes can both pass.
+    fn is_local_minimum(&self, v: u32, prio: &[i64]) -> bool {
+        let key = (prio[v as usize], v);
+        for list in [&self.out[v as usize], &self.inn[v as usize]] {
+            for &aid in list.iter() {
+                let arc = self.arcs[aid as usize];
+                let x = if arc.tail.0 == v {
+                    arc.head.0
+                } else {
+                    arc.tail.0
+                };
+                if (prio[x as usize], x) < key {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Queues `v` and its live overlay neighbors for a candidacy
+    /// recheck (deduplicated via `mark`).
+    fn push_with_neighbors(&self, v: u32, recheck: &mut Vec<u32>, mark: &mut [bool]) {
+        if !mark[v as usize] {
+            mark[v as usize] = true;
+            recheck.push(v);
+        }
+        for list in [&self.out[v as usize], &self.inn[v as usize]] {
+            for &aid in list.iter() {
+                let arc = self.arcs[aid as usize];
+                let x = if arc.tail.0 == v {
+                    arc.head.0
+                } else {
+                    arc.tail.0
+                };
+                if !mark[x as usize] {
+                    mark[x as usize] = true;
+                    recheck.push(x);
+                }
+            }
+        }
     }
 
     /// Priority of contracting `v` given its would-be shortcut count.
@@ -503,8 +649,18 @@ impl Contractor {
     }
 
     /// Contracts `v`: materializes `shortcuts`, prunes `v` from its
-    /// neighbors' live lists, and bumps their `deleted_neighbors`.
-    fn contract(&mut self, v: NodeId, shortcuts: Vec<(u32, u32, f64)>) {
+    /// neighbors' live lists, bumps their `deleted_neighbors`, marks them
+    /// stale (selection refreshes their priority before trusting it) and
+    /// queues them for a candidacy recheck (their neighbor set just
+    /// changed). Sequential commit phase only.
+    fn contract(
+        &mut self,
+        v: NodeId,
+        shortcuts: Vec<(u32, u32, f64)>,
+        stale: &mut [bool],
+        recheck: &mut Vec<u32>,
+        recheck_mark: &mut [bool],
+    ) {
         let vi = v.index();
         for (ia, oa, weight) in shortcuts {
             let tail = self.arcs[ia as usize].tail;
@@ -554,6 +710,11 @@ impl Contractor {
                 self.level[x.index()] = self.level[x.index()].max(self.level[vi] + 1);
                 self.out[x.index()].retain(|&a| arcs[a as usize].head != v);
                 self.inn[x.index()].retain(|&a| arcs[a as usize].tail != v);
+                stale[x.index()] = true;
+                if !recheck_mark[x.index()] {
+                    recheck_mark[x.index()] = true;
+                    recheck.push(x.0);
+                }
             }
         }
     }
@@ -565,48 +726,176 @@ impl ContractionHierarchy {
         Self::build_with(net, ChConfig::default())
     }
 
-    /// Builds the hierarchy; fully deterministic for a given network and
-    /// config. Panics if any edge weight is not strictly positive.
+    /// Builds the hierarchy with batched independent-set contraction
+    /// (see the module docs); fully deterministic for a given network
+    /// and config — including across thread counts. Panics if any edge
+    /// weight is not strictly positive.
     pub fn build_with(net: Arc<RoadNetwork>, cfg: ChConfig) -> Self {
         let n = net.num_nodes();
         let num_original = net.num_edges();
-        let mut c = Contractor::new(&net, cfg);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let mut ov = Overlay::new(&net, cfg.witness_settle_limit);
         let mut rank = vec![0u32; n];
-        let mut pq = BinaryHeap::with_capacity(n);
-        for v in net.node_ids() {
-            let sc = c.shortcuts_for(v);
-            pq.push(PqEntry {
-                prio: c.priority(v, sc.len()),
-                node: v.0,
-            });
-        }
+        let mut prio = vec![0i64; n];
+        // One witness scratch per worker, reused across every round (the
+        // versioned arrays make reset an integer bump, so rounds pay no
+        // allocation or clearing).
+        let mut scratch: Vec<WitnessScratch> =
+            (0..threads).map(|_| WitnessScratch::new(n)).collect();
+        let seed: Vec<u32> = (0..n as u32).collect();
+        // `stale[v]`: the overlay changed near `v` (a neighbor contracted)
+        // after `prio[v]` was last computed. Stale priorities still
+        // participate in selection — exactly like the stale entries of a
+        // lazy contraction queue — and are refreshed only when the node
+        // becomes a selection candidate, so the priority work tracks the
+        // near-minimum frontier instead of every dirtied node.
+        let mut stale = vec![false; n];
+        // Candidacy ("my (priority, id) key beats every live overlay
+        // neighbor's") is maintained incrementally: a node's flag can only
+        // flip when its own key, a neighbor's key, or its neighbor set
+        // changes, so freshens and commits push exactly those nodes onto
+        // the `recheck` worklist instead of rescanning every live node.
+        let mut is_cand = vec![false; n];
+        let mut cand_list: Vec<u32> = Vec::new();
+        let mut recheck: Vec<u32> = seed.clone();
+        let mut recheck_mark = vec![true; n];
+        let mut sel: Vec<u32> = Vec::new();
+        let mut stale_sel: Vec<u32> = Vec::new();
         let mut next_rank = 0u32;
-        while let Some(PqEntry { node, .. }) = pq.pop() {
-            let v = NodeId(node);
-            if c.contracted[v.index()] {
-                continue;
-            }
-            // Lazy re-evaluation: stale priorities are recomputed on pop
-            // and the node re-queued unless it still beats the runner-up.
-            let shortcuts = c.shortcuts_for(v);
-            let prio = c.priority(v, shortcuts.len());
-            if let Some(top) = pq.peek() {
-                if prio > top.prio {
-                    pq.push(PqEntry { prio, node });
-                    continue;
+        let stats = std::env::var("CH_BUILD_STATS").is_ok();
+        let mut rounds = 0usize;
+        let mut prio_evals = n;
+        let mut sel_ms = 0.0f64;
+        let mut freshen_ms = 0.0f64;
+        let mut wit_ms = 0.0f64;
+        let mut commit_ms = 0.0f64;
+        // Phase 0: one full parallel priority pass seeds every node.
+        let t0 = std::time::Instant::now();
+        let counts = crate::parallel::work_steal_map_indexed(&seed, &mut scratch, |scr, _, &v| {
+            ov.count_shortcuts(scr, NodeId(v))
+        });
+        for (&v, &c) in seed.iter().zip(&counts) {
+            prio[v as usize] = ov.priority(NodeId(v), c);
+        }
+        let seed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        while (next_rank as usize) < n {
+            rounds += 1;
+            let t0 = std::time::Instant::now();
+            // Phases 1+2, fused: deterministic independent set — live
+            // nodes whose (priority, id) key beats every live overlay
+            // neighbor's — with lazy freshening. Candidates whose stored
+            // priority is stale recompute it (in parallel) and candidacy
+            // is re-evaluated where the fresh values shifted the minima;
+            // once every candidate is fresh, the set is final. Each pass
+            // freshens at least one stale node or terminates, and a fully
+            // fresh overlay always has its global minimum as a candidate,
+            // so every round selects at least one node.
+            loop {
+                for &v in &recheck {
+                    recheck_mark[v as usize] = false;
+                    let vi = v as usize;
+                    let cand = !ov.contracted[vi] && ov.is_local_minimum(v, &prio);
+                    if cand && !is_cand[vi] {
+                        cand_list.push(v);
+                    }
+                    is_cand[vi] = cand;
                 }
+                recheck.clear();
+                cand_list.retain(|&v| is_cand[v as usize]);
+                cand_list.sort_unstable();
+                cand_list.dedup();
+                sel.clone_from(&cand_list);
+                stale_sel.clear();
+                stale_sel.extend(sel.iter().copied().filter(|&v| stale[v as usize]));
+                if stale_sel.is_empty() {
+                    break;
+                }
+                let fr_t0 = std::time::Instant::now();
+                prio_evals += stale_sel.len();
+                let counts = crate::parallel::work_steal_map_indexed(
+                    &stale_sel,
+                    &mut scratch,
+                    |scr, _, &v| ov.count_shortcuts(scr, NodeId(v)),
+                );
+                for (&v, &c) in stale_sel.iter().zip(&counts) {
+                    let fresh = ov.priority(NodeId(v), c);
+                    stale[v as usize] = false;
+                    if fresh != prio[v as usize] {
+                        prio[v as usize] = fresh;
+                        // The key moved: v's own candidacy and every
+                        // neighbor's may flip.
+                        ov.push_with_neighbors(v, &mut recheck, &mut recheck_mark);
+                    }
+                }
+                freshen_ms += fr_t0.elapsed().as_secs_f64() * 1e3;
             }
-            c.contract(v, shortcuts);
-            rank[v.index()] = next_rank;
-            next_rank += 1;
+            debug_assert!(!sel.is_empty(), "the global minimum is always selected");
+            // Quality guard: contract only candidates whose priority is
+            // near the round's best. Independent local minima far above
+            // the minimum *could* contract now, but doing so diverges
+            // from the (priority-ordered) sequential schedule and
+            // measurably worsens the hierarchy; leaving them as
+            // candidates for a later round costs only round count. The
+            // cutoff widens to the MIN_BATCH-th smallest candidate
+            // priority so rounds stay wide enough to parallelize.
+            let cutoff = if sel.len() <= MIN_BATCH {
+                i64::MAX
+            } else {
+                let mut prios: Vec<i64> = sel.iter().map(|&v| prio[v as usize]).collect();
+                prios.sort_unstable();
+                (prios[0] + PRIORITY_SLACK).max(prios[MIN_BATCH - 1])
+            };
+            sel.retain(|&v| prio[v as usize] <= cutoff);
+            for &v in &sel {
+                ov.selected[v as usize] = true;
+            }
+            sel_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = std::time::Instant::now();
+            // Phase 3: definitive witness searches for the whole selected
+            // set, in parallel, all against the same immutable overlay.
+            let shortcut_lists =
+                crate::parallel::work_steal_map_indexed(&sel, &mut scratch, |scr, _, &v| {
+                    ov.collect_shortcuts(scr, NodeId(v))
+                });
+            wit_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = std::time::Instant::now();
+            // Phase 4: sequential commit in ascending node id.
+            for (&v, shortcuts) in sel.iter().zip(shortcut_lists) {
+                ov.contract(
+                    NodeId(v),
+                    shortcuts,
+                    &mut stale,
+                    &mut recheck,
+                    &mut recheck_mark,
+                );
+                rank[v as usize] = next_rank;
+                next_rank += 1;
+            }
+            for &v in &sel {
+                ov.selected[v as usize] = false;
+                is_cand[v as usize] = false;
+            }
+            commit_ms += t0.elapsed().as_secs_f64() * 1e3;
+        }
+        if stats {
+            eprintln!(
+                "[ch build] {rounds} rounds, {prio_evals} priority evals, phases: seed {seed_ms:.0} ms, freshen {freshen_ms:.0} ms, select {:.0} ms, witness {wit_ms:.0} ms, commit {commit_ms:.0} ms",
+                sel_ms - freshen_ms
+            );
         }
         debug_assert_eq!(next_rank as usize, n);
 
         // Partition arcs into the two upward search graphs (CSR),
         // skipping self-loops (never on a shortest path with w > 0) and
         // arcs superseded by lighter parallel shortcuts.
-        let arcs = c.arcs;
-        let dead = c.dead;
+        let arcs = ov.arcs;
+        let dead = ov.dead;
         let num_shortcuts = arcs.len() - num_original;
         let mut fwd_count = vec![0u32; n + 1];
         let mut bwd_count = vec![0u32; n + 1];
@@ -1188,6 +1477,97 @@ impl ContractionHierarchy {
         }
         None
     }
+
+    /// `d(u, p)` for the canonical walk, with the forward half cached:
+    /// one backward upward Dijkstra from `p` (stall-on-demand, early
+    /// termination at the best meet — the same pruning the bidirectional
+    /// query applies) meeting `u`'s precomputed forward label held by
+    /// `probe`. The returned distance is the
+    /// memoized re-accumulated `u → hub` prefix continued over the
+    /// unpacked backward parent chain, i.e. the exact left-to-right
+    /// float sum over the original edges of the winning up-down path —
+    /// the same bits a full query re-accumulates. `None` when the search
+    /// never meets the label (`p` unreachable from `u`).
+    fn probe_dist(
+        &self,
+        probe: &mut crate::probe::SourceProbe,
+        p: NodeId,
+        fold_stack: &mut Vec<u32>,
+    ) -> Option<f64> {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let ver = scratch.begin(self.net.num_nodes());
+            let pi = p.index();
+            scratch.bdist[pi] = 0.0;
+            scratch.bpar[pi] = NO_ARC;
+            scratch.bver[pi] = ver;
+            scratch.bheap.push(QueueEntry {
+                dist: 0.0,
+                node: p.0,
+            });
+            let mut best = f64::INFINITY;
+            let mut meet: Option<(u32, u32)> = None; // (node, fwd entry)
+            while let Some(QueueEntry { dist: d, node: x }) = scratch.bheap.pop() {
+                let xi = x as usize;
+                if d > scratch.bdist[xi] || scratch.bver[xi] != ver {
+                    continue; // stale
+                }
+                if d >= best {
+                    break; // every later meet totals >= best
+                }
+                // Stall-on-demand, exactly as the query's backward side.
+                let mut stalled = false;
+                for &aid in
+                    &self.fwd_arcs[self.fwd_index[xi] as usize..self.fwd_index[xi + 1] as usize]
+                {
+                    let arc = self.arcs[aid as usize];
+                    let ci = arc.head.index();
+                    if scratch.bver[ci] == ver && scratch.bdist[ci] + arc.weight < d {
+                        stalled = true;
+                        break;
+                    }
+                }
+                if stalled {
+                    continue;
+                }
+                if let Some((fdist, fentry)) = probe.find_hub(x) {
+                    let total = fdist + d;
+                    if total < best {
+                        best = total;
+                        meet = Some((x, fentry as u32));
+                    }
+                }
+                for &aid in
+                    &self.bwd_arcs[self.bwd_index[xi] as usize..self.bwd_index[xi + 1] as usize]
+                {
+                    let arc = self.arcs[aid as usize];
+                    let yi = arc.tail.index();
+                    let nd = d + arc.weight;
+                    if scratch.bver[yi] != ver || nd < scratch.bdist[yi] {
+                        scratch.bdist[yi] = nd;
+                        scratch.bpar[yi] = aid;
+                        scratch.bver[yi] = ver;
+                        scratch.bheap.push(QueueEntry {
+                            dist: nd,
+                            node: arc.tail.0,
+                        });
+                    }
+                }
+            }
+            let (m, fentry) = meet?;
+            let mut acc = probe.cum(&self.net, &self.arcs, fentry as usize);
+            let mut x = m as usize;
+            loop {
+                let pa = scratch.bpar[x];
+                if pa == NO_ARC {
+                    break;
+                }
+                acc = crate::probe::fold_arc_weights(&self.net, &self.arcs, pa, acc, fold_stack);
+                x = self.arcs[pa as usize].head.index();
+            }
+            Some(acc)
+        })
+    }
 }
 
 impl SpProvider for ContractionHierarchy {
@@ -1232,29 +1612,46 @@ impl SpProvider for ContractionHierarchy {
         if a.to == b.from {
             return Some(Vec::new());
         }
-        let (d, path) = self.query(a.to, b.from)?;
-        // Walk the canonical tree backwards, reusing each predecessor's
-        // distance instead of re-deriving it per step.
-        let mut interior = Vec::with_capacity(path.len());
-        let mut cur = b.from;
-        let mut d_cur = d;
-        let mut steps = 0usize;
-        while cur != a.to {
-            steps += 1;
-            if steps > self.net.num_edges() + 1 {
-                return Some(path); // degenerate tie cycle: unpacked path is still a shortest path
-            }
-            match self.canonical_pred(a.to, cur, d_cur) {
-                Some((e, dp)) => {
-                    interior.push(e);
-                    cur = self.net.edge(e).from;
-                    d_cur = dp;
-                }
-                None => return Some(path),
-            }
+        let u = a.to;
+        let (d, path) = self.query(u, b.from)?;
+        // Short gaps — the common case when decompressing SP-coded units
+        // — walk with plain early-terminating point queries: the one-shot
+        // probe context below pays a fixed exhaustive forward search that
+        // only amortizes once the walk is long enough. Either way the
+        // walk itself is the shared canonical tight-edge loop; a failed
+        // walk falls back to the unpacked up-down path, which is still a
+        // shortest path.
+        if path.len() <= 8 {
+            let interior = crate::probe::canonical_walk(&self.net, u, b.from, d, |p| {
+                self.query(u, p).map(|(dp, _)| dp)
+            });
+            return Some(interior.unwrap_or(path));
         }
-        interior.reverse();
-        Some(interior)
+        // Long gaps: walk with a one-shot [`SourceProbe`](crate::probe) —
+        // `u`'s forward label (its exhaustive upward search space, with
+        // memoized re-accumulated hub distances) is computed once for the
+        // whole walk, so each `d(u, p)` tight-edge probe costs one
+        // *early-terminating* backward upward search from `p` meeting the
+        // cached forward state — half of the old per-probe bidirectional
+        // query — plus the unpacked backward chain only, instead of a
+        // full path re-accumulation.
+        let mut fwd_label = Vec::new();
+        crate::hub_labels::label_search(
+            &self.arcs,
+            &self.fwd_index,
+            &self.fwd_arcs,
+            &self.bwd_index,
+            &self.bwd_arcs,
+            true,
+            u,
+            &mut fwd_label,
+        );
+        let mut probe = crate::probe::SourceProbe::from_entries(fwd_label.into_iter());
+        let mut fold_stack = Vec::new();
+        let interior = crate::probe::canonical_walk(&self.net, u, b.from, d, |p| {
+            self.probe_dist(&mut probe, p, &mut fold_stack)
+        });
+        Some(interior.unwrap_or(path))
     }
 }
 
@@ -1404,6 +1801,54 @@ mod tests {
         assert_eq!(a.num_shortcuts(), b.num_shortcuts());
         for v in net.node_ids() {
             assert_eq!(a.rank(v), b.rank(v));
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_for_any_thread_count() {
+        // The determinism contract (module docs): rank order, shortcut
+        // arcs (including their ids), and the serialized artifact bytes
+        // must not depend on the worker count — jittered and fully tied
+        // regimes both.
+        for jitter in [0.15, 0.0] {
+            let net = Arc::new(grid_network(&GridConfig {
+                nx: 6,
+                ny: 5,
+                weight_jitter: jitter,
+                removal_prob: 0.05,
+                seed: 8,
+                ..GridConfig::default()
+            }));
+            let single = ContractionHierarchy::build_with(
+                net.clone(),
+                ChConfig {
+                    threads: 1,
+                    ..ChConfig::default()
+                },
+            );
+            let single_bytes = single.to_store_bytes();
+            for threads in [2usize, 3, 7] {
+                let multi = ContractionHierarchy::build_with(
+                    net.clone(),
+                    ChConfig {
+                        threads,
+                        ..ChConfig::default()
+                    },
+                );
+                assert_eq!(
+                    single.rank, multi.rank,
+                    "{threads} threads, jitter {jitter}"
+                );
+                assert_eq!(single.fwd_index, multi.fwd_index);
+                assert_eq!(single.fwd_arcs, multi.fwd_arcs);
+                assert_eq!(single.bwd_index, multi.bwd_index);
+                assert_eq!(single.bwd_arcs, multi.bwd_arcs);
+                assert_eq!(
+                    single_bytes,
+                    multi.to_store_bytes(),
+                    "sp_ch.press bytes differ at {threads} threads, jitter {jitter}"
+                );
+            }
         }
     }
 

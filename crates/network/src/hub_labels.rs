@@ -125,9 +125,11 @@ type RawNodeLabels = (Vec<RawEntry>, Vec<RawEntry>);
 
 /// Exhaustive upward Dijkstra from `source` over one CH search graph with
 /// strict stall-on-demand; the settled, non-stalled nodes (with final
-/// distances and parent arcs) are the label, sorted by hub id.
+/// distances and parent arcs) are the label, sorted by hub id. Crate-
+/// visible so the CH backend can materialize one-off labels for its
+/// probe-based canonical walk.
 #[allow(clippy::too_many_arguments)]
-fn label_search(
+pub(crate) fn label_search(
     arcs: &[ChArc],
     index: &[u32],
     arc_ids: &[u32],
@@ -215,10 +217,26 @@ pub struct HubLabels {
 
 impl HubLabels {
     /// Builds labels from scratch: contracts the network with default
-    /// tuning, then labels it with one worker per available core.
+    /// tuning (batched rounds over every available core), then labels it
+    /// with one worker per available core. Both stages are bit-identical
+    /// for any core count.
     pub fn build(net: Arc<RoadNetwork>) -> Self {
-        let ch = ContractionHierarchy::build(net);
-        Self::from_ch(&ch, 0)
+        Self::build_with_threads(net, 0)
+    }
+
+    /// [`HubLabels::build`] with an explicit worker count for both
+    /// stages — the contraction rounds and the label pass (`0` = one per
+    /// available core). Purely a throughput knob; the labeling is
+    /// bit-identical for any value.
+    pub fn build_with_threads(net: Arc<RoadNetwork>, threads: usize) -> Self {
+        let ch = ContractionHierarchy::build_with(
+            net,
+            crate::ch::ChConfig {
+                threads,
+                ..crate::ch::ChConfig::default()
+            },
+        );
+        Self::from_ch(&ch, threads)
     }
 
     /// Builds labels from an existing hierarchy. `threads == 0` means one
@@ -752,29 +770,31 @@ impl SpProvider for HubLabels {
         if a.to == b.from {
             return Some(Vec::new());
         }
-        let (d, path) = self.query(a.to, b.from)?;
-        // Walk the canonical tree backwards, reusing each predecessor's
-        // distance instead of re-deriving it per step.
-        let mut interior = Vec::with_capacity(path.len());
-        let mut cur = b.from;
-        let mut d_cur = d;
-        let mut steps = 0usize;
-        while cur != a.to {
-            steps += 1;
-            if steps > self.net.num_edges() + 1 {
-                return Some(path); // degenerate tie cycle: unpacked path is still a shortest path
-            }
-            match self.canonical_pred(a.to, cur, d_cur) {
-                Some((e, dp)) => {
-                    interior.push(e);
-                    cur = self.net.edge(e).from;
-                    d_cur = dp;
-                }
-                None => return Some(path),
-            }
-        }
-        interior.reverse();
-        Some(interior)
+        let u = a.to;
+        let (d, path) = self.query(u, b.from)?;
+        // Walk the canonical tree backwards (the shared tight-edge loop,
+        // `crate::probe::canonical_walk`) with a one-shot
+        // [`SourceProbe`](crate::probe): the forward side of every
+        // `d(u, p)` probe — u's label and the re-accumulated distances to
+        // its hubs — is materialized once for the whole walk, so each
+        // tight-edge check costs one label merge plus the backward chain
+        // of its up-down path instead of a full query. A failed walk
+        // falls back to the unpacked up-down path, still a shortest path.
+        let (flo, fhi) = self.fwd.range(u);
+        let mut probe = crate::probe::SourceProbe::from_entries(
+            (flo..fhi).map(|k| (self.fwd.hub[k], self.fwd.dist[k], self.fwd.parent[k])),
+        );
+        let interior = crate::probe::canonical_walk(&self.net, u, b.from, d, |p| {
+            let (blo, bhi) = self.bwd.range(p);
+            probe.dist_to(
+                &self.net,
+                &self.arcs,
+                &self.bwd.hub[blo..bhi],
+                &self.bwd.dist[blo..bhi],
+                &self.bwd.parent[blo..bhi],
+            )
+        });
+        Some(interior.unwrap_or(path))
     }
 }
 

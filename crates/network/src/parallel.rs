@@ -13,6 +13,11 @@
 //! identical to the sequential map for any thread count. It lives in
 //! `press-network` (the lowest compute crate) and is re-exported as
 //! `press_core::parallel` for the historical call sites.
+//!
+//! [`work_steal_map_indexed`] is the same loop for passes whose items
+//! need heavyweight reusable state (the batched CH contraction's witness
+//! searches): the caller owns a pool of per-worker scratch that survives
+//! across calls, so repeated rounds pay zero allocation churn.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -51,6 +56,77 @@ where
                             break;
                         };
                         local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("work-stealing worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, r) in parts.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("all indices drained"))
+        .collect()
+}
+
+/// [`work_steal_map`] with a caller-owned pool of per-worker scratch
+/// state — the variant for passes whose per-item work needs large
+/// reusable buffers (the batched contraction's witness searches carry
+/// `O(|V|)` versioned distance arrays).
+///
+/// `scratch` supplies one slot per worker; its length *is* the thread
+/// count. Worker `w` gets exclusive `&mut` access to `scratch[w]` for the
+/// whole call, so the pool survives across calls with no per-call (let
+/// alone per-item) allocation churn — reset stays whatever cheap scheme
+/// the scratch itself uses (typically version stamps). Results come back
+/// in input order, so the map is bit-for-bit identical to the sequential
+/// fold for any pool size.
+///
+/// Falls back to a plain sequential map over `scratch[0]` when the pool
+/// has one slot or the input is too small to amortize thread startup.
+///
+/// # Panics
+///
+/// Panics if `scratch` is empty; propagates a panic from `f` (the scope
+/// joins all workers first).
+pub fn work_steal_map_indexed<T, R, S, F>(items: &[T], scratch: &mut [S], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    assert!(
+        !scratch.is_empty(),
+        "work_steal_map_indexed needs at least one scratch slot"
+    );
+    let threads = scratch.len();
+    if threads == 1 || items.len() < 2 * threads {
+        let s = &mut scratch[0];
+        return items.iter().enumerate().map(|(i, t)| f(s, i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scratch
+            .iter_mut()
+            .map(|s| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(items.len() / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        local.push((i, f(s, i, item)));
                     }
                     local
                 })
@@ -117,6 +193,54 @@ mod tests {
         assert_eq!(work_steal_map(&tiny, 8, |_, &x| x + 1), vec![2, 3, 4]);
         // threads = 0 is clamped to 1.
         assert_eq!(work_steal_map(&tiny, 0, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn indexed_variant_matches_sequential_and_reuses_scratch() {
+        // Scratch counts how many items each worker handled; results must
+        // come back in input order for any pool size, and every slot must
+        // be an independent accumulator (no cross-worker sharing).
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for pool_size in [1usize, 2, 3, 7, 16] {
+            let mut pool = vec![0usize; pool_size];
+            let out = work_steal_map_indexed(&items, &mut pool, |count, _, &x| {
+                *count += 1;
+                x * 3 + 1
+            });
+            assert_eq!(out, expect, "order broken with {pool_size} scratch slots");
+            assert_eq!(
+                pool.iter().sum::<usize>(),
+                items.len(),
+                "every item must be handled exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_variant_keeps_scratch_state_across_calls() {
+        let items: Vec<u32> = (0..40).collect();
+        let mut pool = vec![Vec::<u32>::new(); 3];
+        let _ = work_steal_map_indexed(&items, &mut pool, |seen, _, &x| {
+            seen.push(x);
+            x
+        });
+        let first: usize = pool.iter().map(Vec::len).sum();
+        assert_eq!(first, items.len());
+        // The pool persists: a second call keeps accumulating into it.
+        let _ = work_steal_map_indexed(&items, &mut pool, |seen, _, &x| {
+            seen.push(x);
+            x
+        });
+        assert_eq!(pool.iter().map(Vec::len).sum::<usize>(), 2 * items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scratch slot")]
+    fn indexed_variant_rejects_an_empty_pool() {
+        let items = [1u8, 2, 3];
+        let mut pool: Vec<()> = Vec::new();
+        let _ = work_steal_map_indexed(&items, &mut pool, |_, _, &x| x);
     }
 
     #[test]

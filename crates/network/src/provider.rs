@@ -248,8 +248,19 @@ impl SpBackend {
         }
     }
 
-    /// Builds the selected provider over `net`.
+    /// Builds the selected provider over `net`, preprocessing with one
+    /// worker per available core where the backend parallelizes (the
+    /// CH contraction rounds and the HL label pass). Results are
+    /// bit-identical for any worker count, so this is always safe.
     pub fn build(self, net: Arc<RoadNetwork>) -> Arc<dyn SpProvider> {
+        self.build_with_threads(net, 0)
+    }
+
+    /// [`SpBackend::build`] with an explicit preprocessing worker count
+    /// (`0` = one per available core; see [`crate::ChConfig::threads`]).
+    /// Purely a throughput knob — the built provider answers every query
+    /// bit-identically for any value.
+    pub fn build_with_threads(self, net: Arc<RoadNetwork>, threads: usize) -> Arc<dyn SpProvider> {
         match self {
             SpBackend::Dense => Arc::new(crate::sp_table::SpTable::build(net)),
             SpBackend::Lazy { capacity_trees } => Arc::new(crate::lazy_sp::LazySpCache::new(
@@ -259,8 +270,16 @@ impl SpBackend {
                     ..crate::lazy_sp::LazySpConfig::default()
                 },
             )),
-            SpBackend::Ch => Arc::new(crate::ch::ContractionHierarchy::build(net)),
-            SpBackend::Hl => Arc::new(crate::hub_labels::HubLabels::build(net)),
+            SpBackend::Ch => Arc::new(crate::ch::ContractionHierarchy::build_with(
+                net,
+                crate::ch::ChConfig {
+                    threads,
+                    ..crate::ch::ChConfig::default()
+                },
+            )),
+            SpBackend::Hl => Arc::new(crate::hub_labels::HubLabels::build_with_threads(
+                net, threads,
+            )),
         }
     }
 }

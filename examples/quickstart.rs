@@ -74,8 +74,9 @@ fn main() {
         "lazy sp backend after training: {:.2} MiB resident, same compressed bits",
         lazy.approx_bytes() as f64 / (1 << 20) as f64
     );
-    // And the contraction hierarchy: sub-quadratic preprocessing,
-    // microsecond point lookups, still bit-identical.
+    // And the contraction hierarchy: sub-quadratic preprocessing —
+    // batched independent-set contraction over every core, bit-identical
+    // for any core count — microsecond point lookups, still identical.
     let ch = SpBackend::Ch.build(net.clone());
     let press_ch = Press::train(ch.clone(), &training_paths, config).expect("training (ch)");
     assert_eq!(

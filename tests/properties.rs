@@ -433,6 +433,53 @@ proptest! {
         }
     }
 
+    /// Tentpole invariant (PR 5): batched independent-set contraction is
+    /// a **pure function of the network** — the worker count used for
+    /// the parallel priority and witness phases never leaks into the
+    /// result. The rank order, shortcut arcs, and the serialized
+    /// `sp_ch.press` bytes are byte-identical across 1/2/3/7 workers,
+    /// and so are the `sp_hl.press` bytes of the labeling derived from
+    /// each hierarchy — jittered and fully tied regimes both.
+    #[test]
+    fn contraction_artifacts_are_thread_count_invariant(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        seed in 0u64..1000,
+        tied in any::<bool>(),
+        removal_milli in 0u32..120,
+    ) {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx,
+            ny,
+            spacing: 90.0,
+            weight_jitter: if tied { 0.0 } else { 0.2 },
+            removal_prob: removal_milli as f64 / 1000.0,
+            seed,
+        }));
+        let reference = ContractionHierarchy::build_with(
+            net.clone(),
+            ChConfig { threads: 1, ..ChConfig::default() },
+        );
+        let ch_bytes = reference.to_store_bytes();
+        let hl_bytes = HubLabels::from_ch(&reference, 1).to_store_bytes();
+        for threads in [2usize, 3, 7] {
+            let multi = ContractionHierarchy::build_with(
+                net.clone(),
+                ChConfig { threads, ..ChConfig::default() },
+            );
+            prop_assert_eq!(
+                &ch_bytes,
+                &multi.to_store_bytes(),
+                "sp_ch.press bytes differ at {} workers", threads
+            );
+            prop_assert_eq!(
+                &hl_bytes,
+                &HubLabels::from_ch(&multi, threads).to_store_bytes(),
+                "sp_hl.press bytes differ at {} workers", threads
+            );
+        }
+    }
+
     /// Cache-eviction stress: hammering every source under a tiny budget
     /// keeps residency (and therefore memory) bounded while answers stay
     /// equal to the oracle — evicted trees are recomputed, not lost.
