@@ -1,0 +1,527 @@
+//! `ingest_report` — streaming-ingest throughput report for the
+//! `press-serve` engine, written to `BENCH_ingest.json`, and the CI
+//! regression gate over a checked-in baseline of that file.
+//!
+//! Usage:
+//! ```text
+//! ingest_report [--nx N] [--vehicles N] [--interval S] [--threads N]
+//!               [--out PATH] [--check BASELINE] [--tolerance X]
+//!
+//! --nx N           side of the grid network (default 16 → 256 nodes)
+//! --vehicles N     fleet size driving the event stream (default 64)
+//! --interval S     seconds between GPS fixes per vehicle (default 1.5
+//!                  — ~11k events, enough wall time to gate on)
+//! --threads N      flush workers for the parallel run (default 0 = one
+//!                  per core); never changes the published corpus — the
+//!                  single-thread and parallel runs are cross-checked
+//!                  byte-for-byte
+//! --out PATH       output JSON path (default BENCH_ingest.json)
+//! --check BASELINE compare against a baseline report and exit non-zero
+//!                  on regression; ALL failing metrics are reported
+//! --tolerance X    max allowed throughput slowdown factor (default 3)
+//! ```
+//!
+//! Phases:
+//! * **ingest**: the full interleaved fleet stream is pushed through an
+//!   [`press_serve::IngestEngine`] (vet → WAL append → buffer →
+//!   idle/cap segmentation), then finalized, flushed (parallel salvage
+//!   matching + online compression) and checkpointed — once with one
+//!   flush worker, once with `--threads` workers. Throughput is
+//!   end-to-end accepted points per second; the two corpora must be
+//!   byte-identical (`corpus_identical`).
+//! * **recovery**: a third stream is killed by tearing the journal at
+//!   2/3 of its length; the reopen replays the acked prefix through the
+//!   live ingest path and the recovered corpus is cross-checked
+//!   byte-for-byte against a clean run over exactly that prefix
+//!   (`recovered_identical`), with the reopen wall time and replay
+//!   throughput reported.
+//!
+//! The `--check` gate fails on: a `> tolerance×` drop of any
+//! points-per-second metric present in the baseline, a metric
+//! disappearing, `corpus_identical: false`, or
+//! `recovered_identical: false`. Every failure is collected and printed
+//! before the non-zero exit.
+
+use press_bench::Json;
+use press_core::{BtcBounds, Press, PressConfig};
+use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
+use press_network::{grid_network, GridConfig, RoadNetwork, SpBackend};
+use press_serve::{truncate_wal, wal_len, Ack, Event, IngestConfig, IngestEngine, SessionPolicy};
+use press_workload::{Workload, WorkloadConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: ingest_report [--nx N] [--vehicles N] [--interval S] [--threads N] \
+         [--out PATH] [--check BASELINE] [--tolerance X]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut nx = 16usize;
+    let mut vehicles = 64usize;
+    let mut interval = 1.5f64;
+    let mut threads = 0usize;
+    let mut out = "BENCH_ingest.json".to_string();
+    let mut check: Option<String> = None;
+    let mut tolerance = 3.0f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nx" => {
+                nx = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--nx needs a number"))
+            }
+            "--vehicles" => {
+                vehicles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--vehicles needs a number"))
+            }
+            "--interval" => {
+                interval = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--interval needs a number"))
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a path"))
+                    .clone()
+            }
+            "--check" => {
+                check = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--check needs a path"))
+                        .clone(),
+                )
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"))
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if nx < 2 || vehicles == 0 {
+        usage("--nx must be >= 2 and --vehicles >= 1");
+    }
+    if !interval.is_finite() || interval <= 0.0 {
+        usage("--interval must be > 0");
+    }
+    if tolerance <= 1.0 {
+        usage("--tolerance must be > 1");
+    }
+    let resolved_threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // ---- Fixture: network, trained compressor, matcher, event stream. ---
+    eprintln!("[fixture] building {nx}x{nx} grid…");
+    let net = Arc::new(grid_network(&GridConfig {
+        nx,
+        ny: nx,
+        spacing: 150.0,
+        weight_jitter: 0.12,
+        removal_prob: 0.0,
+        seed: 33,
+    }));
+    let sp = SpBackend::Dense.build(net.clone());
+    let workload = Workload::generate(
+        net.clone(),
+        sp.clone(),
+        WorkloadConfig {
+            num_trajectories: vehicles * 2,
+            seed: 33,
+            ..WorkloadConfig::default()
+        },
+    );
+    let (train, eval) = workload.split(0.5);
+    let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
+    let press = Press::train(
+        sp,
+        &training_paths,
+        PressConfig {
+            bounds: BtcBounds::new(45.0, 15.0),
+            ..PressConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fatal(&format!("training failed: {e}")));
+    let matcher = Arc::new(MapMatcher::new(net.clone(), MatcherConfig::default()));
+    let events = fleet_events(&net, eval, vehicles, interval);
+    if events.is_empty() {
+        fatal("fixture produced no events; raise --vehicles or lower --interval");
+    }
+    eprintln!(
+        "[fixture] {} nodes / {} edges, {} vehicles, {} events",
+        net.num_nodes(),
+        net.num_edges(),
+        vehicles.min(eval.len()),
+        events.len()
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"fixture\": {{\"nodes\": {}, \"edges\": {}, \"vehicles\": {}, \"events\": {}}},",
+        net.num_nodes(),
+        net.num_edges(),
+        vehicles.min(eval.len()),
+        events.len()
+    );
+
+    // ---- Ingest throughput: one flush worker vs `--threads`. -----------
+    // The thread count only parallelizes flush's salvage matching; the
+    // published corpus must be byte-identical either way, which doubles
+    // as the determinism cross-check CI gates on.
+    let run_1 = ingest_run("ingest-1t", &matcher, &press, config(1), &events);
+    eprintln!(
+        "[ingest] 1 worker: {} points in {:.0} ms — {:.0} points/s",
+        run_1.accepted, run_1.wall_ms, run_1.pps
+    );
+    let run_n = ingest_run(
+        "ingest-nt",
+        &matcher,
+        &press,
+        config(resolved_threads),
+        &events,
+    );
+    eprintln!(
+        "[ingest] {resolved_threads} worker(s): {} points in {:.0} ms — {:.0} points/s",
+        run_n.accepted, run_n.wall_ms, run_n.pps
+    );
+    let corpus_identical = run_1.corpus == run_n.corpus;
+    if !corpus_identical {
+        failures.push(
+            "metric 'ingest.corpus_identical': the 1-worker and parallel runs published \
+             different corpora — flush parallelism leaked into the output"
+                .to_string(),
+        );
+    }
+    let speedup = run_n.pps / run_1.pps.max(1e-9);
+    eprintln!(
+        "[ingest] corpus identical across thread counts: {corpus_identical}; \
+         parallel speedup {speedup:.2}x"
+    );
+    let _ = write!(
+        json,
+        "  \"ingest\": {{\n    \"points\": {},\n    \"single_thread\": {{\"wall_ms\": {:.1}, \"points_per_sec\": {:.0}}},\n    \"parallel\": {{\"threads\": {resolved_threads}, \"wall_ms\": {:.1}, \"points_per_sec\": {:.0}}},\n    \"parallel_speedup\": {speedup:.2},\n    \"corpus_identical\": {corpus_identical}\n  }},\n",
+        run_1.accepted, run_1.wall_ms, run_1.pps, run_n.wall_ms, run_n.pps
+    );
+
+    // ---- Recovery: kill at 2/3 of the journal, reopen, cross-check. ----
+    let dir = bench_dir("ingest-kill");
+    let mut engine = IngestEngine::open(
+        &dir,
+        Arc::clone(&matcher),
+        press.reconfigured(press.config()),
+        config(resolved_threads),
+    )
+    .unwrap_or_else(|e| fatal(&format!("open failed: {e}")));
+    let mut acked: Vec<(usize, u64)> = Vec::new();
+    for (i, &(v, s)) in events.iter().enumerate() {
+        if let Ack::Accepted { offset } = engine
+            .push(v, s)
+            .unwrap_or_else(|e| fatal(&format!("push failed: {e}")))
+        {
+            acked.push((i, offset));
+        }
+    }
+    drop(engine); // the crash: nothing finalized, flushed, or checkpointed
+    let full_len = wal_len(&dir).unwrap_or_else(|e| fatal(&format!("wal_len failed: {e}")));
+    let cut = full_len * 2 / 3;
+    truncate_wal(&dir, cut).unwrap_or_else(|e| fatal(&format!("truncate failed: {e}")));
+    let survivors = acked.iter().take_while(|&&(_, off)| off <= cut).count();
+    let t0 = Instant::now();
+    let mut recovered = IngestEngine::open(
+        &dir,
+        Arc::clone(&matcher),
+        press.reconfigured(press.config()),
+        config(resolved_threads),
+    )
+    .unwrap_or_else(|e| fatal(&format!("recovery open failed: {e}")));
+    let reopen_ms = ms(t0);
+    let replayed = recovered.recovery().replayed_points;
+    let replay_pps = replayed as f64 / (reopen_ms / 1e3).max(1e-9);
+    if replayed as usize != survivors {
+        failures.push(format!(
+            "metric 'recovery.replayed_points': replay rebuilt {replayed} points but \
+             {survivors} acked frames survived the cut — an acked point was lost or invented"
+        ));
+    }
+    let recovered_corpus = finish(&mut recovered);
+    // Clean reference: a fresh engine fed exactly the surviving prefix.
+    let prefix: Vec<Event> = match acked.get(survivors.wrapping_sub(1)) {
+        Some(&(last_idx, _)) => events[..=last_idx].to_vec(),
+        None => Vec::new(),
+    };
+    let reference = ingest_run(
+        "ingest-ref",
+        &matcher,
+        &press,
+        config(resolved_threads),
+        &prefix,
+    );
+    let recovered_identical = recovered_corpus == reference.corpus;
+    if !recovered_identical {
+        failures.push(
+            "metric 'recovery.recovered_identical': the recovered corpus differs from a \
+             clean run over the acked prefix — recovery is not deterministic"
+                .to_string(),
+        );
+    }
+    eprintln!(
+        "[recovery] killed at {cut}/{full_len} bytes: replayed {replayed} points in \
+         {reopen_ms:.0} ms ({replay_pps:.0} points/s); corpus identical to clean prefix run: \
+         {recovered_identical}"
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\n    \"wal_bytes\": {full_len},\n    \"kill_offset\": {cut},\n    \"replayed_points\": {replayed},\n    \"reopen_ms\": {reopen_ms:.1},\n    \"replay_points_per_sec\": {replay_pps:.0},\n    \"recovered_identical\": {recovered_identical}\n  }}\n}}"
+    );
+
+    std::fs::write(&out, &json).unwrap_or_else(|e| fatal(&format!("cannot write {out}: {e}")));
+    println!("wrote {out}");
+    print!("{json}");
+
+    let mut gate_log: Vec<String> = Vec::new();
+    if let Some(baseline_path) = &check {
+        match run_gate(&json, baseline_path, tolerance) {
+            Ok(lines) => gate_log = lines,
+            Err(mut gate_failures) => failures.append(&mut gate_failures),
+        }
+    }
+    for l in &gate_log {
+        println!("[gate] {l}");
+    }
+    if failures.is_empty() {
+        if check.is_some() {
+            println!("[gate] OK (tolerance {tolerance}x)");
+        }
+    } else {
+        for f in &failures {
+            eprintln!("[gate] FAIL: {f}");
+        }
+        eprintln!("[gate] {} failure(s) — see above", failures.len());
+        std::process::exit(1);
+    }
+}
+
+/// The regression gate: fresh report vs baseline. Throughput metrics may
+/// drop by at most `tolerance`×; the two byte-identity booleans must
+/// hold. All failures are collected, never just the first.
+fn run_gate(fresh: &str, baseline_path: &str, tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return Err(vec![format!("cannot read baseline {baseline_path}: {e}")]),
+    };
+    let baseline = match Json::parse(&baseline_text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("baseline {baseline_path} is not JSON: {e}")]),
+    };
+    let fresh = Json::parse(fresh).expect("fresh report is well-formed by construction");
+    let mut log = Vec::new();
+    let mut failures = Vec::new();
+
+    for (flag, metric) in [
+        ("ingest.corpus_identical", ["ingest", "corpus_identical"]),
+        (
+            "recovery.recovered_identical",
+            ["recovery", "recovered_identical"],
+        ),
+    ] {
+        if fresh.bool_at(&metric) != Some(true) {
+            failures.push(format!(
+                "metric '{flag}': expected true, measured false — determinism broke"
+            ));
+        }
+    }
+    // Higher is better for every gated number, so the check is a floor:
+    // fresh must stay above baseline / tolerance.
+    for path in [
+        ["ingest", "single_thread", "points_per_sec"],
+        ["ingest", "parallel", "points_per_sec"],
+        ["recovery", "replay_points_per_sec", ""],
+    ] {
+        let path: Vec<&str> = path.iter().copied().filter(|s| !s.is_empty()).collect();
+        let metric = path.join(".");
+        let Some(base) = baseline.num_at(&path) else {
+            continue; // pre-metric baseline
+        };
+        let Some(fresh_v) = fresh.num_at(&path) else {
+            failures.push(format!(
+                "metric '{metric}': present in the baseline but missing from the fresh run"
+            ));
+            continue;
+        };
+        // WAL replay finishes in single-digit milliseconds at gate
+        // scale; a ratio over a sub-5 ms baseline measures timer noise,
+        // not regressions. Presence is still checked above — only the
+        // ratio is skipped.
+        if metric == "recovery.replay_points_per_sec"
+            && baseline
+                .num_at(&["recovery", "reopen_ms"])
+                .is_some_and(|ms| ms < 5.0)
+        {
+            log.push(format!(
+                "metric '{metric}': baseline reopen is below the 5 ms noise floor — \
+                 ratio not gated (measured {fresh_v:.0} points/s)"
+            ));
+            continue;
+        }
+        let floor = base / tolerance;
+        let factor = base.max(1e-9) / fresh_v.max(1e-9);
+        if fresh_v < floor {
+            failures.push(format!(
+                "metric '{metric}': measured {fresh_v:.0} points/s is below the allowed floor \
+                 {floor:.0} (baseline {base:.0} / tolerance {tolerance}) — {factor:.2}x slower"
+            ));
+        } else {
+            log.push(format!(
+                "metric '{metric}': {base:.0} -> {fresh_v:.0} points/s \
+                 ({factor:.2}x of baseline, floor {floor:.0})"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(log)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Interleaved multi-vehicle event stream: each eval record becomes one
+/// vehicle's GPS trace, staggered in time and merged by timestamp.
+fn fleet_events(
+    net: &Arc<RoadNetwork>,
+    eval: &[press_workload::TrajectoryRecord],
+    vehicles: usize,
+    interval: f64,
+) -> Vec<Event> {
+    let mut events: Vec<Event> = Vec::new();
+    for (v, record) in eval.iter().take(vehicles).enumerate() {
+        let trace = record.gps_trace(net, interval, 4.0);
+        for p in &trace.points {
+            events.push((
+                v as u64,
+                GpsSample {
+                    point: p.point,
+                    t: p.t + v as f64 * 29.0,
+                },
+            ));
+        }
+    }
+    events.sort_by(|a, b| a.1.t.partial_cmp(&b.1.t).expect("finite timestamps"));
+    events
+}
+
+/// Ingest knobs for the bench: idle sweeps and cap rollovers are both
+/// live so the measured path is the production one, not a single giant
+/// buffer per vehicle.
+fn config(threads: usize) -> IngestConfig {
+    IngestConfig {
+        policy: SessionPolicy::default(),
+        idle_timeout: 120.0,
+        max_session_points: 64,
+        block_size: 4,
+        threads,
+        max_lattice_work: 0,
+        max_salvage_splits: 8,
+        quarantine_log_cap: 64,
+    }
+}
+
+struct IngestRun {
+    accepted: u64,
+    wall_ms: f64,
+    pps: f64,
+    corpus: Vec<u8>,
+}
+
+/// Full end-to-end pass: push every event, finalize, flush, checkpoint.
+/// Throughput counts accepted points over the whole wall time, so the
+/// number includes matching + compression + publication, not just the
+/// WAL append.
+fn ingest_run(
+    tag: &str,
+    matcher: &Arc<MapMatcher>,
+    press: &Press,
+    cfg: IngestConfig,
+    events: &[Event],
+) -> IngestRun {
+    let dir = bench_dir(tag);
+    let t0 = Instant::now();
+    let mut engine = IngestEngine::open(
+        &dir,
+        Arc::clone(matcher),
+        press.reconfigured(press.config()),
+        cfg,
+    )
+    .unwrap_or_else(|e| fatal(&format!("open failed: {e}")));
+    for &(v, s) in events {
+        engine
+            .push(v, s)
+            .unwrap_or_else(|e| fatal(&format!("push failed: {e}")));
+    }
+    let corpus = finish(&mut engine);
+    let wall_ms = ms(t0);
+    let accepted = engine.stats().points_accepted;
+    IngestRun {
+        accepted,
+        wall_ms,
+        pps: accepted as f64 / (wall_ms / 1e3).max(1e-9),
+        corpus,
+    }
+}
+
+/// Finalize + flush + checkpoint, returning the published corpus bytes.
+fn finish(engine: &mut IngestEngine) -> Vec<u8> {
+    engine
+        .finalize_all()
+        .unwrap_or_else(|e| fatal(&format!("finalize_all failed: {e}")));
+    engine
+        .flush()
+        .unwrap_or_else(|e| fatal(&format!("flush failed: {e}")));
+    engine
+        .checkpoint()
+        .unwrap_or_else(|e| fatal(&format!("checkpoint failed: {e}")));
+    std::fs::read(engine.corpus_path()).unwrap_or_else(|e| fatal(&format!("read corpus: {e}")))
+}
+
+/// Fresh per-run scratch directory under the system temp dir.
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("press-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}

@@ -626,17 +626,21 @@ impl<'a> QueryEngine<'a> {
                 if mbr_a.min_dist_to_mbr(&mbr_b) >= best {
                     continue;
                 }
-                let ea = cache_a[i].get_or_insert_with(Vec::new);
-                if ea.is_empty() {
-                    *ea = self.expand_unit(ua)?;
+                if cache_a[i].is_none() {
+                    cache_a[i] = Some(self.expand_unit(ua)?);
                 }
-                let eb = cache_b[j].get_or_insert_with(Vec::new);
-                if eb.is_empty() {
-                    *eb = self.expand_unit(ub)?;
+                if cache_b[j].is_none() {
+                    cache_b[j] = Some(self.expand_unit(ub)?);
                 }
-                for &e1 in cache_a[i].as_ref().unwrap() {
+                // Both slots were just filled; an empty expansion stays a
+                // valid `Some(vec![])` rather than a refill sentinel, so no
+                // unwrap is reachable on this serving path.
+                let (Some(ea), Some(eb)) = (&cache_a[i], &cache_b[j]) else {
+                    continue;
+                };
+                for &e1 in ea {
                     let (a1, a2) = (net.edge_start(e1), net.edge_end(e1));
-                    for &e2 in cache_b[j].as_ref().unwrap() {
+                    for &e2 in eb {
                         let d = press_network::dist_segment_to_segment(
                             &a1,
                             &a2,

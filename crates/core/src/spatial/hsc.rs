@@ -212,9 +212,23 @@ impl HscModel {
         decomposer: Decomposer,
     ) -> Result<CompressedSpatial> {
         let spc = sp_compress(self.sp.as_ref(), path);
+        self.encode_sp_form(&spc, decomposer)
+    }
+
+    /// Encodes an **already SP-compressed** edge sequence (`T'` of §3.1):
+    /// decomposition + Huffman only, no second SP pass. This is the entry
+    /// point for streaming ingest, where [`crate::spatial::OnlineSpCompressor`]
+    /// produced `spc` incrementally; `encode_sp_form(spc) ==
+    /// compress_with(path)` whenever `spc == sp_compress(path)`. Inverse
+    /// of [`HscModel::decode_sp_form`].
+    pub fn encode_sp_form(
+        &self,
+        spc: &[EdgeId],
+        decomposer: Decomposer,
+    ) -> Result<CompressedSpatial> {
         let parts = match decomposer {
-            Decomposer::Greedy => self.ac.decompose_greedy(&spc)?,
-            Decomposer::Dp => decompose_dp(self.ac.trie(), &self.huffman, &spc)?,
+            Decomposer::Greedy => self.ac.decompose_greedy(spc)?,
+            Decomposer::Dp => decompose_dp(self.ac.trie(), &self.huffman, spc)?,
         };
         let mut w = BitWriter::with_capacity_bits(parts.len() * 8);
         for &node in &parts {

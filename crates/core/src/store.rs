@@ -406,9 +406,14 @@ impl TrajectoryStore {
     }
 
     /// Decodes (or returns the cached) block `b`.
+    ///
+    /// The one-block cache tolerates lock poisoning: a panic in another
+    /// thread mid-update leaves at worst a stale-but-valid `(idx, block)`
+    /// pair (both fields are written together), so a serving path must
+    /// keep answering rather than propagate the panic.
     fn block(&self, b: usize) -> Result<Arc<Vec<CompressedTrajectory>>> {
         {
-            let guard = self.cache.lock().unwrap();
+            let guard = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some((idx, block)) = guard.as_ref() {
                 if *idx == b {
                     return Ok(block.clone());
@@ -424,8 +429,25 @@ impl TrajectoryStore {
         r.expect_end("block")?;
         self.blocks_decoded.fetch_add(1, Ordering::Relaxed);
         let block = Arc::new(out);
-        *self.cache.lock().unwrap() = Some((b, block.clone()));
+        *self.cache.lock().unwrap_or_else(|e| e.into_inner()) = Some((b, block.clone()));
         Ok(block)
+    }
+
+    /// Decodes every block, returning the whole corpus in index order.
+    /// Used by crash recovery (press-serve rebuilds its in-memory
+    /// finished list from the last checkpoint) — the blocks are decoded
+    /// once each, bypassing the one-block cache.
+    pub fn decode_all(&self) -> Result<Vec<CompressedTrajectory>> {
+        let mut out = Vec::with_capacity(self.len);
+        for b in 0..self.blocks.len() {
+            let syn = &self.blocks[b];
+            let mut r = self.file.reader(&format!("blk{b}"))?;
+            for _ in 0..syn.len {
+                out.push(decode_trajectory(&mut r)?);
+            }
+            r.expect_end("block")?;
+        }
+        Ok(out)
     }
 
     /// The compressed trajectory at `idx`, decoding only its block.

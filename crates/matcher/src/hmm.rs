@@ -42,26 +42,67 @@ impl Default for MatcherConfig {
     }
 }
 
+/// Why a [`GpsSample`] was rejected by input validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidSampleReason {
+    /// `x` or `y` is NaN or infinite.
+    NonFiniteCoordinate,
+    /// `t` is NaN or infinite.
+    NonFiniteTimestamp,
+    /// `t` does not strictly increase over the previous sample.
+    NonMonotoneTimestamp,
+}
+
+impl fmt::Display for InvalidSampleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidSampleReason::NonFiniteCoordinate => write!(f, "non-finite coordinate"),
+            InvalidSampleReason::NonFiniteTimestamp => write!(f, "non-finite timestamp"),
+            InvalidSampleReason::NonMonotoneTimestamp => write!(f, "non-monotone timestamp"),
+        }
+    }
+}
+
 /// Errors raised by map matching.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatcherError {
     /// Input had no samples.
     EmptyInput,
+    /// A sample failed validation before any matching ran: NaN/∞
+    /// coordinates or a timestamp that does not strictly increase.
+    /// `at_sample` indexes the offending **input** sample.
+    InvalidSample {
+        at_sample: usize,
+        reason: InvalidSampleReason,
+    },
     /// No candidate edge near any sample (GPS too far from the network).
     NoCandidates,
-    /// The candidate lattice broke and could not be stitched.
+    /// The candidate lattice broke and could not be stitched. `at_sample`
+    /// indexes the **input** sample where the chain broke (the sample at
+    /// that index could not be connected to the matched prefix).
     BrokenChain { at_sample: usize },
+    /// The candidate lattice was larger than the caller's deterministic
+    /// work budget (Σ |candidates(i−1)| · |candidates(i)| transition
+    /// evaluations). Used by streaming ingest to shed pathological
+    /// sessions instead of stalling a shard.
+    BudgetExceeded { work: u64, budget: u64 },
 }
 
 impl fmt::Display for MatcherError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatcherError::EmptyInput => write!(f, "no GPS samples to match"),
+            MatcherError::InvalidSample { at_sample, reason } => {
+                write!(f, "invalid GPS sample {at_sample}: {reason}")
+            }
             MatcherError::NoCandidates => {
                 write!(f, "no road-network edge near any GPS sample")
             }
             MatcherError::BrokenChain { at_sample } => {
                 write!(f, "candidate lattice broke at sample {at_sample}")
+            }
+            MatcherError::BudgetExceeded { work, budget } => {
+                write!(f, "lattice work {work} exceeds the budget {budget}")
             }
         }
     }
@@ -86,6 +127,45 @@ pub struct MatchedSample {
 pub struct MatchedTrajectory {
     pub edges: Vec<EdgeId>,
     pub samples: Vec<MatchedSample>,
+}
+
+/// What [`MapMatcher::match_trajectory_salvaging`] recovered from a
+/// degraded input: the matchable pieces in input order, the typed errors
+/// of the pieces that were dropped, and how many splits were spent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SalvageReport {
+    /// Successfully matched pieces, in input order.
+    pub pieces: Vec<MatchedTrajectory>,
+    /// Errors of the pieces (or samples) that could not be matched.
+    pub dropped: Vec<MatcherError>,
+    /// Splits performed (bounded by the caller's `max_splits`).
+    pub splits: usize,
+}
+
+/// Rejects samples the emission model cannot digest: NaN/∞ coordinates
+/// or timestamps, and timestamps that do not strictly increase.
+fn validate_samples(samples: &[GpsSample]) -> Result<(), MatcherError> {
+    for (i, s) in samples.iter().enumerate() {
+        if !s.point.x.is_finite() || !s.point.y.is_finite() {
+            return Err(MatcherError::InvalidSample {
+                at_sample: i,
+                reason: InvalidSampleReason::NonFiniteCoordinate,
+            });
+        }
+        if !s.t.is_finite() {
+            return Err(MatcherError::InvalidSample {
+                at_sample: i,
+                reason: InvalidSampleReason::NonFiniteTimestamp,
+            });
+        }
+        if i > 0 && s.t <= samples[i - 1].t {
+            return Err(MatcherError::InvalidSample {
+                at_sample: i,
+                reason: InvalidSampleReason::NonMonotoneTimestamp,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A candidate state: a sample projected onto one nearby edge.
@@ -129,14 +209,33 @@ impl MapMatcher {
         &self,
         samples: &[GpsSample],
     ) -> Result<MatchedTrajectory, MatcherError> {
+        self.match_trajectory_budgeted(samples, 0)
+    }
+
+    /// [`MapMatcher::match_trajectory`] with a deterministic work budget:
+    /// when `max_lattice_work > 0` and the lattice would require more than
+    /// that many transition evaluations
+    /// (Σ |candidates(i−1)| · |candidates(i)|), the match is refused with
+    /// [`MatcherError::BudgetExceeded`] **before** any Dijkstra runs. The
+    /// budget is a function of the input alone — never of wall time — so
+    /// shedding decisions replay identically during crash recovery.
+    pub fn match_trajectory_budgeted(
+        &self,
+        samples: &[GpsSample],
+        max_lattice_work: u64,
+    ) -> Result<MatchedTrajectory, MatcherError> {
         if samples.is_empty() {
             return Err(MatcherError::EmptyInput);
         }
+        validate_samples(samples)?;
         let net = self.index.network().clone();
-        // 1. Candidate generation (samples without candidates are dropped).
+        // 1. Candidate generation (samples without candidates are dropped;
+        //    `kept_idx` remembers each kept sample's input index so errors
+        //    can point back into the caller's slice).
         let mut kept: Vec<&GpsSample> = Vec::with_capacity(samples.len());
+        let mut kept_idx: Vec<usize> = Vec::with_capacity(samples.len());
         let mut lattice: Vec<Vec<Candidate>> = Vec::with_capacity(samples.len());
-        for s in samples {
+        for (i, s) in samples.iter().enumerate() {
             let found = self
                 .index
                 .edges_near(&s.point, self.config.candidate_radius);
@@ -151,9 +250,22 @@ impl MapMatcher {
                     .collect(),
             );
             kept.push(s);
+            kept_idx.push(i);
         }
         if lattice.is_empty() {
             return Err(MatcherError::NoCandidates);
+        }
+        if max_lattice_work > 0 {
+            let mut work = lattice[0].len() as u64;
+            for w in lattice.windows(2) {
+                work = work.saturating_add(w[0].len() as u64 * w[1].len() as u64);
+            }
+            if work > max_lattice_work {
+                return Err(MatcherError::BudgetExceeded {
+                    work,
+                    budget: max_lattice_work,
+                });
+            }
         }
         // 2. Viterbi.
         let sigma2 = 2.0 * self.config.gps_sigma * self.config.gps_sigma;
@@ -226,7 +338,73 @@ impl MapMatcher {
             }
         }
         // 4. Build the edge path and per-sample positions.
-        self.build_output(&net, &kept, &lattice, &states)
+        self.build_output(&net, &kept, &kept_idx, &lattice, &states)
+    }
+
+    /// Degraded-mode matching for streaming ingest: instead of aborting a
+    /// whole trajectory on one failure, salvage every matchable piece.
+    ///
+    /// * [`MatcherError::BrokenChain`] splits the input at the break and
+    ///   recursively matches both halves (the sample at the break starts
+    ///   the right half);
+    /// * [`MatcherError::InvalidSample`] skips the offending sample and
+    ///   matches around it;
+    /// * anything else ([`MatcherError::NoCandidates`], budget refusals,
+    ///   …) drops that piece and records why.
+    ///
+    /// At most `max_splits` splits are performed (a recursion budget, so a
+    /// pathological input cannot degenerate into per-sample matching);
+    /// once exhausted, remaining failures are recorded, not split. The
+    /// result is deterministic — a pure function of the input — which the
+    /// ingest WAL replay relies on.
+    pub fn match_trajectory_salvaging(
+        &self,
+        samples: &[GpsSample],
+        max_lattice_work: u64,
+        max_splits: usize,
+    ) -> SalvageReport {
+        let mut report = SalvageReport::default();
+        let mut splits_left = max_splits;
+        self.salvage_into(samples, max_lattice_work, &mut splits_left, &mut report);
+        report
+    }
+
+    fn salvage_into(
+        &self,
+        samples: &[GpsSample],
+        max_lattice_work: u64,
+        splits_left: &mut usize,
+        report: &mut SalvageReport,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        match self.match_trajectory_budgeted(samples, max_lattice_work) {
+            Ok(m) => report.pieces.push(m),
+            Err(MatcherError::BrokenChain { at_sample })
+                if *splits_left > 0 && at_sample > 0 && at_sample < samples.len() =>
+            {
+                *splits_left -= 1;
+                report.splits += 1;
+                self.salvage_into(&samples[..at_sample], max_lattice_work, splits_left, report);
+                self.salvage_into(&samples[at_sample..], max_lattice_work, splits_left, report);
+            }
+            Err(MatcherError::InvalidSample { at_sample, reason }) if *splits_left > 0 => {
+                *splits_left -= 1;
+                report.splits += 1;
+                report
+                    .dropped
+                    .push(MatcherError::InvalidSample { at_sample, reason });
+                self.salvage_into(&samples[..at_sample], max_lattice_work, splits_left, report);
+                self.salvage_into(
+                    &samples[at_sample + 1..],
+                    max_lattice_work,
+                    splits_left,
+                    report,
+                );
+            }
+            Err(e) => report.dropped.push(e),
+        }
     }
 
     /// Stitches the chosen candidates into one connected edge path.
@@ -234,6 +412,7 @@ impl MapMatcher {
         &self,
         net: &RoadNetwork,
         kept: &[&GpsSample],
+        kept_idx: &[usize],
         lattice: &[Vec<Candidate>],
         states: &[usize],
     ) -> Result<MatchedTrajectory, MatcherError> {
@@ -283,7 +462,11 @@ impl MapMatcher {
                         });
                         continue;
                     }
-                    None => return Err(MatcherError::BrokenChain { at_sample: step }),
+                    None => {
+                        return Err(MatcherError::BrokenChain {
+                            at_sample: kept_idx[step],
+                        })
+                    }
                 }
             };
             edges.extend(route);
@@ -476,6 +659,156 @@ mod tests {
         // Must be the y=100 street.
         assert_eq!(net.edge_start(e).y, 100.0);
         assert_eq!(net.edge_end(e).y, 100.0);
+    }
+
+    #[test]
+    fn invalid_samples_are_typed() {
+        let m = matcher();
+        let good = |t: f64| GpsSample {
+            point: Point::new(150.0, 104.0),
+            t,
+        };
+        // NaN / infinite coordinates.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = [
+                good(0.0),
+                GpsSample {
+                    point: Point::new(bad, 104.0),
+                    t: 10.0,
+                },
+            ];
+            assert_eq!(
+                m.match_trajectory(&s),
+                Err(MatcherError::InvalidSample {
+                    at_sample: 1,
+                    reason: InvalidSampleReason::NonFiniteCoordinate,
+                })
+            );
+        }
+        // Non-finite timestamp.
+        let s = [good(f64::NAN)];
+        assert_eq!(
+            m.match_trajectory(&s),
+            Err(MatcherError::InvalidSample {
+                at_sample: 0,
+                reason: InvalidSampleReason::NonFiniteTimestamp,
+            })
+        );
+        // Non-monotone timestamps (equal and decreasing).
+        for t2 in [0.0, -5.0] {
+            let s = [good(0.0), good(t2)];
+            assert_eq!(
+                m.match_trajectory(&s),
+                Err(MatcherError::InvalidSample {
+                    at_sample: 1,
+                    reason: InvalidSampleReason::NonMonotoneTimestamp,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn work_budget_sheds_before_any_dijkstra() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 63);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = sample_path(&net, &path, 40.0, 5.0, &mut rng);
+        // Unlimited budget matches fine.
+        assert!(m.match_trajectory_budgeted(&samples, 0).is_ok());
+        // A one-unit budget is always exceeded on a multi-sample input.
+        match m.match_trajectory_budgeted(&samples, 1) {
+            Err(MatcherError::BudgetExceeded { work, budget: 1 }) => {
+                assert!(work > 1);
+                // Deterministic: the same refusal with the same work count.
+                assert_eq!(
+                    m.match_trajectory_budgeted(&samples, 1),
+                    Err(MatcherError::BudgetExceeded { work, budget: 1 })
+                );
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Salvaging records the shed rather than splitting forever.
+        let report = m.match_trajectory_salvaging(&samples, 1, 8);
+        assert!(report.pieces.is_empty());
+        assert_eq!(report.dropped.len(), 1);
+        assert!(matches!(
+            report.dropped[0],
+            MatcherError::BudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn salvaging_skips_invalid_samples() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 63);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut samples = sample_path(&net, &path, 40.0, 3.0, &mut rng);
+        let n = samples.len();
+        samples[n / 2].point.x = f64::NAN;
+        // Plain matching refuses the whole input...
+        assert!(matches!(
+            m.match_trajectory(&samples),
+            Err(MatcherError::InvalidSample { .. })
+        ));
+        // ...salvaging matches around the poisoned sample.
+        let report = m.match_trajectory_salvaging(&samples, 0, 4);
+        assert_eq!(report.dropped.len(), 1);
+        assert!(report.splits >= 1);
+        let salvaged: usize = report.pieces.iter().map(|p| p.samples.len()).sum();
+        assert_eq!(salvaged, n - 1, "all valid samples are salvaged");
+        for piece in &report.pieces {
+            net.validate_path(&piece.edges).unwrap();
+        }
+        // With no split budget, the error is recorded and nothing matched.
+        let strict = m.match_trajectory_salvaging(&samples, 0, 0);
+        assert!(strict.pieces.is_empty());
+        assert_eq!(strict.dropped.len(), 1);
+    }
+
+    #[test]
+    fn salvaging_splits_a_broken_chain() {
+        // Two disconnected east-west streets far apart: candidates exist
+        // for every sample, but no route joins them, so the chain breaks
+        // where the trace jumps between the components.
+        use press_network::RoadNetworkBuilder;
+        let mut b = RoadNetworkBuilder::new();
+        let add_chain = |b: &mut RoadNetworkBuilder, y: f64| {
+            let mut prev = b.add_node(Point::new(0.0, y));
+            for i in 1..5 {
+                let n = b.add_node(Point::new(i as f64 * 100.0, y));
+                b.add_edge(prev, n, 100.0).unwrap();
+                prev = n;
+            }
+        };
+        add_chain(&mut b, 0.0);
+        add_chain(&mut b, 50_000.0);
+        let net = Arc::new(b.build());
+        let m = MapMatcher::new(net.clone(), MatcherConfig::default());
+        let mut samples = Vec::new();
+        for i in 0..4 {
+            samples.push(GpsSample {
+                point: Point::new(50.0 + i as f64 * 100.0, 2.0),
+                t: i as f64 * 10.0,
+            });
+        }
+        for i in 0..4 {
+            samples.push(GpsSample {
+                point: Point::new(50.0 + i as f64 * 100.0, 50_002.0),
+                t: 40.0 + i as f64 * 10.0,
+            });
+        }
+        let err = m.match_trajectory(&samples);
+        assert_eq!(err, Err(MatcherError::BrokenChain { at_sample: 4 }));
+        let report = m.match_trajectory_salvaging(&samples, 0, 4);
+        assert_eq!(report.pieces.len(), 2, "both halves salvaged");
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.pieces[0].samples.len(), 4);
+        assert_eq!(report.pieces[1].samples.len(), 4);
+        for piece in &report.pieces {
+            net.validate_path(&piece.edges).unwrap();
+        }
     }
 
     #[test]

@@ -18,4 +18,7 @@
 
 pub mod hmm;
 
-pub use hmm::{MapMatcher, MatchedSample, MatchedTrajectory, MatcherConfig, MatcherError};
+pub use hmm::{
+    GpsSample, InvalidSampleReason, MapMatcher, MatchedSample, MatchedTrajectory, MatcherConfig,
+    MatcherError, SalvageReport,
+};

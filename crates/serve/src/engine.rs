@@ -1,0 +1,741 @@
+//! The streaming ingest engine: sharded per-vehicle sessions feeding the
+//! PRESS pipeline (match → reformat → HSC + BTC) behind a crash-safe WAL.
+//!
+//! # Ack and durability contract
+//!
+//! [`IngestEngine::push`] vets each fix ([`Session::vet`]), journals the
+//! accepted ones, and only then buffers them: the [`Ack::Accepted`]
+//! offset is the journal length including the fix's frame, so a crash at
+//! any byte ≥ that offset cannot lose it. Rejected and coalesced fixes
+//! are acked without journaling — replays reproduce the identical
+//! decisions because validation only depends on journaled state.
+//!
+//! # Recovery
+//!
+//! [`IngestEngine::open`] loads the last checkpointed corpus
+//! (`corpus.press`), replays `ingest.wal` through the exact same code
+//! path as live ingest (sessions, segment rollovers, idle sweeps), and
+//! truncates any torn tail. The rebuilt engine is therefore in the same
+//! state a clean run would reach after pushing exactly the acked prefix
+//! — the recovery proptests assert the resulting corpora are
+//! byte-identical.
+//!
+//! # Checkpoints
+//!
+//! [`IngestEngine::checkpoint`] flushes pending segments, atomically
+//! publishes the corpus (temp file + rename), then atomically rewrites
+//! the journal to just the in-flight state: buffered points in original
+//! arrival order, `Resume` frames for sessions whose buffers are empty
+//! but whose last-accepted fix still gates validation, and a `Clock`
+//! frame pinning the observed stream time so idle sweeps replay
+//! identically.
+
+use crate::session::{Disposition, QuarantineReason, Session, SessionPolicy};
+use crate::wal::{Wal, WalError, WalRecord};
+use press_core::reformat::{reformat, PathSample};
+use press_core::spatial::online::OnlineSpCompressor;
+use press_core::store::TrajectoryStore;
+use press_core::temporal::online::OnlineBtc;
+use press_core::types::TemporalSequence;
+use press_core::{parallel::work_steal_map, query::QueryEngine};
+use press_core::{CompressedTrajectory, Press, PressError};
+use press_matcher::{GpsSample, MapMatcher, MatcherError};
+use press_network::Point;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Corpus artifact name inside the ingest directory.
+pub const CORPUS_FILE: &str = "corpus.press";
+/// Journal name inside the ingest directory.
+pub const WAL_FILE: &str = "ingest.wal";
+
+/// Errors surfaced by the ingest engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure outside the journal.
+    Io(String),
+    /// Journal failure (see [`WalError`]).
+    Wal(WalError),
+    /// Compression/query-layer failure.
+    Press(PressError),
+    /// Invalid engine configuration.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "ingest I/O error: {msg}"),
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Press(e) => write!(f, "{e}"),
+            ServeError::Config(msg) => write!(f, "invalid ingest config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<PressError> for ServeError {
+    fn from(e: PressError) -> Self {
+        ServeError::Press(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Engine configuration. Compression parameters (θ, BTC bounds,
+/// decomposer) come from the [`Press`] handle, not from here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestConfig {
+    /// Input-hardening policy applied per fix.
+    pub policy: SessionPolicy,
+    /// Seconds of *stream* time (not wall clock — recovery must replay
+    /// identically) after which a silent session is finalized; `<= 0.0`
+    /// disables idle finalization.
+    pub idle_timeout: f64,
+    /// Segment rollover size: a session's buffer is cut into a pending
+    /// segment when it reaches this many points. `0` disables (unbounded
+    /// sessions; not recommended for long-lived fleets).
+    pub max_session_points: usize,
+    /// Trajectories per block in the published corpus.
+    pub block_size: usize,
+    /// Worker threads for parallel segment matching in [`IngestEngine::flush`].
+    pub threads: usize,
+    /// Deterministic matcher budget (Viterbi lattice transitions); a
+    /// segment whose lattice exceeds this is shed, not matched. `0`
+    /// disables shedding.
+    pub max_lattice_work: u64,
+    /// Degraded-mode salvage: how many times a segment may be split on
+    /// `BrokenChain`/`InvalidSample` before the remainder is dropped.
+    pub max_salvage_splits: usize,
+    /// Most recent quarantined fixes kept for inspection.
+    pub quarantine_log_cap: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            policy: SessionPolicy::default(),
+            idle_timeout: 600.0,
+            max_session_points: 4096,
+            block_size: 8,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_lattice_work: 2_000_000,
+            max_salvage_splits: 8,
+            quarantine_log_cap: 1024,
+        }
+    }
+}
+
+/// The engine's answer for one pushed fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ack {
+    /// Fix journaled and buffered. `offset` is the journal length with
+    /// this fix's frame included: once those bytes are durable the fix
+    /// survives any crash.
+    Accepted { offset: u64 },
+    /// Harmless defect repaired per policy (duplicate coalesced); the
+    /// fix is intentionally not journaled.
+    Repaired,
+    /// Fix rejected into quarantine with a typed reason.
+    Quarantined(QuarantineReason),
+}
+
+/// A quarantined fix, kept in a bounded log for observability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineRecord {
+    /// Vehicle whose fix was rejected.
+    pub vehicle: u64,
+    /// The offending fix, verbatim.
+    pub sample: GpsSample,
+    /// Why it was rejected.
+    pub reason: QuarantineReason,
+}
+
+/// Ingest counters. Observability only — counters are rebuilt from the
+/// journal on recovery, so quarantine/repair counts (which are never
+/// journaled) restart at zero after a crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestStats {
+    /// Fixes accepted (journaled and buffered), including replayed ones.
+    pub points_accepted: u64,
+    /// Fixes repaired by coalescing.
+    pub points_repaired: u64,
+    /// Fixes quarantined, by [`QuarantineReason::index`].
+    pub points_quarantined: [u64; 4],
+    /// Segments finalized by the idle sweep.
+    pub segments_idle: u64,
+    /// Segments cut by the session-size rollover.
+    pub segments_cap: u64,
+    /// Segments finalized explicitly.
+    pub segments_explicit: u64,
+    /// Matched pieces compressed into the corpus.
+    pub pieces_compressed: u64,
+    /// Salvage splits performed across all flushed segments.
+    pub salvage_splits: u64,
+    /// Pieces dropped (unmatchable even after salvage).
+    pub pieces_dropped: u64,
+    /// Of the dropped pieces, how many were shed by the lattice budget.
+    pub pieces_shed: u64,
+}
+
+impl IngestStats {
+    /// Total quarantined fixes across all reasons.
+    pub fn total_quarantined(&self) -> u64 {
+        self.points_quarantined.iter().sum()
+    }
+}
+
+/// What [`IngestEngine::open`] found on disk and rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Trajectories loaded from the checkpointed corpus.
+    pub corpus_trajectories: usize,
+    /// `Point` frames replayed from the journal.
+    pub replayed_points: u64,
+    /// `Finalize`/`FinalizeAll` frames replayed.
+    pub replayed_finalizes: u64,
+    /// Bytes truncated from the journal's torn tail.
+    pub torn_bytes: u64,
+    /// True when no journal existed (fresh directory).
+    pub wal_was_fresh: bool,
+    /// Live sessions rebuilt by the replay.
+    pub sessions_rebuilt: usize,
+    /// Points sitting in session buffers or pending segments after the
+    /// replay (accepted but not yet in the corpus).
+    pub points_in_flight: usize,
+}
+
+/// A finalized-but-unmatched segment awaiting [`IngestEngine::flush`].
+#[derive(Debug, Clone)]
+struct PendingSegment {
+    samples: Vec<GpsSample>,
+}
+
+/// Per-segment outcome from the parallel matching stage.
+struct SegmentOutcome {
+    compressed: Vec<CompressedTrajectory>,
+    splits: u64,
+    dropped: u64,
+    shed: u64,
+}
+
+/// Maps a timestamp to a key that sorts like the timestamp (total order
+/// over all non-NaN floats), for the idle-session index.
+fn time_key(t: f64) -> u64 {
+    let bits = t.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Multi-vehicle streaming ingest over one directory. See the module
+/// docs for the ack/durability, recovery, and checkpoint contracts.
+pub struct IngestEngine {
+    dir: PathBuf,
+    config: IngestConfig,
+    matcher: Arc<MapMatcher>,
+    press: Press,
+    wal: Wal,
+    sessions: HashMap<u64, Session>,
+    /// Sessions ordered by last-accepted timestamp: `(time_key(last.t),
+    /// vehicle)`. Exactly the sessions with `last.is_some()`.
+    idle: BTreeSet<(u64, u64)>,
+    /// Largest timestamp ever accepted — the observed stream clock that
+    /// drives idle sweeps (never wall clock: replay must be identical).
+    max_time: f64,
+    arrival_seq: u64,
+    pending: Vec<PendingSegment>,
+    finished: Vec<CompressedTrajectory>,
+    stats: IngestStats,
+    quarantine: Vec<QuarantineRecord>,
+    recovery: RecoveryReport,
+}
+
+impl IngestEngine {
+    /// Opens (or creates) the ingest directory, recovering any previous
+    /// state: corpus first, then a full journal replay through the live
+    /// ingest path.
+    pub fn open(
+        dir: &Path,
+        matcher: Arc<MapMatcher>,
+        press: Press,
+        config: IngestConfig,
+    ) -> Result<IngestEngine> {
+        if config.block_size == 0 {
+            return Err(ServeError::Config("block_size must be at least 1".into()));
+        }
+        if config.idle_timeout.is_nan() {
+            return Err(ServeError::Config("idle_timeout must not be NaN".into()));
+        }
+        std::fs::create_dir_all(dir)?;
+        let corpus_path = dir.join(CORPUS_FILE);
+        let finished = if corpus_path.exists() {
+            TrajectoryStore::open(&corpus_path)?.decode_all()?
+        } else {
+            Vec::new()
+        };
+        let (wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
+        let mut engine = IngestEngine {
+            dir: dir.to_path_buf(),
+            config,
+            matcher,
+            press,
+            wal,
+            sessions: HashMap::new(),
+            idle: BTreeSet::new(),
+            max_time: f64::NEG_INFINITY,
+            arrival_seq: 0,
+            pending: Vec::new(),
+            finished,
+            stats: IngestStats::default(),
+            quarantine: Vec::new(),
+            recovery: RecoveryReport::default(),
+        };
+        let mut replayed_points = 0u64;
+        let mut replayed_finalizes = 0u64;
+        for rec in &replay.records {
+            match *rec {
+                WalRecord::Point { vehicle, x, y, t } => {
+                    replayed_points += 1;
+                    let sample = GpsSample {
+                        point: Point::new(x, y),
+                        t,
+                    };
+                    // Only accepted fixes were journaled, and validation
+                    // depends only on journaled state, so the replayed
+                    // verdict is Accept again by construction.
+                    debug_assert_eq!(
+                        engine.vet(vehicle, &sample),
+                        Disposition::Accept,
+                        "journaled fix must replay as accepted"
+                    );
+                    engine.apply_accept(vehicle, sample);
+                }
+                WalRecord::Finalize { vehicle } => {
+                    replayed_finalizes += 1;
+                    engine.apply_finalize(vehicle);
+                }
+                WalRecord::FinalizeAll => {
+                    replayed_finalizes += 1;
+                    engine.apply_finalize_all();
+                }
+                WalRecord::Resume { vehicle, x, y, t } => {
+                    let mut sess = Session::new(vehicle);
+                    sess.last = Some(GpsSample {
+                        point: Point::new(x, y),
+                        t,
+                    });
+                    engine.idle.insert((time_key(t), vehicle));
+                    engine.sessions.insert(vehicle, sess);
+                }
+                WalRecord::Clock { t } => {
+                    if t > engine.max_time {
+                        engine.max_time = t;
+                    }
+                }
+            }
+        }
+        engine.recovery = RecoveryReport {
+            corpus_trajectories: engine.finished.len(),
+            replayed_points,
+            replayed_finalizes,
+            torn_bytes: replay.torn_bytes,
+            wal_was_fresh: replay.fresh,
+            sessions_rebuilt: engine.sessions.len(),
+            points_in_flight: engine.in_flight_points(),
+        };
+        Ok(engine)
+    }
+
+    fn vet(&self, vehicle: u64, sample: &GpsSample) -> Disposition {
+        match self.sessions.get(&vehicle) {
+            Some(sess) => sess.vet(&self.config.policy, sample),
+            None => Session::new(vehicle).vet(&self.config.policy, sample),
+        }
+    }
+
+    /// Ingests one fix. Accepted fixes are journaled *before* they are
+    /// buffered — the returned offset is the durability watermark. Call
+    /// [`IngestEngine::sync`] to force the journal to stable storage.
+    pub fn push(&mut self, vehicle: u64, sample: GpsSample) -> Result<Ack> {
+        match self.vet(vehicle, &sample) {
+            Disposition::Accept => {
+                let offset = self.wal.append(&WalRecord::Point {
+                    vehicle,
+                    x: sample.point.x,
+                    y: sample.point.y,
+                    t: sample.t,
+                })?;
+                self.apply_accept(vehicle, sample);
+                Ok(Ack::Accepted { offset })
+            }
+            Disposition::Coalesce => {
+                if let Some(sess) = self.sessions.get_mut(&vehicle) {
+                    sess.repaired += 1;
+                }
+                self.stats.points_repaired += 1;
+                Ok(Ack::Repaired)
+            }
+            Disposition::Quarantine(reason) => {
+                if let Some(sess) = self.sessions.get_mut(&vehicle) {
+                    sess.quarantined[reason.index()] += 1;
+                }
+                self.stats.points_quarantined[reason.index()] += 1;
+                if self.quarantine.len() < self.config.quarantine_log_cap {
+                    self.quarantine.push(QuarantineRecord {
+                        vehicle,
+                        sample,
+                        reason,
+                    });
+                }
+                Ok(Ack::Quarantined(reason))
+            }
+        }
+    }
+
+    /// Applies an accepted fix: buffer, segment rollover, stream clock,
+    /// idle sweep. Shared verbatim by live ingest and journal replay.
+    fn apply_accept(&mut self, vehicle: u64, sample: GpsSample) {
+        let arrival = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.stats.points_accepted += 1;
+        let sess = self
+            .sessions
+            .entry(vehicle)
+            .or_insert_with(|| Session::new(vehicle));
+        if let Some(prev) = sess.last {
+            self.idle.remove(&(time_key(prev.t), vehicle));
+        }
+        sess.accept(sample, arrival);
+        self.idle.insert((time_key(sample.t), vehicle));
+        if self.config.max_session_points > 0
+            && sess.samples.len() >= self.config.max_session_points
+        {
+            let samples = sess.take_segment();
+            self.pending.push(PendingSegment { samples });
+            self.stats.segments_cap += 1;
+        }
+        if sample.t > self.max_time {
+            self.max_time = sample.t;
+        }
+        self.sweep_idle();
+    }
+
+    /// Finalizes every session whose last accepted fix is more than
+    /// `idle_timeout` behind the observed stream clock.
+    fn sweep_idle(&mut self) {
+        if self.config.idle_timeout <= 0.0 {
+            return;
+        }
+        loop {
+            let Some(&(_, vehicle)) = self.idle.iter().next() else {
+                return;
+            };
+            let last_t = self.sessions[&vehicle]
+                .last
+                .expect("idle-indexed session has a last fix")
+                .t;
+            if last_t + self.config.idle_timeout >= self.max_time {
+                return;
+            }
+            self.close_session(vehicle);
+            self.stats.segments_idle += 1;
+        }
+    }
+
+    /// Removes `vehicle`'s session, moving any buffered samples to the
+    /// pending queue. Returns true when a session existed.
+    fn close_session(&mut self, vehicle: u64) -> bool {
+        let Some(mut sess) = self.sessions.remove(&vehicle) else {
+            return false;
+        };
+        if let Some(last) = sess.last {
+            self.idle.remove(&(time_key(last.t), vehicle));
+        }
+        let samples = sess.take_segment();
+        if !samples.is_empty() {
+            self.pending.push(PendingSegment { samples });
+        }
+        true
+    }
+
+    fn apply_finalize(&mut self, vehicle: u64) -> bool {
+        let closed = self.close_session(vehicle);
+        if closed {
+            self.stats.segments_explicit += 1;
+        }
+        closed
+    }
+
+    fn apply_finalize_all(&mut self) {
+        // Deterministic order: first buffered arrival, vehicle id as the
+        // tie-break (covers empty buffers) — identical live and on replay.
+        let mut order: Vec<(u64, u64)> = self
+            .sessions
+            .values()
+            .map(|s| (s.arrivals.first().copied().unwrap_or(u64::MAX), s.vehicle))
+            .collect();
+        order.sort_unstable();
+        for (_, vehicle) in order {
+            self.apply_finalize(vehicle);
+        }
+    }
+
+    /// Explicitly ends `vehicle`'s trajectory (journaled, so recovery
+    /// reproduces the same segmentation). Returns true when a live
+    /// session was closed.
+    pub fn finalize(&mut self, vehicle: u64) -> Result<bool> {
+        if !self.sessions.contains_key(&vehicle) {
+            return Ok(false);
+        }
+        self.wal.append(&WalRecord::Finalize { vehicle })?;
+        Ok(self.apply_finalize(vehicle))
+    }
+
+    /// Explicitly ends every live trajectory (journaled).
+    pub fn finalize_all(&mut self) -> Result<()> {
+        if self.sessions.is_empty() {
+            return Ok(());
+        }
+        self.wal.append(&WalRecord::FinalizeAll)?;
+        self.apply_finalize_all();
+        Ok(())
+    }
+
+    /// Matches and compresses all pending segments (in parallel across
+    /// `config.threads`, order-preserving), appending the results to the
+    /// in-memory corpus. Returns the number of pieces compressed.
+    ///
+    /// The journal is deliberately *not* trimmed here: flushed segments
+    /// stay replayable until [`IngestEngine::checkpoint`] publishes them.
+    pub fn flush(&mut self) -> Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let segments = std::mem::take(&mut self.pending);
+        let matcher = Arc::clone(&self.matcher);
+        let model = self.press.model();
+        let press_config = self.press.config();
+        let max_work = self.config.max_lattice_work;
+        let max_splits = self.config.max_salvage_splits;
+        let outcomes: Vec<SegmentOutcome> =
+            work_steal_map(&segments, self.config.threads, |_, seg| {
+                let report = matcher.match_trajectory_salvaging(&seg.samples, max_work, max_splits);
+                let mut out = SegmentOutcome {
+                    compressed: Vec::with_capacity(report.pieces.len()),
+                    splits: report.splits as u64,
+                    dropped: 0,
+                    shed: 0,
+                };
+                for err in &report.dropped {
+                    out.dropped += 1;
+                    if matches!(err, MatcherError::BudgetExceeded { .. }) {
+                        out.shed += 1;
+                    }
+                }
+                for piece in report.pieces {
+                    let path_samples: Vec<PathSample> = piece
+                        .samples
+                        .iter()
+                        .map(|m| PathSample {
+                            edge_idx: m.edge_idx,
+                            frac: m.frac,
+                            t: m.t,
+                        })
+                        .collect();
+                    let compressed = reformat(matcher.network(), piece.edges, &path_samples)
+                        .and_then(|traj| {
+                            // Streaming form of `Press::compress`: online SP
+                            // reduction + `encode_sp_form`, online BTC. The
+                            // chunking proptests pin these bit-identical to
+                            // the batch pipeline.
+                            let mut spc = OnlineSpCompressor::new(Arc::clone(model.sp()));
+                            let mut sp_form = Vec::with_capacity(traj.path.edges.len());
+                            for &e in &traj.path.edges {
+                                sp_form.extend(spc.push(e));
+                            }
+                            sp_form.extend(spc.finish());
+                            let spatial =
+                                model.encode_sp_form(&sp_form, press_config.decomposer)?;
+                            let mut btc = OnlineBtc::new(press_config.bounds);
+                            let mut kept = Vec::with_capacity(traj.temporal.len());
+                            for &p in &traj.temporal.points {
+                                kept.extend(btc.push(p));
+                            }
+                            kept.extend(btc.finish());
+                            Ok(CompressedTrajectory {
+                                spatial,
+                                temporal: TemporalSequence::new_unchecked(kept),
+                            })
+                        });
+                    match compressed {
+                        Ok(ct) => out.compressed.push(ct),
+                        Err(_) => out.dropped += 1,
+                    }
+                }
+                out
+            });
+        let mut pieces = 0usize;
+        for out in outcomes {
+            pieces += out.compressed.len();
+            self.stats.pieces_compressed += out.compressed.len() as u64;
+            self.stats.salvage_splits += out.splits;
+            self.stats.pieces_dropped += out.dropped;
+            self.stats.pieces_shed += out.shed;
+            self.finished.extend(out.compressed);
+        }
+        Ok(pieces)
+    }
+
+    /// Flushes, atomically publishes the corpus, and atomically rewrites
+    /// the journal down to just the in-flight state. After a checkpoint,
+    /// recovery cost is proportional to the in-flight points, not the
+    /// history. Returns the number of trajectories in the corpus.
+    pub fn checkpoint(&mut self) -> Result<usize> {
+        self.flush()?;
+        let query = QueryEngine::new(self.press.model());
+        let bytes =
+            TrajectoryStore::to_store_bytes(&query, &self.finished, self.config.block_size)?;
+        let corpus = self.corpus_path();
+        let tmp = corpus.with_extension("press.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &corpus)?;
+        // Rebuild the journal: clock, resumes (sessions whose state is
+        // only the last fix), then buffered points in arrival order.
+        let mut records = Vec::new();
+        if self.max_time.is_finite() {
+            records.push(WalRecord::Clock { t: self.max_time });
+        }
+        let mut resumes: Vec<&Session> = self
+            .sessions
+            .values()
+            .filter(|s| s.samples.is_empty() && s.last.is_some())
+            .collect();
+        resumes.sort_unstable_by_key(|s| s.vehicle);
+        for sess in resumes {
+            let last = sess.last.expect("filtered on last.is_some");
+            records.push(WalRecord::Resume {
+                vehicle: sess.vehicle,
+                x: last.point.x,
+                y: last.point.y,
+                t: last.t,
+            });
+        }
+        let mut points: Vec<(u64, u64, GpsSample)> = Vec::new();
+        for sess in self.sessions.values() {
+            for (&arrival, &sample) in sess.arrivals.iter().zip(&sess.samples) {
+                points.push((arrival, sess.vehicle, sample));
+            }
+        }
+        points.sort_unstable_by_key(|&(arrival, vehicle, _)| (arrival, vehicle));
+        for (_, vehicle, sample) in points {
+            records.push(WalRecord::Point {
+                vehicle,
+                x: sample.point.x,
+                y: sample.point.y,
+                t: sample.t,
+            });
+        }
+        self.wal = Wal::rewrite(&self.dir.join(WAL_FILE), &records)?;
+        Ok(self.finished.len())
+    }
+
+    /// Forces journal bytes to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Accepted points not yet in the in-memory corpus.
+    fn in_flight_points(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.samples.len())
+            .sum::<usize>()
+            + self.pending.iter().map(|p| p.samples.len()).sum::<usize>()
+    }
+
+    /// The ingest directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the published corpus artifact.
+    pub fn corpus_path(&self) -> PathBuf {
+        self.dir.join(CORPUS_FILE)
+    }
+
+    /// Path of the journal.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Current journal length — the latest [`Ack::Accepted`] offset.
+    pub fn wal_offset(&self) -> u64 {
+        self.wal.offset()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// The compression handle (model + parameters).
+    pub fn press(&self) -> &Press {
+        &self.press
+    }
+
+    /// Live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Finalized segments awaiting [`IngestEngine::flush`].
+    pub fn pending_segments(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The in-memory compressed corpus (checkpointed + flushed).
+    pub fn finished(&self) -> &[CompressedTrajectory] {
+        &self.finished
+    }
+
+    /// Ingest counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The bounded quarantine log, oldest first.
+    pub fn quarantine_log(&self) -> &[QuarantineRecord] {
+        &self.quarantine
+    }
+
+    /// What the last [`IngestEngine::open`] recovered.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+}

@@ -1,0 +1,58 @@
+//! `press-serve` — fault-tolerant fleet ingest for PRESS.
+//!
+//! Turns the batch PRESS pipeline (HMM map matching → reformat → hybrid
+//! spatial compression + bounded temporal compression) into a streaming
+//! engine that many vehicles feed concurrently, hardened for the three
+//! ways real fleet ingest fails: dirty input, pathological input, and
+//! crashes.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  push(vehicle, fix)
+//!      │  vet: NaN/∞, out-of-order, duplicate, teleport → quarantine
+//!      ▼
+//!  ingest.wal  ──────── append CRC-framed Point record, ACK offset
+//!      │
+//!      ▼
+//!  Session{vehicle} ── buffer; idle-timeout / size-cap segmentation
+//!      │ finalize
+//!      ▼
+//!  pending ── flush(): parallel salvage-matching + online compression
+//!      │ checkpoint
+//!      ▼
+//!  corpus.press ── atomically published block store; WAL shrinks to
+//!                  the in-flight tail
+//! ```
+//!
+//! # Guarantees
+//!
+//! * **No acked point is lost.** A fix is [`Ack::Accepted`] only after
+//!   its WAL frame is written; recovery replays every complete frame
+//!   and truncates at most the torn, never-acked tail.
+//! * **Recovery is deterministic.** Replay goes through the exact live
+//!   ingest path, and everything that influences segmentation (stream
+//!   clock, session order, arrival order) is journaled or derived from
+//!   the journal — a recovered engine's corpus is byte-identical to a
+//!   clean run over the acked prefix.
+//! * **Bad input degrades, never panics.** Defective fixes land in a
+//!   typed quarantine; unmatchable stretches split into salvaged
+//!   pieces; pathological sessions are shed by a deterministic matcher
+//!   budget.
+//!
+//! The [`fault`] module provides the seeded fault-injection harness
+//! (stream mangling + kill-at-byte-offset) that the recovery proptests
+//! drive.
+
+pub mod engine;
+pub mod fault;
+pub mod session;
+pub mod wal;
+
+pub use engine::{
+    Ack, IngestConfig, IngestEngine, IngestStats, QuarantineRecord, RecoveryReport, ServeError,
+    CORPUS_FILE, WAL_FILE,
+};
+pub use fault::{truncate_wal, wal_len, Event, FaultPlan};
+pub use session::{Disposition, QuarantineReason, Session, SessionPolicy};
+pub use wal::{Wal, WalError, WalRecord, WalReplay};

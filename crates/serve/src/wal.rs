@@ -1,0 +1,576 @@
+//! Crash-safe, append-only write-ahead journal for streaming ingest.
+//!
+//! # Format
+//!
+//! A 16-byte header (`PRESSWAL` magic, `u32` version, `u32` reserved)
+//! followed by CRC-framed records:
+//!
+//! ```text
+//! [u32 payload len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! Each frame is laid down with a **single** `write_all`, so a crash
+//! leaves at worst a *prefix* of the final frame — never interleaved
+//! garbage in the middle of the journal.
+//!
+//! # Durability and recovery contract
+//!
+//! * A record is **acked** only after its frame's `write_all` returns
+//!   (callers needing power-loss durability call [`Wal::sync`]).
+//! * [`Wal::open`] replays every complete, CRC-valid frame in order.
+//! * A **torn tail** — an incomplete frame at EOF, or a final frame whose
+//!   checksum fails — is the signature of a mid-write crash: it is
+//!   truncated away and reported ([`WalReplay::torn_bytes`]), never an
+//!   error. Only the unacked in-flight record can live there.
+//! * A checksum failure (or malformed frame) **with more journal after
+//!   it** can only be real corruption of acked data, so it is a typed
+//!   [`WalError::Corrupt`] — acked records are never silently dropped.
+
+use press_store::{crc32, ByteReader, ByteWriter};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal file magic.
+pub const WAL_MAGIC: [u8; 8] = *b"PRESSWAL";
+/// Journal format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+/// Header length in bytes (magic + version + reserved).
+pub const WAL_HEADER_LEN: u64 = 16;
+/// Upper bound on a frame payload; anything larger is corruption, not a
+/// record (the largest real record is a few dozen bytes).
+pub const MAX_FRAME_LEN: u32 = 64 * 1024;
+
+/// Errors raised by the journal. Torn tails are NOT errors (see the
+/// module docs); these are real I/O failures or acked-data corruption.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalError {
+    /// Filesystem error, with the underlying message.
+    Io(String),
+    /// The file does not start with [`WAL_MAGIC`].
+    BadMagic,
+    /// The journal version is not supported by this build.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// Acked journal content is damaged: a mid-journal checksum failure,
+    /// an impossible frame length, or an undecodable record.
+    Corrupt { offset: u64, detail: String },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(msg) => write!(f, "journal I/O error: {msg}"),
+            WalError::BadMagic => write!(f, "not a PRESS ingest journal (bad magic)"),
+            WalError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported journal version {found} (this build reads {supported})"
+            ),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, WalError>;
+
+/// One journaled ingest event. `Point` frames are written on the hot
+/// path; `Resume`/`Clock` frames exist only in checkpoint-rewritten
+/// journals so a replay reconstructs cross-segment session state
+/// (last-accepted fix, stream clock) exactly as a clean run would have
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalRecord {
+    /// An accepted GPS fix for `vehicle`.
+    Point {
+        vehicle: u64,
+        x: f64,
+        y: f64,
+        t: f64,
+    },
+    /// Explicit end-of-trajectory for `vehicle`.
+    Finalize { vehicle: u64 },
+    /// Explicit end-of-trajectory for every live session.
+    FinalizeAll,
+    /// (Checkpoint only) re-establish `vehicle`'s session with this
+    /// last-accepted fix, without re-ingesting it as a point.
+    Resume {
+        vehicle: u64,
+        x: f64,
+        y: f64,
+        t: f64,
+    },
+    /// (Checkpoint only) advance the observed stream clock to `t`.
+    Clock { t: f64 },
+}
+
+const TAG_POINT: u8 = 1;
+const TAG_FINALIZE: u8 = 2;
+const TAG_FINALIZE_ALL: u8 = 3;
+const TAG_RESUME: u8 = 4;
+const TAG_CLOCK: u8 = 5;
+
+impl WalRecord {
+    /// Serializes the record payload (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(33);
+        match *self {
+            WalRecord::Point { vehicle, x, y, t } => {
+                w.put_u8(TAG_POINT);
+                w.put_u64(vehicle);
+                w.put_f64(x);
+                w.put_f64(y);
+                w.put_f64(t);
+            }
+            WalRecord::Finalize { vehicle } => {
+                w.put_u8(TAG_FINALIZE);
+                w.put_u64(vehicle);
+            }
+            WalRecord::FinalizeAll => w.put_u8(TAG_FINALIZE_ALL),
+            WalRecord::Resume { vehicle, x, y, t } => {
+                w.put_u8(TAG_RESUME);
+                w.put_u64(vehicle);
+                w.put_f64(x);
+                w.put_f64(y);
+                w.put_f64(t);
+            }
+            WalRecord::Clock { t } => {
+                w.put_u8(TAG_CLOCK);
+                w.put_f64(t);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one record payload; the whole payload must be consumed.
+    pub fn decode(payload: &[u8]) -> std::result::Result<WalRecord, String> {
+        let mut r = ByteReader::new(payload);
+        let tag = r.get_u8().map_err(|e| e.to_string())?;
+        let rec = match tag {
+            TAG_POINT => WalRecord::Point {
+                vehicle: r.get_u64().map_err(|e| e.to_string())?,
+                x: r.get_f64().map_err(|e| e.to_string())?,
+                y: r.get_f64().map_err(|e| e.to_string())?,
+                t: r.get_f64().map_err(|e| e.to_string())?,
+            },
+            TAG_FINALIZE => WalRecord::Finalize {
+                vehicle: r.get_u64().map_err(|e| e.to_string())?,
+            },
+            TAG_FINALIZE_ALL => WalRecord::FinalizeAll,
+            TAG_RESUME => WalRecord::Resume {
+                vehicle: r.get_u64().map_err(|e| e.to_string())?,
+                x: r.get_f64().map_err(|e| e.to_string())?,
+                y: r.get_f64().map_err(|e| e.to_string())?,
+                t: r.get_f64().map_err(|e| e.to_string())?,
+            },
+            TAG_CLOCK => WalRecord::Clock {
+                t: r.get_f64().map_err(|e| e.to_string())?,
+            },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        r.expect_end("wal record").map_err(|e| e.to_string())?;
+        Ok(rec)
+    }
+}
+
+/// What [`Wal::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalReplay {
+    /// Every acked record, in journal order.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded from the torn tail (0 on a clean shutdown).
+    pub torn_bytes: u64,
+    /// Journal length after truncation (where appends resume).
+    pub valid_len: u64,
+    /// True when the journal was absent/empty and was initialized fresh.
+    pub fresh: bool,
+}
+
+/// The append-only journal handle. One per ingest directory.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    offset: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the journal at `path`, replaying acked records
+    /// and truncating any torn tail. See the module docs for the exact
+    /// torn-tail-vs-corruption rule.
+    pub fn open(path: &Path) -> Result<(Wal, WalReplay)> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        // Shorter than the header: either a fresh journal or a crash
+        // during creation (header prefix). Both re-initialize.
+        if (bytes.len() as u64) < WAL_HEADER_LEN {
+            let mut file = File::create(path)?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(&WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_data()?;
+            let replay = WalReplay {
+                records: Vec::new(),
+                torn_bytes: bytes.len() as u64,
+                valid_len: WAL_HEADER_LEN,
+                fresh: bytes.is_empty(),
+            };
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                    offset: WAL_HEADER_LEN,
+                },
+                replay,
+            ));
+        }
+        if bytes[..8] != WAL_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != WAL_VERSION {
+            return Err(WalError::UnsupportedVersion {
+                found: version,
+                supported: WAL_VERSION,
+            });
+        }
+        let mut records = Vec::new();
+        let mut off = WAL_HEADER_LEN as usize;
+        let mut torn_bytes = 0u64;
+        while off < bytes.len() {
+            let rem = bytes.len() - off;
+            if rem < 8 {
+                torn_bytes = rem as u64;
+                break;
+            }
+            let len =
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+            let crc = u32::from_le_bytes([
+                bytes[off + 4],
+                bytes[off + 5],
+                bytes[off + 6],
+                bytes[off + 7],
+            ]);
+            if len == 0 || len > MAX_FRAME_LEN {
+                // Frames are single-write, so a partial frame is a strict
+                // prefix; a *complete* length field this wrong is damage.
+                return Err(WalError::Corrupt {
+                    offset: off as u64,
+                    detail: format!("impossible frame length {len}"),
+                });
+            }
+            let frame_len = 8 + len as usize;
+            if rem < frame_len {
+                torn_bytes = rem as u64;
+                break;
+            }
+            let payload = &bytes[off + 8..off + frame_len];
+            if crc32(payload) != crc {
+                if off + frame_len == bytes.len() {
+                    // Torn final frame: all bytes present but the write
+                    // was interrupted before they were all durable.
+                    torn_bytes = frame_len as u64;
+                    break;
+                }
+                return Err(WalError::Corrupt {
+                    offset: off as u64,
+                    detail: "checksum mismatch mid-journal".into(),
+                });
+            }
+            let rec = WalRecord::decode(payload).map_err(|detail| WalError::Corrupt {
+                offset: off as u64,
+                detail,
+            })?;
+            records.push(rec);
+            off += frame_len;
+        }
+        let valid_len = off as u64;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if torn_bytes > 0 {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(valid_len))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                offset: valid_len,
+            },
+            WalReplay {
+                records,
+                torn_bytes,
+                valid_len,
+                fresh: false,
+            },
+        ))
+    }
+
+    /// Atomically replaces the journal with `records` (checkpoint): the
+    /// new journal is written to a sibling temp file, synced, and renamed
+    /// over `path` — a crash at any byte leaves either the old journal or
+    /// the complete new one.
+    pub fn rewrite(path: &Path, records: &[WalRecord]) -> Result<Wal> {
+        let tmp = path.with_extension("wal.tmp");
+        let mut buf = Vec::with_capacity(WAL_HEADER_LEN as usize + records.len() * 48);
+        buf.extend_from_slice(&WAL_MAGIC);
+        buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        for rec in records {
+            let payload = rec.encode();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        use std::io::Seek;
+        let offset = buf.len() as u64;
+        file.seek(std::io::SeekFrom::Start(offset))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            offset,
+        })
+    }
+
+    /// Appends one record; the returned offset is the journal length with
+    /// this frame included — the record is acked once this returns.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.offset += frame.len() as u64;
+        Ok(self.offset)
+    }
+
+    /// Flushes journal bytes to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current journal length (the last returned ack offset).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("press-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Clock { t: 12.5 },
+            WalRecord::Resume {
+                vehicle: 9,
+                x: 1.0,
+                y: -2.0,
+                t: 3.5,
+            },
+            WalRecord::Point {
+                vehicle: 1,
+                x: 10.0,
+                y: 20.0,
+                t: 30.0,
+            },
+            WalRecord::Point {
+                vehicle: 2,
+                x: -0.5,
+                y: 7.25,
+                t: 31.0,
+            },
+            WalRecord::Finalize { vehicle: 1 },
+            WalRecord::FinalizeAll,
+        ]
+    }
+
+    #[test]
+    fn roundtrips_all_record_types() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("ingest.wal");
+        let recs = sample_records();
+        {
+            let (mut wal, replay) = Wal::open(&path).expect("create");
+            assert!(replay.fresh);
+            assert!(replay.records.is_empty());
+            let mut last = WAL_HEADER_LEN;
+            for r in &recs {
+                let off = wal.append(r).expect("append");
+                assert!(off > last, "offsets strictly increase");
+                last = off;
+            }
+            wal.sync().expect("sync");
+        }
+        let (wal, replay) = Wal::open(&path).expect("reopen");
+        assert!(!replay.fresh);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.records, recs);
+        assert_eq!(wal.offset(), replay.valid_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_offset_keeps_exactly_the_complete_frames() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("ingest.wal");
+        let recs = sample_records();
+        let mut frame_ends = vec![WAL_HEADER_LEN];
+        {
+            let (mut wal, _) = Wal::open(&path).expect("create");
+            for r in &recs {
+                frame_ends.push(wal.append(r).expect("append"));
+            }
+        }
+        let full = std::fs::read(&path).expect("read");
+        for cut in 0..=full.len() {
+            let cut_path = dir.join("cut.wal");
+            std::fs::write(&cut_path, &full[..cut]).expect("write");
+            let (_, replay) = Wal::open(&cut_path).expect("torn tails are not errors");
+            // Acked prefix: records whose frame end fits inside the cut.
+            let expect: Vec<WalRecord> = recs
+                .iter()
+                .zip(&frame_ends[1..])
+                .filter(|(_, &end)| end <= cut as u64)
+                .map(|(r, _)| *r)
+                .collect();
+            assert_eq!(replay.records, expect, "cut at byte {cut}");
+            // The torn tail was physically truncated away.
+            let after = std::fs::metadata(&cut_path).expect("meta").len();
+            assert_eq!(after, replay.valid_len, "cut at byte {cut}");
+            assert!(replay.valid_len >= WAL_HEADER_LEN);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_a_typed_error_not_data_loss() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("ingest.wal");
+        {
+            let (mut wal, _) = Wal::open(&path).expect("create");
+            for r in sample_records() {
+                wal.append(&r).expect("append");
+            }
+        }
+        let full = std::fs::read(&path).expect("read");
+        // Flip one payload byte of the FIRST frame: a checksum failure
+        // with more journal after it must refuse to open.
+        let mut bad = full.clone();
+        bad[WAL_HEADER_LEN as usize + 8] ^= 0x01;
+        std::fs::write(&path, &bad).expect("write");
+        assert!(matches!(Wal::open(&path), Err(WalError::Corrupt { .. })));
+        // The same flip on the LAST frame is a torn tail: recovered.
+        let mut torn = full.clone();
+        let n = torn.len();
+        torn[n - 1] ^= 0x01;
+        std::fs::write(&path, &torn).expect("write");
+        let (_, replay) = Wal::open(&path).expect("final-frame damage is torn");
+        assert_eq!(replay.records.len(), sample_records().len() - 1);
+        assert!(replay.torn_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("ingest.wal");
+        {
+            let (mut wal, _) = Wal::open(&path).expect("create");
+            wal.append(&WalRecord::FinalizeAll).expect("append");
+        }
+        let good = std::fs::read(&path).expect("read");
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).expect("write");
+        assert_eq!(Wal::open(&path).unwrap_err(), WalError::BadMagic);
+        let mut bad = good.clone();
+        bad[8] = 99;
+        std::fs::write(&path, &bad).expect("write");
+        assert_eq!(
+            Wal::open(&path).unwrap_err(),
+            WalError::UnsupportedVersion {
+                found: 99,
+                supported: WAL_VERSION
+            }
+        );
+        // An impossible frame length mid-journal is Corrupt.
+        let mut bad = good;
+        bad[WAL_HEADER_LEN as usize] = 0xFF;
+        bad[WAL_HEADER_LEN as usize + 1] = 0xFF;
+        bad[WAL_HEADER_LEN as usize + 2] = 0xFF;
+        std::fs::write(&path, &bad).expect("write");
+        assert!(matches!(Wal::open(&path), Err(WalError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_is_atomic_and_reopenable() {
+        let dir = tmp_dir("rewrite");
+        let path = dir.join("ingest.wal");
+        {
+            let (mut wal, _) = Wal::open(&path).expect("create");
+            for r in sample_records() {
+                wal.append(&r).expect("append");
+            }
+        }
+        let kept = vec![
+            WalRecord::Clock { t: 99.0 },
+            WalRecord::Point {
+                vehicle: 7,
+                x: 0.0,
+                y: 0.0,
+                t: 98.0,
+            },
+        ];
+        let mut wal = Wal::rewrite(&path, &kept).expect("rewrite");
+        let post = wal
+            .append(&WalRecord::Finalize { vehicle: 7 })
+            .expect("append");
+        assert!(post > WAL_HEADER_LEN);
+        let (_, replay) = Wal::open(&path).expect("reopen");
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[..2], kept[..]);
+        assert_eq!(replay.records[2], WalRecord::Finalize { vehicle: 7 });
+        assert!(!dir.join("ingest.wal.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,459 @@
+//! Crash-recovery and fault-injection tests for the ingest engine.
+//!
+//! The central property: for ANY kill offset into the journal, the
+//! recovered engine finishes with a corpus byte-identical to a clean
+//! engine fed exactly the acked prefix of the stream — no acked point is
+//! ever lost, and nothing unacked sneaks in.
+
+use press_core::query::QueryEngine;
+use press_core::reformat::{reformat, PathSample};
+use press_core::store::TrajectoryStore;
+use press_core::{BtcBounds, CompressedTrajectory, Press, PressConfig};
+use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
+use press_network::{grid_network, GridConfig, Mbr, RoadNetwork, SpBackend};
+use press_serve::wal::WAL_HEADER_LEN;
+use press_serve::{
+    truncate_wal, wal_len, Ack, Event, FaultPlan, IngestConfig, IngestEngine, SessionPolicy,
+};
+use press_workload::{Workload, WorkloadConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Shared fixture: a network, a trained compressor, a matcher, and a
+/// clean interleaved multi-vehicle event stream.
+struct Fleet {
+    net: Arc<RoadNetwork>,
+    matcher: Arc<MapMatcher>,
+    press: Press,
+    events: Vec<Event>,
+}
+
+impl Fleet {
+    fn press(&self) -> Press {
+        self.press.reconfigured(self.press.config())
+    }
+}
+
+fn fleet() -> &'static Fleet {
+    static FLEET: OnceLock<Fleet> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 8,
+            ny: 8,
+            spacing: 150.0,
+            weight_jitter: 0.12,
+            removal_prob: 0.0,
+            seed: 21,
+        }));
+        let sp = SpBackend::Dense.build(net.clone());
+        let workload = Workload::generate(
+            net.clone(),
+            sp.clone(),
+            WorkloadConfig {
+                num_trajectories: 30,
+                seed: 21,
+                ..WorkloadConfig::default()
+            },
+        );
+        let (train, eval) = workload.split(0.5);
+        let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
+        let press = Press::train(
+            sp,
+            &training_paths,
+            PressConfig {
+                bounds: BtcBounds::new(45.0, 15.0),
+                ..PressConfig::default()
+            },
+        )
+        .expect("training");
+        let matcher = Arc::new(MapMatcher::new(net.clone(), MatcherConfig::default()));
+        // Eight vehicles, staggered starts, merged into one arrival
+        // stream ordered by timestamp.
+        let mut events: Vec<Event> = Vec::new();
+        for (v, record) in eval.iter().take(10).enumerate() {
+            let trace = record.gps_trace(&net, 8.0, 4.0);
+            for p in &trace.points {
+                events.push((
+                    v as u64,
+                    GpsSample {
+                        point: p.point,
+                        t: p.t + v as f64 * 37.0,
+                    },
+                ));
+            }
+        }
+        events.sort_by(|a, b| a.1.t.partial_cmp(&b.1.t).expect("finite timestamps"));
+        assert!(events.len() > 100, "fixture stream too small");
+        Fleet {
+            net,
+            matcher,
+            press,
+            events,
+        }
+    })
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("press-ingest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> IngestConfig {
+    IngestConfig {
+        policy: SessionPolicy::default(),
+        idle_timeout: 0.0,
+        max_session_points: 0,
+        block_size: 3,
+        threads: 2,
+        max_lattice_work: 0,
+        max_salvage_splits: 8,
+        quarantine_log_cap: 256,
+    }
+}
+
+/// Pushes `events` into a fresh engine at `dir`, recording the event
+/// index and ack offset of every accepted fix.
+fn run_clean(
+    dir: &std::path::Path,
+    cfg: IngestConfig,
+    events: &[Event],
+) -> (IngestEngine, Vec<(usize, u64)>) {
+    let f = fleet();
+    let mut engine = IngestEngine::open(dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+    let mut acked = Vec::new();
+    for (i, &(v, s)) in events.iter().enumerate() {
+        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+            acked.push((i, offset));
+        }
+    }
+    (engine, acked)
+}
+
+/// Finishes an engine (finalize + flush + checkpoint) and returns the
+/// published corpus bytes.
+fn finish(engine: &mut IngestEngine) -> Vec<u8> {
+    engine.finalize_all().expect("finalize_all");
+    engine.flush().expect("flush");
+    engine.checkpoint().expect("checkpoint");
+    std::fs::read(engine.corpus_path()).expect("corpus bytes")
+}
+
+#[test]
+fn clean_ingest_equals_the_offline_pipeline() {
+    let f = fleet();
+    let dir = test_dir("clean");
+    let (mut engine, acked) = run_clean(&dir, config(), &f.events);
+    assert_eq!(acked.len(), f.events.len(), "clean stream fully accepted");
+    engine.finalize_all().expect("finalize_all");
+    let pieces = engine.flush().expect("flush");
+    assert!(pieces >= 8, "at least one piece per vehicle");
+
+    // Offline reference: per vehicle, the batch pipeline (salvaging
+    // matcher + batch compress) over the same samples. finalize_all
+    // closes sessions in first-arrival order = staggered vehicle order.
+    let mut expected: Vec<CompressedTrajectory> = Vec::new();
+    for v in 0..10u64 {
+        let samples: Vec<GpsSample> = f
+            .events
+            .iter()
+            .filter(|(ev, _)| *ev == v)
+            .map(|&(_, s)| s)
+            .collect();
+        let report = f.matcher.match_trajectory_salvaging(&samples, 0, 8);
+        assert!(report.dropped.is_empty(), "vehicle {v} should match");
+        for piece in report.pieces {
+            let path_samples: Vec<PathSample> = piece
+                .samples
+                .iter()
+                .map(|m| PathSample {
+                    edge_idx: m.edge_idx,
+                    frac: m.frac,
+                    t: m.t,
+                })
+                .collect();
+            let traj = reformat(&f.net, piece.edges, &path_samples).expect("reformat");
+            expected.push(f.press.compress(&traj).expect("compress"));
+        }
+    }
+    assert_eq!(engine.finished(), &expected[..], "streaming == batch");
+
+    // Checkpoint publishes exactly this corpus.
+    engine.checkpoint().expect("checkpoint");
+    let store = TrajectoryStore::open(&engine.corpus_path()).expect("open corpus");
+    assert_eq!(store.len(), expected.len());
+    assert_eq!(store.decode_all().expect("decode"), expected);
+    // After checkpoint the WAL holds no points (all published).
+    let (_, replay) = press_serve::Wal::open(&engine.wal_path()).expect("wal");
+    assert!(
+        !replay
+            .records
+            .iter()
+            .any(|r| matches!(r, press_serve::WalRecord::Point { .. })),
+        "checkpoint should leave no in-flight points"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Core crash property, driven at specific cut points by the proptest
+/// below: kill run A at `cut` bytes of journal, recover, finish; a clean
+/// run B over exactly the acked prefix must produce byte-identical
+/// artifacts.
+fn assert_kill_recovers(tag: &str, cfg: IngestConfig, events: &[Event], cut: u64) {
+    let dir_a = test_dir(&format!("kill-a-{tag}"));
+    let (engine_a, acked) = run_clean(&dir_a, cfg, events);
+    drop(engine_a); // crash: no finalize, no checkpoint, no sync
+    let cut = cut.min(wal_len(&dir_a).expect("wal len"));
+    truncate_wal(&dir_a, cut).expect("truncate");
+
+    let f = fleet();
+    let mut recovered =
+        IngestEngine::open(&dir_a, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+    let report = *recovered.recovery();
+    // Acked prefix: events whose frame survived the cut entirely.
+    let survivors = acked.iter().take_while(|&&(_, off)| off <= cut).count();
+    assert_eq!(
+        report.replayed_points as usize, survivors,
+        "cut {cut}: every surviving acked point replays, nothing more"
+    );
+    let prefix = match acked[..survivors].last() {
+        Some(&(idx, _)) => &events[..=idx],
+        None => &events[..0],
+    };
+    let corpus_a = finish(&mut recovered);
+
+    let dir_b = test_dir(&format!("kill-b-{tag}"));
+    let (mut engine_b, _) = run_clean(&dir_b, cfg, prefix);
+    let corpus_b = finish(&mut engine_b);
+    assert_eq!(
+        corpus_a, corpus_b,
+        "cut {cut}: recovered corpus must be byte-identical to the clean run"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kill at an arbitrary journal byte offset — including inside the
+    /// header, mid-frame, and exactly on frame boundaries.
+    #[test]
+    fn kill_at_any_offset_loses_no_acked_point(frac in 0.0f64..=1.0) {
+        let f = fleet();
+        // Idle + rollover active so recovery also replays segmentation.
+        let cfg = IngestConfig {
+            idle_timeout: 400.0,
+            max_session_points: 24,
+            ..config()
+        };
+        // Probe the full journal: a dry run tells us its final length.
+        let dir = test_dir("kill-probe");
+        let (engine, _) = run_clean(&dir, cfg, &f.events);
+        let final_len = engine.wal_offset();
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+        let cut = (final_len as f64 * frac).round() as u64;
+        assert_kill_recovers(&format!("{frac:.6}"), cfg, &f.events, cut);
+    }
+
+    /// Same property on a fault-mangled stream: dirty input quarantines
+    /// deterministically, so the acked-prefix equivalence still holds.
+    #[test]
+    fn mangled_stream_recovers_deterministically(seed in 0u64..1_000_000) {
+        let f = fleet();
+        let plan = FaultPlan {
+            seed,
+            drop_prob: 0.05,
+            corrupt_prob: 0.08,
+            duplicate_prob: 0.08,
+            reorder_prob: 0.05,
+        };
+        let mangled = plan.mangle(&f.events);
+        let cfg = IngestConfig {
+            idle_timeout: 300.0,
+            max_session_points: 16,
+            max_lattice_work: 200_000,
+            ..config()
+        };
+        let dir = test_dir("mangle-probe");
+        let (engine, _) = run_clean(&dir, cfg, &mangled);
+        let final_len = engine.wal_offset();
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+        // Derive the kill offset from the seed, spanning the journal.
+        let cut = WAL_HEADER_LEN + seed % (final_len - WAL_HEADER_LEN + 1);
+        assert_kill_recovers(&format!("m{seed}"), cfg, &mangled, cut);
+    }
+}
+
+#[test]
+fn torn_final_frame_is_recovered_not_fatal() {
+    let f = fleet();
+    let dir = test_dir("torn");
+    let (engine, acked) = run_clean(&dir, config(), &f.events);
+    let final_len = engine.wal_offset();
+    drop(engine);
+    // Tear the last frame mid-payload (5 bytes short of complete).
+    let cut = final_len - 5;
+    truncate_wal(&dir, cut).expect("truncate");
+    let recovered =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), config()).expect("recover");
+    let report = recovered.recovery();
+    assert!(report.torn_bytes > 0, "torn tail must be detected");
+    assert_eq!(report.replayed_points as usize, acked.len() - 1);
+    assert_eq!(
+        report.points_in_flight,
+        acked.len() - 1,
+        "all surviving points still in flight (no checkpoint yet)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_then_kill_keeps_published_corpus_and_tail() {
+    let f = fleet();
+    let cfg = IngestConfig {
+        idle_timeout: 350.0,
+        max_session_points: 20,
+        ..config()
+    };
+    let dir_a = test_dir("ckpt-a");
+    let mut engine =
+        IngestEngine::open(&dir_a, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+    let split = f.events.len() * 3 / 5;
+    let mut acked: Vec<(usize, u64)> = Vec::new();
+    for (i, &(v, s)) in f.events[..split].iter().enumerate() {
+        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+            acked.push((i, offset));
+        }
+    }
+    engine.checkpoint().expect("mid-run checkpoint");
+    let base_len = engine.wal_offset();
+    let pre_checkpoint_accepted = acked.len();
+    for (i, &(v, s)) in f.events[split..].iter().enumerate() {
+        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+            acked.push((split + i, offset));
+        }
+    }
+    let final_len = engine.wal_offset();
+    drop(engine); // crash after the checkpoint, mid-append
+                  // A crash can only tear post-checkpoint appends: the rewritten base
+                  // was synced and atomically renamed. Kill somewhere in the tail.
+    let cut = base_len + (final_len - base_len) / 3;
+    truncate_wal(&dir_a, cut).expect("truncate");
+
+    let mut recovered =
+        IngestEngine::open(&dir_a, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+    assert!(
+        recovered.recovery().corpus_trajectories > 0,
+        "published corpus must survive the crash"
+    );
+    let corpus_a = finish(&mut recovered);
+
+    // Clean run B never checkpoints mid-way: checkpoints must be
+    // invisible in the final artifact. Every pre-checkpoint accepted fix
+    // survives (published corpus + synced rewritten base); post-checkpoint
+    // fixes survive when their frame fits under the cut.
+    let last_idx = acked
+        .iter()
+        .enumerate()
+        .take_while(|(k, &(_, off))| *k < pre_checkpoint_accepted || off <= cut)
+        .map(|(_, &(idx, _))| idx)
+        .last()
+        .expect("nonempty prefix");
+    let dir_b = test_dir("ckpt-b");
+    let (mut engine_b, _) = run_clean(&dir_b, cfg, &f.events[..=last_idx]);
+    let corpus_b = finish(&mut engine_b);
+    assert_eq!(
+        corpus_a, corpus_b,
+        "checkpoint must not change the recovered corpus"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn recovered_store_answers_queries_like_brute_force() {
+    let f = fleet();
+    let cfg = IngestConfig {
+        idle_timeout: 500.0,
+        max_session_points: 32,
+        ..config()
+    };
+    let dir = test_dir("queries");
+    let (engine, _) = run_clean(&dir, cfg, &f.events);
+    let final_len = engine.wal_offset();
+    drop(engine);
+    truncate_wal(&dir, final_len * 2 / 3).expect("truncate");
+    let mut recovered =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+    finish(&mut recovered);
+
+    let store = TrajectoryStore::open(&recovered.corpus_path()).expect("open");
+    let decoded = store.decode_all().expect("decode");
+    assert!(!decoded.is_empty());
+    let query = QueryEngine::new(recovered.press().model());
+    // whereat through the block store == whereat on the decoded corpus.
+    for (i, ct) in decoded.iter().enumerate() {
+        let Some((t0, t1)) = ct.temporal.time_range() else {
+            continue;
+        };
+        for k in 1..4 {
+            let t = t0 + (t1 - t0) * k as f64 / 4.0;
+            let mem = query.whereat(ct, t).expect("whereat mem");
+            let disk = store.whereat(&query, i, t).expect("whereat disk");
+            assert_eq!(mem, disk, "trajectory {i} at t={t}");
+        }
+    }
+    // range through the synopsis-pruned store == brute force.
+    let region = Mbr::new(0.0, 0.0, 600.0, 600.0);
+    let hits = store.range(&query, 0.0, 400.0, &region).expect("range");
+    let brute: Vec<usize> = decoded
+        .iter()
+        .enumerate()
+        .filter(|(_, ct)| {
+            let Some((a, z)) = ct.temporal.time_range() else {
+                return false;
+            };
+            z >= 0.0 && a <= 400.0 && query.range(ct, 0.0, 400.0, &region).expect("range")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits, brute);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dirty_input_is_quarantined_with_typed_reasons() {
+    let f = fleet();
+    let plan = FaultPlan {
+        seed: 99,
+        drop_prob: 0.0,
+        corrupt_prob: 0.25,
+        duplicate_prob: 0.15,
+        reorder_prob: 0.10,
+    };
+    let mangled = plan.mangle(&f.events);
+    let dir = test_dir("dirty");
+    let (mut engine, acked) = run_clean(&dir, config(), &mangled);
+    let stats = *engine.stats();
+    assert!(
+        stats.total_quarantined() > 0,
+        "corruption must hit the quarantine"
+    );
+    assert_eq!(
+        stats.points_accepted as usize
+            + stats.points_repaired as usize
+            + stats.total_quarantined() as usize,
+        mangled.len(),
+        "every fix is acked exactly once"
+    );
+    assert_eq!(stats.points_accepted as usize, acked.len());
+    assert!(!engine.quarantine_log().is_empty());
+    // The dirty stream still compresses: the clean majority survives.
+    engine.finalize_all().expect("finalize_all");
+    assert!(engine.flush().expect("flush") > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

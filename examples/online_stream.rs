@@ -6,10 +6,17 @@
 //! O(1) state, and the emitted streams are bit-identical to what the batch
 //! compressors would produce for the completed trip.
 //!
+//! The final section pushes the same live feed through the crash-safe
+//! ingest engine (`press-serve`), which wires these online compressors
+//! behind a WAL: every fix is vetted, journaled, and acked, and defective
+//! fixes are quarantined with typed reasons instead of corrupting the
+//! stream.
+//!
 //! Run with: `cargo run --release --example online_stream`
 
 use press::core::spatial::{sp_compress, OnlineSpCompressor};
 use press::core::temporal::{btc_compress, OnlineBtc};
+use press::matcher::hmm::GpsSample;
 use press::prelude::*;
 use std::sync::Arc;
 
@@ -81,4 +88,56 @@ fn main() {
     println!("measured error: TSND {tsnd:.1} m (≤ τ), NSTD {nstd:.1} s (≤ η)");
     assert!(tsnd <= bounds.tsnd + 1e-6 && nstd <= bounds.nstd + 1e-6);
     println!("online and batch outputs are identical — §7.1.2 holds.");
+
+    // --- The same feed through the crash-safe ingest engine. -------------
+    // In production the online compressors sit behind `press-serve`:
+    // push(vehicle, fix) vets, journals, and acks each fix; finalize +
+    // flush runs the matcher and the streaming compressors above.
+    let training_paths: Vec<_> = workload.records[1..]
+        .iter()
+        .map(|r| r.path.clone())
+        .collect();
+    let press = Press::train(
+        sp.clone(),
+        &training_paths,
+        PressConfig {
+            bounds,
+            ..PressConfig::default()
+        },
+    )
+    .expect("training");
+    let matcher = Arc::new(MapMatcher::new(net.clone(), MatcherConfig::default()));
+    let dir = std::env::temp_dir().join(format!("press-online-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut engine =
+        IngestEngine::open(&dir, matcher, press, IngestConfig::default()).expect("open");
+    let gps = record.gps_trace(&net, 15.0, 5.0);
+    let mut accepted = 0usize;
+    for p in &gps.points {
+        if let Ack::Accepted { .. } = engine
+            .push(
+                7,
+                GpsSample {
+                    point: p.point,
+                    t: p.t,
+                },
+            )
+            .expect("push")
+        {
+            accepted += 1;
+        }
+    }
+    // A defective fix degrades into the quarantine, never a panic.
+    let bad = GpsSample {
+        point: Point::new(f64::NAN, 0.0),
+        t: 1.0e9,
+    };
+    let ack = engine.push(7, bad).expect("push bad");
+    println!("\ningest engine: {accepted} fixes acked + journaled; NaN fix -> {ack:?}");
+    engine.finalize_all().expect("finalize");
+    let pieces = engine.flush().expect("flush");
+    println!(
+        "flush matched + online-compressed the live session into {pieces} trajectory piece(s)."
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -42,6 +42,7 @@
 //! | [`network`] | `press-network` | graph, geometry, Dijkstra, SP table, generators |
 //! | [`matcher`] | `press-matcher` | HMM map matching |
 //! | [`core`] | `press-core` | representation, HSC, BTC, queries, the `Press` façade |
+//! | [`serve`] | `press-serve` | fault-tolerant streaming fleet ingest (WAL, quarantine, recovery) |
 //! | [`baselines`] | `press-baselines` | MMTC, Nonmaterial, zipx/rarx, simplification kit |
 //! | [`workload`] | `press-workload` | synthetic taxi workload generator |
 
@@ -49,6 +50,7 @@ pub use press_baselines as baselines;
 pub use press_core as core;
 pub use press_matcher as matcher;
 pub use press_network as network;
+pub use press_serve as serve;
 pub use press_workload as workload;
 
 /// The commonly-used types in one import.
@@ -65,6 +67,9 @@ pub mod prelude {
         grid_network, ChConfig, ContractionHierarchy, EdgeId, GridConfig, HubLabels, LazySpCache,
         LazySpConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider,
         SpTable,
+    };
+    pub use press_serve::{
+        Ack, FaultPlan, IngestConfig, IngestEngine, QuarantineReason, SessionPolicy,
     };
     pub use press_workload::{Workload, WorkloadConfig};
 }

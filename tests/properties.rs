@@ -9,8 +9,8 @@
 //! * The temporal metrics are symmetric and zero on identical curves.
 
 use press::baselines::{rarx, zipx};
-use press::core::spatial::{sp_compress, sp_decompress, HscModel};
-use press::core::temporal::{bopw_compress, btc_compress, nstd, tsnd, BtcBounds};
+use press::core::spatial::{sp_compress, sp_decompress, HscModel, OnlineSpCompressor};
+use press::core::temporal::{bopw_compress, btc_compress, nstd, tsnd, BtcBounds, OnlineBtc};
 use press::core::DtPoint;
 use press::prelude::*;
 use proptest::prelude::*;
@@ -576,5 +576,59 @@ fn greedy_sp_is_optimal_exhaustively() {
             best,
             "greedy must match the exhaustive optimum for {path:?}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming compressors under **arbitrary push chunking**: feeding
+    /// the stream one element at a time and closing it at ANY prefix — a
+    /// cloned encoder `finish()`ed mid-stream — is bit-identical to the
+    /// batch compressor over exactly that prefix, and the mid-stream
+    /// clone never perturbs the continuing encoder. This is the invariant
+    /// the press-serve ingest engine's segmentation (idle timeouts,
+    /// session caps, crash-recovery replay) is built on.
+    #[test]
+    fn online_sp_equals_batch_at_every_cut(
+        start in 0u32..49,
+        choices in proptest::collection::vec(0u8..8, 0..24),
+    ) {
+        let f = fixture();
+        let path = walk_from_choices(&f.net, start, &choices);
+        let sp: Arc<dyn SpProvider> = f.sp.clone();
+        let mut enc = OnlineSpCompressor::new(sp.clone());
+        let mut emitted: Vec<EdgeId> = Vec::new();
+        // Empty stream: finish alone emits nothing, batch agrees.
+        prop_assert_eq!(OnlineSpCompressor::new(sp.clone()).finish(), sp_compress(&f.sp, &[]));
+        for (i, &e) in path.iter().enumerate() {
+            emitted.extend(enc.push(e));
+            // Cut here: emitted-so-far + a cloned finish == batch(prefix).
+            let mut cut = emitted.clone();
+            cut.extend(enc.clone().finish());
+            prop_assert_eq!(&cut, &sp_compress(&f.sp, &path[..=i]), "cut after edge {}", i);
+            // Already-emitted output is a committed prefix of every cut.
+            prop_assert!(cut.len() >= emitted.len());
+        }
+    }
+
+    #[test]
+    fn online_btc_equals_batch_at_every_cut(
+        incs in proptest::collection::vec((0u16..400, 0u16..200), 0..40),
+        tau in 0.0f64..60.0,
+        eta in 0.0f64..30.0,
+    ) {
+        let pts = temporal_from_increments(&incs);
+        let bounds = BtcBounds::new(tau, eta);
+        prop_assert!(OnlineBtc::new(bounds).finish().is_empty());
+        let mut enc = OnlineBtc::new(bounds);
+        let mut emitted: Vec<DtPoint> = Vec::new();
+        for (i, &p) in pts.iter().enumerate() {
+            emitted.extend(enc.push(p));
+            let mut cut = emitted.clone();
+            cut.extend(enc.clone().finish());
+            prop_assert_eq!(&cut, &btc_compress(&pts[..=i], bounds), "cut after tuple {}", i);
+            prop_assert!(cut.len() >= emitted.len());
+        }
     }
 }

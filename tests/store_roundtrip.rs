@@ -263,6 +263,79 @@ fn corruption_modes_are_typed() {
     ));
 }
 
+/// `TrajectoryStore::open` corruption matrix: the 0-byte file (a crash
+/// between `create` and the first write) and a file truncated in the
+/// middle of the section directory (a torn multi-sector write) must both
+/// yield typed errors — never a panic, never a partially-valid store.
+#[test]
+fn trajectory_store_open_rejects_empty_and_torn_directory() {
+    use press_store::StoreError;
+    let net = net_from(5, 5, 0.1, 13);
+    let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
+    let mut training = Vec::new();
+    for s in 0..12u64 {
+        let choices: Vec<u8> = (0..10).map(|i| ((s * 11 + i * 3) % 5) as u8).collect();
+        let p = walk_from_choices(&net, (s * 5) as u32, &choices);
+        if p.len() >= 3 {
+            training.push(p);
+        }
+    }
+    let model = HscModel::train(sp, &training, 3).expect("train");
+    let press = Press::with_model(Arc::new(model), PressConfig::default());
+    let compressed: Vec<CompressedTrajectory> = training
+        .iter()
+        .map(|p| {
+            let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+            let traj = Trajectory::new(
+                SpatialPath::new_unchecked(p.clone()),
+                TemporalSequence::new(vec![DtPoint::new(0.0, 0.0), DtPoint::new(total, 60.0)])
+                    .expect("temporal"),
+            );
+            press.compress(&traj).expect("compress")
+        })
+        .collect();
+    let engine = QueryEngine::new(press.model());
+    let good = TrajectoryStore::to_store_bytes(&engine, &compressed, 4).expect("bytes");
+
+    let dir = std::env::temp_dir().join(format!("press-store-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // 0-byte file: typed truncation, not a panic.
+    let empty = dir.join("empty.press");
+    std::fs::write(&empty, []).expect("write");
+    assert!(matches!(
+        TrajectoryStore::open(&empty),
+        Err(PressError::Store(StoreError::Truncated { .. }))
+    ));
+
+    // Truncation inside the section directory: the container header
+    // (24 bytes) survives, but the 40-byte directory entries are torn at
+    // every possible misalignment. Every cut is a typed error.
+    let torn = dir.join("torn.press");
+    for cut in [25, 24 + 13, 24 + 40, 24 + 40 + 39, 24 + 2 * 40 + 1] {
+        assert!(cut < good.len(), "fixture must outsize the cut at {cut}");
+        std::fs::write(&torn, &good[..cut]).expect("write");
+        let r = TrajectoryStore::open(&torn);
+        assert!(r.is_err(), "directory cut at byte {cut} must fail");
+        assert!(
+            matches!(r, Err(PressError::Store(_))),
+            "directory cut at byte {cut} must be a typed store error"
+        );
+    }
+
+    // The untruncated bytes still load (the matrix above tested the cuts,
+    // not a broken fixture).
+    std::fs::write(&torn, &good).expect("write");
+    assert_eq!(
+        TrajectoryStore::open(&torn).expect("full file loads").len(),
+        compressed.len()
+    );
+    // decode_all returns the corpus in index order (the recovery path).
+    let store = TrajectoryStore::open(&torn).expect("open");
+    assert_eq!(store.decode_all().expect("decode_all"), compressed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// End-to-end: a trajectory corpus written as a block store round-trips
 /// and answers queries identically to the in-memory compressed forms.
 #[test]
