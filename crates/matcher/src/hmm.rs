@@ -136,10 +136,27 @@ pub struct MatchedTrajectory {
 pub struct SalvageReport {
     /// Successfully matched pieces, in input order.
     pub pieces: Vec<MatchedTrajectory>,
-    /// Errors of the pieces (or samples) that could not be matched.
+    /// Errors of the pieces (or samples) that could not be matched. Any
+    /// `at_sample` they carry indexes the **original** input passed to
+    /// [`MapMatcher::match_trajectory_salvaging`], even when the error
+    /// surfaced inside a recursive split.
     pub dropped: Vec<MatcherError>,
     /// Splits performed (bounded by the caller's `max_splits`).
     pub splits: usize,
+}
+
+/// Rebases a sub-slice-relative `at_sample` onto the original input.
+fn rebase_error(err: MatcherError, base: usize) -> MatcherError {
+    match err {
+        MatcherError::InvalidSample { at_sample, reason } => MatcherError::InvalidSample {
+            at_sample: at_sample + base,
+            reason,
+        },
+        MatcherError::BrokenChain { at_sample } => MatcherError::BrokenChain {
+            at_sample: at_sample + base,
+        },
+        other => other,
+    }
 }
 
 /// Rejects samples the emission model cannot digest: NaN/∞ coordinates
@@ -365,13 +382,17 @@ impl MapMatcher {
     ) -> SalvageReport {
         let mut report = SalvageReport::default();
         let mut splits_left = max_splits;
-        self.salvage_into(samples, max_lattice_work, &mut splits_left, &mut report);
+        self.salvage_into(samples, 0, max_lattice_work, &mut splits_left, &mut report);
         report
     }
 
+    /// `base` is the offset of `samples` within the original input, so
+    /// every `at_sample` recorded in the report indexes the caller's
+    /// slice even after recursive splits.
     fn salvage_into(
         &self,
         samples: &[GpsSample],
+        base: usize,
         max_lattice_work: u64,
         splits_left: &mut usize,
         report: &mut SalvageReport,
@@ -386,24 +407,44 @@ impl MapMatcher {
             {
                 *splits_left -= 1;
                 report.splits += 1;
-                self.salvage_into(&samples[..at_sample], max_lattice_work, splits_left, report);
-                self.salvage_into(&samples[at_sample..], max_lattice_work, splits_left, report);
-            }
-            Err(MatcherError::InvalidSample { at_sample, reason }) if *splits_left > 0 => {
-                *splits_left -= 1;
-                report.splits += 1;
-                report
-                    .dropped
-                    .push(MatcherError::InvalidSample { at_sample, reason });
-                self.salvage_into(&samples[..at_sample], max_lattice_work, splits_left, report);
                 self.salvage_into(
-                    &samples[at_sample + 1..],
+                    &samples[..at_sample],
+                    base,
+                    max_lattice_work,
+                    splits_left,
+                    report,
+                );
+                self.salvage_into(
+                    &samples[at_sample..],
+                    base + at_sample,
                     max_lattice_work,
                     splits_left,
                     report,
                 );
             }
-            Err(e) => report.dropped.push(e),
+            Err(MatcherError::InvalidSample { at_sample, reason }) if *splits_left > 0 => {
+                *splits_left -= 1;
+                report.splits += 1;
+                report.dropped.push(MatcherError::InvalidSample {
+                    at_sample: base + at_sample,
+                    reason,
+                });
+                self.salvage_into(
+                    &samples[..at_sample],
+                    base,
+                    max_lattice_work,
+                    splits_left,
+                    report,
+                );
+                self.salvage_into(
+                    &samples[at_sample + 1..],
+                    base + at_sample + 1,
+                    max_lattice_work,
+                    splits_left,
+                    report,
+                );
+            }
+            Err(e) => report.dropped.push(rebase_error(e, base)),
         }
     }
 
@@ -765,6 +806,39 @@ mod tests {
         let strict = m.match_trajectory_salvaging(&samples, 0, 0);
         assert!(strict.pieces.is_empty());
         assert_eq!(strict.dropped.len(), 1);
+    }
+
+    #[test]
+    fn salvage_reports_dropped_indices_against_the_original_input() {
+        let m = matcher();
+        let net = m.network().clone();
+        let path = shortest_path(&net, 0, 63);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut samples = sample_path(&net, &path, 40.0, 3.0, &mut rng);
+        let n = samples.len();
+        assert!(n >= 9, "need room for two defects");
+        // Two defects: the second is only ever seen inside the recursive
+        // right-half match, whose slice-relative index must be rebased.
+        let (i, j) = (n / 3, 2 * n / 3);
+        samples[i].point.x = f64::NAN;
+        samples[j].t = f64::NAN;
+        let report = m.match_trajectory_salvaging(&samples, 0, 8);
+        let mut dropped_at: Vec<usize> = report
+            .dropped
+            .iter()
+            .map(|e| match e {
+                MatcherError::InvalidSample { at_sample, .. } => *at_sample,
+                other => panic!("expected InvalidSample, got {other:?}"),
+            })
+            .collect();
+        dropped_at.sort_unstable();
+        assert_eq!(
+            dropped_at,
+            vec![i, j],
+            "dropped indices must index the original input, not a sub-slice"
+        );
+        let salvaged: usize = report.pieces.iter().map(|p| p.samples.len()).sum();
+        assert_eq!(salvaged, n - 2, "everything but the two defects salvaged");
     }
 
     #[test]

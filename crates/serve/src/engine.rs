@@ -12,24 +12,34 @@
 //!
 //! # Recovery
 //!
-//! [`IngestEngine::open`] loads the last checkpointed corpus
-//! (`corpus.press`), replays `ingest.wal` through the exact same code
-//! path as live ingest (sessions, segment rollovers, idle sweeps), and
-//! truncates any torn tail. The rebuilt engine is therefore in the same
-//! state a clean run would reach after pushing exactly the acked prefix
-//! — the recovery proptests assert the resulting corpora are
+//! [`IngestEngine::open`] reads the `MANIFEST` to find the committed
+//! generation, loads its checkpointed corpus (`corpus.<gen>.press`),
+//! replays its journal (`ingest.<gen>.wal`) through the exact same
+//! code path as live ingest (sessions, segment rollovers, idle
+//! sweeps), and truncates any torn tail. Artifacts from any other
+//! generation are uncommitted checkpoint leftovers and are
+//! garbage-collected. The rebuilt engine is therefore in the same
+//! state a clean run would reach after pushing exactly the acked
+//! prefix — the recovery proptests assert the resulting corpora are
 //! byte-identical.
 //!
 //! # Checkpoints
 //!
-//! [`IngestEngine::checkpoint`] flushes pending segments, atomically
-//! publishes the corpus (temp file + rename), then atomically rewrites
-//! the journal to just the in-flight state: buffered points in original
-//! arrival order, `Resume` frames for sessions whose buffers are empty
-//! but whose last-accepted fix still gates validation, and a `Clock`
-//! frame pinning the observed stream time so idle sweeps replay
-//! identically.
+//! [`IngestEngine::checkpoint`] flushes pending segments, then commits
+//! the corpus and the shrunk journal **as one atomic pair**: both are
+//! written under the next generation number — the journal holding just
+//! the in-flight state (buffered points in original arrival order,
+//! `Resume` frames for sessions whose buffers are empty but whose
+//! last-accepted fix still gates validation, and a `Clock` frame
+//! pinning the observed stream time so idle sweeps replay identically)
+//! — and a single [`crate::manifest`] rename flips recovery to the new
+//! pair. A crash at any byte of the checkpoint lands on a complete
+//! generation: the old corpus with the full old journal, or the new
+//! corpus with exactly its in-flight tail — never the new corpus with
+//! the old journal, which would replay (and duplicate) trajectories
+//! the corpus already contains.
 
+use crate::manifest;
 use crate::session::{Disposition, QuarantineReason, Session, SessionPolicy};
 use crate::wal::{Wal, WalError, WalRecord};
 use press_core::reformat::{reformat, PathSample};
@@ -41,17 +51,12 @@ use press_core::{parallel::work_steal_map, query::QueryEngine};
 use press_core::{CompressedTrajectory, Press, PressError};
 use press_matcher::{GpsSample, MapMatcher, MatcherError};
 use press_network::Point;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-/// Corpus artifact name inside the ingest directory.
-pub const CORPUS_FILE: &str = "corpus.press";
-/// Journal name inside the ingest directory.
-pub const WAL_FILE: &str = "ingest.wal";
 
 /// Errors surfaced by the ingest engine.
 #[derive(Debug)]
@@ -64,6 +69,9 @@ pub enum ServeError {
     Press(PressError),
     /// Invalid engine configuration.
     Config(String),
+    /// The checkpoint manifest is damaged or inconsistent with the
+    /// directory contents.
+    Manifest(String),
 }
 
 impl fmt::Display for ServeError {
@@ -73,6 +81,7 @@ impl fmt::Display for ServeError {
             ServeError::Wal(e) => write!(f, "{e}"),
             ServeError::Press(e) => write!(f, "{e}"),
             ServeError::Config(msg) => write!(f, "invalid ingest config: {msg}"),
+            ServeError::Manifest(msg) => write!(f, "ingest manifest error: {msg}"),
         }
     }
 }
@@ -255,6 +264,9 @@ pub struct IngestEngine {
     config: IngestConfig,
     matcher: Arc<MapMatcher>,
     press: Press,
+    /// Committed checkpoint generation — names the live corpus/journal
+    /// pair (see [`crate::manifest`]).
+    generation: u64,
     wal: Wal,
     sessions: HashMap<u64, Session>,
     /// Sessions ordered by last-accepted timestamp: `(time_key(last.t),
@@ -267,7 +279,9 @@ pub struct IngestEngine {
     pending: Vec<PendingSegment>,
     finished: Vec<CompressedTrajectory>,
     stats: IngestStats,
-    quarantine: Vec<QuarantineRecord>,
+    /// Ring of the most recent quarantined fixes (capacity
+    /// `config.quarantine_log_cap`), oldest first.
+    quarantine: VecDeque<QuarantineRecord>,
     recovery: RecoveryReport,
 }
 
@@ -288,18 +302,41 @@ impl IngestEngine {
             return Err(ServeError::Config("idle_timeout must not be NaN".into()));
         }
         std::fs::create_dir_all(dir)?;
-        let corpus_path = dir.join(CORPUS_FILE);
+        let generation =
+            match manifest::read(dir).map_err(|e| ServeError::Manifest(e.to_string()))? {
+                Some(gen) => {
+                    // Uncommitted leftovers of a checkpoint that crashed
+                    // before its manifest rename (or a superseded generation
+                    // whose cleanup was interrupted) are garbage.
+                    manifest::gc(dir, gen)?;
+                    gen
+                }
+                None => {
+                    // Artifacts without a manifest mean the manifest was
+                    // deleted or the directory predates this format: refuse
+                    // rather than silently restarting from nothing.
+                    if manifest::has_artifacts(dir)? {
+                        return Err(ServeError::Manifest(
+                            "ingest artifacts present but MANIFEST is missing".into(),
+                        ));
+                    }
+                    manifest::commit(dir, 0).map_err(|e| ServeError::Manifest(e.to_string()))?;
+                    0
+                }
+            };
+        let corpus_path = dir.join(manifest::corpus_file_name(generation));
         let finished = if corpus_path.exists() {
             TrajectoryStore::open(&corpus_path)?.decode_all()?
         } else {
             Vec::new()
         };
-        let (wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
+        let (wal, replay) = Wal::open(&dir.join(manifest::wal_file_name(generation)))?;
         let mut engine = IngestEngine {
             dir: dir.to_path_buf(),
             config,
             matcher,
             press,
+            generation,
             wal,
             sessions: HashMap::new(),
             idle: BTreeSet::new(),
@@ -308,7 +345,7 @@ impl IngestEngine {
             pending: Vec::new(),
             finished,
             stats: IngestStats::default(),
-            quarantine: Vec::new(),
+            quarantine: VecDeque::new(),
             recovery: RecoveryReport::default(),
         };
         let mut replayed_points = 0u64;
@@ -401,8 +438,11 @@ impl IngestEngine {
                     sess.quarantined[reason.index()] += 1;
                 }
                 self.stats.points_quarantined[reason.index()] += 1;
-                if self.quarantine.len() < self.config.quarantine_log_cap {
-                    self.quarantine.push(QuarantineRecord {
+                if self.config.quarantine_log_cap > 0 {
+                    if self.quarantine.len() == self.config.quarantine_log_cap {
+                        self.quarantine.pop_front();
+                    }
+                    self.quarantine.push_back(QuarantineRecord {
                         vehicle,
                         sample,
                         reason,
@@ -607,23 +647,28 @@ impl IngestEngine {
         Ok(pieces)
     }
 
-    /// Flushes, atomically publishes the corpus, and atomically rewrites
-    /// the journal down to just the in-flight state. After a checkpoint,
-    /// recovery cost is proportional to the in-flight points, not the
-    /// history. Returns the number of trajectories in the corpus.
+    /// Flushes, then commits the published corpus and the journal —
+    /// shrunk down to just the in-flight state — as **one atomic pair**:
+    /// both are written under the next generation number and flipped
+    /// live by a single manifest rename (see [`crate::manifest`]), so a
+    /// crash at any byte of the checkpoint recovers a consistent
+    /// corpus/journal pair. After a checkpoint, recovery cost is
+    /// proportional to the in-flight points, not the history. Returns
+    /// the number of trajectories in the corpus.
     pub fn checkpoint(&mut self) -> Result<usize> {
         self.flush()?;
+        let next = self.generation + 1;
         let query = QueryEngine::new(self.press.model());
         let bytes =
             TrajectoryStore::to_store_bytes(&query, &self.finished, self.config.block_size)?;
-        let corpus = self.corpus_path();
-        let tmp = corpus.with_extension("press.tmp");
+        // The generation-stamped names are invisible to recovery until
+        // the manifest commit, so plain write + sync suffices here.
+        let corpus = self.dir.join(manifest::corpus_file_name(next));
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = File::create(&corpus)?;
             f.write_all(&bytes)?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, &corpus)?;
         // Rebuild the journal: clock, resumes (sessions whose state is
         // only the last fix), then buffered points in arrival order.
         let mut records = Vec::new();
@@ -660,7 +705,15 @@ impl IngestEngine {
                 t: sample.t,
             });
         }
-        self.wal = Wal::rewrite(&self.dir.join(WAL_FILE), &records)?;
+        let wal = Wal::create(&self.dir.join(manifest::wal_file_name(next)), &records)?;
+        // The commit point: one atomic rename flips recovery from the
+        // old (corpus, journal) pair to the new one.
+        manifest::commit(&self.dir, next).map_err(|e| ServeError::Manifest(e.to_string()))?;
+        self.generation = next;
+        self.wal = wal;
+        // The superseded generation is dead weight now; if this cleanup
+        // is interrupted, the next open's GC finishes the job.
+        manifest::gc(&self.dir, next)?;
         Ok(self.finished.len())
     }
 
@@ -684,14 +737,19 @@ impl IngestEngine {
         &self.dir
     }
 
-    /// Path of the published corpus artifact.
-    pub fn corpus_path(&self) -> PathBuf {
-        self.dir.join(CORPUS_FILE)
+    /// The committed checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
-    /// Path of the journal.
+    /// Path of the published corpus artifact (current generation).
+    pub fn corpus_path(&self) -> PathBuf {
+        self.dir.join(manifest::corpus_file_name(self.generation))
+    }
+
+    /// Path of the journal (current generation).
     pub fn wal_path(&self) -> PathBuf {
-        self.dir.join(WAL_FILE)
+        self.dir.join(manifest::wal_file_name(self.generation))
     }
 
     /// Current journal length — the latest [`Ack::Accepted`] offset.
@@ -729,8 +787,10 @@ impl IngestEngine {
         &self.stats
     }
 
-    /// The bounded quarantine log, oldest first.
-    pub fn quarantine_log(&self) -> &[QuarantineRecord] {
+    /// The bounded quarantine log: the most recent
+    /// [`IngestConfig::quarantine_log_cap`] quarantined fixes, oldest
+    /// first.
+    pub fn quarantine_log(&self) -> &VecDeque<QuarantineRecord> {
         &self.quarantine
     }
 

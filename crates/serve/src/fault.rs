@@ -92,12 +92,12 @@ fn corrupt(rng: &mut StdRng, sample: GpsSample) -> GpsSample {
     s
 }
 
-/// Simulates a kill by truncating the journal at `offset` (clamped to
-/// the current length). Returns the resulting length. This models a
-/// crash mid-append: everything past the offset — at most the frames
-/// whose acks never returned durable — vanishes.
+/// Simulates a kill by truncating the committed (manifest-live) journal
+/// at `offset` (clamped to the current length). Returns the resulting
+/// length. This models a crash mid-append: everything past the offset —
+/// at most the frames whose acks never returned durable — vanishes.
 pub fn truncate_wal(dir: &Path, offset: u64) -> io::Result<u64> {
-    let path = dir.join(crate::engine::WAL_FILE);
+    let path = crate::manifest::live_wal_path(dir)?;
     let len = std::fs::metadata(&path)?.len();
     let cut = offset.min(len);
     let f = std::fs::OpenOptions::new().write(true).open(&path)?;
@@ -106,9 +106,9 @@ pub fn truncate_wal(dir: &Path, offset: u64) -> io::Result<u64> {
     Ok(cut)
 }
 
-/// Current journal length, for choosing kill offsets.
+/// Current committed-journal length, for choosing kill offsets.
 pub fn wal_len(dir: &Path) -> io::Result<u64> {
-    Ok(std::fs::metadata(dir.join(crate::engine::WAL_FILE))?.len())
+    Ok(std::fs::metadata(crate::manifest::live_wal_path(dir)?)?.len())
 }
 
 #[cfg(test)]

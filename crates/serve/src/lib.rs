@@ -12,7 +12,7 @@
 //!  push(vehicle, fix)
 //!      │  vet: NaN/∞, out-of-order, duplicate, teleport → quarantine
 //!      ▼
-//!  ingest.wal  ──────── append CRC-framed Point record, ACK offset
+//!  ingest.<gen>.wal ─── append CRC-framed Point record, ACK offset
 //!      │
 //!      ▼
 //!  Session{vehicle} ── buffer; idle-timeout / size-cap segmentation
@@ -21,8 +21,8 @@
 //!  pending ── flush(): parallel salvage-matching + online compression
 //!      │ checkpoint
 //!      ▼
-//!  corpus.press ── atomically published block store; WAL shrinks to
-//!                  the in-flight tail
+//!  corpus.<gen>.press + ingest.<gen>.wal ── block store + shrunk WAL,
+//!      committed as one pair by an atomic MANIFEST rename
 //! ```
 //!
 //! # Guarantees
@@ -35,6 +35,12 @@
 //!   clock, session order, arrival order) is journaled or derived from
 //!   the journal — a recovered engine's corpus is byte-identical to a
 //!   clean run over the acked prefix.
+//! * **Checkpoints commit atomically.** The published corpus and the
+//!   shrunk journal are flipped live as one pair by a single
+//!   [`manifest`] rename (fsynced through the directory), so a crash at
+//!   any byte of a checkpoint recovers either the complete old pair or
+//!   the complete new one — never a new corpus with a stale journal,
+//!   which would replay trajectories the corpus already holds.
 //! * **Bad input degrades, never panics.** Defective fixes land in a
 //!   typed quarantine; unmatchable stretches split into salvaged
 //!   pieces; pathological sessions are shed by a deterministic matcher
@@ -46,13 +52,14 @@
 
 pub mod engine;
 pub mod fault;
+pub mod manifest;
 pub mod session;
 pub mod wal;
 
 pub use engine::{
     Ack, IngestConfig, IngestEngine, IngestStats, QuarantineRecord, RecoveryReport, ServeError,
-    CORPUS_FILE, WAL_FILE,
 };
 pub use fault::{truncate_wal, wal_len, Event, FaultPlan};
+pub use manifest::MANIFEST_FILE;
 pub use session::{Disposition, QuarantineReason, Session, SessionPolicy};
 pub use wal::{Wal, WalError, WalRecord, WalReplay};

@@ -1,0 +1,250 @@
+//! The checkpoint manifest: the single atomic commit point for the
+//! corpus + journal pair.
+//!
+//! A checkpoint replaces **two** artifacts — the published corpus and
+//! the rewritten journal — and no sequence of per-file renames can swap
+//! both at once. Publishing them independently opens a crash window
+//! where a recovered engine sees the *new* corpus next to the *old*
+//! journal and replays (and re-compresses) trajectories the corpus
+//! already contains.
+//!
+//! Instead, every checkpoint writes its artifacts under a fresh
+//! **generation** number — `corpus.<gen>.press` and `ingest.<gen>.wal`
+//! — and then commits the pair with one atomic rename of a tiny
+//! `MANIFEST` file naming that generation. Recovery reads the manifest
+//! and loads exactly the committed pair; artifacts from any other
+//! generation are uncommitted leftovers (a checkpoint that crashed
+//! before its rename, or a superseded generation whose cleanup was
+//! interrupted) and are garbage-collected. A crash at **any** byte of a
+//! checkpoint therefore lands on a complete, consistent generation:
+//! the old one if the rename did not happen, the new one if it did.
+//!
+//! After the rename (and after creating a journal) the parent directory
+//! is fsynced so the commit survives power loss, not just process
+//! death.
+//!
+//! # Manifest format
+//!
+//! 24 bytes, written via temp file + rename so it is always complete:
+//!
+//! ```text
+//! [8B magic "PRESSMFT"][u32 version][u64 generation][u32 crc32 of the first 20 bytes]
+//! ```
+
+use press_store::crc32;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the ingest directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Manifest magic.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"PRESSMFT";
+/// Manifest format version this build reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Encoded manifest length in bytes.
+pub const MANIFEST_LEN: usize = 24;
+
+/// Corpus artifact name for `gen`.
+pub fn corpus_file_name(gen: u64) -> String {
+    format!("corpus.{gen}.press")
+}
+
+/// Journal artifact name for `gen`.
+pub fn wal_file_name(gen: u64) -> String {
+    format!("ingest.{gen}.wal")
+}
+
+/// Parses a generation-stamped artifact name (`corpus.<gen>.press` or
+/// `ingest.<gen>.wal`), returning its generation.
+pub fn artifact_generation(name: &str) -> Option<u64> {
+    let gen = name
+        .strip_prefix("corpus.")
+        .and_then(|rest| rest.strip_suffix(".press"))
+        .or_else(|| {
+            name.strip_prefix("ingest.")
+                .and_then(|rest| rest.strip_suffix(".wal"))
+        })?;
+    gen.parse().ok()
+}
+
+/// Fsyncs a directory so renames/creations inside it are durable.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Reads the committed generation, `None` for a directory with no
+/// manifest. A present-but-damaged manifest is `InvalidData`, never a
+/// silent fresh start.
+pub fn read(dir: &Path) -> io::Result<Option<u64>> {
+    let bytes = match std::fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() != MANIFEST_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("manifest is {} bytes, expected {MANIFEST_LEN}", bytes.len()),
+        ));
+    }
+    if bytes[..8] != MANIFEST_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "manifest has bad magic",
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != MANIFEST_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"),
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if crc32(&bytes[..20]) != stored_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "manifest checksum mismatch",
+        ));
+    }
+    Ok(Some(u64::from_le_bytes(
+        bytes[12..20].try_into().expect("8 bytes"),
+    )))
+}
+
+/// Atomically commits `gen` as the live generation: temp file + sync +
+/// rename + directory fsync. After this returns, recovery will load
+/// `corpus.<gen>.press` / `ingest.<gen>.wal` and GC everything else.
+pub fn commit(dir: &Path, gen: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(MANIFEST_LEN);
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(&gen.to_le_bytes());
+    buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    sync_dir(dir)
+}
+
+/// True when the directory holds any generation-stamped artifact.
+pub fn has_artifacts(dir: &Path) -> io::Result<bool> {
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        if name
+            .to_str()
+            .is_some_and(|n| artifact_generation(n).is_some())
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Removes every artifact not belonging to `keep` (uncommitted
+/// leftovers of a crashed checkpoint, superseded generations whose
+/// cleanup was interrupted) plus any stranded manifest temp file.
+pub fn gc(dir: &Path, keep: u64) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match artifact_generation(name) {
+            Some(gen) => gen != keep,
+            None => name == "MANIFEST.tmp",
+        };
+        if stale {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// The committed journal path — where a simulated kill must tear. A
+/// directory with no manifest resolves to generation 0 (a fresh engine
+/// commits generation 0 on first open).
+pub fn live_wal_path(dir: &Path) -> io::Result<PathBuf> {
+    let gen = read(dir)?.unwrap_or(0);
+    Ok(dir.join(wal_file_name(gen)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("press-mft-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn commit_read_roundtrip_and_gc() {
+        let dir = tmp_dir("roundtrip");
+        assert_eq!(read(&dir).expect("read"), None);
+        commit(&dir, 0).expect("commit 0");
+        assert_eq!(read(&dir).expect("read"), Some(0));
+        commit(&dir, 7).expect("commit 7");
+        assert_eq!(read(&dir).expect("read"), Some(7));
+        // GC keeps only the committed generation's artifacts.
+        for name in [
+            corpus_file_name(6),
+            wal_file_name(6),
+            corpus_file_name(7),
+            wal_file_name(7),
+            "MANIFEST.tmp".to_string(),
+            "unrelated.txt".to_string(),
+        ] {
+            std::fs::write(dir.join(&name), b"x").expect("write");
+        }
+        gc(&dir, 7).expect("gc");
+        assert!(!dir.join(corpus_file_name(6)).exists());
+        assert!(!dir.join(wal_file_name(6)).exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(dir.join(corpus_file_name(7)).exists());
+        assert!(dir.join(wal_file_name(7)).exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(
+            live_wal_path(&dir).expect("live"),
+            dir.join(wal_file_name(7))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_manifest_is_invalid_data_not_a_fresh_start() {
+        let dir = tmp_dir("damage");
+        commit(&dir, 3).expect("commit");
+        let good = std::fs::read(dir.join(MANIFEST_FILE)).expect("read");
+        // Flipped generation byte: checksum catches it.
+        let mut bad = good.clone();
+        bad[12] ^= 0x01;
+        std::fs::write(dir.join(MANIFEST_FILE), &bad).expect("write");
+        assert!(read(&dir).is_err());
+        // Truncated manifest.
+        std::fs::write(dir.join(MANIFEST_FILE), &good[..10]).expect("write");
+        assert!(read(&dir).is_err());
+        // Bad magic.
+        let mut bad = good;
+        bad[0] = b'X';
+        std::fs::write(dir.join(MANIFEST_FILE), &bad).expect("write");
+        assert!(read(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_names_parse_and_reject() {
+        assert_eq!(artifact_generation("corpus.0.press"), Some(0));
+        assert_eq!(artifact_generation("ingest.42.wal"), Some(42));
+        assert_eq!(artifact_generation("corpus.press"), None);
+        assert_eq!(artifact_generation("ingest.x.wal"), None);
+        assert_eq!(artifact_generation("MANIFEST"), None);
+        assert_eq!(artifact_generation("corpus.1.press.tmp"), None);
+    }
+}

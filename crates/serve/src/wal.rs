@@ -84,6 +84,17 @@ impl From<std::io::Error> for WalError {
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, WalError>;
 
+/// Fsyncs `path`'s parent directory so the file's creation survives
+/// power loss, not just process death.
+fn sync_parent_dir(path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
 /// One journaled ingest event. `Point` frames are written on the hot
 /// path; `Resume`/`Clock` frames exist only in checkpoint-rewritten
 /// journals so a replay reconstructs cross-segment session state
@@ -224,6 +235,7 @@ impl Wal {
             header.extend_from_slice(&0u32.to_le_bytes());
             file.write_all(&header)?;
             file.sync_data()?;
+            sync_parent_dir(path)?;
             let replay = WalReplay {
                 records: Vec::new(),
                 torn_bytes: bytes.len() as u64,
@@ -323,12 +335,14 @@ impl Wal {
         ))
     }
 
-    /// Atomically replaces the journal with `records` (checkpoint): the
-    /// new journal is written to a sibling temp file, synced, and renamed
-    /// over `path` — a crash at any byte leaves either the old journal or
-    /// the complete new one.
-    pub fn rewrite(path: &Path, records: &[WalRecord]) -> Result<Wal> {
-        let tmp = path.with_extension("wal.tmp");
+    /// Writes a brand-new journal containing `records` at `path`
+    /// (overwriting anything there) and syncs it, file and directory.
+    /// This is **not** an atomic replacement of a live journal: the
+    /// checkpoint protocol writes the new journal under a fresh,
+    /// uncommitted generation-stamped name and commits it — together
+    /// with the matching corpus — via the manifest rename (see
+    /// [`crate::manifest`]).
+    pub fn create(path: &Path, records: &[WalRecord]) -> Result<Wal> {
         let mut buf = Vec::with_capacity(WAL_HEADER_LEN as usize + records.len() * 48);
         buf.extend_from_slice(&WAL_MAGIC);
         buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
@@ -339,20 +353,14 @@ impl Wal {
             buf.extend_from_slice(&crc32(&payload).to_le_bytes());
             buf.extend_from_slice(&payload);
         }
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&buf)?;
-            f.sync_data()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        use std::io::Seek;
-        let offset = buf.len() as u64;
-        file.seek(std::io::SeekFrom::Start(offset))?;
+        let mut file = File::create(path)?;
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        sync_parent_dir(path)?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
-            offset,
+            offset: buf.len() as u64,
         })
     }
 
@@ -543,15 +551,9 @@ mod tests {
     }
 
     #[test]
-    fn rewrite_is_atomic_and_reopenable() {
-        let dir = tmp_dir("rewrite");
-        let path = dir.join("ingest.wal");
-        {
-            let (mut wal, _) = Wal::open(&path).expect("create");
-            for r in sample_records() {
-                wal.append(&r).expect("append");
-            }
-        }
+    fn create_writes_a_reopenable_journal_and_appends_continue() {
+        let dir = tmp_dir("create");
+        let path = dir.join("ingest.1.wal");
         let kept = vec![
             WalRecord::Clock { t: 99.0 },
             WalRecord::Point {
@@ -561,7 +563,7 @@ mod tests {
                 t: 98.0,
             },
         ];
-        let mut wal = Wal::rewrite(&path, &kept).expect("rewrite");
+        let mut wal = Wal::create(&path, &kept).expect("create");
         let post = wal
             .append(&WalRecord::Finalize { vehicle: 7 })
             .expect("append");
@@ -570,7 +572,11 @@ mod tests {
         assert_eq!(replay.records.len(), 3);
         assert_eq!(replay.records[..2], kept[..]);
         assert_eq!(replay.records[2], WalRecord::Finalize { vehicle: 7 });
-        assert!(!dir.join("ingest.wal.tmp").exists());
+        // Overwrites whatever was there before.
+        let wal2 = Wal::create(&path, &kept[..1]).expect("recreate");
+        drop(wal2);
+        let (_, replay) = Wal::open(&path).expect("reopen");
+        assert_eq!(replay.records, kept[..1]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -374,6 +374,143 @@ fn checkpoint_then_kill_keeps_published_corpus_and_tail() {
     let _ = std::fs::remove_dir_all(&dir_b);
 }
 
+/// Copies every regular file of the flat ingest directory.
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for entry in std::fs::read_dir(src).expect("read_dir") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy");
+    }
+}
+
+/// The checkpoint commit window: a checkpoint writes a new corpus and a
+/// new (shrunk) journal, then commits both with one manifest rename. A
+/// kill *between* those steps must never yield the new corpus paired
+/// with the old journal — that replay would compress the flushed
+/// trajectories a second time. Each window below reconstructs the exact
+/// directory a kill at that point leaves behind and asserts recovery is
+/// byte-identical to a clean, never-checkpointed run.
+#[test]
+fn kill_inside_checkpoint_commit_window_recovers_equivalently() {
+    let f = fleet();
+    let cfg = IngestConfig {
+        idle_timeout: 350.0,
+        max_session_points: 20,
+        ..config()
+    };
+    let dir = test_dir("ckpt-window");
+    let mut engine =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+    let split = f.events.len() * 3 / 5;
+    for &(v, s) in &f.events[..split] {
+        engine.push(v, s).expect("push");
+    }
+    engine.sync().expect("sync");
+    // Snapshot the pre-checkpoint directory: the state every
+    // not-yet-committed kill must fall back to.
+    let pre = test_dir("ckpt-window-pre");
+    copy_dir(&dir, &pre);
+    engine.checkpoint().expect("checkpoint");
+    assert_eq!(engine.generation(), 1, "checkpoint bumps the generation");
+    let new_corpus = engine.corpus_path();
+    let new_wal = engine.wal_path();
+    let new_manifest = dir.join(press_serve::MANIFEST_FILE);
+    drop(engine);
+
+    // Reference: one clean run over every event, no mid-run checkpoint.
+    let dir_b = test_dir("ckpt-window-clean");
+    let (mut clean, _) = run_clean(&dir_b, cfg, &f.events);
+    let expect = finish(&mut clean);
+
+    let windows: [(&str, Vec<&PathBuf>); 3] = [
+        // Kill after the new corpus was written, before the new journal
+        // and the manifest rename.
+        ("corpus-only", vec![&new_corpus]),
+        // Kill after both new artifacts, before the manifest rename —
+        // the exact new-corpus + old-journal double-compression window.
+        ("corpus-and-wal", vec![&new_corpus, &new_wal]),
+        // Kill after the manifest rename, before the old generation's
+        // cleanup.
+        (
+            "manifest-flipped",
+            vec![&new_corpus, &new_wal, &new_manifest],
+        ),
+    ];
+    for (tag, files) in windows {
+        let w = test_dir(&format!("ckpt-window-{tag}"));
+        copy_dir(&pre, &w);
+        for file in files {
+            let name = file.file_name().expect("file name");
+            std::fs::copy(file, w.join(name)).expect("copy artifact");
+        }
+        let mut recovered =
+            IngestEngine::open(&w, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+        for &(v, s) in &f.events[split..] {
+            recovered.push(v, s).expect("push");
+        }
+        let got = finish(&mut recovered);
+        assert_eq!(
+            got, expect,
+            "window {tag}: recovery must match the clean run exactly"
+        );
+        let _ = std::fs::remove_dir_all(&w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&pre);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn missing_manifest_over_artifacts_is_a_typed_refusal() {
+    let f = fleet();
+    let dir = test_dir("no-manifest");
+    let (engine, _) = run_clean(&dir, config(), &f.events[..20]);
+    drop(engine);
+    std::fs::remove_file(dir.join(press_serve::MANIFEST_FILE)).expect("remove manifest");
+    match IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), config()) {
+        Err(press_serve::ServeError::Manifest(_)) => {}
+        Err(other) => panic!("expected ServeError::Manifest, got {other:?}"),
+        Ok(_) => panic!("artifacts without a manifest must refuse, not restart fresh"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantine_log_keeps_the_most_recent_records() {
+    let f = fleet();
+    let dir = test_dir("quarantine-ring");
+    let cfg = IngestConfig {
+        quarantine_log_cap: 4,
+        ..config()
+    };
+    let mut engine =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+    let good = f.events[0];
+    engine.push(good.0, good.1).expect("push");
+    // Ten out-of-order fixes, distinguishable by x: under sustained
+    // dirty input the ring must hold the most recent cap, not freeze on
+    // the first cap.
+    for i in 0..10u32 {
+        let bad = GpsSample {
+            point: press_network::Point::new(i as f64, 0.0),
+            t: good.1.t - 1.0,
+        };
+        assert!(matches!(
+            engine.push(good.0, bad).expect("push"),
+            Ack::Quarantined(_)
+        ));
+    }
+    let log = engine.quarantine_log();
+    assert_eq!(log.len(), 4);
+    let xs: Vec<f64> = log.iter().map(|r| r.sample.point.x).collect();
+    assert_eq!(
+        xs,
+        vec![6.0, 7.0, 8.0, 9.0],
+        "oldest-first, most recent kept"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn recovered_store_answers_queries_like_brute_force() {
     let f = fleet();
