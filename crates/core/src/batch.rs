@@ -1,0 +1,321 @@
+//! Parallel batch execution of mixed store queries.
+//!
+//! A serving tier rarely answers one query at a time: dashboards and
+//! fleet APIs hand over a *batch* of mixed `range` / `whenat` /
+//! `whereat` requests. [`QueryBatch`] executes such a batch over a
+//! [`TrajectoryStore`] across cores using the same order-preserving
+//! work-steal loop every other parallel stage of this workspace uses
+//! ([`crate::parallel::work_steal_map`]) — so the answer vector is
+//! **bit-identical for any thread count**, positionally aligned with
+//! the queries, and each individual answer equals the corresponding
+//! single-query store call (which in turn equals the brute-force scan;
+//! see [`TrajectoryStore::range`]).
+//!
+//! # Determinism and error contract
+//!
+//! Per-query domain misses (a probe point not on the trajectory, an
+//! out-of-range trajectory id, a timestamp outside the observed span)
+//! are *answers*, not failures: they surface as [`StoreAnswer::Miss`]
+//! so one bad query cannot poison a batch, and so the answer vector
+//! stays comparable across runs. Real store failures (I/O, corruption)
+//! abort the whole batch with the error of the smallest failing query
+//! index — again deterministic for any thread count.
+
+use crate::error::{PressError, Result};
+use crate::parallel::work_steal_map;
+use crate::query::QueryEngine;
+use crate::store::TrajectoryStore;
+use press_network::{Mbr, Point};
+
+/// One store query in a batch — the three §5 query kinds of the PRESS
+/// paper, addressed at a [`TrajectoryStore`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoreQuery {
+    /// All trajectories passing `region` within `[t1, t2]`
+    /// ([`TrajectoryStore::range`]).
+    Range {
+        /// Window start (swapped with `t2` if reversed).
+        t1: f64,
+        /// Window end.
+        t2: f64,
+        /// Spatial region of interest.
+        region: Mbr,
+    },
+    /// When trajectory `idx` passed within `tolerance` of `p`
+    /// ([`TrajectoryStore::whenat`]).
+    WhenAt {
+        /// Trajectory index.
+        idx: usize,
+        /// Probe position.
+        p: Point,
+        /// Acceptance distance in meters.
+        tolerance: f64,
+    },
+    /// Where trajectory `idx` was at time `t`
+    /// ([`TrajectoryStore::whereat`]).
+    WhereAt {
+        /// Trajectory index.
+        idx: usize,
+        /// Probe timestamp.
+        t: f64,
+    },
+}
+
+/// One answer, positionally aligned with its [`StoreQuery`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoreAnswer {
+    /// `Range`: qualifying trajectory indices, ascending.
+    Hits(Vec<usize>),
+    /// `WhenAt`: the crossing time.
+    Time(f64),
+    /// `WhereAt`: the position.
+    Position(Point),
+    /// The query was answerable but nothing qualifies (domain miss);
+    /// carries the engine's explanation.
+    Miss(String),
+}
+
+/// A batch of mixed store queries; see the module docs for the
+/// execution and determinism contract.
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use press_core::{Press, PressConfig, TrajectoryStore, Trajectory};
+/// # use press_core::types::{DtPoint, SpatialPath, TemporalSequence};
+/// # use press_core::query::QueryEngine;
+/// use press_core::{QueryBatch, StoreAnswer, StoreQuery};
+/// use press_network::Mbr;
+///
+/// # let net = Arc::new(press_network::grid_network(&press_network::GridConfig {
+/// #     nx: 5, ny: 5, ..press_network::GridConfig::default()
+/// # }));
+/// # let sp = Arc::new(press_network::SpTable::build(net.clone()));
+/// # let mut paths = Vec::new();
+/// # for k in 0..12u32 {
+/// #     let a = press_network::NodeId(k % 5);
+/// #     let b = press_network::NodeId(24 - (k % 5));
+/// #     let p = press_network::dijkstra(&net, a).edge_path_to(&net, b).unwrap();
+/// #     paths.push(p);
+/// # }
+/// # let press = Press::train(sp, &paths, PressConfig::default()).unwrap();
+/// # let trajs: Vec<Trajectory> = paths.iter().enumerate().map(|(k, p)| {
+/// #     let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+/// #     let mut pts = vec![DtPoint::new(0.0, k as f64 * 60.0)];
+/// #     let mut d = 0.0;
+/// #     while d < total {
+/// #         d = (d + 40.0).min(total);
+/// #         pts.push(DtPoint::new(d, pts.last().unwrap().t + 5.0));
+/// #     }
+/// #     Trajectory::new(SpatialPath::new_unchecked(p.clone()), TemporalSequence::new(pts).unwrap())
+/// # }).collect();
+/// # let compressed: Vec<_> = trajs.iter().map(|t| press.compress(t).unwrap()).collect();
+/// # let engine = QueryEngine::new(press.model());
+/// # let store = TrajectoryStore::from_store_bytes(
+/// #     TrajectoryStore::to_store_bytes(&engine, &compressed, 4).unwrap(),
+/// # ).unwrap();
+/// let mut batch = QueryBatch::new();
+/// batch.push(StoreQuery::Range {
+///     t1: 0.0,
+///     t2: 600.0,
+///     region: Mbr::new(0.0, 0.0, 400.0, 400.0),
+/// });
+/// batch.push(StoreQuery::WhereAt { idx: 3, t: 120.0 });
+///
+/// // Same answers for any worker count, aligned with the queries.
+/// let one = batch.run(&store, &engine, 1).unwrap();
+/// let four = batch.run(&store, &engine, 4).unwrap();
+/// assert_eq!(one, four);
+/// assert_eq!(one.len(), batch.len());
+/// assert!(matches!(one[0], StoreAnswer::Hits(_)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryBatch {
+    queries: Vec<StoreQuery>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A batch over prepared queries (e.g. from the workload's query-mix
+    /// generator).
+    pub fn from_queries(queries: Vec<StoreQuery>) -> Self {
+        QueryBatch { queries }
+    }
+
+    /// Appends one query.
+    pub fn push(&mut self, q: StoreQuery) -> &mut Self {
+        self.queries.push(q);
+        self
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries, in answer order.
+    pub fn queries(&self) -> &[StoreQuery] {
+        &self.queries
+    }
+
+    /// Executes the batch over `threads` workers (1 = sequential; the
+    /// work-steal loop also falls back to sequential for tiny batches).
+    /// See the module docs for the determinism and error contract.
+    pub fn run(
+        &self,
+        store: &TrajectoryStore,
+        engine: &QueryEngine<'_>,
+        threads: usize,
+    ) -> Result<Vec<StoreAnswer>> {
+        let results = work_steal_map(&self.queries, threads, |_, q| exec_one(store, engine, q));
+        results.into_iter().collect()
+    }
+}
+
+/// Answers one query, folding domain misses into [`StoreAnswer::Miss`].
+fn exec_one(
+    store: &TrajectoryStore,
+    engine: &QueryEngine<'_>,
+    q: &StoreQuery,
+) -> Result<StoreAnswer> {
+    let answer = match *q {
+        StoreQuery::Range { t1, t2, ref region } => {
+            store.range(engine, t1, t2, region).map(StoreAnswer::Hits)
+        }
+        StoreQuery::WhenAt { idx, p, tolerance } => store
+            .whenat(engine, idx, p, tolerance)
+            .map(StoreAnswer::Time),
+        StoreQuery::WhereAt { idx, t } => store.whereat(engine, idx, t).map(StoreAnswer::Position),
+    };
+    match answer {
+        Ok(a) => Ok(a),
+        Err(PressError::OutOfDomain(msg)) => Ok(StoreAnswer::Miss(msg)),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::press::{Press, PressConfig};
+    use crate::types::{DtPoint, SpatialPath, TemporalSequence, Trajectory};
+    use press_network::{grid_network, GridConfig, NodeId, SpTable};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn fixture() -> (Press, TrajectoryStore) {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 6,
+            ny: 6,
+            weight_jitter: 0.1,
+            seed: 17,
+            ..GridConfig::default()
+        }));
+        let sp = Arc::new(SpTable::build(net.clone()));
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut paths = Vec::new();
+        while paths.len() < 24 {
+            let a = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            let b = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            if let Some(p) = press_network::dijkstra(&net, a).edge_path_to(&net, b) {
+                if p.len() >= 4 {
+                    paths.push(p);
+                }
+            }
+        }
+        let press = Press::train(sp, &paths, PressConfig::default()).unwrap();
+        let trajs: Vec<Trajectory> = paths
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+                let mut pts = Vec::new();
+                let mut d = 0.0;
+                let mut t = (k as f64) * 240.0;
+                while d < total {
+                    pts.push(DtPoint::new(d, t));
+                    d = (d + rng.gen_range(20.0f64..50.0)).min(total);
+                    t += rng.gen_range(3.0..7.0);
+                }
+                pts.push(DtPoint::new(total, t));
+                Trajectory::new(
+                    SpatialPath::new_unchecked(p.clone()),
+                    TemporalSequence::new(pts).unwrap(),
+                )
+            })
+            .collect();
+        let compressed: Vec<_> = trajs.iter().map(|t| press.compress(t).unwrap()).collect();
+        let engine = QueryEngine::new(press.model());
+        let store = TrajectoryStore::from_store_bytes(
+            TrajectoryStore::to_store_bytes(&engine, &compressed, 5).unwrap(),
+        )
+        .unwrap();
+        (press, store)
+    }
+
+    #[test]
+    fn batch_equals_single_queries_for_any_thread_count() {
+        let (press, store) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let mut batch = QueryBatch::new();
+        for k in 0..12 {
+            let c = k as f64 * 90.0;
+            batch.push(StoreQuery::Range {
+                t1: c,
+                t2: c + 400.0,
+                region: Mbr::new(c, 0.0, c + 500.0, 900.0),
+            });
+            batch.push(StoreQuery::WhereAt {
+                idx: k % store.len(),
+                t: c,
+            });
+            batch.push(StoreQuery::WhenAt {
+                idx: k % store.len(),
+                p: Point::new(c, c),
+                tolerance: 30.0,
+            });
+        }
+        let reference = batch.run(&store, &engine, 1).unwrap();
+        assert_eq!(reference.len(), batch.len());
+        for threads in [2usize, 3, 7] {
+            assert_eq!(
+                batch.run(&store, &engine, threads).unwrap(),
+                reference,
+                "{threads} workers diverged"
+            );
+        }
+        // Each answer equals the corresponding single-query call.
+        for (q, a) in batch.queries().iter().zip(&reference) {
+            let single = exec_one(&store, &engine, q).unwrap();
+            assert_eq!(&single, a);
+        }
+        // Out-of-range ids are misses, not batch failures.
+        let bad = QueryBatch::from_queries(vec![StoreQuery::WhereAt {
+            idx: store.len() + 7,
+            t: 0.0,
+        }]);
+        assert!(matches!(
+            bad.run(&store, &engine, 2).unwrap()[0],
+            StoreAnswer::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (press, store) = fixture();
+        let engine = QueryEngine::new(press.model());
+        assert!(QueryBatch::new()
+            .run(&store, &engine, 4)
+            .unwrap()
+            .is_empty());
+    }
+}

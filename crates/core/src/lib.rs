@@ -5,6 +5,7 @@
 //! Compression (§4), the query processor over compressed trajectories (§5),
 //! and the end-to-end [`press::Press`] façade with storage accounting.
 
+pub mod batch;
 pub mod error;
 pub mod press;
 pub mod query;
@@ -21,6 +22,7 @@ pub mod store;
 pub mod temporal;
 pub mod types;
 
+pub use batch::{QueryBatch, StoreAnswer, StoreQuery};
 pub use error::{PressError, Result};
 pub use press::{CompressedTrajectory, Press, PressConfig};
 pub use reformat::{reformat, PathSample};

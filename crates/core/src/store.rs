@@ -37,6 +37,24 @@
 //! only when its **observed time span overlaps** the query window —
 //! trajectories that ended before `t1` or started after `t2` are not
 //! "passing the region within `[t1, t2]`".
+//!
+//! # The synopsis index
+//!
+//! Above the per-block synopses sits a packed hierarchy
+//! ([`SynopsisIndex`]): consecutive blocks grouped by a fixed branching
+//! factor, each group summarized by the union of its children's MBRs
+//! and time spans. [`TrajectoryStore::range`] descends it instead of
+//! walking the block directory linearly, so pruning costs
+//! O(candidates · branching + levels) rather than O(#blocks);
+//! [`TrajectoryStore::range_linear`] keeps the linear walk alive as the
+//! reference path and [`TrajectoryStore::io_stats`] exposes how many
+//! block synopses were never even considered. The index is persisted as
+//! the **additive** `"index"` section of the container (see
+//! `docs/FORMATS.md`): files written before it exist load fine (the
+//! hierarchy is rebuilt in memory from the synopses), and because the
+//! build is deterministic, a loaded section must equal the rebuild
+//! bit-for-bit — an inconsistent one is [`StoreError::Corrupt`] at
+//! load, never a silently wrong (block-skipping) answer.
 
 use crate::error::{PressError, Result};
 use crate::press::CompressedTrajectory;
@@ -44,7 +62,10 @@ use crate::query::QueryEngine;
 use crate::spatial::{BitStream, CompressedSpatial, HscModel, Huffman, Trie};
 use crate::types::{DtPoint, TemporalSequence};
 use press_network::{EdgeId, Mbr, Point, SpProvider};
-use press_store::{kind, ByteReader, ByteWriter, StoreError, StoreFile, StoreWriter};
+use press_store::{
+    kind, ByteReader, ByteWriter, IndexEntry, StoreError, StoreFile, StoreWriter, SynopsisIndex,
+    DEFAULT_BRANCHING,
+};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -221,6 +242,30 @@ pub struct BlockSynopsis {
     pub len: usize,
 }
 
+impl BlockSynopsis {
+    /// The synopsis as a leaf of the [`SynopsisIndex`] hierarchy.
+    fn index_entry(&self) -> IndexEntry {
+        IndexEntry::new(
+            self.mbr.min_x,
+            self.mbr.min_y,
+            self.mbr.max_x,
+            self.mbr.max_y,
+            self.t0,
+            self.t1,
+        )
+    }
+}
+
+/// Rebuilds the packed hierarchy a block directory implies — the
+/// deterministic construction both the writer and the loader use, so
+/// equality with a persisted index is a validity proof.
+fn index_of(blocks: &[BlockSynopsis]) -> SynopsisIndex {
+    SynopsisIndex::build(
+        blocks.iter().map(|b| b.index_entry()).collect(),
+        DEFAULT_BRANCHING,
+    )
+}
+
 /// A block-oriented on-disk store of compressed trajectories; see the
 /// module docs for the skipping semantics.
 pub struct TrajectoryStore {
@@ -228,6 +273,9 @@ pub struct TrajectoryStore {
     block_size: usize,
     len: usize,
     blocks: Vec<BlockSynopsis>,
+    /// Packed hierarchy over the block synopses (loaded from the
+    /// additive `"index"` section, or rebuilt for pre-index files).
+    index: SynopsisIndex,
     /// Most-recently-decoded block (queries stream block-locally).
     cache: Mutex<Option<(usize, Arc<Vec<CompressedTrajectory>>)>>,
     blocks_decoded: AtomicU64,
@@ -256,6 +304,7 @@ impl TrajectoryStore {
         meta.put_u64(block_size as u64);
         meta.put_u64(num_blocks as u64);
         let mut payloads = Vec::with_capacity(num_blocks);
+        let mut leaves = Vec::with_capacity(num_blocks);
         for (b, chunk) in trajectories.chunks(block_size).enumerate() {
             let mut mbr = Mbr::empty();
             let mut t0 = f64::INFINITY;
@@ -284,10 +333,15 @@ impl TrajectoryStore {
             synopsis.put_f64(t1);
             synopsis.put_u64((b * block_size) as u64);
             synopsis.put_u64(chunk.len() as u64);
+            leaves.push(IndexEntry::new(
+                mbr.min_x, mbr.min_y, mbr.max_x, mbr.max_y, t0, t1,
+            ));
             payloads.push(payload.into_bytes());
         }
+        let index = SynopsisIndex::build(leaves, DEFAULT_BRANCHING);
         w.section("meta", meta.into_bytes());
         w.section("synopsis", synopsis.into_bytes());
+        w.section("index", index.to_section_bytes());
         for (b, payload) in payloads.into_iter().enumerate() {
             w.section(&format!("blk{b}"), payload);
         }
@@ -355,11 +409,33 @@ impl TrajectoryStore {
             });
         }
         r.expect_end("synopsis")?;
+        // The hierarchy a consistent index section MUST hold: the
+        // deterministic rebuild from the validated block directory.
+        let rebuilt = index_of(&blocks);
+        let index = if file.has_section("index") {
+            let loaded = SynopsisIndex::from_section_bytes(file.section("index")?)?;
+            // Bit-exact equality doubles as the full structural check
+            // (leaves equal the synopses, every interior entry is the
+            // exact union of its children): a CRC-valid but logically
+            // inconsistent section can never skip a matching block — it
+            // is a typed error instead of a wrong answer.
+            if loaded != rebuilt {
+                return Err(StoreError::Corrupt(
+                    "index section is inconsistent with the block synopses".into(),
+                )
+                .into());
+            }
+            loaded
+        } else {
+            // Pre-index store file: serve from the in-memory rebuild.
+            rebuilt
+        };
         Ok(TrajectoryStore {
             file,
             block_size,
             len,
             blocks,
+            index,
             cache: Mutex::new(None),
             blocks_decoded: AtomicU64::new(0),
             blocks_skipped: AtomicU64::new(0),
@@ -507,10 +583,50 @@ impl TrajectoryStore {
 
     /// Indices of all trajectories whose observed time span overlaps
     /// `[t1, t2]` and that pass through `region` within it
-    /// ([`QueryEngine::range`]). Blocks whose synopsis rules them out are
-    /// skipped without decompression; the result equals the brute-force
-    /// scan over every trajectory (synopses are conservative).
+    /// ([`QueryEngine::range`]). The query descends the packed
+    /// [`SynopsisIndex`] hierarchy — O(log #blocks) directory entries
+    /// for a selective query instead of the linear scan's O(#blocks) —
+    /// and decodes only the candidate blocks. Because the hierarchy's
+    /// leaves are the block synopses and every interior entry is a
+    /// conservative union, the candidate set (and thus the answer)
+    /// equals [`TrajectoryStore::range_linear`], which equals the
+    /// brute-force scan over every trajectory; `io_stats` accounting is
+    /// identical too.
     pub fn range(
+        &self,
+        engine: &QueryEngine<'_>,
+        t1: f64,
+        t2: f64,
+        region: &Mbr,
+    ) -> Result<Vec<usize>> {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let probe = IndexEntry::new(
+            region.min_x,
+            region.min_y,
+            region.max_x,
+            region.max_y,
+            lo,
+            hi,
+        );
+        let candidates = self.index.candidates(&probe);
+        self.blocks_skipped.fetch_add(
+            (self.blocks.len() - candidates.len()) as u64,
+            Ordering::Relaxed,
+        );
+        let mut hits = Vec::new();
+        for b in candidates {
+            self.range_in_block(engine, b, lo, hi, region, &mut hits)?;
+        }
+        Ok(hits)
+    }
+
+    /// [`TrajectoryStore::range`] via the pre-index linear directory
+    /// scan: every block synopsis is tested in order. Kept as the
+    /// reference path — the query benchmark (`query_report`) measures
+    /// the indexed descent against it, and the equality
+    /// `range(..) == range_linear(..)` is the store's correctness
+    /// oracle in tests.
+    pub fn range_linear(
         &self,
         engine: &QueryEngine<'_>,
         t1: f64,
@@ -524,20 +640,42 @@ impl TrajectoryStore {
                 self.blocks_skipped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let block = self.block(b)?;
-            for (i, ct) in block.iter().enumerate() {
-                let Some((a, z)) = ct.temporal.time_range() else {
-                    continue;
-                };
-                if z < lo || a > hi {
-                    continue;
-                }
-                if engine.range(ct, lo, hi, region)? {
-                    hits.push(syn.start + i);
-                }
-            }
+            self.range_in_block(engine, b, lo, hi, region, &mut hits)?;
         }
         Ok(hits)
+    }
+
+    /// Decodes block `b` and appends its qualifying trajectory indices —
+    /// the shared per-block half of both range paths, so indexed and
+    /// linear answers can only differ in which blocks they *consider*.
+    fn range_in_block(
+        &self,
+        engine: &QueryEngine<'_>,
+        b: usize,
+        lo: f64,
+        hi: f64,
+        region: &Mbr,
+        hits: &mut Vec<usize>,
+    ) -> Result<()> {
+        let start = self.blocks[b].start;
+        let block = self.block(b)?;
+        for (i, ct) in block.iter().enumerate() {
+            let Some((a, z)) = ct.temporal.time_range() else {
+                continue;
+            };
+            if z < lo || a > hi {
+                continue;
+            }
+            if engine.range(ct, lo, hi, region)? {
+                hits.push(start + i);
+            }
+        }
+        Ok(())
+    }
+
+    /// The packed synopsis hierarchy the range path descends.
+    pub fn synopsis_index(&self) -> &SynopsisIndex {
+        &self.index
     }
 }
 

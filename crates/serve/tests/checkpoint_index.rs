@@ -1,0 +1,245 @@
+//! Checkpoint ↔ synopsis-index integration tests.
+//!
+//! A checkpointed corpus must carry the persisted `index` section, a
+//! pre-index corpus (section stripped) must still recover with identical
+//! answers, and a logically corrupted index must surface as a typed
+//! error at recovery — never a wrong answer.
+
+use press_core::query::QueryEngine;
+use press_core::store::TrajectoryStore;
+use press_core::{BtcBounds, Press, PressConfig, PressError, QueryBatch};
+use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
+use press_network::{grid_network, GridConfig, Mbr, RoadNetwork, SpBackend};
+use press_serve::{Ack, Event, IngestConfig, IngestEngine, ServeError, SessionPolicy};
+use press_store::{IndexEntry, StoreError, StoreFile, StoreWriter, SynopsisIndex};
+use press_workload::{query_mix, QueryMixConfig, Workload, WorkloadConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+struct Fleet {
+    #[allow(dead_code)]
+    net: Arc<RoadNetwork>,
+    matcher: Arc<MapMatcher>,
+    press: Press,
+    events: Vec<Event>,
+}
+
+fn fleet() -> &'static Fleet {
+    static FLEET: OnceLock<Fleet> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 8,
+            ny: 8,
+            spacing: 150.0,
+            weight_jitter: 0.12,
+            removal_prob: 0.0,
+            seed: 33,
+        }));
+        let sp = SpBackend::Dense.build(net.clone());
+        let workload = Workload::generate(
+            net.clone(),
+            sp.clone(),
+            WorkloadConfig {
+                num_trajectories: 24,
+                seed: 33,
+                ..WorkloadConfig::default()
+            },
+        );
+        let (train, eval) = workload.split(0.5);
+        let training_paths: Vec<_> = train.iter().map(|r| r.path.clone()).collect();
+        let press = Press::train(
+            sp,
+            &training_paths,
+            PressConfig {
+                bounds: BtcBounds::new(45.0, 15.0),
+                ..PressConfig::default()
+            },
+        )
+        .expect("training");
+        let matcher = Arc::new(MapMatcher::new(net.clone(), MatcherConfig::default()));
+        let mut events: Vec<Event> = Vec::new();
+        for (v, record) in eval.iter().take(8).enumerate() {
+            let trace = record.gps_trace(&net, 8.0, 4.0);
+            for p in &trace.points {
+                events.push((
+                    v as u64,
+                    GpsSample {
+                        point: p.point,
+                        t: p.t + v as f64 * 41.0,
+                    },
+                ));
+            }
+        }
+        events.sort_by(|a, b| a.1.t.partial_cmp(&b.1.t).expect("finite timestamps"));
+        assert!(events.len() > 100, "fixture stream too small");
+        Fleet {
+            net,
+            matcher,
+            press,
+            events,
+        }
+    })
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("press-ckpt-index-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> IngestConfig {
+    IngestConfig {
+        policy: SessionPolicy::default(),
+        idle_timeout: 0.0,
+        max_session_points: 0,
+        block_size: 3,
+        threads: 2,
+        max_lattice_work: 0,
+        max_salvage_splits: 8,
+        quarantine_log_cap: 256,
+    }
+}
+
+/// Ingests the fixture stream and checkpoints; returns the engine.
+fn checkpointed(dir: &std::path::Path) -> IngestEngine {
+    let f = fleet();
+    let press = f.press.reconfigured(f.press.config());
+    let mut engine =
+        IngestEngine::open(dir, Arc::clone(&f.matcher), press, config()).expect("open");
+    for &(v, s) in &f.events {
+        let _ack: Ack = engine.push(v, s).expect("push");
+    }
+    engine.finalize_all().expect("finalize_all");
+    engine.flush().expect("flush");
+    engine.checkpoint().expect("checkpoint");
+    engine
+}
+
+/// Rewrites the container at `path`, applying `f` to choose each
+/// section's replacement payload (`None` drops the section).
+fn rewrite_corpus(path: &std::path::Path, f: impl Fn(&str, &[u8]) -> Option<Vec<u8>>) {
+    let bytes = std::fs::read(path).expect("read corpus");
+    let file = StoreFile::from_bytes(bytes).expect("parse corpus");
+    let mut w = StoreWriter::new(file.kind());
+    for name in file.section_names() {
+        if let Some(payload) = f(name, file.section(name).expect("section")) {
+            w.section(name, payload);
+        }
+    }
+    std::fs::write(path, w.to_bytes()).expect("rewrite corpus");
+}
+
+/// Answers a mixed query batch against the corpus at `path`.
+fn answers(path: &std::path::Path, press: &Press) -> Vec<press_core::StoreAnswer> {
+    let store = TrajectoryStore::open(path).expect("open store");
+    let engine = QueryEngine::new(press.model());
+    let mix = query_mix(&QueryMixConfig {
+        num_queries: 200,
+        seed: 11,
+        bbox: Mbr::new(0.0, 0.0, 1200.0, 1200.0),
+        t_min: 0.0,
+        t_max: 2000.0,
+        window_fraction: 0.1,
+        num_trajectories: store.len(),
+        ..QueryMixConfig::default()
+    });
+    QueryBatch::from_queries(mix)
+        .run(&store, &engine, 3)
+        .expect("batch")
+}
+
+#[test]
+fn checkpoint_publishes_the_index_section() {
+    let dir = test_dir("publish");
+    let engine = checkpointed(&dir);
+    let bytes = std::fs::read(engine.corpus_path()).expect("corpus bytes");
+    let file = StoreFile::from_bytes(bytes).expect("parse");
+    assert!(
+        file.has_section("index"),
+        "checkpointed corpus must persist the synopsis index"
+    );
+    let store = TrajectoryStore::open(&engine.corpus_path()).expect("open");
+    assert!(!store.is_empty(), "fixture produced an empty corpus");
+    assert_eq!(
+        store.synopsis_index().num_leaves(),
+        SynopsisIndex::from_section_bytes(file.section("index").expect("index section"))
+            .expect("decode index")
+            .num_leaves()
+    );
+}
+
+#[test]
+fn pre_index_corpus_recovers_with_identical_answers() {
+    let f = fleet();
+    let dir = test_dir("preindex");
+    let engine = checkpointed(&dir);
+    let corpus = engine.corpus_path();
+    let generation = engine.generation();
+    drop(engine);
+    let press = f.press.reconfigured(f.press.config());
+    let expected = answers(&corpus, &press);
+
+    // Strip the index section — the file a pre-index writer produced.
+    rewrite_corpus(&corpus, |name, payload| {
+        (name != "index").then(|| payload.to_vec())
+    });
+    let file = StoreFile::from_bytes(std::fs::read(&corpus).expect("read")).expect("parse");
+    assert!(!file.has_section("index"));
+
+    // Old-format corpus answers identically (index rebuilt in memory)...
+    assert_eq!(answers(&corpus, &press), expected);
+
+    // ...and full engine recovery accepts it.
+    let reopened = IngestEngine::open(
+        &dir,
+        Arc::clone(&f.matcher),
+        f.press.reconfigured(f.press.config()),
+        config(),
+    )
+    .expect("recovery over a pre-index corpus");
+    assert_eq!(reopened.generation(), generation);
+}
+
+#[test]
+fn corrupted_index_is_a_typed_error_at_recovery() {
+    let f = fleet();
+    let dir = test_dir("corrupt");
+    let engine = checkpointed(&dir);
+    let corpus = engine.corpus_path();
+    drop(engine);
+
+    // CRC-valid but logically wrong index: one leaf too few.
+    rewrite_corpus(&corpus, |name, payload| {
+        if name == "index" {
+            let idx = SynopsisIndex::from_section_bytes(payload).expect("decode");
+            let leaves: Vec<IndexEntry> = (0..idx.num_leaves().saturating_sub(1))
+                .map(|i| *idx.leaf(i))
+                .collect();
+            Some(SynopsisIndex::build(leaves, idx.branching()).to_section_bytes())
+        } else {
+            Some(payload.to_vec())
+        }
+    });
+
+    let err = TrajectoryStore::open(&corpus).expect_err("wrong index must not load");
+    assert!(
+        matches!(err, PressError::Store(StoreError::Corrupt(_))),
+        "expected typed Corrupt error, got {err:?}"
+    );
+    let serve_err = match IngestEngine::open(
+        &dir,
+        Arc::clone(&f.matcher),
+        f.press.reconfigured(f.press.config()),
+        config(),
+    ) {
+        Ok(_) => panic!("recovery must reject a corrupted index"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            serve_err,
+            ServeError::Press(PressError::Store(StoreError::Corrupt(_)))
+        ),
+        "expected typed Corrupt error, got {serve_err:?}"
+    );
+}

@@ -48,13 +48,40 @@
 //! reader can map the same bytes) and hands out CRC-checked `&[u8]`
 //! payload slices. [`ByteWriter`]/[`ByteReader`] provide the bounds- and
 //! endianness-checked primitive encoding used inside sections.
+//!
+//! ```
+//! use press_store::{kind, ByteWriter, StoreFile, StoreWriter};
+//!
+//! // Write a two-section artifact ...
+//! let mut meta = ByteWriter::new();
+//! meta.put_u64(3);
+//! meta.put_f64(2.5);
+//! let mut w = StoreWriter::new(kind::META);
+//! w.section("meta", meta.into_bytes());
+//! w.section("payload", vec![1, 2, 3]);
+//!
+//! // ... and read it back, every access CRC-checked and typed.
+//! let f = StoreFile::from_bytes(w.to_bytes()).unwrap();
+//! f.expect_kind(kind::META).unwrap();
+//! let mut r = f.reader("meta").unwrap();
+//! assert_eq!(r.get_u64().unwrap(), 3);
+//! assert_eq!(r.get_f64().unwrap(), 2.5);
+//! assert_eq!(f.section("payload").unwrap(), &[1, 2, 3]);
+//! ```
+//!
+//! The [`SynopsisIndex`] module layers a packed block-skipping
+//! hierarchy on top of this container (the trajectory store's
+//! additive `"index"` section); see [`index`] for its format and
+//! correctness contract.
 
 use std::fmt;
 use std::path::Path;
 
 mod crc32;
+pub mod index;
 
 pub use crc32::crc32;
+pub use index::{IndexEntry, SynopsisIndex, DEFAULT_BRANCHING};
 
 /// File magic, first 8 bytes of every artifact file.
 pub const MAGIC: [u8; 8] = *b"PRSSTORE";
@@ -176,6 +203,10 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 pub struct StoreWriter {
     kind: u32,
     sections: Vec<(String, Vec<u8>)>,
+    // O(1) duplicate detection — a trajectory store writes one section
+    // per block, so a linear scan per insert would be quadratic in
+    // corpus size.
+    names: std::collections::HashSet<String>,
 }
 
 impl StoreWriter {
@@ -184,6 +215,7 @@ impl StoreWriter {
         StoreWriter {
             kind,
             sections: Vec::new(),
+            names: std::collections::HashSet::new(),
         }
     }
 
@@ -195,7 +227,7 @@ impl StoreWriter {
             "section name '{name}' must be 1..={MAX_SECTION_NAME} bytes"
         );
         assert!(
-            self.sections.iter().all(|(n, _)| n != name),
+            self.names.insert(name.to_string()),
             "duplicate section name '{name}'"
         );
         self.sections.push((name.to_string(), payload));
@@ -258,6 +290,9 @@ pub struct StoreFile {
     kind: u32,
     data: Vec<u8>,
     table: Vec<SectionEntry>,
+    // name → table position. Section lookups happen per block decode on
+    // the query path, so they must not scan a 10^5-entry directory.
+    lookup: std::collections::HashMap<String, usize>,
 }
 
 impl StoreFile {
@@ -322,7 +357,18 @@ impl StoreFile {
                 crc,
             });
         }
-        Ok(StoreFile { kind, data, table })
+        let mut lookup = std::collections::HashMap::with_capacity(table.len());
+        for (i, e) in table.iter().enumerate() {
+            // First entry wins on (malformed) duplicate names, matching
+            // the previous first-match scan.
+            lookup.entry(e.name.clone()).or_insert(i);
+        }
+        Ok(StoreFile {
+            kind,
+            data,
+            table,
+            lookup,
+        })
     }
 
     /// Opens a container file (one contiguous read).
@@ -353,15 +399,15 @@ impl StoreFile {
 
     /// True when a section exists.
     pub fn has_section(&self, name: &str) -> bool {
-        self.table.iter().any(|e| e.name == name)
+        self.lookup.contains_key(name)
     }
 
     /// CRC-checked payload of a section.
     pub fn section(&self, name: &str) -> Result<&[u8]> {
         let entry = self
-            .table
-            .iter()
-            .find(|e| e.name == name)
+            .lookup
+            .get(name)
+            .map(|&i| &self.table[i])
             .ok_or_else(|| StoreError::MissingSection(name.to_string()))?;
         let payload = &self.data[entry.offset..entry.offset + entry.len];
         if crc32(payload) != entry.crc {

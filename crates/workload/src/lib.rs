@@ -18,6 +18,7 @@
 //!   (Fig. 10(a)).
 pub mod dataset;
 pub mod motion;
+pub mod queries;
 pub mod trips;
 pub mod zipf;
 
@@ -26,5 +27,6 @@ pub use dataset::{
     WorkloadConfig,
 };
 pub use motion::{MotionConfig, MotionProfile};
+pub use queries::{query_mix, QueryMixConfig};
 pub use trips::{route_trip, RoutingConfig};
 pub use zipf::Zipf;

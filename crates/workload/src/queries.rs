@@ -1,0 +1,210 @@
+//! Deterministic mixed query workloads for the serving tier.
+//!
+//! The bench and CI gates need repeatable query traffic against a
+//! [`press_core::TrajectoryStore`]: a seeded mix of `range` / `whenat` /
+//! `whereat` probes shaped like dashboard traffic — mostly-selective
+//! windows over a long time horizon, a tunable share of deliberate
+//! misses, and Zipf-like hotspot repetition (the same handful of popular
+//! probes asked over and over, which is what block caches and the
+//! synopsis index monetise). [`query_mix`] produces exactly that as a
+//! `Vec<StoreQuery>` ready for [`press_core::QueryBatch`]; the same
+//! `(config, seed)` always yields the same vector.
+
+use press_core::StoreQuery;
+use press_network::{Mbr, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated query mix; see [`query_mix`].
+#[derive(Clone, Debug)]
+pub struct QueryMixConfig {
+    /// Total number of queries to emit.
+    pub num_queries: usize,
+    /// RNG seed — same seed, same mix.
+    pub seed: u64,
+    /// Fraction of queries that are `Range` (the rest split evenly
+    /// between `WhenAt` and `WhereAt`).
+    pub range_fraction: f64,
+    /// Spatial extent of the corpus; range regions are sampled inside it.
+    pub bbox: Mbr,
+    /// Time horizon `[t_min, t_max]` the corpus covers.
+    pub t_min: f64,
+    /// See `t_min`.
+    pub t_max: f64,
+    /// Width of each range query's time window, as a fraction of the
+    /// horizon (small values ⇒ selective queries that skip most blocks).
+    pub window_fraction: f64,
+    /// Side length of each range query's region, as a fraction of the
+    /// bbox extent.
+    pub region_fraction: f64,
+    /// Fraction of range queries aimed entirely outside the time horizon
+    /// (guaranteed misses — the index answers these without decoding).
+    pub miss_fraction: f64,
+    /// Fraction of queries replayed from a small pool of hotspot probes
+    /// (popular-query repetition).
+    pub hotspot_fraction: f64,
+    /// Number of distinct hotspot probes in the pool.
+    pub hotspot_pool: usize,
+    /// Number of trajectories in the target store, for `idx` sampling.
+    pub num_trajectories: usize,
+}
+
+impl Default for QueryMixConfig {
+    fn default() -> Self {
+        QueryMixConfig {
+            num_queries: 1000,
+            seed: 7,
+            range_fraction: 0.8,
+            bbox: Mbr::new(0.0, 0.0, 1000.0, 1000.0),
+            t_min: 0.0,
+            t_max: 10_000.0,
+            window_fraction: 0.01,
+            region_fraction: 0.25,
+            miss_fraction: 0.2,
+            hotspot_fraction: 0.5,
+            hotspot_pool: 16,
+            num_trajectories: 100,
+        }
+    }
+}
+
+/// Generates a deterministic mixed query workload per `cfg`.
+///
+/// Panics if `num_trajectories` is zero while the mix includes point
+/// queries (`range_fraction < 1.0`) — point queries need a trajectory
+/// to address.
+pub fn query_mix(cfg: &QueryMixConfig) -> Vec<StoreQuery> {
+    assert!(
+        cfg.num_trajectories > 0 || cfg.range_fraction >= 1.0,
+        "point queries need at least one trajectory"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pool: Vec<StoreQuery> = (0..cfg.hotspot_pool.max(1))
+        .map(|_| fresh_query(cfg, &mut rng))
+        .collect();
+    (0..cfg.num_queries)
+        .map(|_| {
+            if rng.gen_bool(cfg.hotspot_fraction.clamp(0.0, 1.0)) {
+                pool[rng.gen_range(0..pool.len())].clone()
+            } else {
+                fresh_query(cfg, &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn fresh_query(cfg: &QueryMixConfig, rng: &mut StdRng) -> StoreQuery {
+    let kind = rng.gen_range(0.0..1.0);
+    if kind < cfg.range_fraction {
+        fresh_range(cfg, rng)
+    } else if kind < cfg.range_fraction + (1.0 - cfg.range_fraction) / 2.0 {
+        StoreQuery::WhenAt {
+            idx: rng.gen_range(0..cfg.num_trajectories),
+            p: sample_point(&cfg.bbox, rng),
+            tolerance: 0.02 * extent(&cfg.bbox),
+        }
+    } else {
+        StoreQuery::WhereAt {
+            idx: rng.gen_range(0..cfg.num_trajectories),
+            t: rng.gen_range(cfg.t_min..=cfg.t_max),
+        }
+    }
+}
+
+fn fresh_range(cfg: &QueryMixConfig, rng: &mut StdRng) -> StoreQuery {
+    let horizon = (cfg.t_max - cfg.t_min).max(1.0);
+    let window = (cfg.window_fraction.clamp(0.0, 1.0) * horizon).max(1e-9);
+    let t1 = if rng.gen_bool(cfg.miss_fraction.clamp(0.0, 1.0)) {
+        // Window entirely after the horizon: a guaranteed index-level miss.
+        cfg.t_max + horizon * rng.gen_range(0.1..2.0)
+    } else {
+        rng.gen_range(cfg.t_min..=(cfg.t_max - window).max(cfg.t_min))
+    };
+    let side = cfg.region_fraction.clamp(0.0, 1.0) * extent(&cfg.bbox);
+    let c = sample_point(&cfg.bbox, rng);
+    StoreQuery::Range {
+        t1,
+        t2: t1 + window,
+        region: Mbr::new(
+            c.x - side / 2.0,
+            c.y - side / 2.0,
+            c.x + side / 2.0,
+            c.y + side / 2.0,
+        ),
+    }
+}
+
+fn extent(bbox: &Mbr) -> f64 {
+    (bbox.max_x - bbox.min_x).max(bbox.max_y - bbox.min_y)
+}
+
+fn sample_point(bbox: &Mbr, rng: &mut StdRng) -> Point {
+    Point::new(
+        rng.gen_range(bbox.min_x..=bbox.max_x),
+        rng.gen_range(bbox.min_y..=bbox.max_y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mix() {
+        let cfg = QueryMixConfig::default();
+        assert_eq!(query_mix(&cfg), query_mix(&cfg));
+        let other = QueryMixConfig {
+            seed: 8,
+            ..cfg.clone()
+        };
+        assert_ne!(query_mix(&cfg), query_mix(&other));
+    }
+
+    #[test]
+    fn mix_respects_fractions_and_bounds() {
+        let cfg = QueryMixConfig {
+            num_queries: 2000,
+            range_fraction: 0.6,
+            hotspot_fraction: 0.0,
+            ..QueryMixConfig::default()
+        };
+        let mix = query_mix(&cfg);
+        assert_eq!(mix.len(), 2000);
+        let ranges = mix
+            .iter()
+            .filter(|q| matches!(q, StoreQuery::Range { .. }))
+            .count();
+        let frac = ranges as f64 / mix.len() as f64;
+        assert!((frac - 0.6).abs() < 0.05, "range fraction {frac}");
+        for q in &mix {
+            match q {
+                StoreQuery::Range { t1, t2, .. } => assert!(t1 <= t2),
+                StoreQuery::WhenAt { idx, .. } | StoreQuery::WhereAt { idx, .. } => {
+                    assert!(*idx < cfg.num_trajectories)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hotspots_repeat() {
+        let cfg = QueryMixConfig {
+            num_queries: 500,
+            hotspot_fraction: 1.0,
+            hotspot_pool: 4,
+            ..QueryMixConfig::default()
+        };
+        let mix = query_mix(&cfg);
+        let mut distinct: Vec<&StoreQuery> = Vec::new();
+        for q in &mix {
+            if !distinct.contains(&q) {
+                distinct.push(q);
+            }
+        }
+        assert!(
+            distinct.len() <= 4,
+            "expected ≤4 distinct, saw {}",
+            distinct.len()
+        );
+    }
+}

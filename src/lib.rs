@@ -44,7 +44,12 @@
 //! | [`core`] | `press-core` | representation, HSC, BTC, queries, the `Press` façade |
 //! | [`serve`] | `press-serve` | fault-tolerant streaming fleet ingest (WAL, quarantine, recovery) |
 //! | [`baselines`] | `press-baselines` | MMTC, Nonmaterial, zipx/rarx, simplification kit |
-//! | [`workload`] | `press-workload` | synthetic taxi workload generator |
+//! | [`workload`] | `press-workload` | synthetic taxi workload generator + query mixes |
+//!
+//! The end-to-end system narrative (GPS fix → WAL → sessions → matcher
+//! → compressors → block store → synopsis index → query executor, plus
+//! the SP backend tier) lives in `docs/ARCHITECTURE.md`; the normative
+//! byte-level file formats are in `docs/FORMATS.md`.
 
 pub use press_baselines as baselines;
 pub use press_core as core;
@@ -57,10 +62,11 @@ pub use press_workload as workload;
 pub mod prelude {
     pub use press_core::query::QueryEngine;
     pub use press_core::query::ScanMode;
+    pub use press_core::store::TrajectoryStore;
     pub use press_core::{
         btc_compress, nstd, reformat, tsnd, BtcBounds, CompressedTrajectory, Decomposer, DtPoint,
-        GpsPoint, GpsTrajectory, HscModel, PathSample, Press, PressConfig, PressError, SpatialPath,
-        TemporalSequence, Trajectory,
+        GpsPoint, GpsTrajectory, HscModel, PathSample, Press, PressConfig, PressError, QueryBatch,
+        SpatialPath, StoreAnswer, StoreQuery, TemporalSequence, Trajectory,
     };
     pub use press_matcher::{MapMatcher, MatcherConfig};
     pub use press_network::{
@@ -71,5 +77,5 @@ pub mod prelude {
     pub use press_serve::{
         Ack, FaultPlan, IngestConfig, IngestEngine, QuarantineReason, SessionPolicy,
     };
-    pub use press_workload::{Workload, WorkloadConfig};
+    pub use press_workload::{query_mix, QueryMixConfig, Workload, WorkloadConfig};
 }

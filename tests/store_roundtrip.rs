@@ -336,6 +336,110 @@ fn trajectory_store_open_rejects_empty_and_torn_directory() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Index-section corruption matrix: a bit flip inside the persisted
+/// synopsis index is a CRC failure; a CRC-valid but logically wrong
+/// index is a typed `Corrupt` error; a *stripped* index section (a file
+/// written before the index existed) loads fine and answers identically
+/// — the index is rebuilt in memory, never guessed.
+#[test]
+fn index_section_corruption_matrix() {
+    use press_store::{IndexEntry, StoreError, StoreFile, StoreWriter, SynopsisIndex};
+    let net = net_from(5, 5, 0.1, 19);
+    let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
+    let mut training = Vec::new();
+    for s in 0..16u64 {
+        let choices: Vec<u8> = (0..10).map(|i| ((s * 9 + i * 5) % 5) as u8).collect();
+        let p = walk_from_choices(&net, (s * 3) as u32, &choices);
+        if p.len() >= 3 {
+            training.push(p);
+        }
+    }
+    let model = HscModel::train(sp, &training, 3).expect("train");
+    let press = Press::with_model(Arc::new(model), PressConfig::default());
+    let compressed: Vec<CompressedTrajectory> = training
+        .iter()
+        .enumerate()
+        .map(|(k, p)| {
+            let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+            let traj = Trajectory::new(
+                SpatialPath::new_unchecked(p.clone()),
+                TemporalSequence::new(vec![
+                    DtPoint::new(0.0, k as f64 * 200.0),
+                    DtPoint::new(total, k as f64 * 200.0 + 80.0),
+                ])
+                .expect("temporal"),
+            );
+            press.compress(&traj).expect("compress")
+        })
+        .collect();
+    let engine = QueryEngine::new(press.model());
+    let good = TrajectoryStore::to_store_bytes(&engine, &compressed, 3).expect("bytes");
+    let store = TrajectoryStore::from_store_bytes(good.clone()).expect("load");
+    let region = Mbr::new(-1e9, -1e9, 1e9, 1e9);
+    let reference = store.range(&engine, 0.0, 700.0, &region).expect("range");
+
+    // Rewrites the container, replacing the index section via `f`.
+    let rebuild = |f: &dyn Fn(&[u8]) -> Option<Vec<u8>>| -> Vec<u8> {
+        let file = StoreFile::from_bytes(good.clone()).expect("parse");
+        let mut w = StoreWriter::new(file.kind());
+        for name in file.section_names() {
+            let payload = file.section(name).expect("section");
+            if name == "index" {
+                if let Some(p) = f(payload) {
+                    w.section(name, p);
+                }
+            } else {
+                w.section(name, payload.to_vec());
+            }
+        }
+        w.to_bytes()
+    };
+
+    // 1. Bit flip inside the index payload: the section CRC catches it.
+    let index_payload = store.synopsis_index().to_section_bytes();
+    let pos = good
+        .windows(index_payload.len())
+        .position(|w| w == index_payload)
+        .expect("index payload must appear in the file");
+    let mut flipped = good.clone();
+    flipped[pos + index_payload.len() / 2] ^= 0x10;
+    match TrajectoryStore::from_store_bytes(flipped) {
+        Err(PressError::Store(StoreError::ChecksumMismatch { section })) => {
+            assert_eq!(section, "index")
+        }
+        other => panic!("expected index checksum mismatch, got {other:?}"),
+    }
+
+    // 2. CRC-valid but logically wrong index (one leaf dropped): typed
+    //    Corrupt, never a silently wrong answer.
+    let wrong = rebuild(&|payload: &[u8]| {
+        let idx = SynopsisIndex::from_section_bytes(payload).expect("decode");
+        let leaves: Vec<IndexEntry> = (0..idx.num_leaves() - 1).map(|i| *idx.leaf(i)).collect();
+        Some(SynopsisIndex::build(leaves, idx.branching()).to_section_bytes())
+    });
+    assert!(matches!(
+        TrajectoryStore::from_store_bytes(wrong),
+        Err(PressError::Store(StoreError::Corrupt(_)))
+    ));
+
+    // 3. Stripped index section (pre-index file): loads, rebuilds in
+    //    memory, and answers identically.
+    let stripped = rebuild(&|_| None);
+    let file = StoreFile::from_bytes(stripped.clone()).expect("parse");
+    assert!(!file.has_section("index"));
+    let old = TrajectoryStore::from_store_bytes(stripped).expect("pre-index file must load");
+    assert_eq!(
+        old.range(&engine, 0.0, 700.0, &region).expect("range"),
+        reference
+    );
+    assert_eq!(
+        old.range_linear(&engine, 0.0, 700.0, &region)
+            .expect("linear"),
+        reference
+    );
+    assert_eq!(old.synopsis_index(), store.synopsis_index());
+}
+
 /// End-to-end: a trajectory corpus written as a block store round-trips
 /// and answers queries identically to the in-memory compressed forms.
 #[test]
