@@ -21,6 +21,10 @@
 //! --load-dir DIR  warm-start from artifacts saved by a --save-dir run with
 //!                 the same seed and backend, skipping SP preprocessing and
 //!                 training; outputs are bit-identical to a fresh build
+//! --map           with --load-dir: open the SP structure through the
+//!                 zero-copy mapped tier (CH/HL; other backends fall back
+//!                 to the owned load) — same bit-identical outputs, O(page
+//!                 faults) open cost instead of a full decode
 //! ```
 
 use press_bench::{experiments, Env, Scale, StoreMode};
@@ -35,6 +39,7 @@ fn main() {
     let mut threads = 0usize;
     let mut save_dir: Option<String> = None;
     let mut load_dir: Option<String> = None;
+    let mut map = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -69,6 +74,7 @@ fn main() {
                         .clone(),
                 );
             }
+            "--map" => map = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => wanted.push(other.to_string()),
@@ -77,8 +83,12 @@ fn main() {
     if save_dir.is_some() && load_dir.is_some() {
         usage("--save-dir and --load-dir are mutually exclusive");
     }
+    if map && load_dir.is_none() {
+        usage("--map opens saved artifacts; pass --load-dir with it");
+    }
     let store = match (&save_dir, &load_dir) {
         (Some(d), _) => StoreMode::Save(std::path::Path::new(d)),
+        (_, Some(d)) if map => StoreMode::Map(std::path::Path::new(d)),
         (_, Some(d)) => StoreMode::Load(std::path::Path::new(d)),
         _ => StoreMode::None,
     };
@@ -98,6 +108,7 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1e3,
         match store {
             StoreMode::Load(_) => " (warm-start from artifact store)",
+            StoreMode::Map(_) => " (warm-start from mapped artifact store)",
             StoreMode::Save(_) => " (artifacts saved)",
             StoreMode::None => "",
         }
@@ -169,7 +180,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|fig10a|fig10b|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|fig17|aux|ablations]… \
-         [--full] [--seed N] [--lazy] [--ch] [--hl] [--threads N] [--save-dir DIR] [--load-dir DIR]"
+         [--full] [--seed N] [--lazy] [--ch] [--hl] [--threads N] [--save-dir DIR] [--load-dir DIR] [--map]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

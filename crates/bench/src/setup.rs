@@ -52,6 +52,12 @@ pub enum StoreMode<'a> {
     Save(&'a Path),
     /// Warm-start: load the artifacts saved by a previous `Save` run.
     Load(&'a Path),
+    /// Warm-start through the zero-copy mapped tier: CH/HL structures
+    /// open as read-only mappings whose flat sections are borrowed in
+    /// place (open cost is page faults, not decode), answering
+    /// bit-identically to `Load`. Backends without flat artifacts
+    /// (dense table, lazy hot-tree set) fall back to the owned load.
+    Map(&'a Path),
 }
 
 /// Artifact file names inside an environment's store subdirectory.
@@ -118,6 +124,23 @@ impl ConcreteSp {
             }
             SpBackend::Ch => ConcreteSp::Ch(Arc::new(ContractionHierarchy::load_from(net, path)?)),
             SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::load_from(net, path)?)),
+        })
+    }
+
+    /// [`ConcreteSp::load`] through the zero-copy mapped tier where one
+    /// exists (CH, HL); dense tables and lazy hot-tree sets have no flat
+    /// artifact and fall back to the owned load.
+    fn open_mapped(
+        backend: SpBackend,
+        net: Arc<RoadNetwork>,
+        path: &Path,
+    ) -> press_store::Result<Self> {
+        Ok(match backend {
+            SpBackend::Ch => {
+                ConcreteSp::Ch(Arc::new(ContractionHierarchy::open_mapped(net, path)?))
+            }
+            SpBackend::Hl => ConcreteSp::Hl(Arc::new(HubLabels::open_mapped(net, path)?)),
+            other => return Self::load(other, net, path),
         })
     }
 
@@ -297,7 +320,8 @@ impl Env {
         };
         let provenance = Self::provenance_bytes(&grid, &wl, backend);
         let (net, concrete, loaded_model) = match store {
-            StoreMode::Load(base) => {
+            StoreMode::Load(base) | StoreMode::Map(base) => {
+                let mapped = matches!(store, StoreMode::Map(_));
                 let dir = base.join(flavor);
                 let meta = press_store::StoreFile::open(&dir.join("env_meta.press"))
                     .unwrap_or_else(|e| fail("read the environment provenance", e));
@@ -316,9 +340,14 @@ impl Env {
                     RoadNetwork::load_from(&dir.join("network.press"))
                         .unwrap_or_else(|e| fail("load the network", e)),
                 );
-                let concrete =
-                    ConcreteSp::load(backend, net.clone(), &dir.join(sp_file_name(backend)))
-                        .unwrap_or_else(|e| fail("load the SP structure", e));
+                let sp_path = dir.join(sp_file_name(backend));
+                let concrete = if mapped {
+                    ConcreteSp::open_mapped(backend, net.clone(), &sp_path)
+                        .unwrap_or_else(|e| fail("map the SP structure", e))
+                } else {
+                    ConcreteSp::load(backend, net.clone(), &sp_path)
+                        .unwrap_or_else(|e| fail("load the SP structure", e))
+                };
                 let model = HscModel::load_from(concrete.erased(), &dir.join("hsc.press"))
                     .unwrap_or_else(|e| fail("load the HSC model", e));
                 (net, concrete, Some(model))
@@ -474,17 +503,23 @@ mod tests {
         ] {
             let built = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Save(&dir));
             let warm = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Load(&dir));
+            let mapped = Env::standard_with_store(Scale::Small, 5, backend, StoreMode::Map(&dir));
             assert_eq!(built.workload.records.len(), warm.workload.records.len());
-            for (ta, tb) in built
+            assert_eq!(built.workload.records.len(), mapped.workload.records.len());
+            for ((ta, tb), tc) in built
                 .eval_trajectories()
                 .iter()
                 .zip(&warm.eval_trajectories())
+                .zip(&mapped.eval_trajectories())
                 .take(8)
             {
                 assert_eq!(ta, tb, "workload must regenerate identically");
+                assert_eq!(ta, tc, "mapped workload must regenerate identically");
                 let ca = built.press.compress(ta).unwrap();
                 let cb = warm.press.compress(tb).unwrap();
+                let cc = mapped.press.compress(tc).unwrap();
                 assert_eq!(ca, cb, "{backend:?} warm-start must compress identically");
+                assert_eq!(ca, cc, "{backend:?} mapped start must compress identically");
                 assert_eq!(
                     built.press.decompress(&ca).unwrap().path,
                     warm.press.decompress(&cb).unwrap().path

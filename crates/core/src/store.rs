@@ -340,7 +340,11 @@ impl TrajectoryStore {
         }
         let index = SynopsisIndex::build(leaves, DEFAULT_BRANCHING);
         w.section("meta", meta.into_bytes());
-        w.section("synopsis", synopsis.into_bytes());
+        // The block directory is already fixed-width (64 B per block);
+        // writing it 8-byte aligned makes it the store's flat section, so
+        // a mapped open walks it in place. Alignment gaps are invisible
+        // to readers (sections are addressed via the table offset).
+        w.section_aligned("synopsis", synopsis.into_bytes());
         w.section("index", index.to_section_bytes());
         for (b, payload) in payloads.into_iter().enumerate() {
             w.section(&format!("blk{b}"), payload);
@@ -362,7 +366,13 @@ impl TrajectoryStore {
 
     /// Opens a store from container bytes, validating the synopsis table.
     pub fn from_store_bytes(bytes: Vec<u8>) -> Result<TrajectoryStore> {
-        let file = StoreFile::from_bytes(bytes)?;
+        Self::from_file(StoreFile::from_bytes(bytes)?)
+    }
+
+    /// Opens a store over an already-opened container (owned or mapped):
+    /// the shared validation path of [`TrajectoryStore::from_store_bytes`]
+    /// and [`TrajectoryStore::open_mapped`].
+    fn from_file(file: StoreFile) -> Result<TrajectoryStore> {
         file.expect_kind(kind::TRAJECTORY_STORE)?;
         let mut meta = file.reader("meta")?;
         let len = meta.get_len(u32::MAX as usize, "trajectory")?;
@@ -445,6 +455,24 @@ impl TrajectoryStore {
     /// Opens a store file (one contiguous read).
     pub fn open(path: &Path) -> Result<TrajectoryStore> {
         Self::from_store_bytes(std::fs::read(path).map_err(StoreError::from)?)
+    }
+
+    /// Opens a store file through the zero-copy mapped tier: the corpus
+    /// payload stays on disk behind a read-only mapping, so open cost is
+    /// the metadata walk (header, block directory, synopsis index) —
+    /// block payloads are faulted in and CRC-validated only when a query
+    /// first decodes them, and a corrupted block surfaces then as a typed
+    /// [`StoreError::ChecksumMismatch`], never a wrong answer. Answers
+    /// are bit-identical to [`TrajectoryStore::open`]; only the residency
+    /// model differs.
+    pub fn open_mapped(path: &Path) -> Result<TrajectoryStore> {
+        Self::from_file(StoreFile::open_mapped(path)?)
+    }
+
+    /// True when the store serves from a lazily-validated mapping
+    /// (see [`TrajectoryStore::open_mapped`]).
+    pub fn is_mapped(&self) -> bool {
+        self.file.is_mapped()
     }
 
     /// Number of trajectories in the store.
@@ -957,5 +985,65 @@ mod tests {
                 .unwrap(),
             vec![]
         );
+    }
+
+    fn temp_corpus(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("press-corpus-{}-{name}.press", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_store_answers_bit_identically_to_owned_open() {
+        let (press, trajs, compressed) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let bytes = TrajectoryStore::to_store_bytes(&engine, &compressed, 6).unwrap();
+        let path = temp_corpus("identical", &bytes);
+        let owned = TrajectoryStore::from_store_bytes(bytes).unwrap();
+        let mapped = TrajectoryStore::open_mapped(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped.len(), owned.len());
+        assert_eq!(mapped.num_blocks(), owned.num_blocks());
+        for b in 0..owned.num_blocks() {
+            assert_eq!(mapped.synopsis(b), owned.synopsis(b));
+        }
+        for (i, ct) in compressed.iter().enumerate() {
+            assert_eq!(mapped.get(i).unwrap(), *ct, "trajectory {i}");
+        }
+        let (a, b) = trajs[1].temporal.time_range().unwrap();
+        let t = (a + b) / 2.0;
+        assert_eq!(
+            owned.whereat(&engine, 1, t).unwrap().x.to_bits(),
+            mapped.whereat(&engine, 1, t).unwrap().x.to_bits()
+        );
+        let region = Mbr::new(0.0, 0.0, 2000.0, 2000.0);
+        assert_eq!(
+            owned.range(&engine, 0.0, 20_000.0, &region).unwrap(),
+            mapped.range(&engine, 0.0, 20_000.0, &region).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_store_defers_block_crc_to_first_touch() {
+        let (press, _, compressed) = fixture();
+        let engine = QueryEngine::new(press.model());
+        let mut bytes = TrajectoryStore::to_store_bytes(&engine, &compressed, 4).unwrap();
+        // Flip a bit in the last block's payload: the mapped open only
+        // walks metadata + directory, so it must succeed; the corrupted
+        // block is a typed checksum error at its first decode, and the
+        // untouched blocks keep answering.
+        let len = bytes.len();
+        bytes[len - 2] ^= 0x20;
+        let path = temp_corpus("lazy-crc", &bytes);
+        let store = TrajectoryStore::open_mapped(&path).unwrap();
+        assert_eq!(store.get(0).unwrap(), compressed[0]);
+        assert!(matches!(
+            store.get(compressed.len() - 1),
+            Err(PressError::Store(StoreError::ChecksumMismatch { .. }))
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

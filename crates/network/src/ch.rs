@@ -276,6 +276,142 @@ pub(crate) fn decode_arcs_compact(
     Ok(arcs)
 }
 
+/// Encodes an arc set as the flat `arcs_f` section: 24 fixed-width bytes
+/// per arc — tail `u32`, head `u32`, weight as `f64` bits, then the two
+/// unpack ids (`(edge id, NO_ARC)` for an original, the child arc ids
+/// for a shortcut). Redundant with `arcs_c` by design: the flat twin is
+/// what a mapped open decodes without touching the varint machinery, and
+/// the redundancy (endpoints and weights that `arcs_c` derives) is
+/// exactly what [`decode_arcs_flat`] cross-checks against the network.
+pub(crate) fn encode_arcs_flat(arcs: &[ChArc]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(arcs.len() * 24);
+    for arc in arcs {
+        out.extend_from_slice(&arc.tail.0.to_le_bytes());
+        out.extend_from_slice(&arc.head.0.to_le_bytes());
+        out.extend_from_slice(&arc.weight.to_bits().to_le_bytes());
+        let (a, b) = match arc.unpack {
+            Unpack::Original(e) => (e.0, NO_ARC),
+            Unpack::Shortcut(first, second) => (first, second),
+        };
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes the flat `arcs_f` section (see [`encode_arcs_flat`]) with the
+/// full validation the legacy fixed-width decoder performed: originals
+/// must match the network edge byte-for-byte, shortcuts must reference
+/// strictly earlier arcs, concatenate at the middle node, and carry the
+/// exact float sum of their children. Shared by the mapped
+/// contraction-hierarchy and hub-label opens.
+pub(crate) fn decode_arcs_flat(
+    net: &RoadNetwork,
+    bytes: &[u8],
+    num_arcs: usize,
+) -> press_store::Result<Vec<ChArc>> {
+    use press_store::StoreError;
+    if bytes.len() != num_arcs * 24 {
+        return Err(StoreError::Corrupt(format!(
+            "arcs_f: {} bytes does not match {num_arcs} arcs x 24 B",
+            bytes.len()
+        )));
+    }
+    let num_original = net.num_edges();
+    let mut arcs: Vec<ChArc> = Vec::with_capacity(num_arcs);
+    for (id, rec) in bytes.chunks_exact(24).enumerate() {
+        let tail = NodeId(u32::from_le_bytes(rec[0..4].try_into().unwrap()));
+        let head = NodeId(u32::from_le_bytes(rec[4..8].try_into().unwrap()));
+        let weight = f64::from_bits(u64::from_le_bytes(rec[8..16].try_into().unwrap()));
+        let a = u32::from_le_bytes(rec[16..20].try_into().unwrap());
+        let b = u32::from_le_bytes(rec[20..24].try_into().unwrap());
+        if id < num_original {
+            let e = EdgeId(id as u32);
+            let edge = net.edge(e);
+            if a != id as u32
+                || b != NO_ARC
+                || edge.from != tail
+                || edge.to != head
+                || edge.weight.to_bits() != weight.to_bits()
+            {
+                return Err(StoreError::Corrupt(format!(
+                    "arcs_f: original arc {id} does not match network edge {id}"
+                )));
+            }
+            arcs.push(ChArc {
+                tail,
+                head,
+                weight,
+                unpack: Unpack::Original(e),
+            });
+        } else {
+            if a as usize >= id || b as usize >= id {
+                return Err(StoreError::Corrupt(format!(
+                    "arcs_f: shortcut arc {id} unpacks to an out-of-range arc ({a}, {b})"
+                )));
+            }
+            let first = arcs[a as usize];
+            let second = arcs[b as usize];
+            if first.tail != tail
+                || second.head != head
+                || first.head != second.tail
+                || (first.weight + second.weight).to_bits() != weight.to_bits()
+            {
+                return Err(StoreError::Corrupt(format!(
+                    "arcs_f: shortcut arc {id} does not concatenate its children ({a}, {b})"
+                )));
+            }
+            arcs.push(ChArc {
+                tail,
+                head,
+                weight,
+                unpack: Unpack::Shortcut(a, b),
+            });
+        }
+    }
+    Ok(arcs)
+}
+
+/// Validates that a CSR search graph files every arc under the right
+/// node and that every arc points up in rank — the invariant both the
+/// owned loader and the mapped [`MappedContractionHierarchy::validate`]
+/// pass enforce before any query runs. `forward` selects which CSR is
+/// being checked: up-arcs grouped by tail (forward search) or down-arcs
+/// grouped by head (backward).
+fn check_csr_membership(
+    arcs: &[ChArc],
+    rank: &[u32],
+    index: &[u32],
+    ids: &[u32],
+    forward: bool,
+    arcs_name: &str,
+) -> press_store::Result<()> {
+    use press_store::StoreError;
+    let n = index.len() - 1;
+    let num_arcs = arcs.len();
+    for node in 0..n {
+        for &a in &ids[index[node] as usize..index[node + 1] as usize] {
+            let Some(arc) = arcs.get(a as usize) else {
+                return Err(StoreError::Corrupt(format!(
+                    "{arcs_name} references arc {a} outside 0..{num_arcs}"
+                )));
+            };
+            let (own, up) = if forward {
+                (arc.tail, rank[arc.tail.index()] < rank[arc.head.index()])
+            } else {
+                (arc.head, rank[arc.tail.index()] > rank[arc.head.index()])
+            };
+            if own.index() != node || !up {
+                return Err(StoreError::Corrupt(format!(
+                    "{arcs_name}: arc {a} filed under node {node} is not one of \
+                     its upward arcs"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Min-heap entry (reversed `Ord`, ties on node id — deterministic).
 #[derive(Copy, Clone, PartialEq)]
 pub(crate) struct QueueEntry {
@@ -348,20 +484,24 @@ thread_local! {
 /// A built contraction hierarchy over one road network; see module docs.
 /// Internals are crate-visible so the hub-label backend can be built from
 /// the same rank order and upward search graphs.
+/// The id-array fields are [`press_store::FlatSlice`]s: owned vectors
+/// after a build or an owned load, zero-copy borrows of the artifact's
+/// flat sections after a mapped open ([`MappedContractionHierarchy`]) —
+/// `Deref<Target = [u32]>` keeps every query identical either way.
 pub struct ContractionHierarchy {
     pub(crate) net: Arc<RoadNetwork>,
     /// Contraction order of each node (higher = contracted later = more
     /// "important").
-    pub(crate) rank: Vec<u32>,
+    pub(crate) rank: press_store::FlatSlice<u32>,
     /// All arcs: originals first, then shortcuts.
     pub(crate) arcs: Vec<ChArc>,
     /// CSR over up-arcs (tail rank < head rank), indexed by tail.
-    pub(crate) fwd_index: Vec<u32>,
-    pub(crate) fwd_arcs: Vec<u32>,
+    pub(crate) fwd_index: press_store::FlatSlice<u32>,
+    pub(crate) fwd_arcs: press_store::FlatSlice<u32>,
     /// CSR over down-arcs (tail rank > head rank), indexed by head — the
     /// backward search relaxes these from the head side.
-    pub(crate) bwd_index: Vec<u32>,
-    pub(crate) bwd_arcs: Vec<u32>,
+    pub(crate) bwd_index: press_store::FlatSlice<u32>,
+    pub(crate) bwd_arcs: press_store::FlatSlice<u32>,
     num_shortcuts: usize,
 }
 
@@ -935,12 +1075,12 @@ impl ContractionHierarchy {
         }
         ContractionHierarchy {
             net,
-            rank,
+            rank: rank.into(),
             arcs,
-            fwd_index,
-            fwd_arcs,
-            bwd_index,
-            bwd_arcs,
+            fwd_index: fwd_index.into(),
+            fwd_arcs: fwd_arcs.into(),
+            bwd_index: bwd_index.into(),
+            bwd_arcs: bwd_arcs.into(),
             num_shortcuts,
         }
     }
@@ -970,6 +1110,13 @@ impl ContractionHierarchy {
     /// is a purely additive section change (no container format-version
     /// bump): this reader still accepts files written with the raw
     /// fixed-width sections of earlier builds.
+    ///
+    /// Alongside the compact sections the writer also emits the
+    /// **flat** twins (`arcs_f`, `*_f` — fixed-width little-endian,
+    /// 8-byte aligned via `section_aligned`) that the zero-copy
+    /// [`MappedContractionHierarchy`] tier borrows in place. Also purely
+    /// additive: owned loads keep reading the compact sections and old
+    /// readers ignore the flat ones.
     pub fn to_store_bytes(&self) -> Vec<u8> {
         let mut meta = press_store::ByteWriter::with_capacity(28);
         meta.put_u64(self.rank.len() as u64);
@@ -980,13 +1127,12 @@ impl ContractionHierarchy {
         // legacy weight-carrying section performed byte-for-byte moves
         // here (see `store_codec::edge_fingerprint`).
         meta.put_u32(crate::store_codec::edge_fingerprint(&self.net));
-        let mut rank = press_store::ByteWriter::with_capacity(self.rank.len() * 4);
-        for &r in &self.rank {
-            rank.put_u32(r);
-        }
         let mut w = press_store::StoreWriter::new(press_store::kind::CONTRACTION_HIERARCHY);
         w.section("meta", meta.into_bytes());
-        w.section("rank", rank.into_bytes());
+        // "rank" was always raw u32 LE; writing it aligned (a no-op for
+        // readers, which address sections by table offset) lets the
+        // mapped tier borrow it in place like the *_f sections below.
+        w.section_aligned("rank", crate::store_codec::encode_u32s_flat(&self.rank));
         w.section(
             "arcs_c",
             encode_arcs_compact(&self.arcs, self.net.num_edges()),
@@ -1006,6 +1152,23 @@ impl ContractionHierarchy {
         w.section(
             "bwd_arcs_c",
             crate::store_codec::encode_grouped_ascending(&self.bwd_index, &self.bwd_arcs),
+        );
+        w.section_aligned("arcs_f", encode_arcs_flat(&self.arcs));
+        w.section_aligned(
+            "fwd_index_f",
+            crate::store_codec::encode_u32s_flat(&self.fwd_index),
+        );
+        w.section_aligned(
+            "fwd_arcs_f",
+            crate::store_codec::encode_u32s_flat(&self.fwd_arcs),
+        );
+        w.section_aligned(
+            "bwd_index_f",
+            crate::store_codec::encode_u32s_flat(&self.bwd_index),
+        );
+        w.section_aligned(
+            "bwd_arcs_f",
+            crate::store_codec::encode_u32s_flat(&self.bwd_arcs),
         );
         w.to_bytes()
     }
@@ -1208,26 +1371,7 @@ impl ContractionHierarchy {
                 r.expect_end(arcs_name)?;
                 (index, ids)
             };
-            for node in 0..n {
-                for &a in &ids[index[node] as usize..index[node + 1] as usize] {
-                    let Some(arc) = arcs.get(a as usize) else {
-                        return Err(StoreError::Corrupt(format!(
-                            "{arcs_name} references arc {a} outside 0..{num_arcs}"
-                        )));
-                    };
-                    let (own, up) = if forward {
-                        (arc.tail, rank[arc.tail.index()] < rank[arc.head.index()])
-                    } else {
-                        (arc.head, rank[arc.tail.index()] > rank[arc.head.index()])
-                    };
-                    if own.index() != node || !up {
-                        return Err(StoreError::Corrupt(format!(
-                            "{arcs_name}: arc {a} filed under node {node} is not one of \
-                             its upward arcs"
-                        )));
-                    }
-                }
-            }
+            check_csr_membership(&arcs, &rank, &index, &ids, forward, arcs_name)?;
             Ok((index, ids))
         };
         let (fwd_index, fwd_arcs) =
@@ -1236,12 +1380,12 @@ impl ContractionHierarchy {
             read_csr("bwd_index_c", "bwd_arcs_c", "bwd_index", "bwd_arcs", false)?;
         Ok(ContractionHierarchy {
             net,
-            rank,
+            rank: rank.into(),
             arcs,
-            fwd_index,
-            fwd_arcs,
-            bwd_index,
-            bwd_arcs,
+            fwd_index: fwd_index.into(),
+            fwd_arcs: fwd_arcs.into(),
+            bwd_index: bwd_index.into(),
+            bwd_arcs: bwd_arcs.into(),
             num_shortcuts,
         })
     }
@@ -1252,6 +1396,16 @@ impl ContractionHierarchy {
         path: &std::path::Path,
     ) -> press_store::Result<ContractionHierarchy> {
         Self::from_store_bytes(net, std::fs::read(path)?)
+    }
+
+    /// Opens a hierarchy artifact through the zero-copy mapped tier:
+    /// [`MappedContractionHierarchy::open`] followed by
+    /// [`MappedContractionHierarchy::validate`].
+    pub fn open_mapped(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<ContractionHierarchy> {
+        MappedContractionHierarchy::open(net, path)?.validate()
     }
 
     /// Contraction rank of a node (0 = contracted first).
@@ -1567,6 +1721,187 @@ impl ContractionHierarchy {
             }
             Some(acc)
         })
+    }
+}
+
+/// Phase one of the zero-copy load path: a hierarchy artifact opened as
+/// a read-only mapping with **only its metadata touched** — magic,
+/// section table, the (small) `meta` section, the network fingerprint,
+/// and length-only checks that every flat section is present with
+/// exactly the declared extent. Open cost is O(page faults on a few KB),
+/// which is what makes mapped warm starts milliseconds instead of
+/// seconds; the flat payloads stay cold until [`Self::validate`].
+///
+/// `validate` is the only way forward: it consumes the handle, runs the
+/// per-section CRCs (lazily triggered on first touch) plus the
+/// structural bounds scans, and only then yields a usable
+/// [`ContractionHierarchy`] — so no [`SpProvider`] can exist over
+/// unvalidated mapped bytes, and a bit-flip anywhere in a flat section
+/// surfaces as a typed [`press_store::StoreError`], never a panic or a
+/// wrong answer.
+pub struct MappedContractionHierarchy {
+    net: Arc<RoadNetwork>,
+    file: press_store::StoreFile,
+    n: usize,
+    num_arcs: usize,
+    num_shortcuts: usize,
+}
+
+impl MappedContractionHierarchy {
+    /// Maps `path` and checks metadata only (see the type docs). Fails
+    /// with a typed error on kind/fingerprint/extent mismatches and on
+    /// artifacts written before the flat tier existed (those load fine
+    /// through [`ContractionHierarchy::load_from`]).
+    pub fn open(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<MappedContractionHierarchy> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::open_mapped(path)?;
+        file.expect_kind(press_store::kind::CONTRACTION_HIERARCHY)?;
+        let mut meta = file.reader("meta")?;
+        let n = meta.get_len(u32::MAX as usize, "node")?;
+        let num_arcs = meta.get_len(u32::MAX as usize, "arc")?;
+        let num_shortcuts = meta.get_len(u32::MAX as usize, "shortcut")?;
+        if meta.remaining() == 0 {
+            return Err(StoreError::Corrupt(
+                "hierarchy artifact predates the flat/mapped tier; re-save it \
+                 or load it owned"
+                    .into(),
+            ));
+        }
+        let fp = meta.get_u32()?;
+        meta.expect_end("meta")?;
+        if fp != crate::store_codec::edge_fingerprint(&net) {
+            return Err(StoreError::Corrupt(
+                "hierarchy was built over a network with a different edge set \
+                 (weight fingerprint mismatch)"
+                    .into(),
+            ));
+        }
+        if n != net.num_nodes() {
+            return Err(StoreError::Corrupt(format!(
+                "hierarchy covers {n} nodes but the network has {}",
+                net.num_nodes()
+            )));
+        }
+        if num_arcs < net.num_edges() || num_arcs - net.num_edges() != num_shortcuts {
+            return Err(StoreError::Corrupt(format!(
+                "arc count {num_arcs} inconsistent with {} original edges + {num_shortcuts} shortcuts",
+                net.num_edges()
+            )));
+        }
+        // Length-only presence checks (no payload touch, no CRC): the
+        // fixed-extent sections must match the meta counts exactly; the
+        // CSR payload extents are data-dependent and are reconciled
+        // against their index at validate time.
+        let fixed = [
+            ("rank", n * 4),
+            ("arcs_f", num_arcs * 24),
+            ("fwd_index_f", (n + 1) * 4),
+            ("bwd_index_f", (n + 1) * 4),
+        ];
+        for (name, want) in fixed {
+            match file.section_len(name) {
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: artifact predates the flat/mapped tier; re-save it \
+                         or load it owned"
+                    )))
+                }
+                Some(len) if len != want => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: {len} B does not match the declared extent ({want} B)"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        for name in ["fwd_arcs_f", "bwd_arcs_f"] {
+            match file.section_len(name) {
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: artifact predates the flat/mapped tier; re-save it \
+                         or load it owned"
+                    )))
+                }
+                Some(len) if len % 4 != 0 => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: {len} B is not a whole number of u32 ids"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(MappedContractionHierarchy {
+            net,
+            file,
+            n,
+            num_arcs,
+            num_shortcuts,
+        })
+    }
+
+    /// Phase two: CRC every flat section on first touch, decode and
+    /// cross-check the arc set against the network, validate the rank
+    /// permutation and both CSR search graphs, and return the hierarchy
+    /// — its id arrays borrowing the mapping zero-copy (the mapping is
+    /// kept alive by the slices). Answers are bit-identical to an owned
+    /// [`ContractionHierarchy::load_from`] of the same artifact.
+    pub fn validate(self) -> press_store::Result<ContractionHierarchy> {
+        use press_store::StoreError;
+        let MappedContractionHierarchy {
+            net,
+            file,
+            n,
+            num_arcs,
+            num_shortcuts,
+        } = self;
+        let rank: press_store::FlatSlice<u32> = file.flat_section("rank")?;
+        let mut seen = vec![false; n];
+        for (v, &rk) in rank.iter().enumerate() {
+            if rk as usize >= n || std::mem::replace(&mut seen[rk as usize], true) {
+                return Err(StoreError::Corrupt(format!(
+                    "rank of node {v} ({rk}) breaks the 0..{n} permutation"
+                )));
+            }
+        }
+        let arcs = decode_arcs_flat(&net, file.section("arcs_f")?, num_arcs)?;
+        let read_csr = |index_name: &str,
+                        arcs_name: &str,
+                        forward: bool|
+         -> press_store::Result<(
+            press_store::FlatSlice<u32>,
+            press_store::FlatSlice<u32>,
+        )> {
+            let index: press_store::FlatSlice<u32> = file.flat_section(index_name)?;
+            let ids: press_store::FlatSlice<u32> = file.flat_section(arcs_name)?;
+            crate::store_codec::check_flat_index(&index, n + 1, ids.len() as u64, index_name)?;
+            check_csr_membership(&arcs, &rank, &index, &ids, forward, arcs_name)?;
+            Ok((index, ids))
+        };
+        let (fwd_index, fwd_arcs) = read_csr("fwd_index_f", "fwd_arcs_f", true)?;
+        let (bwd_index, bwd_arcs) = read_csr("bwd_index_f", "bwd_arcs_f", false)?;
+        Ok(ContractionHierarchy {
+            net,
+            rank,
+            arcs,
+            fwd_index,
+            fwd_arcs,
+            bwd_index,
+            bwd_arcs,
+            num_shortcuts,
+        })
+    }
+}
+
+impl std::fmt::Debug for MappedContractionHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedContractionHierarchy")
+            .field("nodes", &self.n)
+            .field("arcs", &self.num_arcs)
+            .field("shortcuts", &self.num_shortcuts)
+            .finish()
     }
 }
 
@@ -1997,6 +2332,109 @@ mod tests {
         let mut bytes = built.to_store_bytes();
         bytes.truncate(bytes.len() / 2);
         assert!(ContractionHierarchy::from_store_bytes(net, bytes).is_err());
+    }
+
+    fn temp_artifact(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("press-ch-{}-{name}.press", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_open_is_bit_identical_to_owned_load() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 5,
+            ny: 5,
+            weight_jitter: 0.12,
+            removal_prob: 0.04,
+            seed: 11,
+            ..GridConfig::default()
+        }));
+        let built = ContractionHierarchy::build(net.clone());
+        let path = temp_artifact("map-ok", &built.to_store_bytes());
+        let mapped = ContractionHierarchy::open_mapped(net.clone(), &path).unwrap();
+        assert_eq!(mapped.rank, built.rank);
+        assert_eq!(mapped.fwd_index, built.fwd_index);
+        assert_eq!(mapped.fwd_arcs, built.fwd_arcs);
+        assert_eq!(mapped.bwd_index, built.bwd_index);
+        assert_eq!(mapped.bwd_arcs, built.bwd_arcs);
+        assert_eq!(mapped.num_shortcuts, built.num_shortcuts);
+        // The aligned flat sections are borrowed straight out of the
+        // mapping — the whole point of the tier.
+        assert!(
+            mapped.fwd_arcs.is_borrowed(),
+            "flat CSR should be zero-copy"
+        );
+        assert!(
+            mapped.rank.is_borrowed(),
+            "aligned rank should be zero-copy"
+        );
+        for u in net.node_ids() {
+            for v in net.node_ids().step_by(3) {
+                assert_eq!(
+                    built.node_dist(u, v).to_bits(),
+                    mapped.node_dist(u, v).to_bits()
+                );
+                assert_eq!(built.pred_edge(u, v), mapped.pred_edge(u, v));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_open_surfaces_flat_corruption_as_typed_checksum_error() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 4,
+            ny: 4,
+            weight_jitter: 0.1,
+            seed: 6,
+            ..GridConfig::default()
+        }));
+        let built = ContractionHierarchy::build(net.clone());
+        let mut bytes = built.to_store_bytes();
+        // Flat sections are emitted last, so the file's final byte lies
+        // in `bwd_arcs_f`. The flip must not fail the O(metadata) open —
+        // lazy CRC means nothing has touched the payload yet — but must
+        // surface as a typed checksum error at validate.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let path = temp_artifact("map-flip", &bytes);
+        let opened = MappedContractionHierarchy::open(net.clone(), &path).unwrap();
+        assert!(matches!(
+            opened.validate(),
+            Err(press_store::StoreError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_open_rejects_pre_flat_artifacts_that_owned_load_accepts() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 4,
+            ny: 4,
+            weight_jitter: 0.1,
+            seed: 6,
+            ..GridConfig::default()
+        }));
+        let built = ContractionHierarchy::build(net.clone());
+        // Strip the flat sections, simulating an artifact from a build
+        // that predates the mapped tier.
+        let file = press_store::StoreFile::from_bytes(built.to_store_bytes()).unwrap();
+        let mut w = press_store::StoreWriter::new(press_store::kind::CONTRACTION_HIERARCHY);
+        for name in file.section_names() {
+            if !name.ends_with("_f") {
+                w.section(name, file.section(name).unwrap().to_vec());
+            }
+        }
+        let path = temp_artifact("map-legacy", &w.to_bytes());
+        assert!(matches!(
+            MappedContractionHierarchy::open(net.clone(), &path),
+            Err(press_store::StoreError::Corrupt(_))
+        ));
+        // The owned loader still accepts it — flat sections are additive.
+        assert!(ContractionHierarchy::load_from(net.clone(), &path).is_ok());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

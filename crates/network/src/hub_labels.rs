@@ -58,6 +58,7 @@ use crate::ch::{expand_arc, ChArc, ContractionHierarchy, QueueEntry, NO_ARC};
 use crate::graph::RoadNetwork;
 use crate::id::{EdgeId, NodeId};
 use crate::provider::SpProvider;
+use press_store::FlatSlice;
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -67,11 +68,15 @@ use std::sync::Arc;
 /// what makes the query a sorted merge). `parent` is the arc (into the
 /// carried arc table) that reached the hub in `v`'s search tree —
 /// [`NO_ARC`] exactly for the self entry `(v, 0.0)`.
+///
+/// The arrays are [`FlatSlice`]s: owned after a build or an owned load,
+/// zero-copy borrows of the artifact's flat sections after a mapped open
+/// ([`MappedHubLabels`]) — `Deref` keeps the query code identical.
 struct LabelSet {
-    index: Vec<u32>,
-    hub: Vec<u32>,
-    dist: Vec<f64>,
-    parent: Vec<u32>,
+    index: FlatSlice<u32>,
+    hub: FlatSlice<u32>,
+    dist: FlatSlice<f64>,
+    parent: FlatSlice<u32>,
 }
 
 impl LabelSet {
@@ -282,22 +287,25 @@ impl HubLabels {
             });
         let assemble = |pick: fn(&RawNodeLabels) -> &Vec<RawEntry>| {
             let total: usize = per_node.iter().map(|p| pick(p).len()).sum();
-            let mut set = LabelSet {
-                index: Vec::with_capacity(n + 1),
-                hub: Vec::with_capacity(total),
-                dist: Vec::with_capacity(total),
-                parent: Vec::with_capacity(total),
-            };
-            set.index.push(0);
+            let mut index = Vec::with_capacity(n + 1);
+            let mut hub = Vec::with_capacity(total);
+            let mut dist = Vec::with_capacity(total);
+            let mut parent = Vec::with_capacity(total);
+            index.push(0);
             for p in &per_node {
-                for &(hub, dist, parent) in pick(p) {
-                    set.hub.push(hub);
-                    set.dist.push(dist);
-                    set.parent.push(parent);
+                for &(h, d, pa) in pick(p) {
+                    hub.push(h);
+                    dist.push(d);
+                    parent.push(pa);
                 }
-                set.index.push(set.hub.len() as u32);
+                index.push(hub.len() as u32);
             }
-            set
+            LabelSet {
+                index: index.into(),
+                hub: hub.into(),
+                dist: dist.into(),
+                parent: parent.into(),
+            }
         };
         assert!(
             per_node
@@ -477,8 +485,17 @@ impl HubLabels {
     /// each entry's distance is exactly `dist(parent hub) + w(parent
     /// arc)` in its search tree, so the loader recomputes them
     /// bit-exactly from the parent chains (validating the chains in the
-    /// process). The artifact therefore contains no floating-point
-    /// payload whatsoever.
+    /// process). The compact sections therefore contain no
+    /// floating-point payload whatsoever.
+    ///
+    /// Alongside the compact sections the writer emits the **flat**
+    /// twins (`arcs_f`, `*_index_f`/`*_hub_f`/`*_dist_f`/`*_parent_f` —
+    /// fixed-width little-endian, 8-byte aligned) that the zero-copy
+    /// [`MappedHubLabels`] tier borrows in place; `*_dist_f` stores the
+    /// label distances as IEEE bit patterns precisely so the mapped open
+    /// can skip the recompute that dominates the owned load. Purely
+    /// additive: owned loads keep reading the compact sections and old
+    /// readers ignore the flat ones.
     pub fn to_store_bytes(&self) -> Vec<u8> {
         let mut meta = press_store::ByteWriter::with_capacity(44);
         meta.put_u64(self.net.num_nodes() as u64);
@@ -491,7 +508,7 @@ impl HubLabels {
         meta.put_u32(crate::store_codec::edge_fingerprint(&self.net));
         let parents = |set: &LabelSet| {
             let mut w = press_store::ByteWriter::with_capacity(set.parent.len() * 2);
-            for &p in &set.parent {
+            for &p in set.parent.iter() {
                 w.put_uvarint(if p == NO_ARC { 0 } else { p as u64 + 1 });
             }
             w.into_bytes()
@@ -520,6 +537,27 @@ impl HubLabels {
             crate::store_codec::encode_grouped_ascending(&self.bwd.index, &self.bwd.hub),
         );
         w.section("bwd_parent", parents(&self.bwd));
+        w.section_aligned("arcs_f", crate::ch::encode_arcs_flat(&self.arcs));
+        let mut flat = |prefix: &str, set: &LabelSet| {
+            w.section_aligned(
+                &format!("{prefix}_index_f"),
+                crate::store_codec::encode_u32s_flat(&set.index),
+            );
+            w.section_aligned(
+                &format!("{prefix}_hub_f"),
+                crate::store_codec::encode_u32s_flat(&set.hub),
+            );
+            w.section_aligned(
+                &format!("{prefix}_dist_f"),
+                crate::store_codec::encode_f64s_flat(&set.dist),
+            );
+            w.section_aligned(
+                &format!("{prefix}_parent_f"),
+                crate::store_codec::encode_u32s_flat(&set.parent),
+            );
+        };
+        flat("fwd", &self.fwd);
+        flat("bwd", &self.bwd);
         w.to_bytes()
     }
 
@@ -611,14 +649,23 @@ impl HubLabels {
                 }
             }
             r.expect_end(parent_name)?;
-            let mut set = LabelSet {
-                index,
-                hub,
-                dist: vec![0.0; entries],
-                parent,
-            };
-            recompute_dists(&mut set, &arcs, n, forward, parent_name)?;
-            Ok(set)
+            let mut dist = vec![0.0; entries];
+            recompute_dists(
+                &index,
+                &hub,
+                &parent,
+                &mut dist,
+                &arcs,
+                n,
+                forward,
+                parent_name,
+            )?;
+            Ok(LabelSet {
+                index: index.into(),
+                hub: hub.into(),
+                dist: dist.into(),
+                parent: parent.into(),
+            })
         };
         let fwd = read_set("fwd_index_c", "fwd_hub_c", "fwd_parent", fwd_entries, true)?;
         let bwd = read_set("bwd_index_c", "bwd_hub_c", "bwd_parent", bwd_entries, false)?;
@@ -637,13 +684,236 @@ impl HubLabels {
     ) -> press_store::Result<HubLabels> {
         Self::from_store_bytes(net, std::fs::read(path)?)
     }
+
+    /// Opens a label artifact through the zero-copy mapped tier:
+    /// [`MappedHubLabels::open`] followed by
+    /// [`MappedHubLabels::validate`].
+    pub fn open_mapped(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<HubLabels> {
+        MappedHubLabels::open(net, path)?.validate()
+    }
+}
+
+/// Phase one of the zero-copy label load: the artifact mapped read-only
+/// with **only its metadata touched** — header, section table, the small
+/// `meta` section (counts + network fingerprint), and length-only checks
+/// that every flat section is present with exactly the declared extent.
+/// Open cost is O(page faults on a few KB) — this is the number the
+/// `hl_mmap_open` benchmark gate measures — versus the seconds-long
+/// owned load that varint-decodes every section and recomputes 10⁷-scale
+/// label distances.
+///
+/// [`Self::validate`] is the only way to reach a queryable
+/// [`HubLabels`]: it consumes the handle, CRCs each flat section on
+/// first touch, decodes and cross-checks the arc set, and bounds-scans
+/// the label arrays, so no [`SpProvider`] exists over unvalidated
+/// mapped bytes and a bit-flip surfaces as a typed
+/// [`press_store::StoreError`] — never a panic or a wrong answer. The
+/// label *distances* are covered by CRC and trusted structurally (their
+/// semantic recomputation is exactly the cost this tier removes); see
+/// `docs/FORMATS.md` for the precise trust statement.
+pub struct MappedHubLabels {
+    net: Arc<RoadNetwork>,
+    file: press_store::StoreFile,
+    n: usize,
+    num_arcs: usize,
+    fwd_entries: usize,
+    bwd_entries: usize,
+}
+
+impl MappedHubLabels {
+    /// Maps `path` and checks metadata only (see the type docs). Typed
+    /// errors on kind/fingerprint/extent mismatches and on artifacts
+    /// written before the flat tier existed (those still load through
+    /// [`HubLabels::load_from`]).
+    pub fn open(
+        net: Arc<RoadNetwork>,
+        path: &std::path::Path,
+    ) -> press_store::Result<MappedHubLabels> {
+        use press_store::StoreError;
+        let file = press_store::StoreFile::open_mapped(path)?;
+        file.expect_kind(press_store::kind::HUB_LABELS)?;
+        let mut meta = file.reader("meta")?;
+        let n = meta.get_len(u32::MAX as usize, "node")?;
+        let num_arcs = meta.get_len(u32::MAX as usize, "arc")?;
+        let num_shortcuts = meta.get_len(u32::MAX as usize, "shortcut")?;
+        let fwd_entries = meta.get_len(u32::MAX as usize, "forward label entry")?;
+        let bwd_entries = meta.get_len(u32::MAX as usize, "backward label entry")?;
+        let fp = meta.get_u32()?;
+        meta.expect_end("meta")?;
+        if fp != crate::store_codec::edge_fingerprint(&net) {
+            return Err(StoreError::Corrupt(
+                "labeling was built over a network with a different edge set \
+                 (weight fingerprint mismatch)"
+                    .into(),
+            ));
+        }
+        if n != net.num_nodes() {
+            return Err(StoreError::Corrupt(format!(
+                "labeling covers {n} nodes but the network has {}",
+                net.num_nodes()
+            )));
+        }
+        if num_arcs < net.num_edges() || num_arcs - net.num_edges() != num_shortcuts {
+            return Err(StoreError::Corrupt(format!(
+                "arc count {num_arcs} inconsistent with {} original edges + {num_shortcuts} shortcuts",
+                net.num_edges()
+            )));
+        }
+        // Length-only presence checks: no payload is touched (and hence
+        // no CRC runs), keeping the open O(metadata).
+        let need = [
+            ("arcs_f", num_arcs * 24),
+            ("fwd_index_f", (n + 1) * 4),
+            ("fwd_hub_f", fwd_entries * 4),
+            ("fwd_dist_f", fwd_entries * 8),
+            ("fwd_parent_f", fwd_entries * 4),
+            ("bwd_index_f", (n + 1) * 4),
+            ("bwd_hub_f", bwd_entries * 4),
+            ("bwd_dist_f", bwd_entries * 8),
+            ("bwd_parent_f", bwd_entries * 4),
+        ];
+        for (name, want) in need {
+            match file.section_len(name) {
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: artifact predates the flat/mapped tier; re-save it \
+                         or load it owned"
+                    )))
+                }
+                Some(len) if len != want => {
+                    return Err(StoreError::Corrupt(format!(
+                        "{name}: {len} B does not match the declared extent ({want} B)"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(MappedHubLabels {
+            net,
+            file,
+            n,
+            num_arcs,
+            fwd_entries,
+            bwd_entries,
+        })
+    }
+
+    /// Phase two: CRC every flat section on first touch, decode and
+    /// cross-check the arc set against the network, and bounds-scan the
+    /// label arrays — CSR shape, strictly ascending in-bounds hubs,
+    /// parent arcs in range and entering their hub, the parentless self
+    /// entry. Returns labels whose arrays borrow the mapping zero-copy
+    /// (the mapping stays alive through them), answering bit-identically
+    /// to an owned [`HubLabels::load_from`] of the same artifact.
+    pub fn validate(self) -> press_store::Result<HubLabels> {
+        use press_store::StoreError;
+        let MappedHubLabels {
+            net,
+            file,
+            n,
+            num_arcs,
+            fwd_entries,
+            bwd_entries,
+        } = self;
+        let arcs = crate::ch::decode_arcs_flat(&net, file.section("arcs_f")?, num_arcs)?;
+        let read_set =
+            |prefix: &str, entries: usize, forward: bool| -> press_store::Result<LabelSet> {
+                let index: FlatSlice<u32> = file.flat_section(&format!("{prefix}_index_f"))?;
+                let hub: FlatSlice<u32> = file.flat_section(&format!("{prefix}_hub_f"))?;
+                let dist: FlatSlice<f64> = file.flat_section(&format!("{prefix}_dist_f"))?;
+                let parent: FlatSlice<u32> = file.flat_section(&format!("{prefix}_parent_f"))?;
+                crate::store_codec::check_flat_index(
+                    &index,
+                    n + 1,
+                    entries as u64,
+                    &format!("{prefix}_index_f"),
+                )?;
+                for v in 0..n {
+                    let lo = index[v] as usize;
+                    let hi = index[v + 1] as usize;
+                    let mut prev: Option<u32> = None;
+                    let mut has_self = hi == lo;
+                    for k in lo..hi {
+                        let h = hub[k];
+                        if h as usize >= n || prev.is_some_and(|p| p >= h) {
+                            return Err(StoreError::Corrupt(format!(
+                                "{prefix}_hub_f: hubs of node {v} are not strictly \
+                             ascending node ids"
+                            )));
+                        }
+                        prev = Some(h);
+                        let pa = parent[k];
+                        if pa == NO_ARC {
+                            if h != v as u32 {
+                                return Err(StoreError::Corrupt(format!(
+                                    "{prefix}_parent_f: entry for hub {h} of node {v} \
+                                 has no parent arc"
+                                )));
+                            }
+                            has_self = true;
+                        } else {
+                            if pa as usize >= num_arcs {
+                                return Err(StoreError::Corrupt(format!(
+                                    "{prefix}_parent_f: parent arc {pa} outside 0..{num_arcs}"
+                                )));
+                            }
+                            let arc = arcs[pa as usize];
+                            let enters = if forward { arc.head } else { arc.tail };
+                            if enters.0 != h {
+                                return Err(StoreError::Corrupt(format!(
+                                    "{prefix}_parent_f: parent arc {pa} of node {v}'s \
+                                 hub {h} does not enter it"
+                                )));
+                            }
+                        }
+                    }
+                    if !has_self {
+                        return Err(StoreError::Corrupt(format!(
+                            "{prefix}_parent_f: label of node {v} lacks a parentless \
+                         self entry"
+                        )));
+                    }
+                }
+                Ok(LabelSet {
+                    index,
+                    hub,
+                    dist,
+                    parent,
+                })
+            };
+        let fwd = read_set("fwd", fwd_entries, true)?;
+        let bwd = read_set("bwd", bwd_entries, false)?;
+        Ok(HubLabels {
+            net,
+            arcs,
+            fwd,
+            bwd,
+        })
+    }
+}
+
+impl std::fmt::Debug for MappedHubLabels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedHubLabels")
+            .field("nodes", &self.n)
+            .field("arcs", &self.num_arcs)
+            .field("label_entries", &(self.fwd_entries + self.bwd_entries))
+            .finish()
+    }
 }
 
 /// Recomputes every label distance from its parent chain — the exact
 /// float sums the build produced — validating chain structure along the
 /// way (see [`HubLabels::from_store_bytes`]).
+#[allow(clippy::too_many_arguments)]
 fn recompute_dists(
-    set: &mut LabelSet,
+    index: &[u32],
+    hub: &[u32],
+    parent: &[u32],
+    dist: &mut [f64],
     arcs: &[ChArc],
     n: usize,
     forward: bool,
@@ -654,16 +924,16 @@ fn recompute_dists(
     let mut state: Vec<u8> = Vec::new();
     let mut stack: Vec<usize> = Vec::new();
     for v in 0..n {
-        let lo = set.index[v] as usize;
-        let hi = set.index[v + 1] as usize;
+        let lo = index[v] as usize;
+        let hi = index[v + 1] as usize;
         let count = hi - lo;
         if count == 0 {
             continue;
         }
         // Every non-empty label roots at the node's self entry.
-        let self_pos = set.hub[lo..hi].binary_search(&(v as u32));
+        let self_pos = hub[lo..hi].binary_search(&(v as u32));
         match self_pos {
-            Ok(k) if set.parent[lo + k] == NO_ARC => {}
+            Ok(k) if parent[lo + k] == NO_ARC => {}
             _ => {
                 return Err(StoreError::Corrupt(format!(
                     "{what}: label of node {v} lacks a parentless self entry"
@@ -680,15 +950,15 @@ fn recompute_dists(
             stack.push(start);
             state[start] = 1;
             while let Some(&cur) = stack.last() {
-                let pa = set.parent[lo + cur];
+                let pa = parent[lo + cur];
                 if pa == NO_ARC {
-                    if set.hub[lo + cur] != v as u32 {
+                    if hub[lo + cur] != v as u32 {
                         return Err(StoreError::Corrupt(format!(
                             "{what}: entry for hub {} of node {v} has no parent arc",
-                            set.hub[lo + cur]
+                            hub[lo + cur]
                         )));
                     }
-                    set.dist[lo + cur] = 0.0;
+                    dist[lo + cur] = 0.0;
                     state[cur] = 2;
                     stack.pop();
                     continue;
@@ -699,13 +969,13 @@ fn recompute_dists(
                 } else {
                     (arc.tail, arc.head)
                 };
-                if enters.0 != set.hub[lo + cur] {
+                if enters.0 != hub[lo + cur] {
                     return Err(StoreError::Corrupt(format!(
                         "{what}: parent arc {pa} of node {v}'s hub {} does not enter it",
-                        set.hub[lo + cur]
+                        hub[lo + cur]
                     )));
                 }
-                let Ok(pk) = set.hub[lo..hi].binary_search(&from.0) else {
+                let Ok(pk) = hub[lo..hi].binary_search(&from.0) else {
                     return Err(StoreError::Corrupt(format!(
                         "{what}: parent chain of node {v} leaves the label at hub {}",
                         from.0
@@ -713,7 +983,7 @@ fn recompute_dists(
                 };
                 match state[pk] {
                     2 => {
-                        set.dist[lo + cur] = set.dist[lo + pk] + arc.weight;
+                        dist[lo + cur] = dist[lo + pk] + arc.weight;
                         state[cur] = 2;
                         stack.pop();
                     }
@@ -993,10 +1263,10 @@ mod tests {
         assert_eq!(loaded.bwd.parent, built.bwd.parent);
         // Distances were NOT stored — they were recomputed from parent
         // chains — and still match bit-for-bit.
-        for (a, b) in built.fwd.dist.iter().zip(&loaded.fwd.dist) {
+        for (a, b) in built.fwd.dist.iter().zip(loaded.fwd.dist.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
-        for (a, b) in built.bwd.dist.iter().zip(&loaded.bwd.dist) {
+        for (a, b) in built.bwd.dist.iter().zip(loaded.bwd.dist.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(loaded.arcs.len(), built.arcs.len());
@@ -1021,13 +1291,22 @@ mod tests {
             ..GridConfig::default()
         }));
         let hl = HubLabels::build(net.clone());
-        // The artifact stores no floats and delta-codes every id array,
-        // so it must be well under half the resident footprint.
+        // The *compact* sections store no floats and delta-code every id
+        // array, so they must be well under half the resident footprint.
+        // The flat (`*_f`) twins exist for the mapped tier and are
+        // full-width by design — exclude them from the compactness claim.
         let bytes = hl.to_store_bytes();
+        let file = press_store::StoreFile::from_bytes(bytes.clone()).unwrap();
+        let flat: usize = file
+            .section_names()
+            .filter(|nm| nm.ends_with("_f"))
+            .map(|nm| file.section_len(nm).unwrap())
+            .sum();
+        assert!(flat > 0, "flat twins missing from the artifact");
         assert!(
-            bytes.len() * 2 < hl.approx_bytes(),
-            "artifact {} B vs resident {} B",
-            bytes.len(),
+            (bytes.len() - flat) * 2 < hl.approx_bytes(),
+            "compact sections {} B vs resident {} B",
+            bytes.len() - flat,
             hl.approx_bytes()
         );
     }
@@ -1086,6 +1365,122 @@ mod tests {
             );
         }
         assert!(provider.source_tree(NodeId(0)).is_none());
+    }
+
+    fn temp_artifact(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("press-hl-{}-{name}.press", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_open_is_bit_identical_to_owned_load() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 5,
+            ny: 5,
+            weight_jitter: 0.12,
+            removal_prob: 0.04,
+            seed: 11,
+            ..GridConfig::default()
+        }));
+        let built = HubLabels::build(net.clone());
+        let path = temp_artifact("hl-identical", &built.to_store_bytes());
+        let mapped = HubLabels::open_mapped(net.clone(), &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // Field-for-field identity, including the distances the owned
+        // load recomputes but the mapped open reads straight from disk.
+        assert_eq!(mapped.fwd.index, built.fwd.index);
+        assert_eq!(mapped.fwd.hub, built.fwd.hub);
+        assert_eq!(mapped.fwd.parent, built.fwd.parent);
+        assert_eq!(mapped.bwd.index, built.bwd.index);
+        assert_eq!(mapped.bwd.hub, built.bwd.hub);
+        assert_eq!(mapped.bwd.parent, built.bwd.parent);
+        for (a, b) in built.fwd.dist.iter().zip(mapped.fwd.dist.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in built.bwd.dist.iter().zip(mapped.bwd.dist.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(mapped.arcs.len(), built.arcs.len());
+        // The mapped arrays really are zero-copy views over the mapping,
+        // not decoded copies.
+        assert!(mapped.fwd.hub.is_borrowed());
+        assert!(mapped.fwd.dist.is_borrowed());
+        assert!(mapped.bwd.parent.is_borrowed());
+        for u in net.node_ids() {
+            for v in net.node_ids().step_by(3) {
+                assert_eq!(
+                    built.node_dist(u, v).to_bits(),
+                    mapped.node_dist(u, v).to_bits()
+                );
+                assert_eq!(built.pred_edge(u, v), mapped.pred_edge(u, v));
+            }
+        }
+        for &(a, b) in &[(EdgeId(0), EdgeId(17)), (EdgeId(9), EdgeId(3))] {
+            assert_eq!(built.sp_interior(a, b), mapped.sp_interior(a, b));
+        }
+    }
+
+    #[test]
+    fn mapped_open_surfaces_flat_corruption_as_typed_checksum_error() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 4,
+            ny: 4,
+            weight_jitter: 0.1,
+            seed: 6,
+            ..GridConfig::default()
+        }));
+        let mut bytes = HubLabels::build(net.clone()).to_store_bytes();
+        // Flat sections are declared last, so the final payload byte lives
+        // in `bwd_parent_f`. Flip it: the O(metadata) open must still
+        // succeed, and the first touch during validation must surface a
+        // typed checksum error — never a panic or a silently wrong label.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let path = temp_artifact("hl-corrupt", &bytes);
+        let opened = MappedHubLabels::open(net.clone(), &path).unwrap();
+        let err = opened.validate();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, Err(press_store::StoreError::ChecksumMismatch { .. })),
+            "expected ChecksumMismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mapped_open_rejects_pre_flat_artifacts_that_owned_load_accepts() {
+        let net = Arc::new(grid_network(&GridConfig {
+            nx: 4,
+            ny: 4,
+            weight_jitter: 0.1,
+            seed: 6,
+            ..GridConfig::default()
+        }));
+        let bytes = HubLabels::build(net.clone()).to_store_bytes();
+        // Rebuild the container with every flat twin stripped — the shape
+        // artifacts had before this tier existed.
+        let file = press_store::StoreFile::from_bytes(bytes).unwrap();
+        let mut w = press_store::StoreWriter::new(press_store::kind::HUB_LABELS);
+        let names: Vec<String> = file
+            .section_names()
+            .filter(|nm| !nm.ends_with("_f"))
+            .map(str::to_owned)
+            .collect();
+        for nm in &names {
+            w.section(nm, file.section(nm).unwrap().to_vec());
+        }
+        let path = temp_artifact("hl-preflat", &w.to_bytes());
+        let mapped = MappedHubLabels::open(net.clone(), &path);
+        assert!(
+            matches!(mapped, Err(press_store::StoreError::Corrupt(_))),
+            "expected an actionable Corrupt error, got {mapped:?}"
+        );
+        // The owned loader still accepts the stripped artifact: the flat
+        // tier is additive, not a format break.
+        let owned = HubLabels::load_from(net, &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(owned.fwd.index.len() > 1);
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct CacheStats {
     /// search instead of a full tree build (see
     /// [`LazySpConfig::point_probe_budget`]).
     pub point_probes: u64,
+    /// Hot-tree artifacts persisted via
+    /// [`LazySpCache::save_hot_trees`] (the serving engine's background
+    /// re-persistence ticks land here).
+    pub hot_saves: u64,
 }
 
 impl CacheStats {
@@ -217,6 +221,7 @@ pub struct LazySpCache {
     mbr_hits: AtomicU64,
     mbr_misses: AtomicU64,
     point_probes: AtomicU64,
+    hot_saves: AtomicU64,
 }
 
 impl LazySpCache {
@@ -245,6 +250,7 @@ impl LazySpCache {
             mbr_hits: AtomicU64::new(0),
             mbr_misses: AtomicU64::new(0),
             point_probes: AtomicU64::new(0),
+            hot_saves: AtomicU64::new(0),
         }
     }
 
@@ -327,6 +333,7 @@ impl LazySpCache {
             mbr_hits: self.mbr_hits.load(Ordering::Relaxed),
             mbr_misses: self.mbr_misses.load(Ordering::Relaxed),
             point_probes: self.point_probes.load(Ordering::Relaxed),
+            hot_saves: self.hot_saves.load(Ordering::Relaxed),
         }
     }
 
@@ -373,9 +380,11 @@ impl LazySpCache {
         w.to_bytes()
     }
 
-    /// Writes the hot-tree artifact to `path`.
+    /// Writes the hot-tree artifact to `path`, counting the save in
+    /// [`CacheStats::hot_saves`].
     pub fn save_hot_trees(&self, path: &std::path::Path) -> press_store::Result<()> {
         std::fs::write(path, self.to_store_bytes())?;
+        self.hot_saves.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -420,6 +429,7 @@ impl LazySpCache {
             mbr_hits: AtomicU64::new(0),
             mbr_misses: AtomicU64::new(0),
             point_probes: AtomicU64::new(0),
+            hot_saves: AtomicU64::new(0),
         };
         let mut r = file.reader("trees")?;
         let count = r.get_len(shards * trees_per_shard, "resident tree")?;

@@ -58,7 +58,7 @@ pub mod provider;
 pub mod sp_table;
 mod store_codec;
 
-pub use ch::{ChConfig, ContractionHierarchy};
+pub use ch::{ChConfig, ContractionHierarchy, MappedContractionHierarchy};
 pub use dijkstra::{
     bidirectional_distance, dijkstra, dijkstra_bounded, dijkstra_with, node_distance,
     reverse_distances, ShortestPathTree,
@@ -73,7 +73,7 @@ pub use geometry::{
     project_onto_segment, segments_intersect, Mbr, Point, Projection,
 };
 pub use graph::{Edge, Node, RoadNetwork, RoadNetworkBuilder};
-pub use hub_labels::HubLabels;
+pub use hub_labels::{HubLabels, MappedHubLabels};
 pub use id::{EdgeId, NodeId};
 pub use index::EdgeSpatialIndex;
 pub use lazy_sp::{CacheStats, LazySpCache, LazySpConfig};

@@ -132,6 +132,59 @@ pub(crate) fn decode_grouped_ascending(
     Ok(ids)
 }
 
+/// Encodes a `u32` array as raw fixed-width little-endian values — the
+/// flat (`*_f`) twin of the compact codecs above. Written through
+/// [`press_store::StoreWriter::section_aligned`] so a mapped open can
+/// borrow the section in place as a `FlatSlice<u32>` with zero decoding.
+pub(crate) fn encode_u32s_flat(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for &v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes an `f64` array as raw little-endian IEEE-754 bit patterns
+/// (the flat twin for float payloads; see [`encode_u32s_flat`]).
+pub(crate) fn encode_f64s_flat(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Validates the shape of a flat CSR index: exactly `len` entries,
+/// starting at 0, monotone non-decreasing, ending at `total` (the length
+/// of the array it points into). Flat sections carry no redundancy
+/// beyond the per-section CRC, so these structural checks are what keeps
+/// a mapped load panic-free.
+pub(crate) fn check_flat_index(index: &[u32], len: usize, total: u64, what: &str) -> Result<()> {
+    if index.len() != len {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: {} entries instead of the declared {len}",
+            index.len()
+        )));
+    }
+    if index[0] != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: CSR index does not start at 0"
+        )));
+    }
+    if index.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: CSR index is not monotone"
+        )));
+    }
+    if index[len - 1] as u64 != total {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: CSR index covers {} entries but the payload has {total}",
+            index[len - 1]
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +223,24 @@ mod tests {
         assert!(decode_grouped_ascending(&empty, &[0, 0, 0], 1, "t")
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn flat_encodings_are_fixed_width_le() {
+        assert_eq!(
+            encode_u32s_flat(&[1, 0x01020304]),
+            [1, 0, 0, 0, 0x04, 0x03, 0x02, 0x01]
+        );
+        assert_eq!(encode_f64s_flat(&[1.0]), 1.0f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn flat_index_shape_checks() {
+        assert!(check_flat_index(&[0, 2, 2, 5], 4, 5, "t").is_ok());
+        // Wrong length, nonzero start, non-monotone, wrong total: all typed.
+        assert!(check_flat_index(&[0, 2, 5], 4, 5, "t").is_err());
+        assert!(check_flat_index(&[1, 2, 2, 5], 4, 5, "t").is_err());
+        assert!(check_flat_index(&[0, 3, 2, 5], 4, 5, "t").is_err());
+        assert!(check_flat_index(&[0, 2, 2, 4], 4, 5, "t").is_err());
     }
 }

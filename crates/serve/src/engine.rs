@@ -50,7 +50,7 @@ use press_core::types::TemporalSequence;
 use press_core::{parallel::work_steal_map, query::QueryEngine};
 use press_core::{CompressedTrajectory, Press, PressError};
 use press_matcher::{GpsSample, MapMatcher, MatcherError};
-use press_network::Point;
+use press_network::{LazySpCache, Point};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::fs::File;
@@ -246,6 +246,21 @@ struct SegmentOutcome {
     shed: u64,
 }
 
+/// Background re-persistence of a [`LazySpCache`] hot-tree set, ticked
+/// by the **stream clock** (never wall clock — replay must be able to
+/// reproduce the same saves): whenever `max_time` has advanced at least
+/// `interval` past the last save, the cache's resident trees are written
+/// to `path`, so a process restarted next to the artifact warms its SP
+/// cache instead of paying cold Dijkstras.
+struct HotTreePersist {
+    cache: Arc<LazySpCache>,
+    path: PathBuf,
+    interval: f64,
+    /// Stream time of the last save; `NEG_INFINITY` arms the timer on
+    /// the first accepted fix.
+    last_save: f64,
+}
+
 /// Maps a timestamp to a key that sorts like the timestamp (total order
 /// over all non-NaN floats), for the idle-session index.
 fn time_key(t: f64) -> u64 {
@@ -283,6 +298,7 @@ pub struct IngestEngine {
     /// `config.quarantine_log_cap`), oldest first.
     quarantine: VecDeque<QuarantineRecord>,
     recovery: RecoveryReport,
+    hot_persist: Option<HotTreePersist>,
 }
 
 impl IngestEngine {
@@ -326,7 +342,11 @@ impl IngestEngine {
             };
         let corpus_path = dir.join(manifest::corpus_file_name(generation));
         let finished = if corpus_path.exists() {
-            TrajectoryStore::open(&corpus_path)?.decode_all()?
+            // Mapped open: recovery walks the block directory without
+            // pulling the whole checkpoint into memory first; each block
+            // is faulted in (and CRC-checked) once as `decode_all` visits
+            // it, and the answers are bit-identical to an owned open.
+            TrajectoryStore::open_mapped(&corpus_path)?.decode_all()?
         } else {
             Vec::new()
         };
@@ -347,6 +367,7 @@ impl IngestEngine {
             stats: IngestStats::default(),
             quarantine: VecDeque::new(),
             recovery: RecoveryReport::default(),
+            hot_persist: None,
         };
         let mut replayed_points = 0u64;
         let mut replayed_finalizes = 0u64;
@@ -479,6 +500,60 @@ impl IngestEngine {
             self.max_time = sample.t;
         }
         self.sweep_idle();
+        self.tick_hot_persist();
+    }
+
+    /// Stream-time timer tick for the background hot-tree persistence
+    /// (see [`IngestEngine::enable_hot_tree_persist`]). Best-effort:
+    /// a failed write only skips this tick — persistence is a warm-start
+    /// optimization, never part of the durability contract — so the
+    /// shared accept path stays infallible. Saves are counted in
+    /// [`press_network::CacheStats::hot_saves`].
+    fn tick_hot_persist(&mut self) {
+        let Some(hp) = &mut self.hot_persist else {
+            return;
+        };
+        if !self.max_time.is_finite() {
+            return;
+        }
+        if hp.last_save == f64::NEG_INFINITY {
+            // Arm on the first observed stream time; the first save lands
+            // one full interval later, once there are trees worth saving.
+            hp.last_save = self.max_time;
+            return;
+        }
+        if self.max_time - hp.last_save >= hp.interval {
+            hp.last_save = self.max_time;
+            let _ = hp.cache.save_hot_trees(&hp.path);
+        }
+    }
+
+    /// Enables background re-persistence of `cache`'s hot-tree set to
+    /// `path` every `interval_secs` seconds of **stream time** (the
+    /// observed `max_time` clock idle sweeps use; wall clock would make
+    /// replay nondeterministic). Each save rewrites the artifact with the
+    /// currently-resident trees and increments
+    /// [`press_network::CacheStats::hot_saves`]. Pass the cache the
+    /// engine's SP provider wraps, so the persisted set tracks the trees
+    /// serving actually heats up.
+    pub fn enable_hot_tree_persist(
+        &mut self,
+        cache: Arc<LazySpCache>,
+        path: PathBuf,
+        interval_secs: f64,
+    ) -> Result<()> {
+        if !interval_secs.is_finite() || interval_secs <= 0.0 {
+            return Err(ServeError::Config(
+                "hot-tree persist interval must be positive".into(),
+            ));
+        }
+        self.hot_persist = Some(HotTreePersist {
+            cache,
+            path,
+            interval: interval_secs,
+            last_save: f64::NEG_INFINITY,
+        });
+        Ok(())
     }
 
     /// Finalizes every session whose last accepted fix is more than

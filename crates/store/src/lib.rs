@@ -43,11 +43,20 @@
 //! # Access model
 //!
 //! A [`StoreWriter`] buffers named sections and emits the file in one
-//! `write`. A [`StoreFile`] ingests the whole file in one `read` (the
-//! layout is position-independent and mmap-ready — a future zero-copy
-//! reader can map the same bytes) and hands out CRC-checked `&[u8]`
-//! payload slices. [`ByteWriter`]/[`ByteReader`] provide the bounds- and
-//! endianness-checked primitive encoding used inside sections.
+//! `write`; [`StoreWriter::section_aligned`] starts a section on an
+//! 8-byte boundary (zero gap bytes pad the previous payload — invisible
+//! to readers, which address sections only through the table). A
+//! [`StoreFile`] opens either **owned** ([`StoreFile::open`], one
+//! contiguous read, payload CRC checked on every access) or **mapped**
+//! ([`StoreFile::open_mapped`], `mmap`/aligned-arena via [`mapping`],
+//! open cost O(header + table), payload CRC checked lazily **once** on
+//! a section's first touch and the verdict cached). Either way every
+//! access is validated before bytes are handed out, and
+//! [`StoreFile::flat_section`] lends fixed-width sections as typed
+//! [`FlatSlice`]s — zero-copy borrows of the backing when alignment
+//! permits, decoded copies otherwise. [`ByteWriter`]/[`ByteReader`]
+//! provide the bounds- and endianness-checked primitive encoding used
+//! inside sections.
 //!
 //! ```
 //! use press_store::{kind, ByteWriter, StoreFile, StoreWriter};
@@ -74,14 +83,19 @@
 //! additive `"index"` section); see [`index`] for its format and
 //! correctness contract.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 mod crc32;
 pub mod index;
+pub mod mapping;
 
 pub use crc32::crc32;
 pub use index::{IndexEntry, SynopsisIndex, DEFAULT_BRANCHING};
+pub use mapping::{map_file, ArenaMapping, Mapping};
 
 /// File magic, first 8 bytes of every artifact file.
 pub const MAGIC: [u8; 8] = *b"PRSSTORE";
@@ -202,7 +216,7 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 #[derive(Debug)]
 pub struct StoreWriter {
     kind: u32,
-    sections: Vec<(String, Vec<u8>)>,
+    sections: Vec<(String, Vec<u8>, bool)>,
     // O(1) duplicate detection — a trajectory store writes one section
     // per block, so a linear scan per insert would be quadratic in
     // corpus size.
@@ -219,9 +233,7 @@ impl StoreWriter {
         }
     }
 
-    /// Adds a section. Names are programmer-chosen constants; they must
-    /// be unique, non-empty, and at most [`MAX_SECTION_NAME`] bytes.
-    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+    fn push_section(&mut self, name: &str, payload: Vec<u8>, aligned: bool) {
         assert!(
             !name.is_empty() && name.len() <= MAX_SECTION_NAME,
             "section name '{name}' must be 1..={MAX_SECTION_NAME} bytes"
@@ -230,16 +242,39 @@ impl StoreWriter {
             self.names.insert(name.to_string()),
             "duplicate section name '{name}'"
         );
-        self.sections.push((name.to_string(), payload));
+        self.sections.push((name.to_string(), payload, aligned));
+    }
+
+    /// Adds a section. Names are programmer-chosen constants; they must
+    /// be unique, non-empty, and at most [`MAX_SECTION_NAME`] bytes.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        self.push_section(name, payload, false);
+        self
+    }
+
+    /// Adds a section whose payload starts on an 8-byte boundary in the
+    /// emitted file, padding the gap before it with zero bytes. The
+    /// padding lives *between* payloads and is addressed by no table
+    /// entry, so readers — including pre-alignment ones — never see it.
+    /// Flat fixed-width sections use this so a mapped open can lend the
+    /// payload directly as a typed slice.
+    pub fn section_aligned(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        self.push_section(name, payload, true);
         self
     }
 
     /// Serializes the container to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let table_len = self.sections.len() * DIR_ENTRY_BYTES;
+        // HEADER_BYTES and DIR_ENTRY_BYTES are both multiples of 8, so
+        // the first payload always starts aligned; padding is only ever
+        // needed after an unaligned-length payload.
         let mut offset = (HEADER_BYTES + table_len) as u64;
         let mut table = Vec::with_capacity(table_len);
-        for (name, payload) in &self.sections {
+        for (name, payload, aligned) in &self.sections {
+            if *aligned {
+                offset = offset.next_multiple_of(8);
+            }
             let mut name_bytes = [0u8; MAX_SECTION_NAME];
             name_bytes[..name.len()].copy_from_slice(name.as_bytes());
             table.extend_from_slice(&name_bytes);
@@ -249,15 +284,17 @@ impl StoreWriter {
             table.extend_from_slice(&0u32.to_le_bytes());
             offset += payload.len() as u64;
         }
-        let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
-        let mut out = Vec::with_capacity(HEADER_BYTES + table_len + payload_total);
+        let mut out = Vec::with_capacity(offset as usize);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.kind.to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         out.extend_from_slice(&crc32(&table).to_le_bytes());
         out.extend_from_slice(&table);
-        for (_, payload) in &self.sections {
+        for (_, payload, aligned) in &self.sections {
+            if *aligned {
+                out.resize(out.len().next_multiple_of(8), 0);
+            }
             out.extend_from_slice(payload);
         }
         out
@@ -283,22 +320,74 @@ struct SectionEntry {
     crc: u32,
 }
 
-/// A loaded container file: owns the raw bytes, hands out CRC-checked
-/// payload slices.
+/// The byte storage behind a [`StoreFile`]: a heap buffer for owned
+/// loads, a [`Mapping`] for zero-copy opens. Behind an `Arc` so typed
+/// [`FlatSlice`] views can keep the bytes alive independently of the
+/// `StoreFile` handle.
+enum Backing {
+    Owned(Vec<u8>),
+    Mapped(Box<dyn Mapping>),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Owned(v) => v,
+            Backing::Mapped(m) => m.bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for Backing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backing::Owned(v) => write!(f, "Backing::Owned({} bytes)", v.len()),
+            Backing::Mapped(m) => write!(f, "Backing::Mapped({m:?})"),
+        }
+    }
+}
+
+/// Lazy per-section CRC verdicts (mapped opens only): one tri-state per
+/// table entry, flipped exactly once on the section's first touch.
+const CRC_UNCHECKED: u8 = 0;
+const CRC_OK: u8 = 1;
+const CRC_BAD: u8 = 2;
+
+/// A loaded container file: owns (or maps) the raw bytes, hands out
+/// CRC-checked payload slices.
 #[derive(Debug)]
 pub struct StoreFile {
     kind: u32,
-    data: Vec<u8>,
+    data: Arc<Backing>,
     table: Vec<SectionEntry>,
     // name → table position. Section lookups happen per block decode on
     // the query path, so they must not scan a 10^5-entry directory.
     lookup: std::collections::HashMap<String, usize>,
+    /// `Some` for mapped opens: payload CRC is validated lazily, once
+    /// per section, on first touch (the whole point of a mapped open is
+    /// not reading every byte up front). `None` for owned loads, which
+    /// keep the historical eager semantics — CRC on **every** access.
+    lazy_crc: Option<Vec<AtomicU8>>,
 }
 
 impl StoreFile {
     /// Ingests a container from raw bytes, validating magic, version,
     /// the section table's CRC, and every entry's bounds.
     pub fn from_bytes(data: Vec<u8>) -> Result<Self> {
+        Self::from_backing(Backing::Owned(data), false)
+    }
+
+    /// Opens a container through [`map_file`] — `mmap` where available,
+    /// the aligned arena otherwise. The header and section table are
+    /// validated eagerly (they are one page); payload CRCs are deferred
+    /// to each section's first touch and the verdict cached, so open
+    /// cost is O(header + table), not O(file).
+    pub fn open_mapped(path: &Path) -> Result<Self> {
+        Self::from_backing(Backing::Mapped(map_file(path)?), true)
+    }
+
+    fn from_backing(backing: Backing, lazy: bool) -> Result<Self> {
+        let data = backing.bytes();
         if data.len() < HEADER_BYTES {
             return Err(StoreError::Truncated {
                 what: "header".into(),
@@ -363,17 +452,29 @@ impl StoreFile {
             // the previous first-match scan.
             lookup.entry(e.name.clone()).or_insert(i);
         }
+        let lazy_crc = lazy.then(|| {
+            (0..table.len())
+                .map(|_| AtomicU8::new(CRC_UNCHECKED))
+                .collect()
+        });
         Ok(StoreFile {
             kind,
-            data,
+            data: Arc::new(backing),
             table,
             lookup,
+            lazy_crc,
         })
     }
 
     /// Opens a container file (one contiguous read).
     pub fn open(path: &Path) -> Result<Self> {
         Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// True when this file was opened through [`StoreFile::open_mapped`]
+    /// (lazy per-section CRC semantics).
+    pub fn is_mapped(&self) -> bool {
+        self.lazy_crc.is_some()
     }
 
     /// Artifact kind from the header (see [`kind`]).
@@ -402,15 +503,32 @@ impl StoreFile {
         self.lookup.contains_key(name)
     }
 
-    /// CRC-checked payload of a section.
+    /// CRC-checked payload of a section. Owned loads check the CRC on
+    /// every access; mapped opens check it once, on the section's first
+    /// touch, and cache the verdict (a cached failure keeps failing).
     pub fn section(&self, name: &str) -> Result<&[u8]> {
-        let entry = self
+        let idx = *self
             .lookup
             .get(name)
-            .map(|&i| &self.table[i])
             .ok_or_else(|| StoreError::MissingSection(name.to_string()))?;
-        let payload = &self.data[entry.offset..entry.offset + entry.len];
-        if crc32(payload) != entry.crc {
+        let entry = &self.table[idx];
+        let payload = &self.data.bytes()[entry.offset..entry.offset + entry.len];
+        let ok = match &self.lazy_crc {
+            None => crc32(payload) == entry.crc,
+            Some(states) => match states[idx].load(Ordering::Acquire) {
+                CRC_OK => true,
+                CRC_BAD => false,
+                _ => {
+                    // Concurrent first touches both compute the same
+                    // verdict over the same immutable bytes; the double
+                    // store is benign.
+                    let ok = crc32(payload) == entry.crc;
+                    states[idx].store(if ok { CRC_OK } else { CRC_BAD }, Ordering::Release);
+                    ok
+                }
+            },
+        };
+        if !ok {
             return Err(StoreError::ChecksumMismatch {
                 section: name.to_string(),
             });
@@ -418,9 +536,182 @@ impl StoreFile {
         Ok(payload)
     }
 
+    /// Byte length of a section, if present (no CRC touch).
+    pub fn section_len(&self, name: &str) -> Option<usize> {
+        self.lookup.get(name).map(|&i| self.table[i].len)
+    }
+
     /// A [`ByteReader`] over a CRC-checked section.
     pub fn reader(&self, name: &str) -> Result<ByteReader<'_>> {
         Ok(ByteReader::new(self.section(name)?))
+    }
+
+    /// Lends a fixed-width section as a typed [`FlatSlice`]: a zero-copy
+    /// borrow of this file's backing when the payload is aligned for `T`
+    /// (mapped flat sections are written 8-byte aligned, so this is the
+    /// common case), a decoded copy otherwise — answers are identical
+    /// either way. The section is CRC-validated first under this file's
+    /// access mode (eager or first-touch), and a length that is not a
+    /// whole number of elements is typed [`StoreError::Corrupt`].
+    pub fn flat_section<T: FlatPod>(&self, name: &str) -> Result<FlatSlice<T>> {
+        let bytes = self.section(name)?;
+        let width = std::mem::size_of::<T>();
+        if bytes.len() % width != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "section '{name}' length {} is not a multiple of element width {width}",
+                bytes.len()
+            )));
+        }
+        let n = bytes.len() / width;
+        #[cfg(target_endian = "little")]
+        if (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            // SAFETY: `T: FlatPod` guarantees no padding and no invalid
+            // bit patterns; alignment was just checked; the bytes are
+            // immutable and outlive the slice because the returned view
+            // clones the `Arc` on the backing. The 'static lifetime is a
+            // private fiction: `FlatSlice` never lends the slice beyond
+            // its own lifetime.
+            let slice = unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, n) };
+            let slice: &'static [T] = unsafe { std::mem::transmute::<&[T], &'static [T]>(slice) };
+            return Ok(FlatSlice {
+                _backing: Some(self.data.clone()),
+                data: Cow::Borrowed(slice),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in bytes.chunks_exact(width) {
+            out.push(T::from_le_chunk(chunk));
+        }
+        Ok(FlatSlice {
+            _backing: None,
+            data: Cow::Owned(out),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed flat-section views
+// ---------------------------------------------------------------------
+
+/// Element types that may be viewed directly over little-endian flat
+/// section bytes.
+///
+/// # Safety
+///
+/// Implementors must be plain fixed-width data: `Copy`, no padding
+/// bytes, no invalid bit patterns, and an in-memory representation that
+/// on little-endian hosts equals the on-disk little-endian encoding
+/// produced by [`FlatPod::from_le_chunk`]'s inverse. Primitive numeric
+/// types qualify; structs only with `#[repr(C)]` and exclusively
+/// `FlatPod` fields.
+pub unsafe trait FlatPod: Copy + Send + Sync + 'static {
+    /// Decodes one element from exactly `size_of::<Self>()` little-endian
+    /// bytes (the portable fallback when zero-copy borrowing is not
+    /// possible — misaligned payload or big-endian host).
+    fn from_le_chunk(chunk: &[u8]) -> Self;
+}
+
+unsafe impl FlatPod for u32 {
+    fn from_le_chunk(chunk: &[u8]) -> Self {
+        u32::from_le_bytes(chunk.try_into().unwrap())
+    }
+}
+
+unsafe impl FlatPod for u64 {
+    fn from_le_chunk(chunk: &[u8]) -> Self {
+        u64::from_le_bytes(chunk.try_into().unwrap())
+    }
+}
+
+unsafe impl FlatPod for f64 {
+    fn from_le_chunk(chunk: &[u8]) -> Self {
+        f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap()))
+    }
+}
+
+/// A borrowed-or-owned typed array over a flat section: `Cow::Borrowed`
+/// straight into the file's mapped (or owned) backing when alignment
+/// permits — the zero-copy serving tier — and `Cow::Owned` otherwise
+/// (including every slice built in memory). Dereferences to `[T]`, so
+/// call sites index it exactly like the `Vec` it replaces.
+pub struct FlatSlice<T: FlatPod> {
+    /// Keeps the backing bytes alive for the borrowed case (`None` for
+    /// owned data); `data`'s 'static borrow is only valid while this
+    /// handle holds the `Arc`.
+    _backing: Option<Arc<Backing>>,
+    data: Cow<'static, [T]>,
+}
+
+impl<T: FlatPod> FlatSlice<T> {
+    /// An owned slice (the build path and the portable fallback).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        FlatSlice {
+            _backing: None,
+            data: Cow::Owned(v),
+        }
+    }
+
+    /// The elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// True when this view borrows the file backing (zero-copy engaged).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.data, Cow::Borrowed(_))
+    }
+}
+
+impl<T: FlatPod> From<Vec<T>> for FlatSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        FlatSlice::from_vec(v)
+    }
+}
+
+impl<T: FlatPod> Default for FlatSlice<T> {
+    fn default() -> Self {
+        FlatSlice::from_vec(Vec::new())
+    }
+}
+
+impl<T: FlatPod> std::ops::Deref for FlatSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: FlatPod> Clone for FlatSlice<T> {
+    fn clone(&self) -> Self {
+        FlatSlice {
+            _backing: self._backing.clone(),
+            data: match &self.data {
+                Cow::Borrowed(s) => Cow::Borrowed(s),
+                Cow::Owned(v) => Cow::Owned(v.clone()),
+            },
+        }
+    }
+}
+
+impl<T: FlatPod + PartialEq> PartialEq for FlatSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: FlatPod + fmt::Debug> fmt::Debug for FlatSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FlatSlice({}, {} elems)",
+            if self.is_borrowed() {
+                "borrowed"
+            } else {
+                "owned"
+            },
+            self.len()
+        )
     }
 }
 
@@ -867,6 +1158,126 @@ mod tests {
         // IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("press-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn aligned_sections_start_on_8_byte_boundaries() {
+        let mut w = StoreWriter::new(kind::META);
+        w.section("odd", vec![9; 5]); // 5 bytes: next offset would be misaligned
+        w.section_aligned("flat", (0u32..7).flat_map(|v| v.to_le_bytes()).collect());
+        w.section("tail", vec![1, 2, 3]);
+        let bytes = w.to_bytes();
+        let f = StoreFile::from_bytes(bytes).unwrap();
+        assert_eq!(f.section("odd").unwrap(), &[9; 5]);
+        assert_eq!(f.section("tail").unwrap(), &[1, 2, 3]);
+        let flat = f.section("flat").unwrap();
+        assert_eq!(flat.len(), 28);
+        // The aligned payload's *file offset* is a multiple of 8; the
+        // gap bytes before it are invisible to section reads.
+        let base = f.section("odd").unwrap().as_ptr() as usize - f.data.bytes().as_ptr() as usize;
+        let flat_off = flat.as_ptr() as usize - f.data.bytes().as_ptr() as usize;
+        assert_eq!(flat_off % 8, 0);
+        assert!(flat_off > base);
+    }
+
+    #[test]
+    fn mapped_open_checks_crc_lazily_and_caches_the_verdict() {
+        let path = temp_path("lazy-crc.press");
+        sample().write_to(&path).unwrap();
+        // Flip one payload byte of the trailing "payload" section on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let f = StoreFile::open_mapped(&path).unwrap(); // open itself succeeds
+        assert!(f.is_mapped());
+        // First touch surfaces the typed error; so does every retry
+        // (the verdict is cached, not forgotten).
+        for _ in 0..2 {
+            assert_eq!(
+                f.section("payload").unwrap_err(),
+                StoreError::ChecksumMismatch {
+                    section: "payload".into()
+                }
+            );
+        }
+        // The untouched section reads fine, and repeats served from the
+        // cached OK verdict stay fine.
+        let meta = f.section("meta").unwrap().to_vec();
+        assert_eq!(f.section("meta").unwrap(), &meta[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_open_reads_identically_to_owned() {
+        let path = temp_path("mapped-eq.press");
+        let mut w = StoreWriter::new(kind::META);
+        w.section("a", vec![1, 2, 3]);
+        w.section_aligned("b", (0u64..9).flat_map(|v| v.to_le_bytes()).collect());
+        w.write_to(&path).unwrap();
+        let owned = StoreFile::open(&path).unwrap();
+        let mapped = StoreFile::open_mapped(&path).unwrap();
+        assert!(!owned.is_mapped());
+        for name in ["a", "b"] {
+            assert_eq!(owned.section(name).unwrap(), mapped.section(name).unwrap());
+            assert_eq!(owned.section_len(name), mapped.section_len(name));
+        }
+        assert_eq!(owned.section_len("nope"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flat_sections_borrow_when_aligned_and_copy_otherwise() {
+        let path = temp_path("flat.press");
+        let vals: Vec<u32> = (0..100u32)
+            .map(|i| i.wrapping_mul(2654435761) % 7919)
+            .collect();
+        let dists: Vec<f64> = (0..50).map(|i| i as f64 * 1.5 - 3.0).collect();
+        let mut w = StoreWriter::new(kind::META);
+        w.section("skew", vec![0xAB; 3]); // forces a gap before each aligned section
+        w.section_aligned("ids", vals.iter().flat_map(|v| v.to_le_bytes()).collect());
+        w.section_aligned(
+            "dists",
+            dists
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes())
+                .collect(),
+        );
+        w.section("ids_u", vals.iter().flat_map(|v| v.to_le_bytes()).collect());
+        w.write_to(&path).unwrap();
+        let mapped = StoreFile::open_mapped(&path).unwrap();
+        let ids: FlatSlice<u32> = mapped.flat_section("ids").unwrap();
+        let ds: FlatSlice<f64> = mapped.flat_section("dists").unwrap();
+        assert_eq!(ids.as_slice(), &vals[..]);
+        assert_eq!(ds.as_slice(), &dists[..]);
+        assert!(ids.is_borrowed() && ds.is_borrowed());
+        // The unaligned twin decodes to identical values via the copy
+        // fallback ("ids_u" starts right after "dists" — offset % 4 may
+        // happen to align, so only assert value equality there).
+        let ids_u: FlatSlice<u32> = mapped.flat_section("ids_u").unwrap();
+        assert_eq!(ids_u.as_slice(), ids.as_slice());
+        // A length that is not a whole number of elements is typed.
+        assert!(matches!(
+            mapped.flat_section::<u64>("skew"),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Owned construction and equality plumbing.
+        let built = FlatSlice::from_vec(vals.clone());
+        assert!(!built.is_borrowed());
+        assert_eq!(built, ids);
+        assert_eq!(built.clone(), ids.clone());
+        assert_eq!(&built[..5], &vals[..5]);
+        assert!(format!("{built:?}").contains("owned"));
+        // The borrowed view outlives the StoreFile handle (keepalive Arc).
+        drop(mapped);
+        assert_eq!(ids.as_slice(), &vals[..]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

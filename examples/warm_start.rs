@@ -9,6 +9,13 @@
 //! queries bit-identically to the builder.
 //!
 //! Run with: `cargo run --release --example warm_start`
+//!
+//! Pass `--map` to run phase 2 through the **zero-copy mapped tier**:
+//! the hierarchy and the corpus are `mmap`ed instead of decoded into
+//! owned memory — the open costs O(page faults), per-section CRCs run
+//! lazily on first touch, and the answers are still bit-identical:
+//!
+//! `cargo run --release --example warm_start -- --map`
 
 use press::core::query::QueryEngine;
 use press::core::spatial::HscModel;
@@ -19,6 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
+    let map = std::env::args().skip(1).any(|a| a == "--map");
     let dir = std::env::temp_dir().join("press-warm-start-example");
     std::fs::create_dir_all(&dir).expect("create store dir");
 
@@ -98,16 +106,30 @@ fn main() {
     let cold_answer = engine.whereat(&compressed[probe_idx], probe_t).unwrap();
 
     // ---- Phase 2: a "fresh process" warm-starts from disk. -------------
-    println!("phase 2: warm start");
+    println!(
+        "phase 2: warm start{}",
+        if map { " (zero-copy mapped tier)" } else { "" }
+    );
     let t0 = Instant::now();
     let net2 = Arc::new(RoadNetwork::load_from(&dir.join("network.press")).expect("load network"));
-    let ch2 = Arc::new(
+    // With --map the hierarchy's flat sections are borrowed straight out
+    // of the page cache and the corpus defers each block's CRC to its
+    // first decode; without it, both are fully decoded into owned memory.
+    let ch2 = Arc::new(if map {
+        ContractionHierarchy::open_mapped(net2.clone(), &dir.join("sp_ch.press"))
+            .expect("map hierarchy")
+    } else {
         ContractionHierarchy::load_from(net2.clone(), &dir.join("sp_ch.press"))
-            .expect("load hierarchy"),
-    );
+            .expect("load hierarchy")
+    });
     let sp2: Arc<dyn SpProvider> = ch2;
     let model2 = HscModel::load_from(sp2, &dir.join("hsc.press")).expect("load model");
-    let store = TrajectoryStore::open(&dir.join("corpus.press")).expect("open corpus");
+    let store = if map {
+        TrajectoryStore::open_mapped(&dir.join("corpus.press")).expect("map corpus")
+    } else {
+        TrajectoryStore::open(&dir.join("corpus.press")).expect("open corpus")
+    };
+    assert_eq!(store.is_mapped(), map);
     let load_time = t0.elapsed();
     let speedup = (build_ch + train_time).as_secs_f64() / load_time.as_secs_f64().max(1e-9);
     println!(

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use press_matcher::{MapMatcher, MatcherConfig};
     pub use press_network::{
         grid_network, ChConfig, ContractionHierarchy, EdgeId, GridConfig, HubLabels, LazySpCache,
-        LazySpConfig, Mbr, NodeId, Point, RoadNetwork, RoadNetworkBuilder, SpBackend, SpProvider,
-        SpTable,
+        LazySpConfig, MappedContractionHierarchy, MappedHubLabels, Mbr, NodeId, Point, RoadNetwork,
+        RoadNetworkBuilder, SpBackend, SpProvider, SpTable,
     };
     pub use press_serve::{
         Ack, FaultPlan, IngestConfig, IngestEngine, QuarantineReason, SessionPolicy,

@@ -168,6 +168,65 @@ proptest! {
         }
     }
 
+    /// The mapped open path under single-byte corruption: opening a
+    /// damaged artifact through the zero-copy tier either fails with a
+    /// typed error (at the O(metadata) open or at first touch inside
+    /// `validate`) or yields a provider whose answers are bit-identical
+    /// to the freshly built one — never a panic, never a silently wrong
+    /// structure. Flips landing in sections the mapped path never reads
+    /// (the compact `_c` payloads, alignment gaps, their stored CRCs)
+    /// are *allowed* to go unnoticed: that deferral is the lazy-CRC
+    /// contract, and the answers must still match exactly.
+    #[test]
+    fn mapped_single_byte_corruption_never_panics(
+        seed in 0u64..200,
+        flip in 0usize..4096,
+        bit in 0u8..8,
+        which in 0usize..2,
+    ) {
+        let net = net_from(4, 4, 0.1, seed);
+        let ch = ContractionHierarchy::build(net.clone());
+        let (fresh, mut bytes): (Arc<dyn SpProvider>, Vec<u8>) = if which == 0 {
+            let bytes = ch.to_store_bytes();
+            (Arc::new(ch), bytes)
+        } else {
+            let hl = HubLabels::from_ch(&ch, 1);
+            let bytes = hl.to_store_bytes();
+            (Arc::new(hl), bytes)
+        };
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let path = std::env::temp_dir().join(format!(
+            "press-mapcorrupt-{}-{}-{}-{}-{}.press",
+            std::process::id(), seed, flip, bit, which
+        ));
+        std::fs::write(&path, &bytes).expect("write corrupted artifact");
+        let loaded: Result<Arc<dyn SpProvider>, press_store::StoreError> = if which == 0 {
+            MappedContractionHierarchy::open(net.clone(), &path)
+                .and_then(|m| m.validate())
+                .map(|c| Arc::new(c) as Arc<dyn SpProvider>)
+        } else {
+            MappedHubLabels::open(net.clone(), &path)
+                .and_then(|m| m.validate())
+                .map(|h| Arc::new(h) as Arc<dyn SpProvider>)
+        };
+        let _ = std::fs::remove_file(&path);
+        match loaded {
+            Err(_) => {}
+            Ok(loaded) => {
+                for u in net.node_ids().take(6) {
+                    for v in net.node_ids().take(6) {
+                        prop_assert_eq!(
+                            fresh.node_dist(u, v).to_bits(),
+                            loaded.node_dist(u, v).to_bits()
+                        );
+                        prop_assert_eq!(fresh.pred_edge(u, v), loaded.pred_edge(u, v));
+                    }
+                }
+            }
+        }
+    }
+
     /// Corrupting any single byte of any artifact yields a typed error or
     /// an unchanged (still-valid) load — never a panic and never a
     /// structurally different artifact that answers differently. Covers
@@ -261,6 +320,94 @@ fn corruption_modes_are_typed() {
         SpTable::from_store_bytes(net.clone(), bad),
         Err(StoreError::ChecksumMismatch { .. })
     ));
+}
+
+/// Mapped flat-section corruption matrix: a bit flip inside a flat
+/// (mapped-tier) section of the hierarchy, hub-label, or corpus
+/// artifact is invisible to the O(metadata) `open` — the damaged bytes
+/// have not been read yet — and surfaces as a typed
+/// `StoreError::ChecksumMismatch` on first touch: `validate()` for the
+/// SP artifacts, the first decode of the damaged block for the corpus.
+/// The flat payloads are declared last, so flipping the final file
+/// bytes deterministically lands in a flat section.
+#[test]
+fn mapped_flat_section_bit_flip_is_typed_checksum_error_on_first_touch() {
+    use press_store::StoreError;
+    let net = net_from(5, 5, 0.12, 23);
+    let dir = std::env::temp_dir().join(format!("press-map-flip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Contraction hierarchy: open is fine, validate reports the damage.
+    let ch = ContractionHierarchy::build(net.clone());
+    let mut bytes = ch.to_store_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x04;
+    let path = dir.join("sp_ch.press");
+    std::fs::write(&path, &bytes).expect("write");
+    let mapped = MappedContractionHierarchy::open(net.clone(), &path)
+        .expect("mapped open is O(metadata); the flipped byte is unread");
+    assert!(matches!(
+        mapped.validate(),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    // Hub labels: same two-phase contract.
+    let hl = HubLabels::from_ch(&ch, 1);
+    let mut bytes = hl.to_store_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x40;
+    let path = dir.join("sp_hl.press");
+    std::fs::write(&path, &bytes).expect("write");
+    let mapped = MappedHubLabels::open(net.clone(), &path)
+        .expect("mapped open is O(metadata); the flipped byte is unread");
+    assert!(matches!(
+        mapped.validate(),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    // Corpus: blocks decode lazily, so a flip in the last block is
+    // reported by the first `get` that touches it — earlier blocks and
+    // the open itself stay clean.
+    let sp: Arc<dyn SpProvider> = Arc::new(SpTable::build(net.clone()));
+    let mut training = Vec::new();
+    for s in 0..14u64 {
+        let choices: Vec<u8> = (0..12).map(|i| ((s * 7 + i * 3) % 5) as u8).collect();
+        let p = walk_from_choices(&net, (s * 5) as u32, &choices);
+        if p.len() >= 3 {
+            training.push(p);
+        }
+    }
+    let model = HscModel::train(sp, &training, 3).expect("train");
+    let press = Press::with_model(Arc::new(model), PressConfig::default());
+    let compressed: Vec<CompressedTrajectory> = training
+        .iter()
+        .map(|p| {
+            let total: f64 = p.iter().map(|&e| net.weight(e)).sum();
+            let traj = Trajectory::new(
+                SpatialPath::new_unchecked(p.clone()),
+                TemporalSequence::new(vec![DtPoint::new(0.0, 0.0), DtPoint::new(total, 60.0)])
+                    .expect("temporal"),
+            );
+            press.compress(&traj).expect("compress")
+        })
+        .collect();
+    let engine = QueryEngine::new(press.model());
+    let mut bytes = TrajectoryStore::to_store_bytes(&engine, &compressed, 4).expect("bytes");
+    let n = bytes.len();
+    bytes[n - 2] ^= 0x20;
+    let path = dir.join("corpus.press");
+    std::fs::write(&path, &bytes).expect("write");
+    let store = TrajectoryStore::open_mapped(&path).expect("mapped corpus open defers block CRCs");
+    assert!(store.is_mapped());
+    assert_eq!(
+        store.get(0).expect("first block is undamaged"),
+        compressed[0]
+    );
+    assert!(matches!(
+        store.get(compressed.len() - 1),
+        Err(PressError::Store(StoreError::ChecksumMismatch { .. }))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `TrajectoryStore::open` corruption matrix: the 0-byte file (a crash
