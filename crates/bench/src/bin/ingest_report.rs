@@ -29,7 +29,15 @@
 //!   flush worker, once with `--threads` workers. Throughput is
 //!   end-to-end accepted points per second; the two corpora must be
 //!   byte-identical (`corpus_identical`).
-//! * **recovery**: a third stream is killed by tearing the journal at
+//! * **durability**: the same stream pushed twice, once with
+//!   [`DurabilityPolicy::per_push`] (fsync every fix) and once with
+//!   [`DurabilityPolicy::group_commit`]; only the push loop (plus one
+//!   final covering sync) is timed, so `group_commit_speedup` measures
+//!   exactly the fsync amortization. The two corpora must be
+//!   byte-identical (`policy_identical` — sync timing must never leak
+//!   into corpus bytes), and the group-commit run's durability counters
+//!   (fsyncs, batch sizes, retries, rejections) are recorded.
+//! * **recovery**: a further stream is killed by tearing the journal at
 //!   2/3 of its length; the reopen replays the acked prefix through the
 //!   live ingest path and the recovered corpus is cross-checked
 //!   byte-for-byte against a clean run over exactly that prefix
@@ -38,15 +46,17 @@
 //!
 //! The `--check` gate fails on: a `> tolerance×` drop of any
 //! points-per-second metric present in the baseline, a metric
-//! disappearing, `corpus_identical: false`, or
-//! `recovered_identical: false`. Every failure is collected and printed
-//! before the non-zero exit.
+//! disappearing, `corpus_identical: false`, `policy_identical: false`,
+//! `recovered_identical: false`, or `group_commit_speedup < 1.0`. Every
+//! failure is collected and printed before the non-zero exit.
 
 use press_bench::Json;
 use press_core::{BtcBounds, Press, PressConfig};
 use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
 use press_network::{grid_network, GridConfig, RoadNetwork, SpBackend};
-use press_serve::{truncate_wal, wal_len, Ack, Event, IngestConfig, IngestEngine, SessionPolicy};
+use press_serve::{
+    truncate_wal, wal_len, DurabilityPolicy, Event, IngestConfig, IngestEngine, SessionPolicy,
+};
 use press_workload::{Workload, WorkloadConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -236,6 +246,72 @@ fn main() {
         run_1.accepted, run_1.wall_ms, run_1.pps, run_n.wall_ms, run_n.pps
     );
 
+    // ---- Durability: per-push fsync vs group commit. -------------------
+    // Same stream, same engine, only the sync policy differs. The push
+    // loop (vet → WAL append → fsync per policy, ending with one final
+    // covering sync) is timed in isolation so the fsync amortization is
+    // what the ratio measures; the published corpora must be
+    // byte-identical — sync *timing* must never leak into corpus bytes.
+    let dur_pp = durability_run(
+        "dur-per-push",
+        &matcher,
+        &press,
+        DurabilityPolicy::per_push(),
+        resolved_threads,
+        &events,
+    );
+    eprintln!(
+        "[durability] per-push sync: {:.0} ms push wall, {:.0} points/s, {} fsyncs",
+        dur_pp.push_wall_ms, dur_pp.push_pps, dur_pp.sync_calls
+    );
+    let dur_gc = durability_run(
+        "dur-group",
+        &matcher,
+        &press,
+        DurabilityPolicy::group_commit(),
+        resolved_threads,
+        &events,
+    );
+    eprintln!(
+        "[durability] group commit: {:.0} ms push wall, {:.0} points/s, {} fsyncs \
+         (avg batch {:.1} frames, max {})",
+        dur_gc.push_wall_ms,
+        dur_gc.push_pps,
+        dur_gc.sync_calls,
+        dur_gc.avg_sync_batch,
+        dur_gc.max_sync_batch
+    );
+    let gc_speedup = dur_gc.push_pps / dur_pp.push_pps.max(1e-9);
+    let policy_identical = dur_pp.corpus == dur_gc.corpus;
+    if !policy_identical {
+        failures.push(
+            "metric 'durability.policy_identical': per-push and group-commit runs published \
+             different corpora — the sync policy leaked into the output"
+                .to_string(),
+        );
+    }
+    eprintln!(
+        "[durability] group-commit speedup {gc_speedup:.2}x; corpus identical across \
+         policies: {policy_identical}"
+    );
+    let _ = write!(
+        json,
+        "  \"durability\": {{\n    \"per_push\": {{\"push_wall_ms\": {:.1}, \"push_points_per_sec\": {:.0}, \"sync_calls\": {}}},\n    \"group_commit\": {{\"push_wall_ms\": {:.1}, \"push_points_per_sec\": {:.0}, \"sync_calls\": {}, \"avg_sync_batch\": {:.1}, \"max_sync_batch\": {}}},\n    \"group_commit_speedup\": {gc_speedup:.2},\n    \"policy_identical\": {policy_identical},\n    \"io_retries\": {},\n    \"sync_failures\": {},\n    \"sessions_evicted\": {},\n    \"backpressure_rejections\": {},\n    \"storage_full_rejections\": {}\n  }},\n",
+        dur_pp.push_wall_ms,
+        dur_pp.push_pps,
+        dur_pp.sync_calls,
+        dur_gc.push_wall_ms,
+        dur_gc.push_pps,
+        dur_gc.sync_calls,
+        dur_gc.avg_sync_batch,
+        dur_gc.max_sync_batch,
+        dur_gc.io_retries,
+        dur_gc.sync_failures,
+        dur_gc.sessions_evicted,
+        dur_gc.backpressure_rejections,
+        dur_gc.storage_full_rejections,
+    );
+
     // ---- Recovery: kill at 2/3 of the journal, reopen, cross-check. ----
     let dir = bench_dir("ingest-kill");
     let mut engine = IngestEngine::open(
@@ -247,9 +323,10 @@ fn main() {
     .unwrap_or_else(|e| fatal(&format!("open failed: {e}")));
     let mut acked: Vec<(usize, u64)> = Vec::new();
     for (i, &(v, s)) in events.iter().enumerate() {
-        if let Ack::Accepted { offset } = engine
+        if let Some(offset) = engine
             .push(v, s)
             .unwrap_or_else(|e| fatal(&format!("push failed: {e}")))
+            .offset()
         {
             acked.push((i, offset));
         }
@@ -353,6 +430,10 @@ fn run_gate(fresh: &str, baseline_path: &str, tolerance: f64) -> Result<Vec<Stri
     for (flag, metric) in [
         ("ingest.corpus_identical", ["ingest", "corpus_identical"]),
         (
+            "durability.policy_identical",
+            ["durability", "policy_identical"],
+        ),
+        (
             "recovery.recovered_identical",
             ["recovery", "recovered_identical"],
         ),
@@ -363,11 +444,27 @@ fn run_gate(fresh: &str, baseline_path: &str, tolerance: f64) -> Result<Vec<Stri
             ));
         }
     }
+    // Group commit exists to amortize fsyncs: the fresh run must not be
+    // slower than its own per-push baseline.
+    match fresh.num_at(&["durability", "group_commit_speedup"]) {
+        Some(speedup) if speedup >= 1.0 => log.push(format!(
+            "metric 'durability.group_commit_speedup': {speedup:.2}x over per-push sync"
+        )),
+        Some(speedup) => failures.push(format!(
+            "metric 'durability.group_commit_speedup': {speedup:.2}x — group commit must \
+             not be slower than per-push sync"
+        )),
+        None => failures.push(
+            "metric 'durability.group_commit_speedup': missing from the fresh run".to_string(),
+        ),
+    }
     // Higher is better for every gated number, so the check is a floor:
     // fresh must stay above baseline / tolerance.
     for path in [
         ["ingest", "single_thread", "points_per_sec"],
         ["ingest", "parallel", "points_per_sec"],
+        ["durability", "per_push", "push_points_per_sec"],
+        ["durability", "group_commit", "push_points_per_sec"],
         ["recovery", "replay_points_per_sec", ""],
     ] {
         let path: Vec<&str> = path.iter().copied().filter(|s| !s.is_empty()).collect();
@@ -455,6 +552,7 @@ fn config(threads: usize) -> IngestConfig {
         max_lattice_work: 0,
         max_salvage_splits: 8,
         quarantine_log_cap: 64,
+        ..IngestConfig::default()
     }
 }
 
@@ -497,6 +595,72 @@ fn ingest_run(
         accepted,
         wall_ms,
         pps: accepted as f64 / (wall_ms / 1e3).max(1e-9),
+        corpus,
+    }
+}
+
+struct DurabilityRun {
+    push_wall_ms: f64,
+    push_pps: f64,
+    sync_calls: u64,
+    avg_sync_batch: f64,
+    max_sync_batch: u64,
+    io_retries: u64,
+    sync_failures: u64,
+    sessions_evicted: u64,
+    backpressure_rejections: u64,
+    storage_full_rejections: u64,
+    corpus: Vec<u8>,
+}
+
+/// Push the whole stream under `policy`, ending with one explicit
+/// covering sync so both policies finish fully durable; only the push
+/// loop (+ that sync) is timed. Finalize/flush/checkpoint run outside
+/// the timer and yield the corpus for the policy-identity cross-check.
+fn durability_run(
+    tag: &str,
+    matcher: &Arc<MapMatcher>,
+    press: &Press,
+    policy: DurabilityPolicy,
+    threads: usize,
+    events: &[Event],
+) -> DurabilityRun {
+    let dir = bench_dir(tag);
+    let cfg = IngestConfig {
+        durability: policy,
+        ..config(threads)
+    };
+    let mut engine = IngestEngine::open(
+        &dir,
+        Arc::clone(matcher),
+        press.reconfigured(press.config()),
+        cfg,
+    )
+    .unwrap_or_else(|e| fatal(&format!("open failed: {e}")));
+    let t0 = Instant::now();
+    for &(v, s) in events {
+        engine
+            .push(v, s)
+            .unwrap_or_else(|e| fatal(&format!("push failed: {e}")));
+    }
+    engine
+        .sync()
+        .unwrap_or_else(|e| fatal(&format!("final sync failed: {e}")));
+    let push_wall_ms = ms(t0);
+    let stats = *engine.stats();
+    let corpus = finish(&mut engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    DurabilityRun {
+        push_wall_ms,
+        push_pps: stats.points_accepted as f64 / (push_wall_ms / 1e3).max(1e-9),
+        sync_calls: stats.sync_calls,
+        avg_sync_batch: stats.avg_sync_batch(),
+        max_sync_batch: stats.max_sync_batch,
+        io_retries: stats.io_retries,
+        sync_failures: stats.sync_failures,
+        sessions_evicted: stats.sessions_evicted,
+        backpressure_rejections: stats.backpressure_rejections,
+        storage_full_rejections: stats.storage_full_rejections,
         corpus,
     }
 }

@@ -112,9 +112,11 @@ impl HscModel {
         w.to_bytes()
     }
 
-    /// Writes the model artifact to `path`.
+    /// Writes the model artifact to `path` atomically (tmp + fsync +
+    /// rename + parent-dir fsync); every failure is a typed
+    /// [`press_store::StoreError::Io`].
     pub fn save_to(&self, path: &Path) -> press_store::Result<()> {
-        std::fs::write(path, self.to_store_bytes())?;
+        press_store::atomic_write_file(&press_store::RealIo, path, &self.to_store_bytes())?;
         Ok(())
     }
 
@@ -352,15 +354,28 @@ impl TrajectoryStore {
         Ok(w.to_bytes())
     }
 
-    /// Writes a compressed corpus to `path` as a block store.
+    /// Writes a compressed corpus to `path` as a block store,
+    /// atomically (tmp + fsync + rename + parent-dir fsync).
     pub fn create(
         path: &Path,
         engine: &QueryEngine<'_>,
         trajectories: &[CompressedTrajectory],
         block_size: usize,
     ) -> Result<()> {
+        Self::create_with(&press_store::RealIo, path, engine, trajectories, block_size)
+    }
+
+    /// [`TrajectoryStore::create`] through an explicit
+    /// [`press_store::IoBackend`], so disk faults are injectable.
+    pub fn create_with(
+        io: &dyn press_store::IoBackend,
+        path: &Path,
+        engine: &QueryEngine<'_>,
+        trajectories: &[CompressedTrajectory],
+        block_size: usize,
+    ) -> Result<()> {
         let bytes = Self::to_store_bytes(engine, trajectories, block_size)?;
-        std::fs::write(path, bytes).map_err(StoreError::from)?;
+        press_store::atomic_write_file(io, path, &bytes).map_err(StoreError::from)?;
         Ok(())
     }
 

@@ -1173,9 +1173,9 @@ impl ContractionHierarchy {
         w.to_bytes()
     }
 
-    /// Writes the hierarchy artifact to `path`.
+    /// Writes the hierarchy artifact to `path` atomically (tmp + fsync + rename).
     pub fn save_to(&self, path: &std::path::Path) -> press_store::Result<()> {
-        std::fs::write(path, self.to_store_bytes())?;
+        press_store::atomic_write_file(&press_store::RealIo, path, &self.to_store_bytes())?;
         Ok(())
     }
 

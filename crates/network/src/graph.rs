@@ -231,9 +231,9 @@ impl RoadNetwork {
         w.to_bytes()
     }
 
-    /// Writes the network artifact to `path`.
+    /// Writes the network artifact to `path` atomically (tmp + fsync + rename).
     pub fn save_to(&self, path: &std::path::Path) -> press_store::Result<()> {
-        std::fs::write(path, self.to_store_bytes())?;
+        press_store::atomic_write_file(&press_store::RealIo, path, &self.to_store_bytes())?;
         Ok(())
     }
 

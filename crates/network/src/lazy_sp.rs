@@ -380,10 +380,10 @@ impl LazySpCache {
         w.to_bytes()
     }
 
-    /// Writes the hot-tree artifact to `path`, counting the save in
+    /// Writes the hot-tree artifact to `path` atomically, counting the save in
     /// [`CacheStats::hot_saves`].
     pub fn save_hot_trees(&self, path: &std::path::Path) -> press_store::Result<()> {
-        std::fs::write(path, self.to_store_bytes())?;
+        press_store::atomic_write_file(&press_store::RealIo, path, &self.to_store_bytes())?;
         self.hot_saves.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }

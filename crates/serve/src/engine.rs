@@ -4,11 +4,35 @@
 //! # Ack and durability contract
 //!
 //! [`IngestEngine::push`] vets each fix ([`Session::vet`]), journals the
-//! accepted ones, and only then buffers them: the [`Ack::Accepted`]
-//! offset is the journal length including the fix's frame, so a crash at
-//! any byte ≥ that offset cannot lose it. Rejected and coalesced fixes
-//! are acked without journaling — replays reproduce the identical
-//! decisions because validation only depends on journaled state.
+//! accepted ones, and only then buffers them. The configured
+//! [`DurabilityPolicy`] group-commits the journal (byte / stream-time
+//! thresholds), and acks never overstate what happened: a fix is
+//! [`Ack::Accepted`] only when a completed fsync covers its frame, and
+//! [`Ack::Journaled`] (written, not yet synced) otherwise — the
+//! [`IngestEngine::durable_offset`] watermark says which journaled
+//! offsets have become durable since. Rejected and coalesced fixes are
+//! acked without journaling — replays reproduce the identical decisions
+//! because validation only depends on journaled state.
+//!
+//! # Disk faults and degraded modes
+//!
+//! Every durable write goes through an injectable
+//! [`press_store::IoBackend`] ([`IngestEngine::open_with_io`]).
+//! Transient failures are retried with the policy's backoff; writes
+//! that still cannot be made durable surface as typed
+//! [`ServeError::Backpressure`] / [`ServeError::StorageFull`] errors
+//! with the fix **not** ingested and engine state unchanged — the
+//! engine keeps serving queries, never panics, never drops silently,
+//! and ingest resumes when the device recovers.
+//!
+//! # Memory budget
+//!
+//! [`IngestConfig::max_buffered_points`] / [`IngestConfig::max_sessions`]
+//! bound session memory: overflow evicts least-recently-active sessions
+//! into the pending queue (their points are already WAL-backed). The
+//! eviction trigger reads only journal-derived state — buffer occupancy
+//! and the stream-time LRU index, never wall clock — so replay evicts
+//! identically and eviction is invisible in the recovered corpus.
 //!
 //! # Recovery
 //!
@@ -39,6 +63,7 @@
 //! the old journal, which would replay (and duplicate) trajectories
 //! the corpus already contains.
 
+use crate::durability::DurabilityPolicy;
 use crate::manifest;
 use crate::session::{Disposition, QuarantineReason, Session, SessionPolicy};
 use crate::wal::{Wal, WalError, WalRecord};
@@ -51,10 +76,9 @@ use press_core::{parallel::work_steal_map, query::QueryEngine};
 use press_core::{CompressedTrajectory, Press, PressError};
 use press_matcher::{GpsSample, MapMatcher, MatcherError};
 use press_network::{LazySpCache, Point};
+use press_store::io::{self as store_io, IoBackend};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
-use std::fs::File;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -72,6 +96,20 @@ pub enum ServeError {
     /// The checkpoint manifest is damaged or inconsistent with the
     /// directory contents.
     Manifest(String),
+    /// The device is out of space (`ENOSPC`). Persistent — retrying
+    /// cannot free the disk — so the engine refuses the write with
+    /// state unchanged and keeps serving queries; ingest resumes once
+    /// space returns.
+    StorageFull(String),
+    /// A transient I/O failure survived the whole retry budget. The
+    /// rejected fix was not ingested; the engine state is unchanged
+    /// and the caller may re-push later.
+    Backpressure {
+        /// The last underlying I/O error message.
+        detail: String,
+        /// Retries performed before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -82,6 +120,10 @@ impl fmt::Display for ServeError {
             ServeError::Press(e) => write!(f, "{e}"),
             ServeError::Config(msg) => write!(f, "invalid ingest config: {msg}"),
             ServeError::Manifest(msg) => write!(f, "ingest manifest error: {msg}"),
+            ServeError::StorageFull(msg) => write!(f, "ingest device out of space: {msg}"),
+            ServeError::Backpressure { detail, retries } => {
+                write!(f, "ingest backpressure after {retries} retries: {detail}")
+            }
         }
     }
 }
@@ -90,7 +132,10 @@ impl std::error::Error for ServeError {}
 
 impl From<WalError> for ServeError {
     fn from(e: WalError) -> Self {
-        ServeError::Wal(e)
+        match e {
+            WalError::StorageFull(msg) => ServeError::StorageFull(msg),
+            other => ServeError::Wal(other),
+        }
     }
 }
 
@@ -102,7 +147,11 @@ impl From<PressError> for ServeError {
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e.to_string())
+        if store_io::is_storage_full(&e) {
+            ServeError::StorageFull(e.to_string())
+        } else {
+            ServeError::Io(e.to_string())
+        }
     }
 }
 
@@ -136,6 +185,23 @@ pub struct IngestConfig {
     pub max_salvage_splits: usize,
     /// Most recent quarantined fixes kept for inspection.
     pub quarantine_log_cap: usize,
+    /// When the engine fsyncs the journal and how it retries transient
+    /// write failures (see [`DurabilityPolicy`]). Only sync *timing* —
+    /// never corpus bytes — depends on this.
+    pub durability: DurabilityPolicy,
+    /// Memory budget: total points buffered across live sessions. When
+    /// an accepted fix pushes the total past this, least-recently-active
+    /// sessions are evicted (finalized to the pending queue — their
+    /// points are already WAL-backed) until the budget holds. `0`
+    /// disables. Eviction is driven purely by journaled state, so
+    /// replay reproduces it exactly.
+    pub max_buffered_points: usize,
+    /// Memory budget: live session count, same LRU eviction. `0`
+    /// disables.
+    pub max_sessions: usize,
+    /// Most recent evicted vehicle ids kept for inspection (the
+    /// eviction-order determinism proptest reads this).
+    pub eviction_log_cap: usize,
 }
 
 impl Default for IngestConfig {
@@ -149,22 +215,54 @@ impl Default for IngestConfig {
             max_lattice_work: 2_000_000,
             max_salvage_splits: 8,
             quarantine_log_cap: 1024,
+            durability: DurabilityPolicy::default(),
+            max_buffered_points: 0,
+            max_sessions: 0,
+            eviction_log_cap: 1024,
         }
     }
 }
 
-/// The engine's answer for one pushed fix.
+/// The engine's answer for one pushed fix. Acks never lie about
+/// durability: `Accepted` means the fix's frame is covered by a
+/// completed fsync; `Journaled` means it is written but its covering
+/// group-commit sync has not happened yet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Ack {
-    /// Fix journaled and buffered. `offset` is the journal length with
-    /// this fix's frame included: once those bytes are durable the fix
-    /// survives any crash.
+    /// Fix journaled, buffered, **and durable**: a sync covering its
+    /// frame has succeeded (`offset <= durable_offset()`), so the fix
+    /// survives power loss, not just process death.
     Accepted { offset: u64 },
+    /// Fix journaled and buffered, not yet synced. `offset` is the
+    /// journal length with this fix's frame included; the fix becomes
+    /// durable when a later group-commit sync, explicit
+    /// [`IngestEngine::sync`], or checkpoint advances
+    /// [`IngestEngine::durable_offset`] past it. A *process* crash
+    /// cannot lose it (the bytes are in the OS page cache); power loss
+    /// before the covering sync can.
+    Journaled { offset: u64 },
     /// Harmless defect repaired per policy (duplicate coalesced); the
     /// fix is intentionally not journaled.
     Repaired,
     /// Fix rejected into quarantine with a typed reason.
     Quarantined(QuarantineReason),
+}
+
+impl Ack {
+    /// The journal offset for ingested fixes (`Accepted`/`Journaled`),
+    /// `None` for repaired or quarantined ones.
+    pub fn offset(&self) -> Option<u64> {
+        match *self {
+            Ack::Accepted { offset } | Ack::Journaled { offset } => Some(offset),
+            Ack::Repaired | Ack::Quarantined(_) => None,
+        }
+    }
+
+    /// True when the fix was ingested (journaled and buffered),
+    /// whether or not its covering sync has happened yet.
+    pub fn is_ingested(&self) -> bool {
+        self.offset().is_some()
+    }
 }
 
 /// A quarantined fix, kept in a bounded log for observability.
@@ -203,12 +301,40 @@ pub struct IngestStats {
     pub pieces_dropped: u64,
     /// Of the dropped pieces, how many were shed by the lattice budget.
     pub pieces_shed: u64,
+    /// Successful journal fsyncs (group-commit, explicit, checkpoint).
+    pub sync_calls: u64,
+    /// Frames made durable by those syncs (group-commit batch total;
+    /// average batch = `synced_frames / sync_calls`).
+    pub synced_frames: u64,
+    /// Largest single group-commit batch, in frames.
+    pub max_sync_batch: u64,
+    /// Transient I/O failures that were retried (append or sync).
+    pub io_retries: u64,
+    /// Sync attempts that failed even after retries (the engine stays
+    /// up; the frames remain journaled-not-durable until a later sync
+    /// succeeds).
+    pub sync_failures: u64,
+    /// Sessions evicted by the memory budget (LRU order).
+    pub sessions_evicted: u64,
+    /// Pushes refused with [`ServeError::Backpressure`].
+    pub backpressure_rejections: u64,
+    /// Pushes refused with [`ServeError::StorageFull`].
+    pub storage_full_rejections: u64,
 }
 
 impl IngestStats {
     /// Total quarantined fixes across all reasons.
     pub fn total_quarantined(&self) -> u64 {
         self.points_quarantined.iter().sum()
+    }
+
+    /// Mean group-commit batch size in frames (0.0 before any sync).
+    pub fn avg_sync_batch(&self) -> f64 {
+        if self.sync_calls == 0 {
+            0.0
+        } else {
+            self.synced_frames as f64 / self.sync_calls as f64
+        }
     }
 }
 
@@ -279,10 +405,30 @@ pub struct IngestEngine {
     config: IngestConfig,
     matcher: Arc<MapMatcher>,
     press: Press,
+    /// The storage backend every durable write goes through (real
+    /// filesystem in production, fault injector in tests).
+    io: Arc<dyn IoBackend>,
     /// Committed checkpoint generation — names the live corpus/journal
     /// pair (see [`crate::manifest`]).
     generation: u64,
     wal: Wal,
+    /// Journal bytes appended since the last successful fsync — the
+    /// group-commit byte trigger's accumulator.
+    unsynced_bytes: u64,
+    /// Frames appended since the last successful fsync.
+    unsynced_frames: u64,
+    /// Stream time of the last successful fsync (`NEG_INFINITY` arms
+    /// the interval trigger on the first accepted fix).
+    last_sync_time: f64,
+    /// Durability watermark: every frame ending at or before this
+    /// offset has been covered by a completed fsync.
+    durable_offset: u64,
+    /// Points currently buffered across live sessions (the memory
+    /// budget's accumulator; pending segments are freed by `flush`).
+    buffered: usize,
+    /// Ring of the most recently evicted vehicles (capacity
+    /// `config.eviction_log_cap`), oldest first.
+    eviction_log: VecDeque<u64>,
     sessions: HashMap<u64, Session>,
     /// Sessions ordered by last-accepted timestamp: `(time_key(last.t),
     /// vehicle)`. Exactly the sessions with `last.is_some()`.
@@ -311,12 +457,29 @@ impl IngestEngine {
         press: Press,
         config: IngestConfig,
     ) -> Result<IngestEngine> {
+        Self::open_with_io(dir, matcher, press, config, store_io::real_io())
+    }
+
+    /// [`IngestEngine::open`] through an explicit
+    /// [`press_store::IoBackend`]: every durable write — journal
+    /// appends and fsyncs, checkpoint artifacts, manifest commits —
+    /// goes through `io`, so disk faults are injectable. Recovery
+    /// reads stay direct (read-path corruption already has its own
+    /// typed taxonomy).
+    pub fn open_with_io(
+        dir: &Path,
+        matcher: Arc<MapMatcher>,
+        press: Press,
+        config: IngestConfig,
+        io: Arc<dyn IoBackend>,
+    ) -> Result<IngestEngine> {
         if config.block_size == 0 {
             return Err(ServeError::Config("block_size must be at least 1".into()));
         }
         if config.idle_timeout.is_nan() {
             return Err(ServeError::Config("idle_timeout must not be NaN".into()));
         }
+        config.durability.validate().map_err(ServeError::Config)?;
         std::fs::create_dir_all(dir)?;
         let generation =
             match manifest::read(dir).map_err(|e| ServeError::Manifest(e.to_string()))? {
@@ -336,7 +499,8 @@ impl IngestEngine {
                             "ingest artifacts present but MANIFEST is missing".into(),
                         ));
                     }
-                    manifest::commit(dir, 0).map_err(|e| ServeError::Manifest(e.to_string()))?;
+                    manifest::commit_with(io.as_ref(), dir, 0)
+                        .map_err(|e| ServeError::Manifest(e.to_string()))?;
                     0
                 }
             };
@@ -350,14 +514,22 @@ impl IngestEngine {
         } else {
             Vec::new()
         };
-        let (wal, replay) = Wal::open(&dir.join(manifest::wal_file_name(generation)))?;
+        let (wal, replay) =
+            Wal::open_with(&dir.join(manifest::wal_file_name(generation)), io.clone())?;
         let mut engine = IngestEngine {
             dir: dir.to_path_buf(),
             config,
             matcher,
             press,
+            io,
             generation,
             wal,
+            unsynced_bytes: 0,
+            unsynced_frames: 0,
+            last_sync_time: f64::NEG_INFINITY,
+            durable_offset: 0,
+            buffered: 0,
+            eviction_log: VecDeque::new(),
             sessions: HashMap::new(),
             idle: BTreeSet::new(),
             max_time: f64::NEG_INFINITY,
@@ -413,6 +585,13 @@ impl IngestEngine {
                 }
             }
         }
+        // Everything replayed was read back from the device, so the
+        // whole journal is the durability watermark; the group-commit
+        // accumulators start empty.
+        engine.durable_offset = engine.wal.offset();
+        engine.unsynced_bytes = 0;
+        engine.unsynced_frames = 0;
+        engine.last_sync_time = f64::NEG_INFINITY;
         engine.recovery = RecoveryReport {
             corpus_trajectories: engine.finished.len(),
             replayed_points,
@@ -433,19 +612,36 @@ impl IngestEngine {
     }
 
     /// Ingests one fix. Accepted fixes are journaled *before* they are
-    /// buffered — the returned offset is the durability watermark. Call
-    /// [`IngestEngine::sync`] to force the journal to stable storage.
+    /// buffered; the configured [`DurabilityPolicy`] decides when the
+    /// journal is fsynced (group commit), and the ack reports honestly:
+    /// [`Ack::Accepted`] only when the fix's frame is already covered
+    /// by a completed sync, [`Ack::Journaled`] otherwise.
+    ///
+    /// An `Err` means the fix was **not** ingested and engine state is
+    /// unchanged: [`ServeError::StorageFull`] for out-of-space
+    /// (persistent — re-push after freeing space),
+    /// [`ServeError::Backpressure`] when a transient failure survived
+    /// the retry budget. The engine keeps serving queries and stays
+    /// recoverable either way.
     pub fn push(&mut self, vehicle: u64, sample: GpsSample) -> Result<Ack> {
         match self.vet(vehicle, &sample) {
             Disposition::Accept => {
-                let offset = self.wal.append(&WalRecord::Point {
+                let offset = self.append_retrying(&WalRecord::Point {
                     vehicle,
                     x: sample.point.x,
                     y: sample.point.y,
                     t: sample.t,
                 })?;
                 self.apply_accept(vehicle, sample);
-                Ok(Ack::Accepted { offset })
+                // A failed group sync is absorbed here (counted in
+                // `sync_failures`): the frame IS journaled, so the
+                // honest answer is Journaled, not an error.
+                self.maybe_group_sync();
+                if offset <= self.durable_offset {
+                    Ok(Ack::Accepted { offset })
+                } else {
+                    Ok(Ack::Journaled { offset })
+                }
             }
             Disposition::Coalesce => {
                 if let Some(sess) = self.sessions.get_mut(&vehicle) {
@@ -474,6 +670,117 @@ impl IngestEngine {
         }
     }
 
+    /// Appends one record with the policy's retry/backoff, classifying
+    /// failures: out-of-space is persistent (no retry, typed
+    /// [`ServeError::StorageFull`]); other I/O errors are transient and
+    /// retried with doubling backoff before surfacing as
+    /// [`ServeError::Backpressure`]. On success the group-commit
+    /// accumulators advance.
+    fn append_retrying(&mut self, rec: &WalRecord) -> Result<u64> {
+        let policy = self.config.durability;
+        let mut attempt = 0u32;
+        loop {
+            let before = self.wal.offset();
+            match self.wal.append(rec) {
+                Ok(offset) => {
+                    self.unsynced_bytes += offset - before;
+                    self.unsynced_frames += 1;
+                    return Ok(offset);
+                }
+                Err(WalError::StorageFull(msg)) => {
+                    self.stats.storage_full_rejections += 1;
+                    return Err(ServeError::StorageFull(msg));
+                }
+                Err(WalError::Io(detail)) => {
+                    if attempt >= policy.max_retries {
+                        self.stats.backpressure_rejections += 1;
+                        return Err(ServeError::Backpressure {
+                            detail,
+                            retries: attempt,
+                        });
+                    }
+                    attempt += 1;
+                    self.stats.io_retries += 1;
+                    Self::backoff(&policy, attempt);
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+    }
+
+    /// Sleeps the policy's doubling backoff before retry `attempt`.
+    /// Wall-clock sleep is safe here: it delays the retry but decides
+    /// nothing — all decisions key off journaled stream state.
+    fn backoff(policy: &DurabilityPolicy, attempt: u32) {
+        let ms = policy.backoff_ms(attempt);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+
+    /// Issues the group-commit fsync if a policy threshold has tripped.
+    /// Failures are absorbed into `sync_failures` — the unsynced frames
+    /// stay journaled and the next trigger retries the sync.
+    fn maybe_group_sync(&mut self) {
+        if self.unsynced_frames == 0 {
+            return;
+        }
+        let policy = self.config.durability;
+        if policy.sync_interval > 0.0
+            && self.last_sync_time == f64::NEG_INFINITY
+            && self.max_time.is_finite()
+        {
+            // Arm the interval trigger on the first observed stream
+            // time; the first timed sync lands one interval later.
+            self.last_sync_time = self.max_time;
+        }
+        let by_bytes = policy.sync_bytes > 0 && self.unsynced_bytes >= policy.sync_bytes;
+        let by_time = policy.sync_interval > 0.0
+            && self.last_sync_time.is_finite()
+            && self.max_time - self.last_sync_time >= policy.sync_interval;
+        if (by_bytes || by_time) && self.sync_retrying().is_err() {
+            self.stats.sync_failures += 1;
+        }
+    }
+
+    /// Fsyncs the journal with the policy's retry/backoff; on success
+    /// advances the durability watermark and group-commit counters.
+    fn sync_retrying(&mut self) -> Result<()> {
+        let policy = self.config.durability;
+        let mut attempt = 0u32;
+        loop {
+            match self.wal.sync() {
+                Ok(()) => {
+                    self.stats.sync_calls += 1;
+                    self.stats.synced_frames += self.unsynced_frames;
+                    self.stats.max_sync_batch = self.stats.max_sync_batch.max(self.unsynced_frames);
+                    self.unsynced_bytes = 0;
+                    self.unsynced_frames = 0;
+                    self.durable_offset = self.wal.offset();
+                    if self.max_time.is_finite() {
+                        self.last_sync_time = self.max_time;
+                    }
+                    return Ok(());
+                }
+                Err(WalError::StorageFull(msg)) => {
+                    return Err(ServeError::StorageFull(msg));
+                }
+                Err(WalError::Io(detail)) => {
+                    if attempt >= policy.max_retries {
+                        return Err(ServeError::Backpressure {
+                            detail,
+                            retries: attempt,
+                        });
+                    }
+                    attempt += 1;
+                    self.stats.io_retries += 1;
+                    Self::backoff(&policy, attempt);
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+    }
+
     /// Applies an accepted fix: buffer, segment rollover, stream clock,
     /// idle sweep. Shared verbatim by live ingest and journal replay.
     fn apply_accept(&mut self, vehicle: u64, sample: GpsSample) {
@@ -488,11 +795,13 @@ impl IngestEngine {
             self.idle.remove(&(time_key(prev.t), vehicle));
         }
         sess.accept(sample, arrival);
+        self.buffered += 1;
         self.idle.insert((time_key(sample.t), vehicle));
         if self.config.max_session_points > 0
             && sess.samples.len() >= self.config.max_session_points
         {
             let samples = sess.take_segment();
+            self.buffered -= samples.len();
             self.pending.push(PendingSegment { samples });
             self.stats.segments_cap += 1;
         }
@@ -500,7 +809,44 @@ impl IngestEngine {
             self.max_time = sample.t;
         }
         self.sweep_idle();
+        self.enforce_memory_budget();
         self.tick_hot_persist();
+    }
+
+    /// LRU eviction for the memory budget: while either
+    /// [`IngestConfig::max_buffered_points`] or
+    /// [`IngestConfig::max_sessions`] is exceeded, the session with the
+    /// oldest last-accepted fix is finalized to the pending queue —
+    /// exactly what the idle sweep would eventually do, just earlier.
+    /// Every input (buffer occupancy, the idle index) derives from
+    /// journaled state, so replay evicts the same sessions in the same
+    /// order, and eviction is invisible in the recovered corpus.
+    fn enforce_memory_budget(&mut self) {
+        let max_points = self.config.max_buffered_points;
+        let max_sessions = self.config.max_sessions;
+        if max_points == 0 && max_sessions == 0 {
+            return;
+        }
+        loop {
+            let over_points = max_points > 0 && self.buffered > max_points;
+            let over_sessions = max_sessions > 0 && self.sessions.len() > max_sessions;
+            if !(over_points || over_sessions) {
+                return;
+            }
+            // Every live session has a last fix and is idle-indexed, so
+            // the loop always makes progress while anything is over.
+            let Some(&(_, vehicle)) = self.idle.iter().next() else {
+                return;
+            };
+            self.close_session(vehicle);
+            self.stats.sessions_evicted += 1;
+            if self.config.eviction_log_cap > 0 {
+                if self.eviction_log.len() == self.config.eviction_log_cap {
+                    self.eviction_log.pop_front();
+                }
+                self.eviction_log.push_back(vehicle);
+            }
+        }
     }
 
     /// Stream-time timer tick for the background hot-tree persistence
@@ -588,6 +934,7 @@ impl IngestEngine {
             self.idle.remove(&(time_key(last.t), vehicle));
         }
         let samples = sess.take_segment();
+        self.buffered -= samples.len();
         if !samples.is_empty() {
             self.pending.push(PendingSegment { samples });
         }
@@ -623,7 +970,7 @@ impl IngestEngine {
         if !self.sessions.contains_key(&vehicle) {
             return Ok(false);
         }
-        self.wal.append(&WalRecord::Finalize { vehicle })?;
+        self.append_retrying(&WalRecord::Finalize { vehicle })?;
         Ok(self.apply_finalize(vehicle))
     }
 
@@ -632,7 +979,7 @@ impl IngestEngine {
         if self.sessions.is_empty() {
             return Ok(());
         }
-        self.wal.append(&WalRecord::FinalizeAll)?;
+        self.append_retrying(&WalRecord::FinalizeAll)?;
         self.apply_finalize_all();
         Ok(())
     }
@@ -736,14 +1083,12 @@ impl IngestEngine {
         let query = QueryEngine::new(self.press.model());
         let bytes =
             TrajectoryStore::to_store_bytes(&query, &self.finished, self.config.block_size)?;
-        // The generation-stamped names are invisible to recovery until
-        // the manifest commit, so plain write + sync suffices here.
+        // The generation-stamped name is invisible to recovery until
+        // the manifest commit; the atomic write additionally keeps a
+        // faulted checkpoint from leaving a half-written artifact under
+        // a name a *later* checkpoint could collide with.
         let corpus = self.dir.join(manifest::corpus_file_name(next));
-        {
-            let mut f = File::create(&corpus)?;
-            f.write_all(&bytes)?;
-            f.sync_data()?;
-        }
+        store_io::atomic_write_file(self.io.as_ref(), &corpus, &bytes)?;
         // Rebuild the journal: clock, resumes (sessions whose state is
         // only the last fix), then buffered points in arrival order.
         let mut records = Vec::new();
@@ -780,22 +1125,48 @@ impl IngestEngine {
                 t: sample.t,
             });
         }
-        let wal = Wal::create(&self.dir.join(manifest::wal_file_name(next)), &records)?;
+        let wal = Wal::create_with(
+            &self.dir.join(manifest::wal_file_name(next)),
+            &records,
+            self.io.clone(),
+        )?;
         // The commit point: one atomic rename flips recovery from the
-        // old (corpus, journal) pair to the new one.
-        manifest::commit(&self.dir, next).map_err(|e| ServeError::Manifest(e.to_string()))?;
+        // old (corpus, journal) pair to the new one. A typed failure
+        // anywhere up to here leaves the engine on its old generation,
+        // old journal, fully consistent — the uncommitted new-generation
+        // files are GC'd later.
+        manifest::commit_with(self.io.as_ref(), &self.dir, next)
+            .map_err(|e| ServeError::Manifest(e.to_string()))?;
         self.generation = next;
         self.wal = wal;
-        // The superseded generation is dead weight now; if this cleanup
-        // is interrupted, the next open's GC finishes the job.
-        manifest::gc(&self.dir, next)?;
+        // `Wal::create_with` synced the new journal, so everything in it
+        // is durable; the group-commit accumulators restart empty.
+        self.durable_offset = self.wal.offset();
+        self.unsynced_bytes = 0;
+        self.unsynced_frames = 0;
+        if self.max_time.is_finite() {
+            self.last_sync_time = self.max_time;
+        }
+        // The superseded generation is dead weight now. Best-effort
+        // only: a cleanup fault must not fail a *committed* checkpoint
+        // (and must not swap the journal handle back) — the next open's
+        // GC finishes the job, and leftovers are inert meanwhile.
+        let _ = manifest::gc(&self.dir, next);
         Ok(self.finished.len())
     }
 
-    /// Forces journal bytes to stable storage (fsync).
+    /// Forces journal bytes to stable storage (fsync) with the policy's
+    /// retry/backoff, advancing [`IngestEngine::durable_offset`] on
+    /// success: afterwards every previously `Journaled` ack is durable.
+    /// Failures are typed ([`ServeError::StorageFull`] /
+    /// [`ServeError::Backpressure`]) and leave the frames journaled —
+    /// a later sync can still cover them.
     pub fn sync(&mut self) -> Result<()> {
-        self.wal.sync()?;
-        Ok(())
+        let r = self.sync_retrying();
+        if r.is_err() {
+            self.stats.sync_failures += 1;
+        }
+        r
     }
 
     /// Accepted points not yet in the in-memory corpus.
@@ -827,9 +1198,29 @@ impl IngestEngine {
         self.dir.join(manifest::wal_file_name(self.generation))
     }
 
-    /// Current journal length — the latest [`Ack::Accepted`] offset.
+    /// Current journal length — the latest ingested-fix ack offset.
     pub fn wal_offset(&self) -> u64 {
         self.wal.offset()
+    }
+
+    /// Durability watermark: every journal frame ending at or before
+    /// this offset is covered by a completed fsync. An ack with
+    /// `offset <= durable_offset()` has power-loss durability.
+    pub fn durable_offset(&self) -> u64 {
+        self.durable_offset
+    }
+
+    /// Points currently buffered across live sessions — what the
+    /// memory budget ([`IngestConfig::max_buffered_points`]) bounds.
+    pub fn buffered_points(&self) -> usize {
+        self.buffered
+    }
+
+    /// The bounded eviction log: the most recent
+    /// [`IngestConfig::eviction_log_cap`] evicted vehicles, oldest
+    /// first.
+    pub fn eviction_log(&self) -> &VecDeque<u64> {
+        &self.eviction_log
     }
 
     /// The engine configuration.

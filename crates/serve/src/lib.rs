@@ -50,12 +50,14 @@
 //! (stream mangling + kill-at-byte-offset) that the recovery proptests
 //! drive.
 
+pub mod durability;
 pub mod engine;
 pub mod fault;
 pub mod manifest;
 pub mod session;
 pub mod wal;
 
+pub use durability::DurabilityPolicy;
 pub use engine::{
     Ack, IngestConfig, IngestEngine, IngestStats, QuarantineRecord, RecoveryReport, ServeError,
 };
@@ -63,3 +65,6 @@ pub use fault::{truncate_wal, wal_len, Event, FaultPlan};
 pub use manifest::MANIFEST_FILE;
 pub use session::{Disposition, QuarantineReason, Session, SessionPolicy};
 pub use wal::{Wal, WalError, WalRecord, WalReplay};
+// Re-exported so fault-injection call sites (tests, examples, benches)
+// need only this crate.
+pub use press_store::io::{DiskFault, FaultKind, FaultyIo, IoBackend, RealIo};

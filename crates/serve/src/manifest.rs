@@ -32,8 +32,9 @@
 //! ```
 
 use press_store::crc32;
+use press_store::io::{self as store_io, IoBackend};
 use std::fs::File;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Manifest file name inside the ingest directory.
@@ -116,20 +117,21 @@ pub fn read(dir: &Path) -> io::Result<Option<u64>> {
 /// Atomically commits `gen` as the live generation: temp file + sync +
 /// rename + directory fsync. After this returns, recovery will load
 /// `corpus.<gen>.press` / `ingest.<gen>.wal` and GC everything else.
+/// Every step — including both fsyncs — surfaces its error; a failure
+/// anywhere leaves the previous manifest in force.
 pub fn commit(dir: &Path, gen: u64) -> io::Result<()> {
+    commit_with(&store_io::RealIo, dir, gen)
+}
+
+/// [`commit`] through an explicit [`IoBackend`] (fault injection in
+/// tests, real filesystem in production).
+pub fn commit_with(io: &dyn IoBackend, dir: &Path, gen: u64) -> io::Result<()> {
     let mut buf = Vec::with_capacity(MANIFEST_LEN);
     buf.extend_from_slice(&MANIFEST_MAGIC);
     buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
     buf.extend_from_slice(&gen.to_le_bytes());
     buf.extend_from_slice(&crc32(&buf).to_le_bytes());
-    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&buf)?;
-        f.sync_data()?;
-    }
-    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
-    sync_dir(dir)
+    store_io::atomic_write_file(io, &dir.join(MANIFEST_FILE), &buf)
 }
 
 /// True when the directory holds any generation-stamped artifact.
@@ -148,7 +150,9 @@ pub fn has_artifacts(dir: &Path) -> io::Result<bool> {
 
 /// Removes every artifact not belonging to `keep` (uncommitted
 /// leftovers of a crashed checkpoint, superseded generations whose
-/// cleanup was interrupted) plus any stranded manifest temp file.
+/// cleanup was interrupted) plus any stranded `*.tmp` staging file
+/// (atomic writes stage through sibling temp files; one survives only
+/// if the writer crashed or faulted mid-stage, and it is inert).
 pub fn gc(dir: &Path, keep: u64) -> io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -156,7 +160,7 @@ pub fn gc(dir: &Path, keep: u64) -> io::Result<()> {
         let Some(name) = name.to_str() else { continue };
         let stale = match artifact_generation(name) {
             Some(gen) => gen != keep,
-            None => name == "MANIFEST.tmp",
+            None => name.ends_with(".tmp"),
         };
         if stale {
             std::fs::remove_file(entry.path())?;

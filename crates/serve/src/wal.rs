@@ -25,12 +25,23 @@
 //! * A checksum failure (or malformed frame) **with more journal after
 //!   it** can only be real corruption of acked data, so it is a typed
 //!   [`WalError::Corrupt`] — acked records are never silently dropped.
+//!
+//! # Disk faults
+//!
+//! Every write-side operation goes through a
+//! [`press_store::IoBackend`] ([`Wal::open_with`]), so `ENOSPC`/`EIO`/
+//! short-write/fsync failures are injectable. A failed append journals
+//! nothing and returns a typed error — [`WalError::StorageFull`] for
+//! out-of-space (persistent; the caller must not retry), transient
+//! [`WalError::Io`] otherwise — and any partial frame the failure left
+//! is truncated away before the next append ([`Wal::dirty_tail`]).
 
+use press_store::io::{self as store_io, IoBackend};
 use press_store::{crc32, ByteReader, ByteWriter};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Journal file magic.
 pub const WAL_MAGIC: [u8; 8] = *b"PRESSWAL";
@@ -46,8 +57,13 @@ pub const MAX_FRAME_LEN: u32 = 64 * 1024;
 /// module docs); these are real I/O failures or acked-data corruption.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalError {
-    /// Filesystem error, with the underlying message.
+    /// Filesystem error, with the underlying message. Treated as
+    /// *transient* by the engine's retry policy.
     Io(String),
+    /// The device is out of space (`ENOSPC`). *Persistent*: retrying
+    /// cannot help until space is freed, so the engine refuses the
+    /// write upward as a typed storage-full error instead of retrying.
+    StorageFull(String),
     /// The file does not start with [`WAL_MAGIC`].
     BadMagic,
     /// The journal version is not supported by this build.
@@ -61,6 +77,7 @@ impl fmt::Display for WalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WalError::Io(msg) => write!(f, "journal I/O error: {msg}"),
+            WalError::StorageFull(msg) => write!(f, "journal device out of space: {msg}"),
             WalError::BadMagic => write!(f, "not a PRESS ingest journal (bad magic)"),
             WalError::UnsupportedVersion { found, supported } => write!(
                 f,
@@ -77,23 +94,16 @@ impl std::error::Error for WalError {}
 
 impl From<std::io::Error> for WalError {
     fn from(e: std::io::Error) -> Self {
-        WalError::Io(e.to_string())
+        if store_io::is_storage_full(&e) {
+            WalError::StorageFull(e.to_string())
+        } else {
+            WalError::Io(e.to_string())
+        }
     }
 }
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, WalError>;
-
-/// Fsyncs `path`'s parent directory so the file's creation survives
-/// power loss, not just process death.
-fn sync_parent_dir(path: &Path) -> Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            File::open(parent)?.sync_all()?;
-        }
-    }
-    Ok(())
-}
 
 /// One journaled ingest event. `Point` frames are written on the hot
 /// path; `Resume`/`Clock` frames exist only in checkpoint-rewritten
@@ -210,9 +220,16 @@ pub struct WalReplay {
 /// The append-only journal handle. One per ingest directory.
 #[derive(Debug)]
 pub struct Wal {
+    io: Arc<dyn IoBackend>,
     file: File,
     path: PathBuf,
     offset: u64,
+    /// A failed append may have left a *prefix* of its frame in the
+    /// file (short write). Until that tail is truncated back to
+    /// `offset`, another append would turn recoverable torn bytes into
+    /// mid-journal corruption — so appends first repair, and if repair
+    /// itself fails the flag stays set and the next append retries it.
+    dirty_tail: bool,
 }
 
 impl Wal {
@@ -220,6 +237,13 @@ impl Wal {
     /// and truncating any torn tail. See the module docs for the exact
     /// torn-tail-vs-corruption rule.
     pub fn open(path: &Path) -> Result<(Wal, WalReplay)> {
+        Self::open_with(path, store_io::real_io())
+    }
+
+    /// [`Wal::open`] through an explicit [`IoBackend`] (fault injection
+    /// in tests, real filesystem in production). Reads are always
+    /// direct — the fault surface is the write side.
+    pub fn open_with(path: &Path, io: Arc<dyn IoBackend>) -> Result<(Wal, WalReplay)> {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
@@ -228,14 +252,14 @@ impl Wal {
         // Shorter than the header: either a fresh journal or a crash
         // during creation (header prefix). Both re-initialize.
         if (bytes.len() as u64) < WAL_HEADER_LEN {
-            let mut file = File::create(path)?;
+            let mut file = io.create(path)?;
             let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
             header.extend_from_slice(&WAL_MAGIC);
             header.extend_from_slice(&WAL_VERSION.to_le_bytes());
             header.extend_from_slice(&0u32.to_le_bytes());
-            file.write_all(&header)?;
-            file.sync_data()?;
-            sync_parent_dir(path)?;
+            io.write_all(&mut file, &header)?;
+            io.sync_data(&file)?;
+            store_io::sync_parent_dir(io.as_ref(), path)?;
             let replay = WalReplay {
                 records: Vec::new(),
                 torn_bytes: bytes.len() as u64,
@@ -244,9 +268,11 @@ impl Wal {
             };
             return Ok((
                 Wal {
+                    io,
                     file,
                     path: path.to_path_buf(),
                     offset: WAL_HEADER_LEN,
+                    dirty_tail: false,
                 },
                 replay,
             ));
@@ -312,19 +338,19 @@ impl Wal {
             off += frame_len;
         }
         let valid_len = off as u64;
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = io.open_rw(path)?;
         if torn_bytes > 0 {
-            file.set_len(valid_len)?;
-            file.sync_data()?;
+            io.set_len(&file, valid_len)?;
+            io.sync_data(&file)?;
         }
-        let mut file = file;
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::Start(valid_len))?;
+        store_io::seek_to(&mut file, valid_len)?;
         Ok((
             Wal {
+                io,
                 file,
                 path: path.to_path_buf(),
                 offset: valid_len,
+                dirty_tail: false,
             },
             WalReplay {
                 records,
@@ -343,6 +369,11 @@ impl Wal {
     /// with the matching corpus — via the manifest rename (see
     /// [`crate::manifest`]).
     pub fn create(path: &Path, records: &[WalRecord]) -> Result<Wal> {
+        Self::create_with(path, records, store_io::real_io())
+    }
+
+    /// [`Wal::create`] through an explicit [`IoBackend`].
+    pub fn create_with(path: &Path, records: &[WalRecord], io: Arc<dyn IoBackend>) -> Result<Wal> {
         let mut buf = Vec::with_capacity(WAL_HEADER_LEN as usize + records.len() * 48);
         buf.extend_from_slice(&WAL_MAGIC);
         buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
@@ -353,33 +384,64 @@ impl Wal {
             buf.extend_from_slice(&crc32(&payload).to_le_bytes());
             buf.extend_from_slice(&payload);
         }
-        let mut file = File::create(path)?;
-        file.write_all(&buf)?;
-        file.sync_data()?;
-        sync_parent_dir(path)?;
+        let mut file = io.create(path)?;
+        io.write_all(&mut file, &buf)?;
+        io.sync_data(&file)?;
+        store_io::sync_parent_dir(io.as_ref(), path)?;
         Ok(Wal {
+            io,
             file,
             path: path.to_path_buf(),
             offset: buf.len() as u64,
+            dirty_tail: false,
         })
     }
 
     /// Appends one record; the returned offset is the journal length with
     /// this frame included — the record is acked once this returns.
+    ///
+    /// On failure the record is **not** journaled and the error is
+    /// typed ([`WalError::StorageFull`] vs transient [`WalError::Io`]).
+    /// A failed write may leave a partial frame after the last good
+    /// offset; the journal remembers that ([`Wal::dirty_tail`]) and
+    /// truncates it away before the next append, so acked frames stay a
+    /// clean prefix and a crash in between still recovers (a synced
+    /// partial frame is exactly the torn tail [`Wal::open`] discards).
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        if self.dirty_tail {
+            self.repair_tail()?;
+        }
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.io.write_all(&mut self.file, &frame) {
+            self.dirty_tail = true;
+            return Err(e.into());
+        }
         self.offset += frame.len() as u64;
         Ok(self.offset)
     }
 
+    /// Truncates a partial frame left by a failed append back to the
+    /// last acked offset and repositions the cursor there.
+    fn repair_tail(&mut self) -> Result<()> {
+        self.io.set_len(&self.file, self.offset)?;
+        store_io::seek_to(&mut self.file, self.offset)?;
+        self.dirty_tail = false;
+        Ok(())
+    }
+
+    /// True when a failed append left partial bytes that have not been
+    /// repaired yet (the next append will retry the repair first).
+    pub fn dirty_tail(&self) -> bool {
+        self.dirty_tail
+    }
+
     /// Flushes journal bytes to stable storage (fsync).
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
+        self.io.sync_data(&self.file)?;
         Ok(())
     }
 
@@ -577,6 +639,94 @@ mod tests {
         drop(wal2);
         let (_, replay) = Wal::open(&path).expect("reopen");
         assert_eq!(replay.records, kept[..1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_is_typed_and_partial_frame_is_repaired() {
+        use press_store::io::{DiskFault, FaultKind, FaultyIo};
+        let dir = tmp_dir("fault-append");
+        let path = dir.join("ingest.wal");
+        let io = FaultyIo::new(Vec::new());
+        let (mut wal, _) = Wal::open_with(&path, io.clone()).expect("create");
+        let ok_off = wal
+            .append(&WalRecord::Point {
+                vehicle: 1,
+                x: 1.0,
+                y: 2.0,
+                t: 3.0,
+            })
+            .expect("clean append");
+        // A short write leaves a partial frame and surfaces StorageFull.
+        io.arm(DiskFault {
+            at_op: io.ops(),
+            kind: FaultKind::ShortWrite,
+            sticky: false,
+        });
+        let err = wal
+            .append(&WalRecord::Finalize { vehicle: 1 })
+            .expect_err("short write");
+        assert!(matches!(err, WalError::StorageFull(_)));
+        assert!(wal.dirty_tail());
+        assert_eq!(wal.offset(), ok_off, "failed append acked nothing");
+        assert!(
+            std::fs::metadata(&path).expect("meta").len() > ok_off,
+            "partial frame bytes really landed"
+        );
+        // The next append repairs the tail first; the journal replays to
+        // exactly the acked records.
+        let off2 = wal
+            .append(&WalRecord::Finalize { vehicle: 1 })
+            .expect("repaired append");
+        assert!(off2 > ok_off);
+        assert!(!wal.dirty_tail());
+        drop(wal);
+        let (_, replay) = Wal::open(&path).expect("reopen");
+        assert_eq!(replay.torn_bytes, 0, "repair removed the partial frame");
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord::Point {
+                    vehicle: 1,
+                    x: 1.0,
+                    y: 2.0,
+                    t: 3.0
+                },
+                WalRecord::Finalize { vehicle: 1 },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_eio_on_append_and_sync_is_typed_io() {
+        use press_store::io::{DiskFault, FaultKind, FaultyIo};
+        let dir = tmp_dir("fault-eio");
+        let path = dir.join("ingest.wal");
+        let io = FaultyIo::new(Vec::new());
+        let (mut wal, _) = Wal::open_with(&path, io.clone()).expect("create");
+        io.arm(DiskFault {
+            at_op: io.ops(),
+            kind: FaultKind::Eio,
+            sticky: false,
+        });
+        assert!(matches!(
+            wal.append(&WalRecord::FinalizeAll),
+            Err(WalError::Io(_))
+        ));
+        // EIO writes nothing, but the journal still repairs defensively;
+        // the retry succeeds and recovery sees exactly one record.
+        wal.append(&WalRecord::FinalizeAll).expect("retry");
+        io.arm(DiskFault {
+            at_op: io.ops(),
+            kind: FaultKind::SyncFail,
+            sticky: false,
+        });
+        assert!(matches!(wal.sync(), Err(WalError::Io(_))));
+        wal.sync().expect("sync retry");
+        drop(wal);
+        let (_, replay) = Wal::open(&path).expect("reopen");
+        assert_eq!(replay.records, vec![WalRecord::FinalizeAll]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -97,6 +97,7 @@ fn config() -> IngestConfig {
         max_lattice_work: 0,
         max_salvage_splits: 8,
         quarantine_log_cap: 256,
+        ..IngestConfig::default()
     }
 }
 

@@ -110,11 +110,12 @@ fn config() -> IngestConfig {
         max_lattice_work: 0,
         max_salvage_splits: 8,
         quarantine_log_cap: 256,
+        ..IngestConfig::default()
     }
 }
 
 /// Pushes `events` into a fresh engine at `dir`, recording the event
-/// index and ack offset of every accepted fix.
+/// index and ack offset of every ingested (journaled) fix.
 fn run_clean(
     dir: &std::path::Path,
     cfg: IngestConfig,
@@ -124,7 +125,7 @@ fn run_clean(
     let mut engine = IngestEngine::open(dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
     let mut acked = Vec::new();
     for (i, &(v, s)) in events.iter().enumerate() {
-        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+        if let Some(offset) = engine.push(v, s).expect("push").offset() {
             acked.push((i, offset));
         }
     }
@@ -325,7 +326,7 @@ fn checkpoint_then_kill_keeps_published_corpus_and_tail() {
     let split = f.events.len() * 3 / 5;
     let mut acked: Vec<(usize, u64)> = Vec::new();
     for (i, &(v, s)) in f.events[..split].iter().enumerate() {
-        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+        if let Some(offset) = engine.push(v, s).expect("push").offset() {
             acked.push((i, offset));
         }
     }
@@ -333,7 +334,7 @@ fn checkpoint_then_kill_keeps_published_corpus_and_tail() {
     let base_len = engine.wal_offset();
     let pre_checkpoint_accepted = acked.len();
     for (i, &(v, s)) in f.events[split..].iter().enumerate() {
-        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+        if let Some(offset) = engine.push(v, s).expect("push").offset() {
             acked.push((split + i, offset));
         }
     }

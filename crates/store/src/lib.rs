@@ -91,10 +91,14 @@ use std::sync::Arc;
 
 mod crc32;
 pub mod index;
+pub mod io;
 pub mod mapping;
 
 pub use crc32::crc32;
 pub use index::{IndexEntry, SynopsisIndex, DEFAULT_BRANCHING};
+pub use io::{
+    atomic_write_file, is_storage_full, real_io, DiskFault, FaultKind, FaultyIo, IoBackend, RealIo,
+};
 pub use mapping::{map_file, ArenaMapping, Mapping};
 
 /// File magic, first 8 bytes of every artifact file.
@@ -300,9 +304,20 @@ impl StoreWriter {
         out
     }
 
-    /// Writes the container to `path` (parent directories must exist).
+    /// Writes the container to `path` (parent directories must exist)
+    /// atomically: staged through a sibling temp file, fsynced, renamed
+    /// over the target, parent directory fsynced. A crash or I/O fault
+    /// at any step leaves either the old complete file or the new one,
+    /// and every failure — including the fsyncs — surfaces as a typed
+    /// [`StoreError::Io`].
     pub fn write_to(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_bytes())?;
+        self.write_to_with(&RealIo, path)
+    }
+
+    /// [`StoreWriter::write_to`] through an explicit [`IoBackend`]
+    /// (fault injection in tests, real filesystem in production).
+    pub fn write_to_with(&self, io: &dyn IoBackend, path: &Path) -> Result<()> {
+        atomic_write_file(io, path, &self.to_bytes())?;
         Ok(())
     }
 }

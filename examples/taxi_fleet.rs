@@ -14,7 +14,7 @@
 
 use press::matcher::hmm::GpsSample;
 use press::prelude::*;
-use press::serve::{truncate_wal, wal_len, Event};
+use press::serve::{truncate_wal, wal_len, DiskFault, Event, FaultKind, FaultyIo, ServeError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -105,11 +105,14 @@ fn main() {
         cfg,
     )
     .expect("open");
-    // Every accepted fix is acked with its WAL offset — the engine's
-    // durability promise is exactly "acked ⇒ survives any crash".
+    // Every ingested fix is acked with its WAL offset. Acks never lie:
+    // `Accepted` means a completed fsync covers the frame (survives
+    // power loss), `Journaled` means it is written but its group-commit
+    // sync is still pending (survives a process crash; a power cut may
+    // take it, which is exactly what the tear below simulates).
     let mut acked: Vec<(usize, u64)> = Vec::new();
     for (i, &(v, s)) in feed.iter().enumerate() {
-        if let Ack::Accepted { offset } = engine.push(v, s).expect("push") {
+        if let Some(offset) = engine.push(v, s).expect("push").offset() {
             acked.push((i, offset));
         }
     }
@@ -204,6 +207,64 @@ fn main() {
         );
     }
 
+    // --- Disk full, then freed: degraded mode, not death. ----------------
+    // The same fleet through an engine whose I/O backend injects faults:
+    // the disk fills mid-stream, every ingest push is refused with a
+    // typed `StorageFull` (no panic, no silent drop, no lying ack),
+    // matching and compression keep running — and when space returns,
+    // ingest resumes in the same process.
+    println!("\n--- disk full, then freed ---");
+    let dir_c = std::env::temp_dir().join(format!("press-taxi-enospc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_c);
+    let faulty = FaultyIo::new(Vec::new());
+    let mut survivor = IngestEngine::open_with_io(
+        &dir_c,
+        Arc::clone(&matcher),
+        press.reconfigured(press.config()),
+        cfg,
+        faulty.clone(),
+    )
+    .expect("open");
+    let third = feed.len() / 3;
+    for &(v, s) in &feed[..third] {
+        survivor.push(v, s).expect("push");
+    }
+    faulty.arm(DiskFault {
+        at_op: 0,
+        kind: FaultKind::Enospc,
+        sticky: true, // a full disk stays full until space is freed
+    });
+    let mut refused = 0usize;
+    for &(v, s) in &feed[third..2 * third] {
+        match survivor.push(v, s) {
+            Err(ServeError::StorageFull(_)) => refused += 1,
+            Ok(ack) => assert!(!ack.is_ingested(), "no ingested acks on a full disk"),
+            Err(e) => panic!("expected StorageFull, got {e}"),
+        }
+    }
+    let _ = survivor.flush().expect("matching needs no disk");
+    assert!(
+        matches!(survivor.sync(), Err(ServeError::StorageFull(_))),
+        "explicit sync reports the full disk, typed"
+    );
+    println!(
+        "disk full: {refused} pushes refused with typed StorageFull; the engine stays \
+         up — matching/compression still run, sync reports the condition honestly"
+    );
+    faulty.clear(); // space freed
+    for &(v, s) in &feed[2 * third..] {
+        survivor.push(v, s).expect("push after space returns");
+    }
+    survivor.finalize_all().expect("finalize");
+    survivor.flush().expect("flush");
+    let total = survivor.checkpoint().expect("checkpoint");
+    println!(
+        "space freed: ingest resumed without a restart; {} storage-full rejections \
+         counted, {total} trajectories published",
+        survivor.stats().storage_full_rejections
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_c);
 }

@@ -75,7 +75,8 @@ pub mod prelude {
         RoadNetworkBuilder, SpBackend, SpProvider, SpTable,
     };
     pub use press_serve::{
-        Ack, FaultPlan, IngestConfig, IngestEngine, QuarantineReason, SessionPolicy,
+        Ack, DurabilityPolicy, FaultPlan, IngestConfig, IngestEngine, QuarantineReason, ServeError,
+        SessionPolicy,
     };
     pub use press_workload::{query_mix, QueryMixConfig, Workload, WorkloadConfig};
 }
