@@ -293,6 +293,36 @@ impl TrajectoryStore {
         trajectories: &[CompressedTrajectory],
         block_size: usize,
     ) -> Result<Vec<u8>> {
+        Self::to_store_bytes_with_extra(engine, trajectories, block_size, Vec::new())
+    }
+
+    /// [`TrajectoryStore::to_store_bytes`] plus caller-owned **extra
+    /// sections** written after the index (and before the blocks).
+    /// Extra sections ride the container's CRC framing but are opaque
+    /// to the store itself — readers that don't know a name ignore it
+    /// (the store loader tolerates unknown sections), and
+    /// writers that know it read it back via
+    /// [`TrajectoryStore::extra_section`]. press-serve uses this to
+    /// persist each ingest shard's canonical merge keys inside its
+    /// corpus shard file. Names must not collide with the store's own
+    /// sections (`meta`, `synopsis`, `index`, `blk<n>`).
+    pub fn to_store_bytes_with_extra(
+        engine: &QueryEngine<'_>,
+        trajectories: &[CompressedTrajectory],
+        block_size: usize,
+        extra: Vec<(String, Vec<u8>)>,
+    ) -> Result<Vec<u8>> {
+        for (name, _) in &extra {
+            let reserved = name == "meta"
+                || name == "synopsis"
+                || name == "index"
+                || (name.starts_with("blk") && name[3..].chars().all(|c| c.is_ascii_digit()));
+            if reserved {
+                return Err(PressError::InvalidConfig(format!(
+                    "extra section name {name:?} collides with a store section"
+                )));
+            }
+        }
         if block_size == 0 {
             return Err(PressError::InvalidConfig(
                 "block_size must be at least 1".into(),
@@ -348,6 +378,9 @@ impl TrajectoryStore {
         // to readers (sections are addressed via the table offset).
         w.section_aligned("synopsis", synopsis.into_bytes());
         w.section("index", index.to_section_bytes());
+        for (name, payload) in extra {
+            w.section(&name, payload);
+        }
         for (b, payload) in payloads.into_iter().enumerate() {
             w.section(&format!("blk{b}"), payload);
         }
@@ -719,6 +752,17 @@ impl TrajectoryStore {
     /// The packed synopsis hierarchy the range path descends.
     pub fn synopsis_index(&self) -> &SynopsisIndex {
         &self.index
+    }
+
+    /// The bytes of a caller-owned extra section (see
+    /// [`TrajectoryStore::to_store_bytes_with_extra`]), or `None` when
+    /// the file predates the writer that adds it. A present-but-corrupt
+    /// section is a typed error, never silently absent.
+    pub fn extra_section(&self, name: &str) -> Result<Option<&[u8]>> {
+        if !self.file.has_section(name) {
+            return Ok(None);
+        }
+        Ok(Some(self.file.section(name)?))
     }
 }
 

@@ -76,6 +76,61 @@ where
         .collect()
 }
 
+/// [`work_steal_map`] without the small-input sequential shortcut: the
+/// variant for *few heavy items* — per-shard journal replay in
+/// `press-serve` recovers a handful of shards, each of which may replay
+/// millions of frames, so "< 2 items per worker" is exactly the input
+/// shape that still wants real threads. Spawns `min(threads,
+/// items.len())` workers; sequential only when that is 1. Output order
+/// and results are bit-identical to [`work_steal_map`].
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn work_steal_map_eager<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("work-stealing worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, r) in parts.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("all indices drained"))
+        .collect()
+}
+
 /// [`work_steal_map`] with a caller-owned pool of per-worker scratch
 /// state — the variant for passes whose per-item work needs large
 /// reusable buffers (the batched contraction's witness searches carry
@@ -160,6 +215,26 @@ mod tests {
             let parallel = work_steal_map(&items, threads, |_, &x| x * x + 1);
             assert_eq!(sequential, parallel, "order broken at {threads} threads");
         }
+    }
+
+    #[test]
+    fn eager_variant_parallelizes_tiny_inputs_and_matches_sequential() {
+        // Fewer items than 2*threads — work_steal_map would go
+        // sequential; the eager variant must still produce identical
+        // output (and visit every item exactly once) with real workers.
+        let items: Vec<u64> = (0..3).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 7 + 2).collect();
+        for threads in [1, 2, 3, 8] {
+            let calls = AtomicUsize::new(0);
+            let out = work_steal_map_eager(&items, threads, |_, &x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x * 7 + 2
+            });
+            assert_eq!(out, expect, "order broken at {threads} threads");
+            assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert!(work_steal_map_eager(&empty, 4, |_, &x| x).is_empty());
     }
 
     #[test]

@@ -1,67 +1,78 @@
-//! The streaming ingest engine: sharded per-vehicle sessions feeding the
-//! PRESS pipeline (match → reformat → HSC + BTC) behind a crash-safe WAL.
+//! The streaming ingest engine: N independent writer shards (vehicle-hash
+//! routing) feeding the PRESS pipeline (match → reformat → HSC + BTC),
+//! each behind its own crash-safe WAL.
+//!
+//! # Failure domains
+//!
+//! A failure domain is a **shard**, not the fleet. Each shard owns its
+//! own CRC-framed journal (`ingest.<gen>.s<k>.wal`), its own
+//! [`DurabilityPolicy`] accumulators, its own session map and share of
+//! the memory budget, and its own [`IngestStats`]. A `StorageFull` /
+//! sticky-I/O / corrupt-journal fault on shard *k* surfaces as
+//! [`ServeError::ShardDegraded`] naming *k*; pushes routed to healthy
+//! shards keep acking, the published corpus keeps serving, and the
+//! degraded shard's rejections never leak into healthy shards'
+//! counters. With `shards == 1` (the default) the engine behaves —
+//! journal bytes included — exactly like the historical single-writer
+//! engine, and errors stay un-wrapped.
 //!
 //! # Ack and durability contract
 //!
 //! [`IngestEngine::push`] vets each fix ([`Session::vet`]), journals the
-//! accepted ones, and only then buffers them. The configured
-//! [`DurabilityPolicy`] group-commits the journal (byte / stream-time
-//! thresholds), and acks never overstate what happened: a fix is
-//! [`Ack::Accepted`] only when a completed fsync covers its frame, and
-//! [`Ack::Journaled`] (written, not yet synced) otherwise — the
-//! [`IngestEngine::durable_offset`] watermark says which journaled
-//! offsets have become durable since. Rejected and coalesced fixes are
-//! acked without journaling — replays reproduce the identical decisions
-//! because validation only depends on journaled state.
+//! accepted ones in the owning shard, and only then buffers them. The
+//! configured [`DurabilityPolicy`] group-commits each shard's journal
+//! independently (byte / stream-time thresholds), and acks never
+//! overstate what happened: a fix is [`Ack::Accepted`] only when a
+//! completed fsync covers its frame, and [`Ack::Journaled`] (written,
+//! not yet synced) otherwise — the per-shard durability watermark says
+//! which journaled offsets have become durable since. Rejected and
+//! coalesced fixes are acked without journaling — replays reproduce the
+//! identical decisions because validation only depends on journaled
+//! state.
 //!
-//! # Disk faults and degraded modes
+//! # Determinism across shard counts
 //!
-//! Every durable write goes through an injectable
-//! [`press_store::IoBackend`] ([`IngestEngine::open_with_io`]).
-//! Transient failures are retried with the policy's backoff; writes
-//! that still cannot be made durable surface as typed
-//! [`ServeError::Backpressure`] / [`ServeError::StorageFull`] errors
-//! with the fix **not** ingested and engine state unchanged — the
-//! engine keeps serving queries, never panics, never drops silently,
-//! and ingest resumes when the device recovers.
-//!
-//! # Memory budget
-//!
-//! [`IngestConfig::max_buffered_points`] / [`IngestConfig::max_sessions`]
-//! bound session memory: overflow evicts least-recently-active sessions
-//! into the pending queue (their points are already WAL-backed). The
-//! eviction trigger reads only journal-derived state — buffer occupancy
-//! and the stream-time LRU index, never wall clock — so replay evicts
-//! identically and eviction is invisible in the recovered corpus.
+//! The stream clock (`max_time`) is global; every shard-scoped decision
+//! (idle sweeps, vetting) happens after catching the shard up to it, so
+//! segmentation is independent of the shard count. Finalized pieces
+//! carry a canonical merge key — `(vehicle, segment sequence, piece)` —
+//! and the published corpus is built in key order, so its bytes are
+//! identical for any shard count and any flush-worker count. Each
+//! shard's journal carries `Clock` frames whenever the global clock
+//! advanced past what the shard last journaled, so per-shard replay
+//! reproduces the same sweeps without reading any other shard's journal.
 //!
 //! # Recovery
 //!
 //! [`IngestEngine::open`] reads the `MANIFEST` to find the committed
-//! generation, loads its checkpointed corpus (`corpus.<gen>.press`),
-//! replays its journal (`ingest.<gen>.wal`) through the exact same
-//! code path as live ingest (sessions, segment rollovers, idle
-//! sweeps), and truncates any torn tail. Artifacts from any other
-//! generation are uncommitted checkpoint leftovers and are
-//! garbage-collected. The rebuilt engine is therefore in the same
-//! state a clean run would reach after pushing exactly the acked
-//! prefix — the recovery proptests assert the resulting corpora are
-//! byte-identical.
+//! generation and shard count, then recovers every shard **in
+//! parallel** on the shared work-steal loop: load the shard's
+//! checkpointed corpus slice (`corpus.<gen>.s<k>.press`), replay its
+//! journal through the exact same code path as live ingest, truncate
+//! any torn tail. Artifacts from any other generation are uncommitted
+//! checkpoint leftovers and are garbage-collected. The rebuilt engine
+//! is in the same state a clean run would reach after pushing exactly
+//! the acked prefix of each shard — the recovery proptests assert the
+//! resulting corpora are byte-identical. Directories written by the
+//! pre-shard format (a v1 manifest, un-suffixed artifact names) open
+//! with `shards == 1` and are migrated to the sharded naming by the
+//! next checkpoint; opening them with any other shard count — or a
+//! sharded directory with a different count — is a typed
+//! [`ServeError::Config`] (resharding is not supported).
 //!
-//! # Checkpoints
+//! # Incremental checkpoints
 //!
 //! [`IngestEngine::checkpoint`] flushes pending segments, then commits
-//! the corpus and the shrunk journal **as one atomic pair**: both are
-//! written under the next generation number — the journal holding just
-//! the in-flight state (buffered points in original arrival order,
-//! `Resume` frames for sessions whose buffers are empty but whose
-//! last-accepted fix still gates validation, and a `Clock` frame
-//! pinning the observed stream time so idle sweeps replay identically)
-//! — and a single [`crate::manifest`] rename flips recovery to the new
-//! pair. A crash at any byte of the checkpoint lands on a complete
-//! generation: the old corpus with the full old journal, or the new
-//! corpus with exactly its in-flight tail — never the new corpus with
-//! the old journal, which would replay (and duplicate) trajectories
-//! the corpus already contains.
+//! the corpus shard files and the shrunk per-shard journals as **one
+//! atomic set**: everything is written under the next generation number
+//! and a single [`crate::manifest`] rename flips recovery to the new
+//! set. A shard with no new finalized segments since the last
+//! generation does not rewrite its corpus slice — the previous
+//! generation's file is hard-linked under the next generation's name —
+//! so checkpoint cost and crash blast-radius scale with *dirty* shards,
+//! not corpus size. A crash at any byte of the checkpoint lands on a
+//! complete generation: the old shard set with the full old journals,
+//! or the new set with exactly its in-flight tails.
 
 use crate::durability::DurabilityPolicy;
 use crate::manifest;
@@ -72,11 +83,15 @@ use press_core::spatial::online::OnlineSpCompressor;
 use press_core::store::TrajectoryStore;
 use press_core::temporal::online::OnlineBtc;
 use press_core::types::TemporalSequence;
-use press_core::{parallel::work_steal_map, query::QueryEngine};
+use press_core::{
+    parallel::{work_steal_map, work_steal_map_eager},
+    query::QueryEngine,
+};
 use press_core::{CompressedTrajectory, Press, PressError};
 use press_matcher::{GpsSample, MapMatcher, MatcherError};
 use press_network::{LazySpCache, Point};
 use press_store::io::{self as store_io, IoBackend};
+use press_store::{ByteReader, ByteWriter};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -110,6 +125,19 @@ pub enum ServeError {
         /// Retries performed before giving up.
         retries: u32,
     },
+    /// A shard-scoped durable write failed on a multi-shard engine:
+    /// only `shard` is degraded — pushes routed to other shards keep
+    /// acking and the published corpus keeps serving. `cause` is the
+    /// underlying typed failure ([`ServeError::StorageFull`],
+    /// [`ServeError::Backpressure`], …); the fix was **not** ingested
+    /// and the shard stays recoverable. Single-shard engines surface
+    /// the cause directly, un-wrapped.
+    ShardDegraded {
+        /// The shard whose journal refused the write.
+        shard: usize,
+        /// The underlying failure.
+        cause: Box<ServeError>,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -124,11 +152,40 @@ impl fmt::Display for ServeError {
             ServeError::Backpressure { detail, retries } => {
                 write!(f, "ingest backpressure after {retries} retries: {detail}")
             }
+            ServeError::ShardDegraded { shard, cause } => {
+                write!(f, "ingest shard {shard} degraded: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Unwraps [`ServeError::ShardDegraded`] layers down to the
+    /// underlying failure (identity for every other variant).
+    pub fn root_cause(&self) -> &ServeError {
+        match self {
+            ServeError::ShardDegraded { cause, .. } => cause.root_cause(),
+            other => other,
+        }
+    }
+
+    /// The degraded shard, when this error is shard-scoped.
+    pub fn degraded_shard(&self) -> Option<usize> {
+        match self {
+            ServeError::ShardDegraded { shard, .. } => Some(*shard),
+            _ => None,
+        }
+    }
+
+    /// True when the root cause is [`ServeError::StorageFull`] —
+    /// matches whether or not the error is wrapped in
+    /// [`ServeError::ShardDegraded`].
+    pub fn is_storage_full(&self) -> bool {
+        matches!(self.root_cause(), ServeError::StorageFull(_))
+    }
+}
 
 impl From<WalError> for ServeError {
     fn from(e: WalError) -> Self {
@@ -174,7 +231,9 @@ pub struct IngestConfig {
     pub max_session_points: usize,
     /// Trajectories per block in the published corpus.
     pub block_size: usize,
-    /// Worker threads for parallel segment matching in [`IngestEngine::flush`].
+    /// Worker threads for parallel segment matching in
+    /// [`IngestEngine::flush`] and parallel shard recovery in
+    /// [`IngestEngine::open`].
     pub threads: usize,
     /// Deterministic matcher budget (Viterbi lattice transitions); a
     /// segment whose lattice exceeds this is shed, not matched. `0`
@@ -185,23 +244,34 @@ pub struct IngestConfig {
     pub max_salvage_splits: usize,
     /// Most recent quarantined fixes kept for inspection.
     pub quarantine_log_cap: usize,
-    /// When the engine fsyncs the journal and how it retries transient
-    /// write failures (see [`DurabilityPolicy`]). Only sync *timing* —
+    /// When each shard fsyncs its journal and how it retries transient
+    /// write failures (see [`DurabilityPolicy`]); every shard runs its
+    /// own independent instance of this policy. Only sync *timing* —
     /// never corpus bytes — depends on this.
     pub durability: DurabilityPolicy,
-    /// Memory budget: total points buffered across live sessions. When
-    /// an accepted fix pushes the total past this, least-recently-active
+    /// Memory budget: total points buffered across live sessions,
+    /// divided evenly across shards (each shard enforces
+    /// `ceil(max_buffered_points / shards)`). When an accepted fix
+    /// pushes a shard past its share, that shard's least-recently-active
     /// sessions are evicted (finalized to the pending queue — their
     /// points are already WAL-backed) until the budget holds. `0`
     /// disables. Eviction is driven purely by journaled state, so
     /// replay reproduces it exactly.
     pub max_buffered_points: usize,
-    /// Memory budget: live session count, same LRU eviction. `0`
-    /// disables.
+    /// Memory budget: live session count (per-shard share, same LRU
+    /// eviction). `0` disables.
     pub max_sessions: usize,
     /// Most recent evicted vehicle ids kept for inspection (the
     /// eviction-order determinism proptest reads this).
     pub eviction_log_cap: usize,
+    /// Independent writer shards. Vehicles are routed by hash, and each
+    /// shard owns its own journal, durability accumulators, sessions,
+    /// memory-budget share, and stats — a disk fault degrades one
+    /// shard, not the fleet. `1` (the default) reproduces the
+    /// historical single-writer engine byte-for-byte. A directory is
+    /// committed to its shard count at creation; reopening with a
+    /// different count is a typed error.
+    pub shards: usize,
 }
 
 impl Default for IngestConfig {
@@ -219,6 +289,7 @@ impl Default for IngestConfig {
             max_buffered_points: 0,
             max_sessions: 0,
             eviction_log_cap: 1024,
+            shards: 1,
         }
     }
 }
@@ -234,12 +305,12 @@ pub enum Ack {
     /// survives power loss, not just process death.
     Accepted { offset: u64 },
     /// Fix journaled and buffered, not yet synced. `offset` is the
-    /// journal length with this fix's frame included; the fix becomes
-    /// durable when a later group-commit sync, explicit
-    /// [`IngestEngine::sync`], or checkpoint advances
-    /// [`IngestEngine::durable_offset`] past it. A *process* crash
-    /// cannot lose it (the bytes are in the OS page cache); power loss
-    /// before the covering sync can.
+    /// owning shard's journal length with this fix's frame included;
+    /// the fix becomes durable when a later group-commit sync, explicit
+    /// [`IngestEngine::sync`], or checkpoint advances that shard's
+    /// durability watermark past it. A *process* crash cannot lose it
+    /// (the bytes are in the OS page cache); power loss before the
+    /// covering sync can.
     Journaled { offset: u64 },
     /// Harmless defect repaired per policy (duplicate coalesced); the
     /// fix is intentionally not journaled.
@@ -276,9 +347,12 @@ pub struct QuarantineRecord {
     pub reason: QuarantineReason,
 }
 
-/// Ingest counters. Observability only — counters are rebuilt from the
-/// journal on recovery, so quarantine/repair counts (which are never
-/// journaled) restart at zero after a crash.
+/// Ingest counters. Kept **per shard** — a faulted shard's rejections
+/// never appear in a healthy shard's counters
+/// ([`IngestEngine::shard_stats`]); [`IngestEngine::stats`] is the
+/// summed fleet-wide view. Observability only — counters are rebuilt
+/// from the journal on recovery, so quarantine/repair counts (which are
+/// never journaled) restart at zero after a crash.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IngestStats {
     /// Fixes accepted (journaled and buffered), including replayed ones.
@@ -336,20 +410,50 @@ impl IngestStats {
             self.synced_frames as f64 / self.sync_calls as f64
         }
     }
+
+    /// Adds `other`'s counters into `self` (the summed fleet-wide view;
+    /// `max_sync_batch` takes the max).
+    pub fn accumulate(&mut self, other: &IngestStats) {
+        self.points_accepted += other.points_accepted;
+        self.points_repaired += other.points_repaired;
+        for (mine, theirs) in self
+            .points_quarantined
+            .iter_mut()
+            .zip(other.points_quarantined)
+        {
+            *mine += theirs;
+        }
+        self.segments_idle += other.segments_idle;
+        self.segments_cap += other.segments_cap;
+        self.segments_explicit += other.segments_explicit;
+        self.pieces_compressed += other.pieces_compressed;
+        self.salvage_splits += other.salvage_splits;
+        self.pieces_dropped += other.pieces_dropped;
+        self.pieces_shed += other.pieces_shed;
+        self.sync_calls += other.sync_calls;
+        self.synced_frames += other.synced_frames;
+        self.max_sync_batch = self.max_sync_batch.max(other.max_sync_batch);
+        self.io_retries += other.io_retries;
+        self.sync_failures += other.sync_failures;
+        self.sessions_evicted += other.sessions_evicted;
+        self.backpressure_rejections += other.backpressure_rejections;
+        self.storage_full_rejections += other.storage_full_rejections;
+    }
 }
 
-/// What [`IngestEngine::open`] found on disk and rebuilt.
+/// What [`IngestEngine::open`] found on disk and rebuilt, summed across
+/// all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RecoveryReport {
-    /// Trajectories loaded from the checkpointed corpus.
+    /// Trajectories loaded from the checkpointed corpus shard files.
     pub corpus_trajectories: usize,
-    /// `Point` frames replayed from the journal.
+    /// `Point` frames replayed from the journals.
     pub replayed_points: u64,
     /// `Finalize`/`FinalizeAll` frames replayed.
     pub replayed_finalizes: u64,
-    /// Bytes truncated from the journal's torn tail.
+    /// Bytes truncated from the journals' torn tails.
     pub torn_bytes: u64,
-    /// True when no journal existed (fresh directory).
+    /// True when no journal existed on any shard (fresh directory).
     pub wal_was_fresh: bool,
     /// Live sessions rebuilt by the replay.
     pub sessions_rebuilt: usize,
@@ -358,9 +462,102 @@ pub struct RecoveryReport {
     pub points_in_flight: usize,
 }
 
-/// A finalized-but-unmatched segment awaiting [`IngestEngine::flush`].
+/// Canonical merge key of one finalized piece: the published corpus is
+/// built in `(rank, vehicle, seg, piece)` order, which is independent
+/// of shard count, flush batching, and thread count. `rank 0` pins
+/// trajectories inherited from a pre-key corpus in their original
+/// position (their `vehicle` field is the original index); everything
+/// cut by this engine is `rank 1` with its real vehicle id, per-vehicle
+/// segment sequence number, and salvage piece index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TrajKey {
+    rank: u8,
+    vehicle: u64,
+    seg: u64,
+    piece: u32,
+}
+
+/// Name of the corpus extra section carrying the merge keys and the
+/// per-vehicle segment-sequence counters (see `encode_ingest_section`).
+const INGEST_SECTION: &str = "ingest";
+/// Version tag of the `ingest` section payload.
+const INGEST_SECTION_VERSION: u32 = 1;
+
+/// Serializes a shard's merge keys (aligned with its trajectory order)
+/// and per-vehicle `next_seg` counters into the corpus `ingest`
+/// section. Counters are sorted by vehicle so the bytes are canonical.
+fn encode_ingest_section(keys: &[TrajKey], next_seg: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(24 + keys.len() * 21 + next_seg.len() * 16);
+    w.put_u32(INGEST_SECTION_VERSION);
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        w.put_u8(k.rank);
+        w.put_u64(k.vehicle);
+        w.put_u64(k.seg);
+        w.put_u32(k.piece);
+    }
+    let mut counters: Vec<(u64, u64)> = next_seg.iter().map(|(&v, &s)| (v, s)).collect();
+    counters.sort_unstable();
+    w.put_u64(counters.len() as u64);
+    for (v, s) in counters {
+        w.put_u64(v);
+        w.put_u64(s);
+    }
+    w.into_bytes()
+}
+
+/// Parses the `ingest` section back. `n_trajs` is the number of
+/// trajectories in the corpus file — the key list must match it exactly
+/// or the sidecar is corrupt.
+fn decode_ingest_section(
+    bytes: &[u8],
+    n_trajs: usize,
+) -> Result<(Vec<TrajKey>, HashMap<u64, u64>)> {
+    fn bad(e: impl fmt::Display) -> ServeError {
+        ServeError::Manifest(format!("corpus ingest section: {e}"))
+    }
+    let mut r = ByteReader::new(bytes);
+    let version = r.get_u32().map_err(bad)?;
+    if version != INGEST_SECTION_VERSION {
+        return Err(bad(format_args!("unsupported version {version}")));
+    }
+    let n = r.get_u64().map_err(bad)? as usize;
+    if n != n_trajs {
+        return Err(bad(format_args!(
+            "key count {n} does not match corpus trajectory count {n_trajs}"
+        )));
+    }
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rank = r.get_u8().map_err(bad)?;
+        if rank > 1 {
+            return Err(bad(format_args!("unknown key rank {rank}")));
+        }
+        keys.push(TrajKey {
+            rank,
+            vehicle: r.get_u64().map_err(bad)?,
+            seg: r.get_u64().map_err(bad)?,
+            piece: r.get_u32().map_err(bad)?,
+        });
+    }
+    let m = r.get_u64().map_err(bad)? as usize;
+    let mut next_seg = HashMap::with_capacity(m);
+    for _ in 0..m {
+        let vehicle = r.get_u64().map_err(bad)?;
+        let seg = r.get_u64().map_err(bad)?;
+        next_seg.insert(vehicle, seg);
+    }
+    r.expect_end("ingest section").map_err(bad)?;
+    Ok((keys, next_seg))
+}
+
+/// A finalized-but-unmatched segment awaiting [`IngestEngine::flush`],
+/// already stamped with its canonical merge identity.
 #[derive(Debug, Clone)]
 struct PendingSegment {
+    vehicle: u64,
+    /// Per-vehicle segment sequence number, assigned at cut time.
+    seg: u64,
     samples: Vec<GpsSample>,
 }
 
@@ -398,8 +595,498 @@ fn time_key(t: f64) -> u64 {
     }
 }
 
-/// Multi-vehicle streaming ingest over one directory. See the module
-/// docs for the ack/durability, recovery, and checkpoint contracts.
+/// SplitMix64 finalizer — the vehicle-to-shard route. A fixed public
+/// mix (not a sum or modulus of the raw id) so that dense fleet ids
+/// spread evenly instead of striping.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-shard budget share: `ceil(total / shards)`, `0` stays disabled.
+fn budget_share(total: usize, shards: usize) -> usize {
+    if total == 0 {
+        0
+    } else {
+        total.div_ceil(shards)
+    }
+}
+
+/// One independent writer shard: its own journal, durability
+/// accumulators, session map, memory-budget share, canonical-key
+/// corpus slice, and counters. All stream-clock decisions take the
+/// *global* clock as a parameter — the shard itself never owns time.
+struct Shard {
+    wal: Wal,
+    /// Journal bytes appended since this shard's last successful fsync.
+    unsynced_bytes: u64,
+    /// Frames appended since this shard's last successful fsync.
+    unsynced_frames: u64,
+    /// Stream time of this shard's last successful fsync
+    /// (`NEG_INFINITY` arms the interval trigger).
+    last_sync_time: f64,
+    /// Durability watermark: every frame of this shard's journal ending
+    /// at or before this offset is covered by a completed fsync.
+    durable_offset: u64,
+    /// Highest stream time this shard's journal already encodes (via
+    /// `Clock` frames or its own `Point` timestamps) — the clock a
+    /// per-shard replay would have at the journal's tail.
+    journaled_clock: f64,
+    /// True when a pre-append sweep cut a session at a global clock the
+    /// journal doesn't encode yet: the next append must be preceded by
+    /// a `Clock` frame so replay performs the same cut before the same
+    /// record. Sweeps that cut nothing need no frame — a replay clock
+    /// lagging the global one sweeps the same (empty) set, because
+    /// expiry is monotone in the clock. With one shard the global clock
+    /// never outruns the journal, so the hot path never adds frames.
+    needs_clock: bool,
+    /// Points currently buffered across this shard's live sessions.
+    buffered: usize,
+    sessions: HashMap<u64, Session>,
+    /// Sessions ordered by last-accepted timestamp: `(time_key(last.t),
+    /// vehicle)`. Exactly the sessions with `last.is_some()`.
+    idle: BTreeSet<(u64, u64)>,
+    /// Per-vehicle segment sequence counters — the `seg` component of
+    /// the canonical merge key. Persisted in the corpus `ingest`
+    /// section so recovery numbers future segments exactly like an
+    /// uninterrupted run.
+    next_seg: HashMap<u64, u64>,
+    pending: Vec<PendingSegment>,
+    /// Canonical merge keys, aligned index-for-index with `finished`
+    /// and kept sorted.
+    keys: Vec<TrajKey>,
+    /// This shard's slice of the compressed corpus, in key order.
+    finished: Vec<CompressedTrajectory>,
+    /// True when this shard cut a segment since the last checkpoint —
+    /// its corpus slice (trajectories and/or counters) needs a rewrite;
+    /// clean shards hard-link the previous generation's file instead.
+    dirty: bool,
+    /// This shard's share of [`IngestConfig::max_buffered_points`].
+    budget_points: usize,
+    /// This shard's share of [`IngestConfig::max_sessions`].
+    budget_sessions: usize,
+    stats: IngestStats,
+}
+
+impl Shard {
+    fn new(
+        wal: Wal,
+        config: &IngestConfig,
+        keys: Vec<TrajKey>,
+        finished: Vec<CompressedTrajectory>,
+        next_seg: HashMap<u64, u64>,
+    ) -> Shard {
+        Shard {
+            wal,
+            unsynced_bytes: 0,
+            unsynced_frames: 0,
+            last_sync_time: f64::NEG_INFINITY,
+            durable_offset: 0,
+            journaled_clock: f64::NEG_INFINITY,
+            needs_clock: false,
+            buffered: 0,
+            sessions: HashMap::new(),
+            idle: BTreeSet::new(),
+            next_seg,
+            pending: Vec::new(),
+            keys,
+            finished,
+            dirty: false,
+            budget_points: budget_share(config.max_buffered_points, config.shards),
+            budget_sessions: budget_share(config.max_sessions, config.shards),
+            stats: IngestStats::default(),
+        }
+    }
+
+    fn vet(&self, policy: &SessionPolicy, vehicle: u64, sample: &GpsSample) -> Disposition {
+        match self.sessions.get(&vehicle) {
+            Some(sess) => sess.vet(policy, sample),
+            None => Session::new(vehicle).vet(policy, sample),
+        }
+    }
+
+    /// Queues a non-empty cut under the vehicle's next segment sequence
+    /// number and marks the shard's corpus slice dirty.
+    fn cut_segment(&mut self, vehicle: u64, samples: Vec<GpsSample>) {
+        if samples.is_empty() {
+            return;
+        }
+        let seg = self.next_seg.entry(vehicle).or_insert(0);
+        let s = *seg;
+        *seg += 1;
+        self.dirty = true;
+        self.pending.push(PendingSegment {
+            vehicle,
+            seg: s,
+            samples,
+        });
+    }
+
+    /// Applies an accepted fix: buffer, segment rollover, stream clock,
+    /// idle sweep, memory budget. Shared verbatim by live ingest and
+    /// journal replay; `clock` is the global stream clock live and the
+    /// journal-local clock on replay.
+    fn apply_accept(
+        &mut self,
+        config: &IngestConfig,
+        vehicle: u64,
+        sample: GpsSample,
+        arrival: u64,
+        clock: &mut f64,
+        eviction_log: &mut VecDeque<u64>,
+    ) {
+        self.stats.points_accepted += 1;
+        let sess = self
+            .sessions
+            .entry(vehicle)
+            .or_insert_with(|| Session::new(vehicle));
+        if let Some(prev) = sess.last {
+            self.idle.remove(&(time_key(prev.t), vehicle));
+        }
+        sess.accept(sample, arrival);
+        self.buffered += 1;
+        self.idle.insert((time_key(sample.t), vehicle));
+        if config.max_session_points > 0 && sess.samples.len() >= config.max_session_points {
+            let samples = self
+                .sessions
+                .get_mut(&vehicle)
+                .expect("session was just touched")
+                .take_segment();
+            self.buffered -= samples.len();
+            self.cut_segment(vehicle, samples);
+            self.stats.segments_cap += 1;
+        }
+        if sample.t > *clock {
+            *clock = sample.t;
+        }
+        self.sweep_idle(config, *clock);
+        self.enforce_memory_budget(config.eviction_log_cap, eviction_log);
+    }
+
+    /// Finalizes every session whose last accepted fix is more than
+    /// `idle_timeout` behind `clock` (the global stream clock live, the
+    /// journal-local clock on replay). Returns the number of sessions
+    /// closed, so the caller can tell whether replay needs the sweep
+    /// clock journaled.
+    fn sweep_idle(&mut self, config: &IngestConfig, clock: f64) -> usize {
+        if config.idle_timeout <= 0.0 {
+            return 0;
+        }
+        let mut closed = 0;
+        loop {
+            let Some(&(_, vehicle)) = self.idle.iter().next() else {
+                return closed;
+            };
+            let last_t = self.sessions[&vehicle]
+                .last
+                .expect("idle-indexed session has a last fix")
+                .t;
+            if last_t + config.idle_timeout >= clock {
+                return closed;
+            }
+            self.close_session(vehicle);
+            self.stats.segments_idle += 1;
+            closed += 1;
+        }
+    }
+
+    /// LRU eviction for this shard's memory-budget share: while either
+    /// share is exceeded, the session with the oldest last-accepted fix
+    /// is finalized to the pending queue — exactly what the idle sweep
+    /// would eventually do, just earlier. Every input derives from
+    /// journaled state, so replay evicts the same sessions in the same
+    /// order, and eviction is invisible in the recovered corpus.
+    fn enforce_memory_budget(&mut self, log_cap: usize, eviction_log: &mut VecDeque<u64>) {
+        if self.budget_points == 0 && self.budget_sessions == 0 {
+            return;
+        }
+        loop {
+            let over_points = self.budget_points > 0 && self.buffered > self.budget_points;
+            let over_sessions =
+                self.budget_sessions > 0 && self.sessions.len() > self.budget_sessions;
+            if !(over_points || over_sessions) {
+                return;
+            }
+            // Every live session has a last fix and is idle-indexed, so
+            // the loop always makes progress while anything is over.
+            let Some(&(_, vehicle)) = self.idle.iter().next() else {
+                return;
+            };
+            self.close_session(vehicle);
+            self.stats.sessions_evicted += 1;
+            if log_cap > 0 {
+                if eviction_log.len() == log_cap {
+                    eviction_log.pop_front();
+                }
+                eviction_log.push_back(vehicle);
+            }
+        }
+    }
+
+    /// Removes `vehicle`'s session, moving any buffered samples to the
+    /// pending queue. Returns true when a session existed.
+    fn close_session(&mut self, vehicle: u64) -> bool {
+        let Some(mut sess) = self.sessions.remove(&vehicle) else {
+            return false;
+        };
+        if let Some(last) = sess.last {
+            self.idle.remove(&(time_key(last.t), vehicle));
+        }
+        let samples = sess.take_segment();
+        self.buffered -= samples.len();
+        self.cut_segment(vehicle, samples);
+        true
+    }
+
+    fn apply_finalize(&mut self, vehicle: u64) -> bool {
+        let closed = self.close_session(vehicle);
+        if closed {
+            self.stats.segments_explicit += 1;
+        }
+        closed
+    }
+
+    fn apply_finalize_all(&mut self) {
+        // Deterministic order: first buffered arrival, vehicle id as the
+        // tie-break (covers empty buffers) — identical live and on replay.
+        let mut order: Vec<(u64, u64)> = self
+            .sessions
+            .values()
+            .map(|s| (s.arrivals.first().copied().unwrap_or(u64::MAX), s.vehicle))
+            .collect();
+        order.sort_unstable();
+        for (_, vehicle) in order {
+            self.apply_finalize(vehicle);
+        }
+    }
+
+    /// Re-establishes the sorted-by-key invariant after a flush
+    /// appended new pieces.
+    fn resort_finished(&mut self) {
+        if self.keys.windows(2).all(|w| w[0] <= w[1]) {
+            return;
+        }
+        let keys = std::mem::take(&mut self.keys);
+        let finished = std::mem::take(&mut self.finished);
+        let mut both: Vec<(TrajKey, CompressedTrajectory)> =
+            keys.into_iter().zip(finished).collect();
+        both.sort_unstable_by_key(|e| e.0);
+        self.keys.reserve(both.len());
+        self.finished.reserve(both.len());
+        for (k, ct) in both {
+            self.keys.push(k);
+            self.finished.push(ct);
+        }
+    }
+
+    /// The rebuilt journal for the next generation: clock, resumes
+    /// (sessions whose state is only the last fix), then buffered
+    /// points in arrival order.
+    fn checkpoint_records(&self, clock: f64) -> Vec<WalRecord> {
+        let mut records = Vec::new();
+        if clock.is_finite() {
+            records.push(WalRecord::Clock { t: clock });
+        }
+        let mut resumes: Vec<&Session> = self
+            .sessions
+            .values()
+            .filter(|s| s.samples.is_empty() && s.last.is_some())
+            .collect();
+        resumes.sort_unstable_by_key(|s| s.vehicle);
+        for sess in resumes {
+            let last = sess.last.expect("filtered on last.is_some");
+            records.push(WalRecord::Resume {
+                vehicle: sess.vehicle,
+                x: last.point.x,
+                y: last.point.y,
+                t: last.t,
+            });
+        }
+        let mut points: Vec<(u64, u64, GpsSample)> = Vec::new();
+        for sess in self.sessions.values() {
+            for (&arrival, &sample) in sess.arrivals.iter().zip(&sess.samples) {
+                points.push((arrival, sess.vehicle, sample));
+            }
+        }
+        points.sort_unstable_by_key(|&(arrival, vehicle, _)| (arrival, vehicle));
+        for (_, vehicle, sample) in points {
+            records.push(WalRecord::Point {
+                vehicle,
+                x: sample.point.x,
+                y: sample.point.y,
+                t: sample.t,
+            });
+        }
+        records
+    }
+
+    /// Accepted points not yet in the corpus slice.
+    fn in_flight_points(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.samples.len())
+            .sum::<usize>()
+            + self.pending.iter().map(|p| p.samples.len()).sum::<usize>()
+    }
+}
+
+/// One shard's recovered state plus the journal-local replay context
+/// the facade folds into its globals.
+struct ShardRecovery {
+    shard: Shard,
+    clock: f64,
+    next_arrival: u64,
+    evictions: VecDeque<u64>,
+    replayed_points: u64,
+    replayed_finalizes: u64,
+    torn_bytes: u64,
+    fresh: bool,
+    corpus_trajectories: usize,
+}
+
+/// One shard's corpus slice: trajectories, canonical merge keys, and
+/// per-vehicle segment counters.
+type ShardCorpus = (Vec<TrajKey>, Vec<CompressedTrajectory>, HashMap<u64, u64>);
+
+/// Loads one shard's corpus slice. A pre-key corpus (no `ingest`
+/// section) gets synthetic rank-0 keys pinning its original order.
+fn load_shard_corpus(path: &Path) -> Result<ShardCorpus> {
+    if !path.exists() {
+        return Ok((Vec::new(), Vec::new(), HashMap::new()));
+    }
+    // Mapped open: recovery walks the block directory without pulling
+    // the whole checkpoint into memory first; each block is faulted in
+    // (and CRC-checked) once as `decode_all` visits it, and the answers
+    // are bit-identical to an owned open.
+    let store = TrajectoryStore::open_mapped(path)?;
+    let finished = store.decode_all()?;
+    match store.extra_section(INGEST_SECTION)? {
+        Some(bytes) => {
+            let (keys, next_seg) = decode_ingest_section(bytes, finished.len())?;
+            Ok((keys, finished, next_seg))
+        }
+        None => {
+            let keys = (0..finished.len())
+                .map(|i| TrajKey {
+                    rank: 0,
+                    vehicle: i as u64,
+                    seg: 0,
+                    piece: 0,
+                })
+                .collect();
+            Ok((keys, finished, HashMap::new()))
+        }
+    }
+}
+
+/// Recovers shard `k` of a committed generation: corpus slice first,
+/// then a full journal replay through the live ingest path with a
+/// journal-local clock and arrival counter.
+fn recover_shard(
+    dir: &Path,
+    config: &IngestConfig,
+    io: Arc<dyn IoBackend>,
+    generation: u64,
+    legacy: bool,
+    k: usize,
+) -> Result<ShardRecovery> {
+    let corpus_name = if legacy {
+        manifest::corpus_file_name(generation)
+    } else {
+        manifest::corpus_shard_file_name(generation, k as u32)
+    };
+    let (keys, finished, next_seg) = load_shard_corpus(&dir.join(corpus_name))?;
+    let corpus_trajectories = finished.len();
+    let wal_name = if legacy {
+        manifest::wal_file_name(generation)
+    } else {
+        manifest::wal_shard_file_name(generation, k as u32)
+    };
+    let (wal, replay) = Wal::open_with(&dir.join(wal_name), io)?;
+    let mut shard = Shard::new(wal, config, keys, finished, next_seg);
+    let mut clock = f64::NEG_INFINITY;
+    let mut next_arrival = 0u64;
+    let mut evictions = VecDeque::new();
+    let mut replayed_points = 0u64;
+    let mut replayed_finalizes = 0u64;
+    for rec in &replay.records {
+        match *rec {
+            WalRecord::Point { vehicle, x, y, t } => {
+                replayed_points += 1;
+                let sample = GpsSample {
+                    point: Point::new(x, y),
+                    t,
+                };
+                // Catch the shard up to the clock this frame was
+                // appended under (live ingest pre-sweeps with the
+                // global clock, which the preceding `Clock` frames
+                // reproduce here), then re-apply. Only accepted fixes
+                // were journaled, and validation depends only on
+                // journaled state, so the replayed verdict is Accept
+                // again by construction.
+                shard.sweep_idle(config, clock);
+                debug_assert_eq!(
+                    shard.vet(&config.policy, vehicle, &sample),
+                    Disposition::Accept,
+                    "journaled fix must replay as accepted"
+                );
+                let arrival = next_arrival;
+                next_arrival += 1;
+                shard.apply_accept(config, vehicle, sample, arrival, &mut clock, &mut evictions);
+            }
+            WalRecord::Finalize { vehicle } => {
+                replayed_finalizes += 1;
+                shard.sweep_idle(config, clock);
+                shard.apply_finalize(vehicle);
+            }
+            WalRecord::FinalizeAll => {
+                replayed_finalizes += 1;
+                shard.sweep_idle(config, clock);
+                shard.apply_finalize_all();
+            }
+            WalRecord::Resume { vehicle, x, y, t } => {
+                let mut sess = Session::new(vehicle);
+                sess.last = Some(GpsSample {
+                    point: Point::new(x, y),
+                    t,
+                });
+                shard.idle.insert((time_key(t), vehicle));
+                shard.sessions.insert(vehicle, sess);
+            }
+            WalRecord::Clock { t } => {
+                if t > clock {
+                    clock = t;
+                }
+            }
+        }
+    }
+    // Everything replayed was read back from the device, so the whole
+    // journal is the durability watermark; the group-commit
+    // accumulators start empty, and the journal-local clock is exactly
+    // what the journal encodes.
+    shard.durable_offset = shard.wal.offset();
+    shard.unsynced_bytes = 0;
+    shard.unsynced_frames = 0;
+    shard.last_sync_time = f64::NEG_INFINITY;
+    shard.journaled_clock = clock;
+    Ok(ShardRecovery {
+        clock,
+        next_arrival,
+        evictions,
+        replayed_points,
+        replayed_finalizes,
+        torn_bytes: replay.torn_bytes,
+        fresh: replay.fresh,
+        corpus_trajectories,
+        shard,
+    })
+}
+
+/// Multi-vehicle streaming ingest over one directory, sharded into
+/// independent failure domains. See the module docs for the
+/// ack/durability, degraded-mode, recovery, and checkpoint contracts.
 pub struct IngestEngine {
     dir: PathBuf,
     config: IngestConfig,
@@ -409,37 +1096,25 @@ pub struct IngestEngine {
     /// filesystem in production, fault injector in tests).
     io: Arc<dyn IoBackend>,
     /// Committed checkpoint generation — names the live corpus/journal
-    /// pair (see [`crate::manifest`]).
+    /// shard set (see [`crate::manifest`]).
     generation: u64,
-    wal: Wal,
-    /// Journal bytes appended since the last successful fsync — the
-    /// group-commit byte trigger's accumulator.
-    unsynced_bytes: u64,
-    /// Frames appended since the last successful fsync.
-    unsynced_frames: u64,
-    /// Stream time of the last successful fsync (`NEG_INFINITY` arms
-    /// the interval trigger on the first accepted fix).
-    last_sync_time: f64,
-    /// Durability watermark: every frame ending at or before this
-    /// offset has been covered by a completed fsync.
-    durable_offset: u64,
-    /// Points currently buffered across live sessions (the memory
-    /// budget's accumulator; pending segments are freed by `flush`).
-    buffered: usize,
-    /// Ring of the most recently evicted vehicles (capacity
-    /// `config.eviction_log_cap`), oldest first.
-    eviction_log: VecDeque<u64>,
-    sessions: HashMap<u64, Session>,
-    /// Sessions ordered by last-accepted timestamp: `(time_key(last.t),
-    /// vehicle)`. Exactly the sessions with `last.is_some()`.
-    idle: BTreeSet<(u64, u64)>,
-    /// Largest timestamp ever accepted — the observed stream clock that
-    /// drives idle sweeps (never wall clock: replay must be identical).
+    /// True while the directory still has the pre-shard (v1 manifest,
+    /// un-suffixed names) layout; the next checkpoint migrates it.
+    legacy_layout: bool,
+    shards: Vec<Shard>,
+    /// Largest timestamp ever accepted on any shard — the observed
+    /// stream clock that drives idle sweeps (never wall clock: replay
+    /// must be identical).
     max_time: f64,
+    /// Global arrival counter (each accepted fix gets a unique,
+    /// stream-ordered sequence number; shard journals compact these to
+    /// local order on recovery, which preserves every per-shard
+    /// relative order).
     arrival_seq: u64,
-    pending: Vec<PendingSegment>,
-    finished: Vec<CompressedTrajectory>,
-    stats: IngestStats,
+    /// Ring of the most recently evicted vehicles (capacity
+    /// `config.eviction_log_cap`), oldest first; rebuilt shard-major on
+    /// recovery.
+    eviction_log: VecDeque<u64>,
     /// Ring of the most recent quarantined fixes (capacity
     /// `config.quarantine_log_cap`), oldest first.
     quarantine: VecDeque<QuarantineRecord>,
@@ -449,8 +1124,8 @@ pub struct IngestEngine {
 
 impl IngestEngine {
     /// Opens (or creates) the ingest directory, recovering any previous
-    /// state: corpus first, then a full journal replay through the live
-    /// ingest path.
+    /// state: each shard's corpus slice first, then a full journal
+    /// replay through the live ingest path — all shards in parallel.
     pub fn open(
         dir: &Path,
         matcher: Arc<MapMatcher>,
@@ -476,19 +1151,43 @@ impl IngestEngine {
         if config.block_size == 0 {
             return Err(ServeError::Config("block_size must be at least 1".into()));
         }
+        if config.shards == 0 {
+            return Err(ServeError::Config("shards must be at least 1".into()));
+        }
         if config.idle_timeout.is_nan() {
             return Err(ServeError::Config("idle_timeout must not be NaN".into()));
         }
         config.durability.validate().map_err(ServeError::Config)?;
         std::fs::create_dir_all(dir)?;
-        let generation =
+        let (generation, legacy_layout) =
             match manifest::read(dir).map_err(|e| ServeError::Manifest(e.to_string()))? {
-                Some(gen) => {
+                Some(m) => {
+                    match m.shards {
+                        // A pre-shard directory: one implicit shard,
+                        // un-suffixed artifact names. Only a 1-shard
+                        // config may open it (the next checkpoint
+                        // migrates the naming); resharding is refused.
+                        None if config.shards != 1 => {
+                            return Err(ServeError::Config(format!(
+                                "directory has a legacy single-shard layout; open it with \
+                                 shards = 1 (got {}) — the next checkpoint migrates it",
+                                config.shards
+                            )));
+                        }
+                        Some(s) if s as usize != config.shards => {
+                            return Err(ServeError::Config(format!(
+                                "directory is committed with {s} ingest shards but the \
+                                 config asks for {}; resharding is not supported",
+                                config.shards
+                            )));
+                        }
+                        _ => {}
+                    }
                     // Uncommitted leftovers of a checkpoint that crashed
                     // before its manifest rename (or a superseded generation
                     // whose cleanup was interrupted) are garbage.
-                    manifest::gc(dir, gen)?;
-                    gen
+                    manifest::gc(dir, m.generation)?;
+                    (m.generation, m.shards.is_none())
                 }
                 None => {
                     // Artifacts without a manifest mean the manifest was
@@ -499,208 +1198,172 @@ impl IngestEngine {
                             "ingest artifacts present but MANIFEST is missing".into(),
                         ));
                     }
-                    manifest::commit_with(io.as_ref(), dir, 0)
+                    manifest::commit_with(io.as_ref(), dir, 0, config.shards as u32)
                         .map_err(|e| ServeError::Manifest(e.to_string()))?;
-                    0
+                    (0, false)
                 }
             };
-        let corpus_path = dir.join(manifest::corpus_file_name(generation));
-        let finished = if corpus_path.exists() {
-            // Mapped open: recovery walks the block directory without
-            // pulling the whole checkpoint into memory first; each block
-            // is faulted in (and CRC-checked) once as `decode_all` visits
-            // it, and the answers are bit-identical to an owned open.
-            TrajectoryStore::open_mapped(&corpus_path)?.decode_all()?
-        } else {
-            Vec::new()
+        // All shard journals replay in parallel on the shared
+        // work-steal loop (the eager variant: a handful of shards is
+        // exactly the few-heavy-items shape the small-input shortcut
+        // would serialize).
+        let shard_ids: Vec<usize> = (0..config.shards).collect();
+        let recovered: Vec<Result<ShardRecovery>> =
+            work_steal_map_eager(&shard_ids, config.threads, |_, &k| {
+                recover_shard(dir, &config, io.clone(), generation, legacy_layout, k)
+            });
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut max_time = f64::NEG_INFINITY;
+        let mut arrival_seq = 0u64;
+        let mut eviction_log = VecDeque::new();
+        let mut report = RecoveryReport {
+            wal_was_fresh: true,
+            ..RecoveryReport::default()
         };
-        let (wal, replay) =
-            Wal::open_with(&dir.join(manifest::wal_file_name(generation)), io.clone())?;
-        let mut engine = IngestEngine {
+        for r in recovered {
+            let r = r?;
+            if r.clock > max_time {
+                max_time = r.clock;
+            }
+            arrival_seq = arrival_seq.max(r.next_arrival);
+            report.corpus_trajectories += r.corpus_trajectories;
+            report.replayed_points += r.replayed_points;
+            report.replayed_finalizes += r.replayed_finalizes;
+            report.torn_bytes += r.torn_bytes;
+            report.wal_was_fresh &= r.fresh;
+            report.sessions_rebuilt += r.shard.sessions.len();
+            for vehicle in r.evictions {
+                if config.eviction_log_cap > 0 {
+                    if eviction_log.len() == config.eviction_log_cap {
+                        eviction_log.pop_front();
+                    }
+                    eviction_log.push_back(vehicle);
+                }
+            }
+            shards.push(r.shard);
+        }
+        report.points_in_flight = shards.iter().map(Shard::in_flight_points).sum();
+        Ok(IngestEngine {
             dir: dir.to_path_buf(),
             config,
             matcher,
             press,
             io,
             generation,
-            wal,
-            unsynced_bytes: 0,
-            unsynced_frames: 0,
-            last_sync_time: f64::NEG_INFINITY,
-            durable_offset: 0,
-            buffered: 0,
-            eviction_log: VecDeque::new(),
-            sessions: HashMap::new(),
-            idle: BTreeSet::new(),
-            max_time: f64::NEG_INFINITY,
-            arrival_seq: 0,
-            pending: Vec::new(),
-            finished,
-            stats: IngestStats::default(),
+            legacy_layout,
+            shards,
+            max_time,
+            arrival_seq,
+            eviction_log,
             quarantine: VecDeque::new(),
-            recovery: RecoveryReport::default(),
+            recovery: report,
             hot_persist: None,
-        };
-        let mut replayed_points = 0u64;
-        let mut replayed_finalizes = 0u64;
-        for rec in &replay.records {
-            match *rec {
-                WalRecord::Point { vehicle, x, y, t } => {
-                    replayed_points += 1;
-                    let sample = GpsSample {
-                        point: Point::new(x, y),
-                        t,
-                    };
-                    // Only accepted fixes were journaled, and validation
-                    // depends only on journaled state, so the replayed
-                    // verdict is Accept again by construction.
-                    debug_assert_eq!(
-                        engine.vet(vehicle, &sample),
-                        Disposition::Accept,
-                        "journaled fix must replay as accepted"
-                    );
-                    engine.apply_accept(vehicle, sample);
-                }
-                WalRecord::Finalize { vehicle } => {
-                    replayed_finalizes += 1;
-                    engine.apply_finalize(vehicle);
-                }
-                WalRecord::FinalizeAll => {
-                    replayed_finalizes += 1;
-                    engine.apply_finalize_all();
-                }
-                WalRecord::Resume { vehicle, x, y, t } => {
-                    let mut sess = Session::new(vehicle);
-                    sess.last = Some(GpsSample {
-                        point: Point::new(x, y),
-                        t,
-                    });
-                    engine.idle.insert((time_key(t), vehicle));
-                    engine.sessions.insert(vehicle, sess);
-                }
-                WalRecord::Clock { t } => {
-                    if t > engine.max_time {
-                        engine.max_time = t;
-                    }
-                }
-            }
-        }
-        // Everything replayed was read back from the device, so the
-        // whole journal is the durability watermark; the group-commit
-        // accumulators start empty.
-        engine.durable_offset = engine.wal.offset();
-        engine.unsynced_bytes = 0;
-        engine.unsynced_frames = 0;
-        engine.last_sync_time = f64::NEG_INFINITY;
-        engine.recovery = RecoveryReport {
-            corpus_trajectories: engine.finished.len(),
-            replayed_points,
-            replayed_finalizes,
-            torn_bytes: replay.torn_bytes,
-            wal_was_fresh: replay.fresh,
-            sessions_rebuilt: engine.sessions.len(),
-            points_in_flight: engine.in_flight_points(),
-        };
-        Ok(engine)
+        })
     }
 
-    fn vet(&self, vehicle: u64, sample: &GpsSample) -> Disposition {
-        match self.sessions.get(&vehicle) {
-            Some(sess) => sess.vet(&self.config.policy, sample),
-            None => Session::new(vehicle).vet(&self.config.policy, sample),
+    /// The shard owning `vehicle` (SplitMix64 of the id, mod the shard
+    /// count) — stable for the directory's lifetime.
+    pub fn shard_of(&self, vehicle: u64) -> usize {
+        (splitmix64(vehicle) % self.config.shards as u64) as usize
+    }
+
+    /// Wraps a shard-scoped failure for multi-shard engines;
+    /// single-shard engines keep the historical un-wrapped errors.
+    fn degrade(shards: usize, shard: usize, e: ServeError) -> ServeError {
+        if shards > 1 {
+            ServeError::ShardDegraded {
+                shard,
+                cause: Box::new(e),
+            }
+        } else {
+            e
         }
     }
 
-    /// Ingests one fix. Accepted fixes are journaled *before* they are
-    /// buffered; the configured [`DurabilityPolicy`] decides when the
-    /// journal is fsynced (group commit), and the ack reports honestly:
-    /// [`Ack::Accepted`] only when the fix's frame is already covered
-    /// by a completed sync, [`Ack::Journaled`] otherwise.
-    ///
-    /// An `Err` means the fix was **not** ingested and engine state is
-    /// unchanged: [`ServeError::StorageFull`] for out-of-space
-    /// (persistent — re-push after freeing space),
-    /// [`ServeError::Backpressure`] when a transient failure survived
-    /// the retry budget. The engine keeps serving queries and stays
-    /// recoverable either way.
-    pub fn push(&mut self, vehicle: u64, sample: GpsSample) -> Result<Ack> {
-        match self.vet(vehicle, &sample) {
-            Disposition::Accept => {
-                let offset = self.append_retrying(&WalRecord::Point {
-                    vehicle,
-                    x: sample.point.x,
-                    y: sample.point.y,
-                    t: sample.t,
-                })?;
-                self.apply_accept(vehicle, sample);
-                // A failed group sync is absorbed here (counted in
-                // `sync_failures`): the frame IS journaled, so the
-                // honest answer is Journaled, not an error.
-                self.maybe_group_sync();
-                if offset <= self.durable_offset {
-                    Ok(Ack::Accepted { offset })
-                } else {
-                    Ok(Ack::Journaled { offset })
-                }
-            }
-            Disposition::Coalesce => {
-                if let Some(sess) = self.sessions.get_mut(&vehicle) {
-                    sess.repaired += 1;
-                }
-                self.stats.points_repaired += 1;
-                Ok(Ack::Repaired)
-            }
-            Disposition::Quarantine(reason) => {
-                if let Some(sess) = self.sessions.get_mut(&vehicle) {
-                    sess.quarantined[reason.index()] += 1;
-                }
-                self.stats.points_quarantined[reason.index()] += 1;
-                if self.config.quarantine_log_cap > 0 {
-                    if self.quarantine.len() == self.config.quarantine_log_cap {
-                        self.quarantine.pop_front();
-                    }
-                    self.quarantine.push_back(QuarantineRecord {
-                        vehicle,
-                        sample,
-                        reason,
-                    });
-                }
-                Ok(Ack::Quarantined(reason))
-            }
+    /// Catches shard `k` up to the global stream clock before any
+    /// decision about its sessions. On a single-shard engine the clock
+    /// cannot have moved since the shard's own last sweep, so this is a
+    /// no-op there — which is exactly why sharded segmentation matches
+    /// the single-writer engine's.
+    fn presweep(&mut self, k: usize) {
+        let clock = self.max_time;
+        if self.shards[k].sweep_idle(&self.config, clock) > 0
+            && clock > self.shards[k].journaled_clock
+        {
+            // The cut happened at a clock the shard's journal doesn't
+            // encode; the next append must journal it first. Sticky
+            // until then: a quarantined push between here and the next
+            // accepted one writes no record of its own.
+            self.shards[k].needs_clock = true;
         }
     }
 
-    /// Appends one record with the policy's retry/backoff, classifying
-    /// failures: out-of-space is persistent (no retry, typed
-    /// [`ServeError::StorageFull`]); other I/O errors are transient and
-    /// retried with doubling backoff before surfacing as
-    /// [`ServeError::Backpressure`]. On success the group-commit
-    /// accumulators advance.
-    fn append_retrying(&mut self, rec: &WalRecord) -> Result<u64> {
+    fn presweep_all(&mut self) {
+        for k in 0..self.shards.len() {
+            self.presweep(k);
+        }
+    }
+
+    /// Appends one record to shard `k`'s journal, first journaling a
+    /// `Clock` frame when a pre-append sweep cut sessions at a global
+    /// clock the journal doesn't encode — per-shard replay then
+    /// reproduces the same cuts, at the same point, without reading any
+    /// other shard's journal. Sweeps that cut nothing need no frame
+    /// (expiry is monotone in the clock, so a lagging replay clock
+    /// sweeps the same empty set), which keeps the frame overhead
+    /// proportional to actual session churn, not to the push rate.
+    fn shard_append(&mut self, k: usize, rec: &WalRecord) -> Result<u64> {
+        if self.shards[k].needs_clock {
+            if self.max_time.is_finite() && self.max_time > self.shards[k].journaled_clock {
+                let t = self.max_time;
+                self.append_retrying(k, &WalRecord::Clock { t })?;
+                self.shards[k].journaled_clock = t;
+            }
+            self.shards[k].needs_clock = false;
+        }
+        let offset = self.append_retrying(k, rec)?;
+        if let WalRecord::Point { t, .. } = *rec {
+            let shard = &mut self.shards[k];
+            if t > shard.journaled_clock {
+                shard.journaled_clock = t;
+            }
+        }
+        Ok(offset)
+    }
+
+    /// Appends one record to shard `k` with the policy's retry/backoff,
+    /// classifying failures: out-of-space is persistent (no retry,
+    /// typed [`ServeError::StorageFull`]); other I/O errors are
+    /// transient and retried with doubling backoff before surfacing as
+    /// [`ServeError::Backpressure`]. On success the shard's
+    /// group-commit accumulators advance. Rejections are counted on the
+    /// failing shard only.
+    fn append_retrying(&mut self, k: usize, rec: &WalRecord) -> Result<u64> {
         let policy = self.config.durability;
+        let shard = &mut self.shards[k];
         let mut attempt = 0u32;
         loop {
-            let before = self.wal.offset();
-            match self.wal.append(rec) {
+            let before = shard.wal.offset();
+            match shard.wal.append(rec) {
                 Ok(offset) => {
-                    self.unsynced_bytes += offset - before;
-                    self.unsynced_frames += 1;
+                    shard.unsynced_bytes += offset - before;
+                    shard.unsynced_frames += 1;
                     return Ok(offset);
                 }
                 Err(WalError::StorageFull(msg)) => {
-                    self.stats.storage_full_rejections += 1;
+                    shard.stats.storage_full_rejections += 1;
                     return Err(ServeError::StorageFull(msg));
                 }
                 Err(WalError::Io(detail)) => {
                     if attempt >= policy.max_retries {
-                        self.stats.backpressure_rejections += 1;
+                        shard.stats.backpressure_rejections += 1;
                         return Err(ServeError::Backpressure {
                             detail,
                             retries: attempt,
                         });
                     }
                     attempt += 1;
-                    self.stats.io_retries += 1;
+                    shard.stats.io_retries += 1;
                     Self::backoff(&policy, attempt);
                 }
                 Err(other) => return Err(other.into()),
@@ -718,47 +1381,144 @@ impl IngestEngine {
         }
     }
 
-    /// Issues the group-commit fsync if a policy threshold has tripped.
-    /// Failures are absorbed into `sync_failures` — the unsynced frames
-    /// stay journaled and the next trigger retries the sync.
-    fn maybe_group_sync(&mut self) {
-        if self.unsynced_frames == 0 {
-            return;
-        }
-        let policy = self.config.durability;
-        if policy.sync_interval > 0.0
-            && self.last_sync_time == f64::NEG_INFINITY
-            && self.max_time.is_finite()
-        {
-            // Arm the interval trigger on the first observed stream
-            // time; the first timed sync lands one interval later.
-            self.last_sync_time = self.max_time;
-        }
-        let by_bytes = policy.sync_bytes > 0 && self.unsynced_bytes >= policy.sync_bytes;
-        let by_time = policy.sync_interval > 0.0
-            && self.last_sync_time.is_finite()
-            && self.max_time - self.last_sync_time >= policy.sync_interval;
-        if (by_bytes || by_time) && self.sync_retrying().is_err() {
-            self.stats.sync_failures += 1;
+    /// Ingests one fix, routed to its owning shard. Accepted fixes are
+    /// journaled *before* they are buffered; the configured
+    /// [`DurabilityPolicy`] decides when that shard's journal is
+    /// fsynced (group commit), and the ack reports honestly:
+    /// [`Ack::Accepted`] only when the fix's frame is already covered
+    /// by a completed sync, [`Ack::Journaled`] otherwise.
+    ///
+    /// An `Err` means the fix was **not** ingested and engine state is
+    /// unchanged: [`ServeError::StorageFull`] for out-of-space
+    /// (persistent — re-push after freeing space),
+    /// [`ServeError::Backpressure`] when a transient failure survived
+    /// the retry budget — both wrapped in
+    /// [`ServeError::ShardDegraded`] on a multi-shard engine, where
+    /// they degrade **only the owning shard**: pushes routed elsewhere
+    /// keep acking and the engine keeps serving queries either way.
+    pub fn push(&mut self, vehicle: u64, sample: GpsSample) -> Result<Ack> {
+        let k = self.shard_of(vehicle);
+        self.presweep(k);
+        match self.shards[k].vet(&self.config.policy, vehicle, &sample) {
+            Disposition::Accept => {
+                let offset = self
+                    .shard_append(
+                        k,
+                        &WalRecord::Point {
+                            vehicle,
+                            x: sample.point.x,
+                            y: sample.point.y,
+                            t: sample.t,
+                        },
+                    )
+                    .map_err(|e| Self::degrade(self.config.shards, k, e))?;
+                let arrival = self.arrival_seq;
+                self.arrival_seq += 1;
+                let mut clock = self.max_time;
+                self.shards[k].apply_accept(
+                    &self.config,
+                    vehicle,
+                    sample,
+                    arrival,
+                    &mut clock,
+                    &mut self.eviction_log,
+                );
+                self.max_time = clock;
+                self.tick_hot_persist();
+                // A failed group sync is absorbed here (counted in the
+                // shard's `sync_failures`): the frame IS journaled, so
+                // the honest answer is Journaled, not an error.
+                self.maybe_group_sync(k);
+                if offset <= self.shards[k].durable_offset {
+                    Ok(Ack::Accepted { offset })
+                } else {
+                    Ok(Ack::Journaled { offset })
+                }
+            }
+            Disposition::Coalesce => {
+                let shard = &mut self.shards[k];
+                if let Some(sess) = shard.sessions.get_mut(&vehicle) {
+                    sess.repaired += 1;
+                }
+                shard.stats.points_repaired += 1;
+                Ok(Ack::Repaired)
+            }
+            Disposition::Quarantine(reason) => {
+                let shard = &mut self.shards[k];
+                if let Some(sess) = shard.sessions.get_mut(&vehicle) {
+                    sess.quarantined[reason.index()] += 1;
+                }
+                shard.stats.points_quarantined[reason.index()] += 1;
+                if self.config.quarantine_log_cap > 0 {
+                    if self.quarantine.len() == self.config.quarantine_log_cap {
+                        self.quarantine.pop_front();
+                    }
+                    self.quarantine.push_back(QuarantineRecord {
+                        vehicle,
+                        sample,
+                        reason,
+                    });
+                }
+                Ok(Ack::Quarantined(reason))
+            }
         }
     }
 
-    /// Fsyncs the journal with the policy's retry/backoff; on success
-    /// advances the durability watermark and group-commit counters.
-    fn sync_retrying(&mut self) -> Result<()> {
+    /// Issues shard `k`'s group-commit fsync if a policy threshold has
+    /// tripped. Failures are absorbed into the shard's `sync_failures`
+    /// — the unsynced frames stay journaled and the next trigger
+    /// retries the sync.
+    fn maybe_group_sync(&mut self, k: usize) {
         let policy = self.config.durability;
+        let max_time = self.max_time;
+        // Scale the timed trigger by the shard count so the *engine's*
+        // fsync rate — not each shard's — is what the policy names: N
+        // shards each syncing every N·interval of stream time issue the
+        // same number of fsyncs as one shard syncing every interval.
+        // The per-shard journaled-but-not-durable window widens to
+        // N·sync_interval accordingly; at one shard nothing changes.
+        let interval = policy.sync_interval * self.config.shards as f64;
+        let tripped = {
+            let shard = &mut self.shards[k];
+            if shard.unsynced_frames == 0 {
+                return;
+            }
+            if interval > 0.0 && shard.last_sync_time == f64::NEG_INFINITY && max_time.is_finite() {
+                // Arm the interval trigger on the first observed stream
+                // time; the first timed sync lands one interval later.
+                shard.last_sync_time = max_time;
+            }
+            let by_bytes = policy.sync_bytes > 0 && shard.unsynced_bytes >= policy.sync_bytes;
+            let by_time = interval > 0.0
+                && shard.last_sync_time.is_finite()
+                && max_time - shard.last_sync_time >= interval;
+            by_bytes || by_time
+        };
+        if tripped && self.sync_shard_retrying(k).is_err() {
+            self.shards[k].stats.sync_failures += 1;
+        }
+    }
+
+    /// Fsyncs shard `k`'s journal with the policy's retry/backoff; on
+    /// success advances that shard's durability watermark and
+    /// group-commit counters.
+    fn sync_shard_retrying(&mut self, k: usize) -> Result<()> {
+        let policy = self.config.durability;
+        let max_time = self.max_time;
+        let shard = &mut self.shards[k];
         let mut attempt = 0u32;
         loop {
-            match self.wal.sync() {
+            match shard.wal.sync() {
                 Ok(()) => {
-                    self.stats.sync_calls += 1;
-                    self.stats.synced_frames += self.unsynced_frames;
-                    self.stats.max_sync_batch = self.stats.max_sync_batch.max(self.unsynced_frames);
-                    self.unsynced_bytes = 0;
-                    self.unsynced_frames = 0;
-                    self.durable_offset = self.wal.offset();
-                    if self.max_time.is_finite() {
-                        self.last_sync_time = self.max_time;
+                    shard.stats.sync_calls += 1;
+                    shard.stats.synced_frames += shard.unsynced_frames;
+                    shard.stats.max_sync_batch =
+                        shard.stats.max_sync_batch.max(shard.unsynced_frames);
+                    shard.unsynced_bytes = 0;
+                    shard.unsynced_frames = 0;
+                    shard.durable_offset = shard.wal.offset();
+                    if max_time.is_finite() {
+                        shard.last_sync_time = max_time;
                     }
                     return Ok(());
                 }
@@ -773,78 +1533,10 @@ impl IngestEngine {
                         });
                     }
                     attempt += 1;
-                    self.stats.io_retries += 1;
+                    shard.stats.io_retries += 1;
                     Self::backoff(&policy, attempt);
                 }
                 Err(other) => return Err(other.into()),
-            }
-        }
-    }
-
-    /// Applies an accepted fix: buffer, segment rollover, stream clock,
-    /// idle sweep. Shared verbatim by live ingest and journal replay.
-    fn apply_accept(&mut self, vehicle: u64, sample: GpsSample) {
-        let arrival = self.arrival_seq;
-        self.arrival_seq += 1;
-        self.stats.points_accepted += 1;
-        let sess = self
-            .sessions
-            .entry(vehicle)
-            .or_insert_with(|| Session::new(vehicle));
-        if let Some(prev) = sess.last {
-            self.idle.remove(&(time_key(prev.t), vehicle));
-        }
-        sess.accept(sample, arrival);
-        self.buffered += 1;
-        self.idle.insert((time_key(sample.t), vehicle));
-        if self.config.max_session_points > 0
-            && sess.samples.len() >= self.config.max_session_points
-        {
-            let samples = sess.take_segment();
-            self.buffered -= samples.len();
-            self.pending.push(PendingSegment { samples });
-            self.stats.segments_cap += 1;
-        }
-        if sample.t > self.max_time {
-            self.max_time = sample.t;
-        }
-        self.sweep_idle();
-        self.enforce_memory_budget();
-        self.tick_hot_persist();
-    }
-
-    /// LRU eviction for the memory budget: while either
-    /// [`IngestConfig::max_buffered_points`] or
-    /// [`IngestConfig::max_sessions`] is exceeded, the session with the
-    /// oldest last-accepted fix is finalized to the pending queue —
-    /// exactly what the idle sweep would eventually do, just earlier.
-    /// Every input (buffer occupancy, the idle index) derives from
-    /// journaled state, so replay evicts the same sessions in the same
-    /// order, and eviction is invisible in the recovered corpus.
-    fn enforce_memory_budget(&mut self) {
-        let max_points = self.config.max_buffered_points;
-        let max_sessions = self.config.max_sessions;
-        if max_points == 0 && max_sessions == 0 {
-            return;
-        }
-        loop {
-            let over_points = max_points > 0 && self.buffered > max_points;
-            let over_sessions = max_sessions > 0 && self.sessions.len() > max_sessions;
-            if !(over_points || over_sessions) {
-                return;
-            }
-            // Every live session has a last fix and is idle-indexed, so
-            // the loop always makes progress while anything is over.
-            let Some(&(_, vehicle)) = self.idle.iter().next() else {
-                return;
-            };
-            self.close_session(vehicle);
-            self.stats.sessions_evicted += 1;
-            if self.config.eviction_log_cap > 0 {
-                if self.eviction_log.len() == self.config.eviction_log_cap {
-                    self.eviction_log.pop_front();
-                }
-                self.eviction_log.push_back(vehicle);
             }
         }
     }
@@ -902,106 +1594,67 @@ impl IngestEngine {
         Ok(())
     }
 
-    /// Finalizes every session whose last accepted fix is more than
-    /// `idle_timeout` behind the observed stream clock.
-    fn sweep_idle(&mut self) {
-        if self.config.idle_timeout <= 0.0 {
-            return;
-        }
-        loop {
-            let Some(&(_, vehicle)) = self.idle.iter().next() else {
-                return;
-            };
-            let last_t = self.sessions[&vehicle]
-                .last
-                .expect("idle-indexed session has a last fix")
-                .t;
-            if last_t + self.config.idle_timeout >= self.max_time {
-                return;
-            }
-            self.close_session(vehicle);
-            self.stats.segments_idle += 1;
-        }
-    }
-
-    /// Removes `vehicle`'s session, moving any buffered samples to the
-    /// pending queue. Returns true when a session existed.
-    fn close_session(&mut self, vehicle: u64) -> bool {
-        let Some(mut sess) = self.sessions.remove(&vehicle) else {
-            return false;
-        };
-        if let Some(last) = sess.last {
-            self.idle.remove(&(time_key(last.t), vehicle));
-        }
-        let samples = sess.take_segment();
-        self.buffered -= samples.len();
-        if !samples.is_empty() {
-            self.pending.push(PendingSegment { samples });
-        }
-        true
-    }
-
-    fn apply_finalize(&mut self, vehicle: u64) -> bool {
-        let closed = self.close_session(vehicle);
-        if closed {
-            self.stats.segments_explicit += 1;
-        }
-        closed
-    }
-
-    fn apply_finalize_all(&mut self) {
-        // Deterministic order: first buffered arrival, vehicle id as the
-        // tie-break (covers empty buffers) — identical live and on replay.
-        let mut order: Vec<(u64, u64)> = self
-            .sessions
-            .values()
-            .map(|s| (s.arrivals.first().copied().unwrap_or(u64::MAX), s.vehicle))
-            .collect();
-        order.sort_unstable();
-        for (_, vehicle) in order {
-            self.apply_finalize(vehicle);
-        }
-    }
-
-    /// Explicitly ends `vehicle`'s trajectory (journaled, so recovery
-    /// reproduces the same segmentation). Returns true when a live
-    /// session was closed.
+    /// Explicitly ends `vehicle`'s trajectory (journaled in its owning
+    /// shard, so recovery reproduces the same segmentation). Returns
+    /// true when a live session was closed.
     pub fn finalize(&mut self, vehicle: u64) -> Result<bool> {
-        if !self.sessions.contains_key(&vehicle) {
+        let k = self.shard_of(vehicle);
+        self.presweep(k);
+        if !self.shards[k].sessions.contains_key(&vehicle) {
             return Ok(false);
         }
-        self.append_retrying(&WalRecord::Finalize { vehicle })?;
-        Ok(self.apply_finalize(vehicle))
+        self.shard_append(k, &WalRecord::Finalize { vehicle })
+            .map_err(|e| Self::degrade(self.config.shards, k, e))?;
+        Ok(self.shards[k].apply_finalize(vehicle))
     }
 
-    /// Explicitly ends every live trajectory (journaled).
+    /// Explicitly ends every live trajectory (journaled per shard, in
+    /// shard order). On a multi-shard engine a failing shard surfaces
+    /// as [`ServeError::ShardDegraded`] with shards before it already
+    /// finalized and shards after it untouched (their sessions stay
+    /// live; call again once the shard heals).
     pub fn finalize_all(&mut self) -> Result<()> {
-        if self.sessions.is_empty() {
-            return Ok(());
+        self.presweep_all();
+        for k in 0..self.shards.len() {
+            if self.shards[k].sessions.is_empty() {
+                continue;
+            }
+            self.shard_append(k, &WalRecord::FinalizeAll)
+                .map_err(|e| Self::degrade(self.config.shards, k, e))?;
+            self.shards[k].apply_finalize_all();
         }
-        self.append_retrying(&WalRecord::FinalizeAll)?;
-        self.apply_finalize_all();
         Ok(())
     }
 
-    /// Matches and compresses all pending segments (in parallel across
-    /// `config.threads`, order-preserving), appending the results to the
-    /// in-memory corpus. Returns the number of pieces compressed.
+    /// Matches and compresses all pending segments from every shard (in
+    /// parallel across `config.threads`, order-preserving), appending
+    /// the results to each owning shard's corpus slice under their
+    /// canonical merge keys. Returns the number of pieces compressed.
     ///
-    /// The journal is deliberately *not* trimmed here: flushed segments
-    /// stay replayable until [`IngestEngine::checkpoint`] publishes them.
+    /// The journals are deliberately *not* trimmed here: flushed
+    /// segments stay replayable until [`IngestEngine::checkpoint`]
+    /// publishes them.
     pub fn flush(&mut self) -> Result<usize> {
-        if self.pending.is_empty() {
+        self.presweep_all();
+        let mut tagged: Vec<(usize, PendingSegment)> = Vec::new();
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            tagged.extend(shard.pending.drain(..).map(|seg| (k, seg)));
+        }
+        if tagged.is_empty() {
             return Ok(0);
         }
-        let segments = std::mem::take(&mut self.pending);
+        // Canonical work order: the per-segment outcomes are
+        // deterministic, so this only pins scheduling; the corpus order
+        // comes from the keys.
+        tagged.sort_by_key(|(_, seg)| (seg.vehicle, seg.seg));
         let matcher = Arc::clone(&self.matcher);
         let model = self.press.model();
         let press_config = self.press.config();
         let max_work = self.config.max_lattice_work;
         let max_splits = self.config.max_salvage_splits;
         let outcomes: Vec<SegmentOutcome> =
-            work_steal_map(&segments, self.config.threads, |_, seg| {
+            work_steal_map(&tagged, self.config.threads, |_, item| {
+                let seg = &item.1;
                 let report = matcher.match_trajectory_salvaging(&seg.samples, max_work, max_splits);
                 let mut out = SegmentOutcome {
                     compressed: Vec::with_capacity(report.pieces.len()),
@@ -1058,124 +1711,179 @@ impl IngestEngine {
                 out
             });
         let mut pieces = 0usize;
-        for out in outcomes {
+        for ((k, seg), out) in tagged.into_iter().zip(outcomes) {
+            let shard = &mut self.shards[k];
             pieces += out.compressed.len();
-            self.stats.pieces_compressed += out.compressed.len() as u64;
-            self.stats.salvage_splits += out.splits;
-            self.stats.pieces_dropped += out.dropped;
-            self.stats.pieces_shed += out.shed;
-            self.finished.extend(out.compressed);
+            shard.stats.pieces_compressed += out.compressed.len() as u64;
+            shard.stats.salvage_splits += out.splits;
+            shard.stats.pieces_dropped += out.dropped;
+            shard.stats.pieces_shed += out.shed;
+            for (piece, ct) in out.compressed.into_iter().enumerate() {
+                shard.keys.push(TrajKey {
+                    rank: 1,
+                    vehicle: seg.vehicle,
+                    seg: seg.seg,
+                    piece: piece as u32,
+                });
+                shard.finished.push(ct);
+            }
+        }
+        for shard in &mut self.shards {
+            shard.resort_finished();
         }
         Ok(pieces)
     }
 
-    /// Flushes, then commits the published corpus and the journal —
-    /// shrunk down to just the in-flight state — as **one atomic pair**:
-    /// both are written under the next generation number and flipped
-    /// live by a single manifest rename (see [`crate::manifest`]), so a
-    /// crash at any byte of the checkpoint recovers a consistent
-    /// corpus/journal pair. After a checkpoint, recovery cost is
+    /// Flushes, then commits the published corpus shard files and the
+    /// per-shard journals — each shrunk down to just its in-flight
+    /// state — as **one atomic set**: everything is written under the
+    /// next generation number and flipped live by a single manifest
+    /// rename (see [`crate::manifest`]), so a crash at any byte of the
+    /// checkpoint recovers a consistent generation. **Incremental**: a
+    /// shard that cut no segment since the last checkpoint hard-links
+    /// its previous corpus file instead of rewriting it, so cost scales
+    /// with dirty shards. After a checkpoint, recovery cost is
     /// proportional to the in-flight points, not the history. Returns
     /// the number of trajectories in the corpus.
     pub fn checkpoint(&mut self) -> Result<usize> {
         self.flush()?;
         let next = self.generation + 1;
         let query = QueryEngine::new(self.press.model());
-        let bytes =
-            TrajectoryStore::to_store_bytes(&query, &self.finished, self.config.block_size)?;
-        // The generation-stamped name is invisible to recovery until
-        // the manifest commit; the atomic write additionally keeps a
-        // faulted checkpoint from leaving a half-written artifact under
-        // a name a *later* checkpoint could collide with.
-        let corpus = self.dir.join(manifest::corpus_file_name(next));
-        store_io::atomic_write_file(self.io.as_ref(), &corpus, &bytes)?;
-        // Rebuild the journal: clock, resumes (sessions whose state is
-        // only the last fix), then buffered points in arrival order.
-        let mut records = Vec::new();
-        if self.max_time.is_finite() {
-            records.push(WalRecord::Clock { t: self.max_time });
-        }
-        let mut resumes: Vec<&Session> = self
-            .sessions
-            .values()
-            .filter(|s| s.samples.is_empty() && s.last.is_some())
-            .collect();
-        resumes.sort_unstable_by_key(|s| s.vehicle);
-        for sess in resumes {
-            let last = sess.last.expect("filtered on last.is_some");
-            records.push(WalRecord::Resume {
-                vehicle: sess.vehicle,
-                x: last.point.x,
-                y: last.point.y,
-                t: last.t,
-            });
-        }
-        let mut points: Vec<(u64, u64, GpsSample)> = Vec::new();
-        for sess in self.sessions.values() {
-            for (&arrival, &sample) in sess.arrivals.iter().zip(&sess.samples) {
-                points.push((arrival, sess.vehicle, sample));
+        for k in 0..self.shards.len() {
+            let next_path = self
+                .dir
+                .join(manifest::corpus_shard_file_name(next, k as u32));
+            let prev_path = self.shard_corpus_path_at(self.generation, k);
+            let shard = &self.shards[k];
+            if shard.dirty || self.legacy_layout || !prev_path.exists() {
+                let extra = vec![(
+                    INGEST_SECTION.to_string(),
+                    encode_ingest_section(&shard.keys, &shard.next_seg),
+                )];
+                let bytes = TrajectoryStore::to_store_bytes_with_extra(
+                    &query,
+                    &shard.finished,
+                    self.config.block_size,
+                    extra,
+                )?;
+                // The generation-stamped name is invisible to recovery
+                // until the manifest commit; the atomic write
+                // additionally keeps a faulted checkpoint from leaving a
+                // half-written artifact under a name a *later*
+                // checkpoint could collide with.
+                store_io::atomic_write_file(self.io.as_ref(), &next_path, &bytes)
+                    .map_err(|e| Self::degrade(self.config.shards, k, e.into()))?;
+            } else {
+                // Clean shard: the previous generation's file *is* the
+                // next one — link it under the new name (a leftover from
+                // an uncommitted checkpoint may occupy it). Generation GC
+                // only ever removes names, so the shared inode lives
+                // until the last generation referencing it is collected.
+                let _ = self.io.remove_file(&next_path);
+                self.io
+                    .hard_link(&prev_path, &next_path)
+                    .map_err(|e| Self::degrade(self.config.shards, k, e.into()))?;
             }
         }
-        points.sort_unstable_by_key(|&(arrival, vehicle, _)| (arrival, vehicle));
-        for (_, vehicle, sample) in points {
-            records.push(WalRecord::Point {
-                vehicle,
-                x: sample.point.x,
-                y: sample.point.y,
-                t: sample.t,
-            });
+        let max_time = self.max_time;
+        let mut new_wals = Vec::with_capacity(self.shards.len());
+        for k in 0..self.shards.len() {
+            let records = self.shards[k].checkpoint_records(max_time);
+            let wal = Wal::create_with(
+                &self.dir.join(manifest::wal_shard_file_name(next, k as u32)),
+                &records,
+                self.io.clone(),
+            )
+            .map_err(|e| Self::degrade(self.config.shards, k, e.into()))?;
+            new_wals.push(wal);
         }
-        let wal = Wal::create_with(
-            &self.dir.join(manifest::wal_file_name(next)),
-            &records,
-            self.io.clone(),
-        )?;
         // The commit point: one atomic rename flips recovery from the
-        // old (corpus, journal) pair to the new one. A typed failure
-        // anywhere up to here leaves the engine on its old generation,
-        // old journal, fully consistent — the uncommitted new-generation
-        // files are GC'd later.
-        manifest::commit_with(self.io.as_ref(), &self.dir, next)
+        // old shard set to the new one. A typed failure anywhere up to
+        // here leaves the engine on its old generation, old journals,
+        // fully consistent — the uncommitted new-generation files are
+        // GC'd later.
+        manifest::commit_with(self.io.as_ref(), &self.dir, next, self.config.shards as u32)
             .map_err(|e| ServeError::Manifest(e.to_string()))?;
         self.generation = next;
-        self.wal = wal;
-        // `Wal::create_with` synced the new journal, so everything in it
-        // is durable; the group-commit accumulators restart empty.
-        self.durable_offset = self.wal.offset();
-        self.unsynced_bytes = 0;
-        self.unsynced_frames = 0;
-        if self.max_time.is_finite() {
-            self.last_sync_time = self.max_time;
+        self.legacy_layout = false;
+        for (k, wal) in new_wals.into_iter().enumerate() {
+            let shard = &mut self.shards[k];
+            shard.wal = wal;
+            // `Wal::create_with` synced the new journal, so everything
+            // in it is durable; the group-commit accumulators restart
+            // empty.
+            shard.durable_offset = shard.wal.offset();
+            shard.unsynced_bytes = 0;
+            shard.unsynced_frames = 0;
+            if max_time.is_finite() {
+                shard.last_sync_time = max_time;
+                shard.journaled_clock = max_time;
+            } else {
+                shard.journaled_clock = f64::NEG_INFINITY;
+            }
+            shard.needs_clock = false;
+            shard.dirty = false;
         }
         // The superseded generation is dead weight now. Best-effort
         // only: a cleanup fault must not fail a *committed* checkpoint
-        // (and must not swap the journal handle back) — the next open's
-        // GC finishes the job, and leftovers are inert meanwhile.
+        // (and must not swap the journal handles back) — the next
+        // open's GC finishes the job, and leftovers are inert meanwhile.
         let _ = manifest::gc(&self.dir, next);
-        Ok(self.finished.len())
+        Ok(self.shards.iter().map(|s| s.finished.len()).sum())
     }
 
-    /// Forces journal bytes to stable storage (fsync) with the policy's
-    /// retry/backoff, advancing [`IngestEngine::durable_offset`] on
-    /// success: afterwards every previously `Journaled` ack is durable.
-    /// Failures are typed ([`ServeError::StorageFull`] /
-    /// [`ServeError::Backpressure`]) and leave the frames journaled —
-    /// a later sync can still cover them.
+    /// Forces every shard's journal bytes to stable storage (fsync)
+    /// with the policy's retry/backoff, advancing each shard's
+    /// durability watermark on success: afterwards every previously
+    /// `Journaled` ack is durable. A failing shard is recorded in its
+    /// own `sync_failures` and reported (wrapped in
+    /// [`ServeError::ShardDegraded`] on multi-shard engines) — but
+    /// every *other* shard is still synced first; the frames stay
+    /// journaled and a later sync can cover them.
     pub fn sync(&mut self) -> Result<()> {
-        let r = self.sync_retrying();
-        if r.is_err() {
-            self.stats.sync_failures += 1;
+        let mut first_err = None;
+        for k in 0..self.shards.len() {
+            if let Err(e) = self.sync_shard_retrying(k) {
+                self.shards[k].stats.sync_failures += 1;
+                if first_err.is_none() {
+                    first_err = Some(Self::degrade(self.config.shards, k, e));
+                }
+            }
         }
-        r
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Accepted points not yet in the in-memory corpus.
-    fn in_flight_points(&self) -> usize {
-        self.sessions
-            .values()
-            .map(|s| s.samples.len())
-            .sum::<usize>()
-            + self.pending.iter().map(|p| p.samples.len()).sum::<usize>()
+    /// The merged corpus index: `(shard, index-within-shard)` pairs in
+    /// global canonical key order (key, then shard as the tiebreak for
+    /// inherited rank-0 keys).
+    fn merged_order(&self) -> Vec<(usize, usize)> {
+        let mut order: Vec<(TrajKey, usize, usize)> = Vec::new();
+        for (k, shard) in self.shards.iter().enumerate() {
+            order.extend(shard.keys.iter().enumerate().map(|(i, &key)| (key, k, i)));
+        }
+        order.sort_unstable_by_key(|&(key, k, _)| (key, k));
+        order.into_iter().map(|(_, k, i)| (k, i)).collect()
+    }
+
+    /// The published-corpus bytes a checkpoint of the current state
+    /// would serve, built from every shard's slice in canonical merge
+    /// order — byte-identical for any shard count and any flush-worker
+    /// count (the shard-matrix proptests pin this).
+    pub fn merged_corpus_bytes(&self) -> Result<Vec<u8>> {
+        let query = QueryEngine::new(self.press.model());
+        let trajs: Vec<CompressedTrajectory> = self
+            .merged_order()
+            .into_iter()
+            .map(|(k, i)| self.shards[k].finished[i].clone())
+            .collect();
+        Ok(TrajectoryStore::to_store_bytes(
+            &query,
+            &trajs,
+            self.config.block_size,
+        )?)
     }
 
     /// The ingest directory.
@@ -1188,37 +1896,79 @@ impl IngestEngine {
         self.generation
     }
 
-    /// Path of the published corpus artifact (current generation).
+    /// Number of independent writer shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_corpus_path_at(&self, gen: u64, shard: usize) -> PathBuf {
+        if self.legacy_layout && shard == 0 {
+            self.dir.join(manifest::corpus_file_name(gen))
+        } else {
+            self.dir
+                .join(manifest::corpus_shard_file_name(gen, shard as u32))
+        }
+    }
+
+    /// Path of shard 0's published corpus file (current generation).
+    /// With one shard this is the whole corpus; multi-shard readers
+    /// should walk [`IngestEngine::shard_corpus_path`] over
+    /// [`IngestEngine::num_shards`] or use
+    /// [`IngestEngine::merged_corpus_bytes`].
     pub fn corpus_path(&self) -> PathBuf {
-        self.dir.join(manifest::corpus_file_name(self.generation))
+        self.shard_corpus_path(0)
     }
 
-    /// Path of the journal (current generation).
+    /// Path of `shard`'s published corpus file (current generation).
+    pub fn shard_corpus_path(&self, shard: usize) -> PathBuf {
+        self.shard_corpus_path_at(self.generation, shard)
+    }
+
+    /// Path of shard 0's journal (current generation).
     pub fn wal_path(&self) -> PathBuf {
-        self.dir.join(manifest::wal_file_name(self.generation))
+        self.shard_wal_path(0)
     }
 
-    /// Current journal length — the latest ingested-fix ack offset.
+    /// Path of `shard`'s journal (current generation).
+    pub fn shard_wal_path(&self, shard: usize) -> PathBuf {
+        self.shards[shard].wal.path().to_path_buf()
+    }
+
+    /// Shard 0's journal length — with one shard, the latest
+    /// ingested-fix ack offset.
     pub fn wal_offset(&self) -> u64 {
-        self.wal.offset()
+        self.shard_wal_offset(0)
     }
 
-    /// Durability watermark: every journal frame ending at or before
-    /// this offset is covered by a completed fsync. An ack with
-    /// `offset <= durable_offset()` has power-loss durability.
+    /// `shard`'s journal length.
+    pub fn shard_wal_offset(&self, shard: usize) -> u64 {
+        self.shards[shard].wal.offset()
+    }
+
+    /// Shard 0's durability watermark (see
+    /// [`IngestEngine::shard_durable_offset`]).
     pub fn durable_offset(&self) -> u64 {
-        self.durable_offset
+        self.shard_durable_offset(0)
     }
 
-    /// Points currently buffered across live sessions — what the
-    /// memory budget ([`IngestConfig::max_buffered_points`]) bounds.
+    /// `shard`'s durability watermark: every frame of its journal
+    /// ending at or before this offset is covered by a completed
+    /// fsync. An ack with `offset <= shard_durable_offset(shard)` has
+    /// power-loss durability.
+    pub fn shard_durable_offset(&self, shard: usize) -> u64 {
+        self.shards[shard].durable_offset
+    }
+
+    /// Points currently buffered across live sessions on all shards —
+    /// what the memory budget ([`IngestConfig::max_buffered_points`])
+    /// bounds.
     pub fn buffered_points(&self) -> usize {
-        self.buffered
+        self.shards.iter().map(|s| s.buffered).sum()
     }
 
     /// The bounded eviction log: the most recent
     /// [`IngestConfig::eviction_log_cap`] evicted vehicles, oldest
-    /// first.
+    /// first (rebuilt shard-major on recovery).
     pub fn eviction_log(&self) -> &VecDeque<u64> {
         &self.eviction_log
     }
@@ -1233,24 +1983,40 @@ impl IngestEngine {
         &self.press
     }
 
-    /// Live sessions.
+    /// Live sessions across all shards.
     pub fn session_count(&self) -> usize {
-        self.sessions.len()
+        self.shards.iter().map(|s| s.sessions.len()).sum()
     }
 
-    /// Finalized segments awaiting [`IngestEngine::flush`].
+    /// Finalized segments awaiting [`IngestEngine::flush`], across all
+    /// shards.
     pub fn pending_segments(&self) -> usize {
-        self.pending.len()
+        self.shards.iter().map(|s| s.pending.len()).sum()
     }
 
-    /// The in-memory compressed corpus (checkpointed + flushed).
-    pub fn finished(&self) -> &[CompressedTrajectory] {
-        &self.finished
+    /// The in-memory compressed corpus (checkpointed + flushed), in
+    /// canonical merge order across all shards.
+    pub fn finished(&self) -> Vec<CompressedTrajectory> {
+        self.merged_order()
+            .into_iter()
+            .map(|(k, i)| self.shards[k].finished[i].clone())
+            .collect()
     }
 
-    /// Ingest counters.
-    pub fn stats(&self) -> &IngestStats {
-        &self.stats
+    /// Ingest counters, summed across all shards (see
+    /// [`IngestEngine::shard_stats`] for one shard's view).
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.stats);
+        }
+        total
+    }
+
+    /// One shard's ingest counters. A degraded shard's rejections land
+    /// here and never in a healthy shard's counters.
+    pub fn shard_stats(&self, shard: usize) -> &IngestStats {
+        &self.shards[shard].stats
     }
 
     /// The bounded quarantine log: the most recent
@@ -1260,7 +2026,8 @@ impl IngestEngine {
         &self.quarantine
     }
 
-    /// What the last [`IngestEngine::open`] recovered.
+    /// What the last [`IngestEngine::open`] recovered, summed across
+    /// shards.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
     }

@@ -93,11 +93,13 @@ fn corrupt(rng: &mut StdRng, sample: GpsSample) -> GpsSample {
 }
 
 /// Simulates a kill by truncating the committed (manifest-live) journal
-/// at `offset` (clamped to the current length). Returns the resulting
-/// length. This models a crash mid-append: everything past the offset —
-/// at most the frames whose acks never returned durable — vanishes.
-pub fn truncate_wal(dir: &Path, offset: u64) -> io::Result<u64> {
-    let path = crate::manifest::live_wal_path(dir)?;
+/// of `shard` at `offset` (clamped to the current length). Returns the
+/// resulting length. This models a crash mid-append on that shard:
+/// everything past the offset — at most the frames whose acks never
+/// returned durable — vanishes, while every other shard's journal is
+/// untouched.
+pub fn truncate_shard_wal(dir: &Path, shard: u32, offset: u64) -> io::Result<u64> {
+    let path = crate::manifest::live_shard_wal_path(dir, shard)?;
     let len = std::fs::metadata(&path)?.len();
     let cut = offset.min(len);
     let f = std::fs::OpenOptions::new().write(true).open(&path)?;
@@ -106,9 +108,20 @@ pub fn truncate_wal(dir: &Path, offset: u64) -> io::Result<u64> {
     Ok(cut)
 }
 
-/// Current committed-journal length, for choosing kill offsets.
+/// [`truncate_shard_wal`] for shard 0 — the whole journal of a
+/// single-shard directory.
+pub fn truncate_wal(dir: &Path, offset: u64) -> io::Result<u64> {
+    truncate_shard_wal(dir, 0, offset)
+}
+
+/// Committed length of `shard`'s journal, for choosing kill offsets.
+pub fn shard_wal_len(dir: &Path, shard: u32) -> io::Result<u64> {
+    Ok(std::fs::metadata(crate::manifest::live_shard_wal_path(dir, shard)?)?.len())
+}
+
+/// [`shard_wal_len`] for shard 0.
 pub fn wal_len(dir: &Path) -> io::Result<u64> {
-    Ok(std::fs::metadata(crate::manifest::live_wal_path(dir)?)?.len())
+    shard_wal_len(dir, 0)
 }
 
 #[cfg(test)]

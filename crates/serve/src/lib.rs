@@ -9,20 +9,22 @@
 //! # Architecture
 //!
 //! ```text
-//!  push(vehicle, fix)
+//!  push(vehicle, fix) ── route: splitmix64(vehicle) % shards
 //!      │  vet: NaN/∞, out-of-order, duplicate, teleport → quarantine
 //!      ▼
-//!  ingest.<gen>.wal ─── append CRC-framed Point record, ACK offset
-//!      │
+//!  shard k ─ ingest.<gen>.s<k>.wal ── append CRC-framed record, ACK
+//!      │       (its own journal, durability accumulators, sessions,
+//!      │        memory-budget share — an independent failure domain)
 //!      ▼
 //!  Session{vehicle} ── buffer; idle-timeout / size-cap segmentation
 //!      │ finalize
 //!      ▼
 //!  pending ── flush(): parallel salvage-matching + online compression
-//!      │ checkpoint
+//!      │ checkpoint (incremental: clean shards hard-link)
 //!      ▼
-//!  corpus.<gen>.press + ingest.<gen>.wal ── block store + shrunk WAL,
-//!      committed as one pair by an atomic MANIFEST rename
+//!  corpus.<gen>.s<k>.press × N + ingest.<gen>.s<k>.wal × N ── block
+//!      stores + shrunk WALs, committed as one SET by a single atomic
+//!      MANIFEST rename
 //! ```
 //!
 //! # Guarantees
@@ -30,17 +32,28 @@
 //! * **No acked point is lost.** A fix is [`Ack::Accepted`] only after
 //!   its WAL frame is written; recovery replays every complete frame
 //!   and truncates at most the torn, never-acked tail.
+//! * **Faults are shard-local.** A full disk, sticky I/O error, or
+//!   corrupt journal on one shard degrades only that shard — surfaced
+//!   as typed [`ServeError::ShardDegraded`] with per-shard counters —
+//!   while pushes routed to healthy shards keep acking and the
+//!   published corpus keeps serving.
 //! * **Recovery is deterministic.** Replay goes through the exact live
-//!   ingest path, and everything that influences segmentation (stream
-//!   clock, session order, arrival order) is journaled or derived from
-//!   the journal — a recovered engine's corpus is byte-identical to a
-//!   clean run over the acked prefix.
-//! * **Checkpoints commit atomically.** The published corpus and the
-//!   shrunk journal are flipped live as one pair by a single
-//!   [`manifest`] rename (fsynced through the directory), so a crash at
-//!   any byte of a checkpoint recovers either the complete old pair or
-//!   the complete new one — never a new corpus with a stale journal,
-//!   which would replay trajectories the corpus already holds.
+//!   ingest path, per shard and in parallel, and everything that
+//!   influences segmentation (stream clock, session order, arrival
+//!   order) is journaled or derived from the journal — a recovered
+//!   engine's corpus is byte-identical to a clean run over the acked
+//!   prefix of each shard.
+//! * **The published corpus is shard-count invariant.** Trajectories
+//!   carry canonical merge keys (vehicle, segment sequence, piece), so
+//!   the merged corpus bytes are identical for any shard count and any
+//!   flush-worker count.
+//! * **Checkpoints commit atomically and incrementally.** All N corpus
+//!   shard files and N shrunk journals are flipped live as one set by a
+//!   single [`manifest`] rename (fsynced through the directory), so a
+//!   crash at any byte of a checkpoint recovers either the complete old
+//!   set or the complete new one. Shards that cut nothing since the
+//!   last checkpoint hard-link their previous corpus file instead of
+//!   rewriting it.
 //! * **Bad input degrades, never panics.** Defective fixes land in a
 //!   typed quarantine; unmatchable stretches split into salvaged
 //!   pieces; pathological sessions are shed by a deterministic matcher
@@ -61,8 +74,8 @@ pub use durability::DurabilityPolicy;
 pub use engine::{
     Ack, IngestConfig, IngestEngine, IngestStats, QuarantineRecord, RecoveryReport, ServeError,
 };
-pub use fault::{truncate_wal, wal_len, Event, FaultPlan};
-pub use manifest::MANIFEST_FILE;
+pub use fault::{shard_wal_len, truncate_shard_wal, truncate_wal, wal_len, Event, FaultPlan};
+pub use manifest::{Manifest, MANIFEST_FILE};
 pub use session::{Disposition, QuarantineReason, Session, SessionPolicy};
 pub use wal::{Wal, WalError, WalRecord, WalReplay};
 // Re-exported so fault-injection call sites (tests, examples, benches)

@@ -1,23 +1,30 @@
 //! The checkpoint manifest: the single atomic commit point for the
-//! corpus + journal pair.
+//! whole shard set — one corpus file and one journal per ingest shard.
 //!
-//! A checkpoint replaces **two** artifacts — the published corpus and
-//! the rewritten journal — and no sequence of per-file renames can swap
-//! both at once. Publishing them independently opens a crash window
-//! where a recovered engine sees the *new* corpus next to the *old*
-//! journal and replays (and re-compresses) trajectories the corpus
-//! already contains.
+//! A checkpoint replaces **2·N** artifacts — per shard, a published
+//! corpus file and a rewritten journal — and no sequence of per-file
+//! renames can swap them all at once. Publishing them independently
+//! opens a crash window where a recovered engine sees some shards'
+//! *new* corpus next to other shards' *old* journals and replays (and
+//! re-compresses) trajectories the corpus already contains.
 //!
 //! Instead, every checkpoint writes its artifacts under a fresh
-//! **generation** number — `corpus.<gen>.press` and `ingest.<gen>.wal`
-//! — and then commits the pair with one atomic rename of a tiny
-//! `MANIFEST` file naming that generation. Recovery reads the manifest
-//! and loads exactly the committed pair; artifacts from any other
+//! **generation** number — `corpus.<gen>.s<k>.press` and
+//! `ingest.<gen>.s<k>.wal` for shard `k` — and then commits the whole
+//! set with one atomic rename of a tiny `MANIFEST` file naming that
+//! generation and the shard count. Recovery reads the manifest and
+//! loads exactly the committed set; artifacts from any other
 //! generation are uncommitted leftovers (a checkpoint that crashed
 //! before its rename, or a superseded generation whose cleanup was
-//! interrupted) and are garbage-collected. A crash at **any** byte of a
-//! checkpoint therefore lands on a complete, consistent generation:
+//! interrupted) and are garbage-collected. A crash at **any** byte of
+//! a checkpoint therefore lands on a complete, consistent generation:
 //! the old one if the rename did not happen, the new one if it did.
+//! Incremental checkpoints exploit the same protocol: a clean shard's
+//! corpus file is **hard-linked** from the previous generation's name
+//! to the next one's, so the link is just another uncommitted artifact
+//! until the rename — and GC by generation number still works, because
+//! removing a superseded name only drops one reference to the shared
+//! inode.
 //!
 //! After the rename (and after creating a journal) the parent directory
 //! is fsynced so the commit survives power loss, not just process
@@ -25,11 +32,18 @@
 //!
 //! # Manifest format
 //!
-//! 24 bytes, written via temp file + rename so it is always complete:
+//! Version 2 (this build writes), 28 bytes, written via temp file +
+//! rename so it is always complete:
 //!
 //! ```text
-//! [8B magic "PRESSMFT"][u32 version][u64 generation][u32 crc32 of the first 20 bytes]
+//! [8B magic "PRESSMFT"][u32 version=2][u64 generation][u32 shards][u32 crc32 of the first 24 bytes]
 //! ```
+//!
+//! Version 1 (pre-sharding, 24 bytes, still read) lacks the shard
+//! count; its artifacts use the legacy un-sharded names
+//! `corpus.<gen>.press` / `ingest.<gen>.wal` and behave as a single
+//! shard. The first checkpoint over a legacy directory migrates it to
+//! version 2 and sharded names atomically.
 
 use press_store::crc32;
 use press_store::io::{self as store_io, IoBackend};
@@ -41,32 +55,75 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_FILE: &str = "MANIFEST";
 /// Manifest magic.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"PRESSMFT";
-/// Manifest format version this build reads and writes.
-pub const MANIFEST_VERSION: u32 = 1;
-/// Encoded manifest length in bytes.
-pub const MANIFEST_LEN: usize = 24;
+/// Manifest format version this build writes.
+pub const MANIFEST_VERSION: u32 = 2;
+/// Encoded length of a version-2 manifest in bytes.
+pub const MANIFEST_LEN: usize = 28;
+/// Encoded length of a legacy version-1 manifest in bytes.
+pub const MANIFEST_LEN_V1: usize = 24;
 
-/// Corpus artifact name for `gen`.
+/// The committed state a manifest names: a generation, and — for
+/// version 2 — how many ingest shards its artifact set has. `None`
+/// marks a legacy version-1 directory (un-sharded artifact names, one
+/// implicit shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// The committed generation number.
+    pub generation: u64,
+    /// Number of ingest shards, or `None` for a legacy v1 manifest.
+    pub shards: Option<u32>,
+}
+
+impl Manifest {
+    /// The shard count this manifest implies (a legacy manifest is one
+    /// shard).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.unwrap_or(1)
+    }
+}
+
+/// Legacy (v1, un-sharded) corpus artifact name for `gen`.
 pub fn corpus_file_name(gen: u64) -> String {
     format!("corpus.{gen}.press")
 }
 
-/// Journal artifact name for `gen`.
+/// Legacy (v1, un-sharded) journal artifact name for `gen`.
 pub fn wal_file_name(gen: u64) -> String {
     format!("ingest.{gen}.wal")
 }
 
-/// Parses a generation-stamped artifact name (`corpus.<gen>.press` or
-/// `ingest.<gen>.wal`), returning its generation.
-pub fn artifact_generation(name: &str) -> Option<u64> {
-    let gen = name
+/// Corpus artifact name for shard `shard` of `gen`.
+pub fn corpus_shard_file_name(gen: u64, shard: u32) -> String {
+    format!("corpus.{gen}.s{shard}.press")
+}
+
+/// Journal artifact name for shard `shard` of `gen`.
+pub fn wal_shard_file_name(gen: u64, shard: u32) -> String {
+    format!("ingest.{gen}.s{shard}.wal")
+}
+
+/// Parses a generation-stamped artifact name — legacy
+/// (`corpus.<gen>.press`, `ingest.<gen>.wal`) or sharded
+/// (`corpus.<gen>.s<k>.press`, `ingest.<gen>.s<k>.wal`) — returning
+/// its generation and shard (`None` for legacy names).
+pub fn artifact_parts(name: &str) -> Option<(u64, Option<u32>)> {
+    let rest = name
         .strip_prefix("corpus.")
         .and_then(|rest| rest.strip_suffix(".press"))
         .or_else(|| {
             name.strip_prefix("ingest.")
                 .and_then(|rest| rest.strip_suffix(".wal"))
         })?;
-    gen.parse().ok()
+    match rest.split_once(".s") {
+        Some((gen, shard)) => Some((gen.parse().ok()?, Some(shard.parse().ok()?))),
+        None => Some((rest.parse().ok()?, None)),
+    }
+}
+
+/// The generation of a generation-stamped artifact name (legacy or
+/// sharded); see [`artifact_parts`].
+pub fn artifact_generation(name: &str) -> Option<u64> {
+    artifact_parts(name).map(|(gen, _)| gen)
 }
 
 /// Fsyncs a directory so renames/creations inside it are durable.
@@ -74,19 +131,22 @@ pub fn sync_dir(dir: &Path) -> io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
-/// Reads the committed generation, `None` for a directory with no
+/// Reads the committed manifest, `None` for a directory with no
 /// manifest. A present-but-damaged manifest is `InvalidData`, never a
 /// silent fresh start.
-pub fn read(dir: &Path) -> io::Result<Option<u64>> {
+pub fn read(dir: &Path) -> io::Result<Option<Manifest>> {
     let bytes = match std::fs::read(dir.join(MANIFEST_FILE)) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    if bytes.len() != MANIFEST_LEN {
+    if bytes.len() != MANIFEST_LEN && bytes.len() != MANIFEST_LEN_V1 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("manifest is {} bytes, expected {MANIFEST_LEN}", bytes.len()),
+            format!(
+                "manifest is {} bytes, expected {MANIFEST_LEN} (v2) or {MANIFEST_LEN_V1} (v1)",
+                bytes.len()
+            ),
         ));
     }
     if bytes[..8] != MANIFEST_MAGIC {
@@ -96,40 +156,63 @@ pub fn read(dir: &Path) -> io::Result<Option<u64>> {
         ));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != MANIFEST_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"),
-        ));
-    }
-    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
-    if crc32(&bytes[..20]) != stored_crc {
+    let body = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes(bytes[body..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..body]) != stored_crc {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "manifest checksum mismatch",
         ));
     }
-    Ok(Some(u64::from_le_bytes(
-        bytes[12..20].try_into().expect("8 bytes"),
-    )))
+    let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    match version {
+        1 if bytes.len() == MANIFEST_LEN_V1 => Ok(Some(Manifest {
+            generation,
+            shards: None,
+        })),
+        2 if bytes.len() == MANIFEST_LEN => {
+            let shards = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+            if shards == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "manifest names zero shards",
+                ));
+            }
+            Ok(Some(Manifest {
+                generation,
+                shards: Some(shards),
+            }))
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "unsupported manifest version {version} for {} bytes \
+                 (this build reads v1 and v{MANIFEST_VERSION})",
+                bytes.len()
+            ),
+        )),
+    }
 }
 
-/// Atomically commits `gen` as the live generation: temp file + sync +
-/// rename + directory fsync. After this returns, recovery will load
-/// `corpus.<gen>.press` / `ingest.<gen>.wal` and GC everything else.
+/// Atomically commits `gen` with `shards` ingest shards as the live
+/// generation: temp file + sync + rename + directory fsync. After this
+/// returns, recovery will load `corpus.<gen>.s<k>.press` /
+/// `ingest.<gen>.s<k>.wal` for every shard `k` and GC everything else.
 /// Every step — including both fsyncs — surfaces its error; a failure
 /// anywhere leaves the previous manifest in force.
-pub fn commit(dir: &Path, gen: u64) -> io::Result<()> {
-    commit_with(&store_io::RealIo, dir, gen)
+pub fn commit(dir: &Path, gen: u64, shards: u32) -> io::Result<()> {
+    commit_with(&store_io::RealIo, dir, gen, shards)
 }
 
 /// [`commit`] through an explicit [`IoBackend`] (fault injection in
 /// tests, real filesystem in production).
-pub fn commit_with(io: &dyn IoBackend, dir: &Path, gen: u64) -> io::Result<()> {
+pub fn commit_with(io: &dyn IoBackend, dir: &Path, gen: u64, shards: u32) -> io::Result<()> {
+    assert!(shards > 0, "a manifest must name at least one shard");
     let mut buf = Vec::with_capacity(MANIFEST_LEN);
     buf.extend_from_slice(&MANIFEST_MAGIC);
     buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
     buf.extend_from_slice(&gen.to_le_bytes());
+    buf.extend_from_slice(&shards.to_le_bytes());
     buf.extend_from_slice(&crc32(&buf).to_le_bytes());
     store_io::atomic_write_file(io, &dir.join(MANIFEST_FILE), &buf)
 }
@@ -153,6 +236,9 @@ pub fn has_artifacts(dir: &Path) -> io::Result<bool> {
 /// cleanup was interrupted) plus any stranded `*.tmp` staging file
 /// (atomic writes stage through sibling temp files; one survives only
 /// if the writer crashed or faulted mid-stage, and it is inert).
+/// Hard-linked incremental-checkpoint corpora are safe under this
+/// rule: removing a superseded generation's name only drops one link
+/// to the inode the kept generation still names.
 pub fn gc(dir: &Path, keep: u64) -> io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -169,12 +255,25 @@ pub fn gc(dir: &Path, keep: u64) -> io::Result<()> {
     Ok(())
 }
 
-/// The committed journal path — where a simulated kill must tear. A
-/// directory with no manifest resolves to generation 0 (a fresh engine
-/// commits generation 0 on first open).
+/// The committed journal path of shard `shard` — where a simulated
+/// kill must tear. A directory with no manifest resolves to generation
+/// 0 (a fresh engine commits generation 0 on first open); a legacy v1
+/// directory resolves shard 0 to its un-sharded journal name.
+pub fn live_shard_wal_path(dir: &Path, shard: u32) -> io::Result<PathBuf> {
+    let manifest = read(dir)?;
+    let gen = manifest.map(|m| m.generation).unwrap_or(0);
+    let legacy = manifest.is_some_and(|m| m.shards.is_none());
+    if legacy && shard == 0 {
+        Ok(dir.join(wal_file_name(gen)))
+    } else {
+        Ok(dir.join(wal_shard_file_name(gen, shard)))
+    }
+}
+
+/// [`live_shard_wal_path`] for shard 0 — the whole journal of a
+/// single-shard engine.
 pub fn live_wal_path(dir: &Path) -> io::Result<PathBuf> {
-    let gen = read(dir)?.unwrap_or(0);
-    Ok(dir.join(wal_file_name(gen)))
+    live_shard_wal_path(dir, 0)
 }
 
 #[cfg(test)]
@@ -192,16 +291,32 @@ mod tests {
     fn commit_read_roundtrip_and_gc() {
         let dir = tmp_dir("roundtrip");
         assert_eq!(read(&dir).expect("read"), None);
-        commit(&dir, 0).expect("commit 0");
-        assert_eq!(read(&dir).expect("read"), Some(0));
-        commit(&dir, 7).expect("commit 7");
-        assert_eq!(read(&dir).expect("read"), Some(7));
-        // GC keeps only the committed generation's artifacts.
+        commit(&dir, 0, 1).expect("commit 0");
+        assert_eq!(
+            read(&dir).expect("read"),
+            Some(Manifest {
+                generation: 0,
+                shards: Some(1)
+            })
+        );
+        commit(&dir, 7, 3).expect("commit 7");
+        assert_eq!(
+            read(&dir).expect("read"),
+            Some(Manifest {
+                generation: 7,
+                shards: Some(3)
+            })
+        );
+        // GC keeps only the committed generation's artifacts — legacy
+        // and sharded names alike.
         for name in [
             corpus_file_name(6),
             wal_file_name(6),
-            corpus_file_name(7),
-            wal_file_name(7),
+            corpus_shard_file_name(6, 1),
+            wal_shard_file_name(6, 2),
+            corpus_shard_file_name(7, 0),
+            wal_shard_file_name(7, 0),
+            wal_shard_file_name(7, 2),
             "MANIFEST.tmp".to_string(),
             "unrelated.txt".to_string(),
         ] {
@@ -210,13 +325,47 @@ mod tests {
         gc(&dir, 7).expect("gc");
         assert!(!dir.join(corpus_file_name(6)).exists());
         assert!(!dir.join(wal_file_name(6)).exists());
+        assert!(!dir.join(corpus_shard_file_name(6, 1)).exists());
+        assert!(!dir.join(wal_shard_file_name(6, 2)).exists());
         assert!(!dir.join("MANIFEST.tmp").exists());
-        assert!(dir.join(corpus_file_name(7)).exists());
-        assert!(dir.join(wal_file_name(7)).exists());
+        assert!(dir.join(corpus_shard_file_name(7, 0)).exists());
+        assert!(dir.join(wal_shard_file_name(7, 0)).exists());
+        assert!(dir.join(wal_shard_file_name(7, 2)).exists());
         assert!(dir.join("unrelated.txt").exists());
         assert_eq!(
             live_wal_path(&dir).expect("live"),
-            dir.join(wal_file_name(7))
+            dir.join(wal_shard_file_name(7, 0))
+        );
+        assert_eq!(
+            live_shard_wal_path(&dir, 2).expect("live"),
+            dir.join(wal_shard_file_name(7, 2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_manifest_reads_as_unsharded() {
+        let dir = tmp_dir("legacy");
+        // A hand-written v1 manifest: 24 bytes, version 1, gen 5.
+        let mut buf = Vec::with_capacity(MANIFEST_LEN_V1);
+        buf.extend_from_slice(&MANIFEST_MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+        std::fs::write(dir.join(MANIFEST_FILE), &buf).expect("write");
+        let m = read(&dir).expect("read").expect("present");
+        assert_eq!(
+            m,
+            Manifest {
+                generation: 5,
+                shards: None
+            }
+        );
+        assert_eq!(m.shard_count(), 1);
+        // Shard 0 of a legacy directory is the un-sharded journal.
+        assert_eq!(
+            live_wal_path(&dir).expect("live"),
+            dir.join(wal_file_name(5))
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -224,7 +373,7 @@ mod tests {
     #[test]
     fn damaged_manifest_is_invalid_data_not_a_fresh_start() {
         let dir = tmp_dir("damage");
-        commit(&dir, 3).expect("commit");
+        commit(&dir, 3, 2).expect("commit");
         let good = std::fs::read(dir.join(MANIFEST_FILE)).expect("read");
         // Flipped generation byte: checksum catches it.
         let mut bad = good.clone();
@@ -233,6 +382,21 @@ mod tests {
         assert!(read(&dir).is_err());
         // Truncated manifest.
         std::fs::write(dir.join(MANIFEST_FILE), &good[..10]).expect("write");
+        assert!(read(&dir).is_err());
+        // A v2-length manifest claiming version 1 (and vice versa) is
+        // typed, not misparsed.
+        let mut bad = good.clone();
+        bad[8] = 1;
+        let crc = crc32(&bad[..24]).to_le_bytes();
+        bad[24..28].copy_from_slice(&crc);
+        std::fs::write(dir.join(MANIFEST_FILE), &bad).expect("write");
+        assert!(read(&dir).is_err());
+        // Zero shards.
+        let mut bad = good.clone();
+        bad[20..24].copy_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&bad[..24]).to_le_bytes();
+        bad[24..28].copy_from_slice(&crc);
+        std::fs::write(dir.join(MANIFEST_FILE), &bad).expect("write");
         assert!(read(&dir).is_err());
         // Bad magic.
         let mut bad = good;
@@ -244,11 +408,16 @@ mod tests {
 
     #[test]
     fn artifact_names_parse_and_reject() {
-        assert_eq!(artifact_generation("corpus.0.press"), Some(0));
-        assert_eq!(artifact_generation("ingest.42.wal"), Some(42));
-        assert_eq!(artifact_generation("corpus.press"), None);
-        assert_eq!(artifact_generation("ingest.x.wal"), None);
-        assert_eq!(artifact_generation("MANIFEST"), None);
-        assert_eq!(artifact_generation("corpus.1.press.tmp"), None);
+        assert_eq!(artifact_parts("corpus.0.press"), Some((0, None)));
+        assert_eq!(artifact_parts("ingest.42.wal"), Some((42, None)));
+        assert_eq!(artifact_parts("corpus.7.s2.press"), Some((7, Some(2))));
+        assert_eq!(artifact_parts("ingest.0.s11.wal"), Some((0, Some(11))));
+        assert_eq!(artifact_generation("corpus.7.s2.press"), Some(7));
+        assert_eq!(artifact_parts("corpus.press"), None);
+        assert_eq!(artifact_parts("ingest.x.wal"), None);
+        assert_eq!(artifact_parts("ingest.1.sx.wal"), None);
+        assert_eq!(artifact_parts("MANIFEST"), None);
+        assert_eq!(artifact_parts("corpus.1.press.tmp"), None);
+        assert_eq!(artifact_parts("corpus.1.s0.press.tmp"), None);
     }
 }

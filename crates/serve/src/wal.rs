@@ -340,8 +340,12 @@ impl Wal {
         let valid_len = off as u64;
         let mut file = io.open_rw(path)?;
         if torn_bytes > 0 {
+            // Same fsync discipline as `atomic_write_file`: truncation
+            // durable (data + parent directory) before any new frame
+            // can land after it.
             io.set_len(&file, valid_len)?;
             io.sync_data(&file)?;
+            store_io::sync_parent_dir(io.as_ref(), path)?;
         }
         store_io::seek_to(&mut file, valid_len)?;
         Ok((
@@ -426,8 +430,18 @@ impl Wal {
 
     /// Truncates a partial frame left by a failed append back to the
     /// last acked offset and repositions the cursor there.
+    ///
+    /// The truncation follows the same fsync discipline as
+    /// `atomic_write_file` (`set_len` + `sync_data` +
+    /// `sync_parent_dir`): until it is durable, a power cut could
+    /// resurrect the partial frame *under* freshly appended bytes —
+    /// turning a recoverable torn tail into mid-journal corruption. A
+    /// failure at any step leaves `dirty_tail` set, so the next append
+    /// retries the whole repair.
     fn repair_tail(&mut self) -> Result<()> {
         self.io.set_len(&self.file, self.offset)?;
+        self.io.sync_data(&self.file)?;
+        store_io::sync_parent_dir(self.io.as_ref(), &self.path)?;
         store_io::seek_to(&mut self.file, self.offset)?;
         self.dirty_tail = false;
         Ok(())
@@ -693,6 +707,65 @@ mod tests {
                     t: 3.0
                 },
                 WalRecord::Finalize { vehicle: 1 },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_repair_sync_keeps_the_tail_dirty_until_it_succeeds() {
+        use press_store::io::{DiskFault, FaultKind, FaultyIo};
+        let dir = tmp_dir("fault-repair-sync");
+        let path = dir.join("ingest.wal");
+        let io = FaultyIo::new(Vec::new());
+        let (mut wal, _) = Wal::open_with(&path, io.clone()).expect("create");
+        let ok_off = wal
+            .append(&WalRecord::Point {
+                vehicle: 1,
+                x: 1.0,
+                y: 2.0,
+                t: 3.0,
+            })
+            .expect("clean append");
+        io.arm(DiskFault {
+            at_op: io.ops(),
+            kind: FaultKind::ShortWrite,
+            sticky: false,
+        });
+        assert!(wal.append(&WalRecord::FinalizeAll).is_err());
+        assert!(wal.dirty_tail());
+        // Fail exactly the repair's fsync: the next append truncates
+        // (set_len passes) but the sync trips, so the repair must not
+        // be considered done — the tail stays dirty and nothing acks.
+        io.arm(DiskFault {
+            at_op: io.ops(),
+            kind: FaultKind::SyncFail,
+            sticky: false,
+        });
+        let err = wal
+            .append(&WalRecord::FinalizeAll)
+            .expect_err("repair sync");
+        assert!(matches!(err, WalError::Io(_)));
+        assert!(wal.dirty_tail(), "unsynced repair keeps the flag");
+        assert_eq!(wal.offset(), ok_off);
+        // With the fault disarmed the full repair (truncate + fsync +
+        // dir fsync) completes and the append lands.
+        let off2 = wal.append(&WalRecord::FinalizeAll).expect("repaired");
+        assert!(off2 > ok_off);
+        assert!(!wal.dirty_tail());
+        drop(wal);
+        let (_, replay) = Wal::open(&path).expect("reopen");
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord::Point {
+                    vehicle: 1,
+                    x: 1.0,
+                    y: 2.0,
+                    t: 3.0
+                },
+                WalRecord::FinalizeAll,
             ]
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -18,8 +18,8 @@ use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
 use press_network::{grid_network, GridConfig, SpBackend};
 use press_serve::wal::WAL_HEADER_LEN;
 use press_serve::{
-    truncate_wal, wal_len, DiskFault, DurabilityPolicy, Event, FaultKind, FaultyIo, IngestConfig,
-    IngestEngine, ServeError, SessionPolicy,
+    shard_wal_len, truncate_shard_wal, truncate_wal, wal_len, DiskFault, DurabilityPolicy, Event,
+    FaultKind, FaultyIo, IngestConfig, IngestEngine, ServeError, SessionPolicy,
 };
 use press_workload::{Workload, WorkloadConfig};
 use proptest::prelude::*;
@@ -212,7 +212,7 @@ fn run_fault_cell(
             Err(other) => panic!("push surfaced an untyped fault: {other}"),
         }
     }
-    let stats = *engine.stats();
+    let stats = engine.stats();
     if faulty.injected() > 0 && journaled.len() < f.events.len() {
         assert!(
             stats.storage_full_rejections
@@ -480,7 +480,7 @@ fn seeded_fault_matrix_smoke() {
                     Err(other) => panic!("untyped fault {kind:?}@{delta}: {other}"),
                 }
             }
-            let stats = *engine.stats();
+            let stats = engine.stats();
             match kind {
                 // A single transient error is absorbed by the retry
                 // budget (appends) or by sync-failure degradation:
@@ -582,5 +582,401 @@ fn disk_full_then_freed_resumes_ingest() {
         corpus_live, corpus_ref,
         "the published corpus must hold exactly the journaled fixes"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Finishes an engine and returns the *merged* corpus bytes — every
+/// shard's slice in canonical key order, the shard-count-invariant
+/// artifact the determinism contract is stated over.
+fn finish_merged(engine: &mut IngestEngine) -> Vec<u8> {
+    engine.finalize_all().expect("finalize_all");
+    engine.flush().expect("flush");
+    engine.checkpoint().expect("checkpoint");
+    engine.merged_corpus_bytes().expect("merged corpus")
+}
+
+/// Pushes `events` through a fresh fault-free engine with `cfg` and
+/// returns the merged corpus bytes.
+fn merged_reference(tag: &str, cfg: IngestConfig, events: &[Event]) -> Vec<u8> {
+    let f = fleet();
+    let dir = test_dir(tag);
+    let mut engine =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open reference");
+    for &(v, s) in events {
+        engine.push(v, s).expect("reference push");
+    }
+    let merged = finish_merged(&mut engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    merged
+}
+
+/// Single-shard merged corpus over the full fixture stream — the
+/// baseline every shard count must reproduce byte-for-byte.
+fn shard_invariance_baseline() -> &'static Vec<u8> {
+    static BASE: OnceLock<Vec<u8>> = OnceLock::new();
+    BASE.get_or_init(|| merged_reference("shard-base", config(), &fleet().events))
+}
+
+/// The published corpus is shard-count invariant: for every shard count
+/// the merged corpus bytes equal the single-shard run's, both on a
+/// clean run and after a crash (all journals intact) plus parallel
+/// per-shard recovery.
+#[test]
+fn published_corpus_is_shard_count_invariant() {
+    let f = fleet();
+    for &shards in &[2usize, 3, 7] {
+        let cfg = IngestConfig { shards, ..config() };
+        let dir = test_dir(&format!("shard-inv-{shards}"));
+        let mut engine =
+            IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+        for &(v, s) in &f.events {
+            engine.push(v, s).expect("push");
+        }
+        drop(engine); // crash: no finalize, no checkpoint
+
+        let mut recovered =
+            IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+        assert_eq!(recovered.num_shards(), shards);
+        let merged = finish_merged(&mut recovered);
+        assert_eq!(
+            &merged,
+            shard_invariance_baseline(),
+            "merged corpus at {shards} shards must be byte-identical to the single-shard run"
+        );
+        // Every shard committed its own journal + corpus slice under
+        // the one manifest generation.
+        for k in 0..shards {
+            assert!(
+                recovered.shard_corpus_path(k).exists(),
+                "shard {k} corpus file must exist"
+            );
+            assert!(
+                recovered.shard_wal_path(k).exists(),
+                "shard {k} journal must exist"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// One cell of the *sharded* fault matrix: a seeded disk fault scoped
+/// to exactly one shard's journal, composed with a kill tearing that
+/// shard's journal at a legitimate power-loss offset. Healthy shards
+/// must keep acking, the fault must surface as typed
+/// [`ServeError::ShardDegraded`] naming the faulted shard, rejections
+/// must never leak into healthy shards' counters, and the recovered
+/// merged corpus must be byte-identical to a clean **single-shard** run
+/// over the surviving events (isolation + shard-count invariance in
+/// one assertion).
+fn run_sharded_fault_cell(
+    tag: &str,
+    shards: usize,
+    faulted: usize,
+    delta: u64,
+    kind: FaultKind,
+    sticky: bool,
+    kill_frac: f64,
+) {
+    let f = fleet();
+    let cfg = IngestConfig { shards, ..config() };
+    let dir = test_dir(&format!("scell-{tag}"));
+    let faulty = FaultyIo::new(Vec::new());
+    let mut engine =
+        IngestEngine::open_with_io(&dir, Arc::clone(&f.matcher), f.press(), cfg, faulty.clone())
+            .expect("open with clean io");
+    // Degrade exactly one shard: the fault fires only on operations
+    // touching that shard's journal file (any generation).
+    faulty.arm_scoped(
+        &format!(".s{faulted}.wal"),
+        DiskFault {
+            at_op: delta,
+            kind,
+            sticky,
+        },
+    );
+
+    let mut journaled: Vec<(usize, usize, u64)> = Vec::new(); // (event, shard, ack offset)
+    let mut healthy_acks = 0usize;
+    for (i, &(v, s)) in f.events.iter().enumerate() {
+        let k = engine.shard_of(v);
+        match engine.push(v, s) {
+            Ok(ack) => {
+                if let Some(offset) = ack.offset() {
+                    journaled.push((i, k, offset));
+                    if k != faulted {
+                        healthy_acks += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e.root_cause(),
+                        ServeError::StorageFull(_) | ServeError::Backpressure { .. }
+                    ),
+                    "push surfaced an untyped fault: {e}"
+                );
+                if shards > 1 {
+                    assert_eq!(
+                        e.degraded_shard(),
+                        Some(faulted),
+                        "a scoped fault must degrade exactly the faulted shard"
+                    );
+                    assert_eq!(k, faulted, "only the faulted shard's pushes may fail");
+                } else {
+                    assert_eq!(e.degraded_shard(), None, "single-shard errors stay bare");
+                }
+            }
+        }
+    }
+    assert!(
+        healthy_acks > 0 || shards == 1,
+        "shards other than the faulted one must keep acking"
+    );
+    // Rejections are shard-local: healthy shards' counters stay clean.
+    for k in 0..shards {
+        if k != faulted {
+            let s = engine.shard_stats(k);
+            assert_eq!(
+                s.storage_full_rejections + s.backpressure_rejections,
+                0,
+                "shard {k} is healthy; the faulted shard's rejections must not leak into it"
+            );
+        }
+    }
+    let durable = engine.shard_durable_offset(faulted);
+    drop(engine); // crash with the fault still armed
+
+    let len = shard_wal_len(&dir, faulted as u32).expect("shard wal len");
+    let lo = durable.max(WAL_HEADER_LEN);
+    assert!(len >= lo, "durable watermark cannot exceed the journal");
+    let cut = lo + ((len - lo) as f64 * kill_frac).round() as u64;
+    truncate_shard_wal(&dir, faulted as u32, cut).expect("truncate");
+
+    let mut recovered = IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg)
+        .expect("recovery must succeed on the real filesystem");
+    let merged_a = finish_merged(&mut recovered);
+
+    // Survivors: every journaled event on a healthy shard (its journal
+    // is intact), plus the faulted shard's frames under the cut.
+    let surviving: Vec<Event> = journaled
+        .iter()
+        .filter(|&&(_, k, off)| k != faulted || off <= cut)
+        .map(|&(idx, _, _)| f.events[idx])
+        .collect();
+    // The reference deliberately runs at ONE shard: byte-identity here
+    // proves isolation and shard-count invariance at once.
+    let merged_b = merged_reference(&format!("scell-ref-{tag}"), config(), &surviving);
+    assert_eq!(
+        merged_a, merged_b,
+        "fault {kind:?} delta {delta} sticky {sticky} on shard {faulted}/{shards} cut {cut}: \
+         recovered merged corpus must be byte-identical to a clean single-shard run \
+         over the surviving events"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The sharded fault matrix: fault kind × faulted shard × shard
+    /// count × kill fraction (ISSUE 10 satellite). One shard's disk
+    /// fault plus a torn journal on that shard must stay invisible
+    /// outside its failure domain.
+    #[test]
+    fn sharded_disk_fault_degrades_only_its_shard(
+        shards_idx in 0usize..4,
+        faulted_seed in 0usize..7,
+        delta in 0u64..80,
+        kind_idx in 0usize..4,
+        sticky in any::<bool>(),
+        kill_frac in 0.0f64..=1.0,
+    ) {
+        let shards = [1usize, 2, 3, 7][shards_idx];
+        let faulted = faulted_seed % shards;
+        let kind = FaultKind::ALL[kind_idx];
+        run_sharded_fault_cell(
+            &format!("{shards}-{faulted}-{delta}-{kind_idx}-{sticky}"),
+            shards,
+            faulted,
+            delta,
+            kind,
+            sticky,
+            kill_frac,
+        );
+    }
+}
+
+/// Deterministic partial-fleet degraded mode: a sticky ENOSPC pins one
+/// shard of three, its pushes fail typed while both other shards keep
+/// acking, its rejections stay in its own counters, healing is
+/// in-process via `clear()`, and the final merged corpus holds exactly
+/// the journaled fixes.
+#[test]
+fn sticky_fault_on_one_shard_leaves_the_fleet_ingesting() {
+    let f = fleet();
+    let cfg = IngestConfig {
+        shards: 3,
+        ..config()
+    };
+    let dir = test_dir("sticky-shard");
+    let faulty = FaultyIo::new(Vec::new());
+    let mut engine =
+        IngestEngine::open_with_io(&dir, Arc::clone(&f.matcher), f.press(), cfg, faulty.clone())
+            .expect("open");
+    let faulted = engine.shard_of(f.events[0].0);
+    faulty.arm_scoped(
+        &format!(".s{faulted}.wal"),
+        DiskFault {
+            at_op: 0,
+            kind: FaultKind::Enospc,
+            sticky: true,
+        },
+    );
+
+    let half = f.events.len() / 2;
+    let mut journaled: Vec<Event> = Vec::new();
+    let mut refused = 0usize;
+    let mut healthy = 0usize;
+    for &(v, s) in &f.events[..half] {
+        let k = engine.shard_of(v);
+        match engine.push(v, s) {
+            Ok(ack) => {
+                assert_ne!(k, faulted, "the pinned shard cannot ack while full");
+                if ack.is_ingested() {
+                    journaled.push((v, s));
+                    healthy += 1;
+                }
+            }
+            Err(e) => {
+                assert_eq!(k, faulted, "healthy shards must not fail");
+                assert_eq!(e.degraded_shard(), Some(faulted));
+                assert!(e.is_storage_full(), "expected StorageFull, got {e}");
+                refused += 1;
+            }
+        }
+    }
+    assert!(refused > 0, "the fixture routes events to every shard");
+    assert!(healthy > 0, "healthy shards keep acking while one is full");
+    assert_eq!(
+        engine.shard_stats(faulted).storage_full_rejections as usize,
+        refused,
+        "every refusal lands in the faulted shard's counters"
+    );
+    for k in 0..3 {
+        if k != faulted {
+            assert_eq!(engine.shard_stats(k).storage_full_rejections, 0);
+        }
+    }
+    // Summed view still sees the rejections.
+    assert_eq!(engine.stats().storage_full_rejections as usize, refused);
+
+    // Space returns on the pinned shard; it heals in-process.
+    faulty.clear();
+    for &(v, s) in &f.events[half..] {
+        if engine.push(v, s).expect("healed push").is_ingested() {
+            journaled.push((v, s));
+        }
+    }
+    let merged_live = finish_merged(&mut engine);
+    drop(engine);
+    let merged_ref = merged_reference("sticky-shard-ref", config(), &journaled);
+    assert_eq!(
+        merged_live, merged_ref,
+        "the merged corpus must hold exactly the journaled fixes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Incremental checkpoints: with 8 shards and one dirty vehicle, the
+/// next checkpoint rewrites only the dirty shard's corpus file —
+/// every clean shard's file is a hard link to its previous generation
+/// (same inode) — and the whole set still commits through the single
+/// MANIFEST rename: a fault before the rename leaves the old
+/// generation fully live.
+#[test]
+fn incremental_checkpoint_links_clean_shards_and_commits_atomically() {
+    use std::os::unix::fs::MetadataExt;
+    let f = fleet();
+    let cfg = IngestConfig {
+        shards: 8,
+        ..config()
+    };
+    let dir = test_dir("incr-ckpt");
+    let faulty = FaultyIo::new(Vec::new());
+    let mut engine =
+        IngestEngine::open_with_io(&dir, Arc::clone(&f.matcher), f.press(), cfg, faulty.clone())
+            .expect("open");
+    for &(v, s) in &f.events {
+        engine.push(v, s).expect("push");
+    }
+    engine.finalize_all().expect("finalize_all");
+    engine.checkpoint().expect("first checkpoint");
+    let gen1 = engine.generation();
+    let inodes1: Vec<u64> = (0..8)
+        .map(|k| {
+            std::fs::metadata(engine.shard_corpus_path(k))
+                .expect("gen1 shard corpus")
+                .ino()
+        })
+        .collect();
+
+    // Dirty exactly one shard: new fixes for vehicle 0 only.
+    let dirty_shard = engine.shard_of(0);
+    for &(v, s) in f.events.iter().filter(|&&(v, _)| v == 0).take(12) {
+        engine
+            .push(
+                v,
+                GpsSample {
+                    point: s.point,
+                    t: s.t + 1.0e4,
+                },
+            )
+            .expect("dirty push");
+    }
+    engine.finalize(0).expect("finalize vehicle 0");
+
+    // Crash window: a checkpoint faulted before its manifest rename
+    // leaves the old generation fully live.
+    faulty.arm(DiskFault {
+        at_op: faulty.ops() + 3,
+        kind: FaultKind::Enospc,
+        sticky: true,
+    });
+    assert!(
+        engine.checkpoint().is_err(),
+        "faulted checkpoint fails typed"
+    );
+    assert_eq!(
+        engine.generation(),
+        gen1,
+        "a failed checkpoint commits nothing"
+    );
+    faulty.clear();
+
+    engine.checkpoint().expect("second checkpoint");
+    let gen2 = engine.generation();
+    assert!(gen2 > gen1);
+    for (k, &ino1) in inodes1.iter().enumerate() {
+        let ino2 = std::fs::metadata(engine.shard_corpus_path(k))
+            .expect("gen2 shard corpus")
+            .ino();
+        if k == dirty_shard {
+            assert_ne!(ino2, ino1, "the dirty shard's corpus must be rewritten");
+        } else {
+            assert_eq!(
+                ino2, ino1,
+                "clean shard {k} must hard-link its previous corpus file"
+            );
+        }
+    }
+    // The recovered engine serves the updated merged corpus.
+    drop(engine);
+    let recovered =
+        IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+    assert_eq!(recovered.generation(), gen2);
+    recovered
+        .merged_corpus_bytes()
+        .expect("merged corpus serves");
     let _ = std::fs::remove_dir_all(&dir);
 }

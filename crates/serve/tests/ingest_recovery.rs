@@ -13,7 +13,8 @@ use press_matcher::{GpsSample, MapMatcher, MatcherConfig};
 use press_network::{grid_network, GridConfig, Mbr, RoadNetwork, SpBackend};
 use press_serve::wal::WAL_HEADER_LEN;
 use press_serve::{
-    truncate_wal, wal_len, Ack, Event, FaultPlan, IngestConfig, IngestEngine, SessionPolicy,
+    shard_wal_len, truncate_shard_wal, truncate_wal, wal_len, Ack, Event, FaultPlan, IngestConfig,
+    IngestEngine, SessionPolicy,
 };
 use press_workload::{Workload, WorkloadConfig};
 use proptest::prelude::*;
@@ -576,7 +577,7 @@ fn dirty_input_is_quarantined_with_typed_reasons() {
     let mangled = plan.mangle(&f.events);
     let dir = test_dir("dirty");
     let (mut engine, acked) = run_clean(&dir, config(), &mangled);
-    let stats = *engine.stats();
+    let stats = engine.stats();
     assert!(
         stats.total_quarantined() > 0,
         "corruption must hit the quarantine"
@@ -641,4 +642,92 @@ fn hot_tree_persistence_ticks_on_stream_time() {
     assert_eq!(loaded.capacity_trees(), cache.capacity_trees());
     assert!(loaded.cached_trees() > 0, "saved set must not be empty");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Finishes an engine and returns the merged (shard-count-invariant)
+/// corpus bytes.
+fn finish_merged(engine: &mut IngestEngine) -> Vec<u8> {
+    engine.finalize_all().expect("finalize_all");
+    engine.flush().expect("flush");
+    engine.checkpoint().expect("checkpoint");
+    engine.merged_corpus_bytes().expect("merged corpus")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The seeded-fault + kill-at-any-offset property over the shard
+    /// matrix: mangle the stream with a seeded [`FaultPlan`], ingest at
+    /// N shards, tear ONE seed-chosen shard's journal at an arbitrary
+    /// byte offset, recover (parallel per-shard replay), finish — the
+    /// merged corpus must be byte-identical to a clean single-shard run
+    /// over exactly the surviving acked events.
+    #[test]
+    fn mangled_stream_with_a_shard_kill_recovers_across_the_matrix(
+        seed in 0u64..1_000_000,
+        shards_idx in 0usize..4,
+    ) {
+        let shards = [1usize, 2, 3, 7][shards_idx];
+        let f = fleet();
+        let plan = FaultPlan {
+            seed,
+            drop_prob: 0.05,
+            corrupt_prob: 0.08,
+            duplicate_prob: 0.08,
+            reorder_prob: 0.05,
+        };
+        let mangled = plan.mangle(&f.events);
+        let cfg = IngestConfig {
+            idle_timeout: 300.0,
+            max_session_points: 16,
+            max_lattice_work: 200_000,
+            shards,
+            ..config()
+        };
+        let dir = test_dir(&format!("shardmatrix-{seed}-{shards}"));
+        let mut engine =
+            IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("open");
+        // (event index, owning shard, ack offset) per journaled fix.
+        let mut acked: Vec<(usize, usize, u64)> = Vec::new();
+        for (i, &(v, s)) in mangled.iter().enumerate() {
+            let k = engine.shard_of(v);
+            if let Some(offset) = engine.push(v, s).expect("push").offset() {
+                acked.push((i, k, offset));
+            }
+        }
+        let victim = (seed as usize) % shards;
+        drop(engine); // crash: no finalize, no checkpoint, no sync
+
+        let len = shard_wal_len(&dir, victim as u32).expect("shard wal len");
+        let cut = WAL_HEADER_LEN + seed % (len - WAL_HEADER_LEN + 1);
+        truncate_shard_wal(&dir, victim as u32, cut).expect("truncate");
+
+        let mut recovered =
+            IngestEngine::open(&dir, Arc::clone(&f.matcher), f.press(), cfg).expect("recover");
+        let merged_a = finish_merged(&mut recovered);
+
+        // Survivors: intact shards keep everything they acked; the
+        // victim keeps its frames under the cut.
+        let surviving: Vec<Event> = acked
+            .iter()
+            .filter(|&&(_, k, off)| k != victim || off <= cut)
+            .map(|&(idx, _, _)| mangled[idx])
+            .collect();
+        let ref_dir = test_dir(&format!("shardmatrix-ref-{seed}-{shards}"));
+        let single = IngestConfig { shards: 1, ..cfg };
+        let (mut reference, _) = run_clean(&ref_dir, single, &surviving);
+        let merged_b = finish_merged(&mut reference);
+        prop_assert_eq!(
+            merged_a,
+            merged_b,
+            "seed {} at {} shards, victim {}, cut {}: recovered merged corpus must equal \
+             the clean single-shard run over the surviving events",
+            seed,
+            shards,
+            victim,
+            cut
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
 }

@@ -27,6 +27,7 @@
 //! I/O failure is treated as **transient** and worth a bounded
 //! retry-with-backoff before surfacing as backpressure.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
 use std::io;
@@ -60,6 +61,11 @@ pub trait IoBackend: Send + Sync + fmt::Debug {
     fn set_len(&self, file: &File, len: u64) -> io::Result<()>;
     /// Removes a file.
     fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates a second directory entry `dst` for the existing file
+    /// `src` (`std::fs::hard_link`) — the cheap re-link incremental
+    /// checkpoints use to carry an unchanged corpus shard into the next
+    /// generation without rewriting its bytes.
+    fn hard_link(&self, src: &Path, dst: &Path) -> io::Result<()>;
 }
 
 /// The production backend: every call delegates to `std::fs`.
@@ -95,6 +101,9 @@ impl IoBackend for RealIo {
     }
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         std::fs::remove_file(path)
+    }
+    fn hard_link(&self, src: &Path, dst: &Path) -> io::Result<()> {
+        std::fs::hard_link(src, dst)
     }
 }
 
@@ -159,18 +168,44 @@ pub struct DiskFault {
     pub sticky: bool,
 }
 
+/// A path-scoped fault: `fault` fires by the operation index counted
+/// **only over operations whose path contains `needle`** — the tool
+/// for failing one ingest shard's files while its siblings on the same
+/// backend stay healthy.
+#[derive(Debug)]
+struct ScopedFault {
+    needle: String,
+    fault: DiskFault,
+    /// Matching operations observed so far (the scope-local op index).
+    seen: u64,
+}
+
 /// A deterministic fault-injecting [`IoBackend`].
 ///
 /// Wraps [`RealIo`] and counts every operation; armed [`DiskFault`]s
 /// fire by operation index. Because engines drive a deterministic
 /// operation sequence from a given input stream, a fault plan is as
 /// reproducible as a WAL kill offset.
+///
+/// Faults come in two scopes: **global** ([`FaultyIo::arm`]) indexed
+/// over every operation on the backend, and **path-scoped**
+/// ([`FaultyIo::arm_scoped`]) indexed only over operations touching
+/// paths that contain a needle substring (e.g. `".s2."` to fault one
+/// ingest shard's WAL and corpus files). File-handle operations
+/// (`write_all`, `sync_data`, `set_len`) resolve their path through a
+/// registry populated by `create`/`open_rw`, so scoped faults follow a
+/// file after it is opened.
 #[derive(Debug)]
 pub struct FaultyIo {
     inner: RealIo,
     ops: AtomicU64,
     injected: AtomicU64,
     faults: Mutex<Vec<DiskFault>>,
+    scoped: Mutex<Vec<ScopedFault>>,
+    #[cfg(unix)]
+    fd_paths: Mutex<HashMap<i32, PathBuf>>,
+    #[cfg(not(unix))]
+    fd_paths: Mutex<HashMap<u64, PathBuf>>,
 }
 
 /// Is this operation a sync (`sync_data`/`sync_dir`)?
@@ -189,6 +224,8 @@ impl FaultyIo {
             ops: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             faults: Mutex::new(faults),
+            scoped: Mutex::new(Vec::new()),
+            fd_paths: Mutex::new(HashMap::new()),
         })
     }
 
@@ -197,10 +234,23 @@ impl FaultyIo {
         self.faults.lock().expect("fault lock").push(fault);
     }
 
-    /// Disarms every remaining fault — the "space was freed / the
-    /// cable was reseated" transition.
+    /// Arms a fault that only fires on operations whose path contains
+    /// `needle`, with `at_op` counted over those matching operations
+    /// only. Use a shard-file infix like `".s2."` to degrade exactly
+    /// one ingest shard while siblings on the same backend stay clean.
+    pub fn arm_scoped(&self, needle: &str, fault: DiskFault) {
+        self.scoped.lock().expect("fault lock").push(ScopedFault {
+            needle: needle.to_string(),
+            fault,
+            seen: 0,
+        });
+    }
+
+    /// Disarms every remaining fault, global and scoped — the "space
+    /// was freed / the cable was reseated" transition.
     pub fn clear(&self) {
         self.faults.lock().expect("fault lock").clear();
+        self.scoped.lock().expect("fault lock").clear();
     }
 
     /// Operations observed so far.
@@ -213,28 +263,94 @@ impl FaultyIo {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// Advances the op counter and returns the fault to inject on this
-    /// operation, if any.
-    fn check(&self, class: OpClass) -> Option<FaultKind> {
-        let op = self.ops.fetch_add(1, Ordering::Relaxed);
-        let mut faults = self.faults.lock().expect("fault lock");
-        let idx = faults.iter().position(|f| {
-            if f.kind == FaultKind::SyncFail {
-                // Armed at its index, but only a sync trips it.
-                class == OpClass::Sync && op >= f.at_op
-            } else if f.sticky {
-                op >= f.at_op
-            } else {
-                op == f.at_op
-            }
-        })?;
-        let fault = faults[idx];
-        if !fault.sticky {
-            faults.remove(idx);
+    /// Remembers which path a handle was opened on so later
+    /// handle-only operations can resolve it for scoped faults.
+    fn register(&self, file: &File, path: &Path) {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            self.fd_paths
+                .lock()
+                .expect("fault lock")
+                .insert(file.as_raw_fd(), path.to_path_buf());
         }
-        drop(faults);
-        self.injected.fetch_add(1, Ordering::Relaxed);
-        Some(fault.kind)
+        #[cfg(not(unix))]
+        let _ = (file, path);
+    }
+
+    /// The path a handle was opened on, if `create`/`open_rw` saw it.
+    fn path_of(&self, file: &File) -> Option<PathBuf> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            return self
+                .fd_paths
+                .lock()
+                .expect("fault lock")
+                .get(&file.as_raw_fd())
+                .cloned();
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = file;
+            None
+        }
+    }
+
+    /// Does `fault` fire on the `op`-th operation of class `class`
+    /// within its scope?
+    fn fires(fault: &DiskFault, class: OpClass, op: u64) -> bool {
+        if fault.kind == FaultKind::SyncFail {
+            // Armed at its index, but only a sync trips it.
+            class == OpClass::Sync && op >= fault.at_op
+        } else if fault.sticky {
+            op >= fault.at_op
+        } else {
+            op == fault.at_op
+        }
+    }
+
+    /// Advances the op counters (global always; scoped only for
+    /// matching paths) and returns the fault to inject on this
+    /// operation, if any.
+    fn check(&self, class: OpClass, path: Option<&Path>) -> Option<FaultKind> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut hit = None;
+        {
+            let mut faults = self.faults.lock().expect("fault lock");
+            if let Some(idx) = faults.iter().position(|f| Self::fires(f, class, op)) {
+                let fault = faults[idx];
+                if !fault.sticky {
+                    faults.remove(idx);
+                }
+                hit = Some(fault.kind);
+            }
+        }
+        if let Some(path) = path {
+            let p = path.to_string_lossy().into_owned();
+            let mut scoped = self.scoped.lock().expect("fault lock");
+            let mut fired_one_shot = None;
+            for (i, sf) in scoped.iter_mut().enumerate() {
+                if !p.contains(&sf.needle) {
+                    continue;
+                }
+                let sop = sf.seen;
+                sf.seen += 1; // scope-local index advances even when another fault wins
+                if hit.is_none() && fired_one_shot.is_none() && Self::fires(&sf.fault, class, sop) {
+                    hit = Some(sf.fault.kind);
+                    if !sf.fault.sticky {
+                        fired_one_shot = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = fired_one_shot {
+                scoped.remove(i);
+            }
+        }
+        if hit.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     fn fail(kind: FaultKind) -> io::Error {
@@ -247,19 +363,28 @@ impl FaultyIo {
 
 impl IoBackend for FaultyIo {
     fn create(&self, path: &Path) -> io::Result<File> {
-        match self.check(OpClass::Other) {
+        match self.check(OpClass::Other, Some(path)) {
             Some(kind) => Err(Self::fail(kind)),
-            None => self.inner.create(path),
+            None => {
+                let f = self.inner.create(path)?;
+                self.register(&f, path);
+                Ok(f)
+            }
         }
     }
     fn open_rw(&self, path: &Path) -> io::Result<File> {
-        match self.check(OpClass::Other) {
+        match self.check(OpClass::Other, Some(path)) {
             Some(kind) => Err(Self::fail(kind)),
-            None => self.inner.open_rw(path),
+            None => {
+                let f = self.inner.open_rw(path)?;
+                self.register(&f, path);
+                Ok(f)
+            }
         }
     }
     fn write_all(&self, file: &mut File, buf: &[u8]) -> io::Result<()> {
-        match self.check(OpClass::Write) {
+        let path = self.path_of(file);
+        match self.check(OpClass::Write, path.as_deref()) {
             Some(FaultKind::ShortWrite) => {
                 // The nasty case: a prefix of the buffer reaches the
                 // file, then the device fills up.
@@ -272,33 +397,41 @@ impl IoBackend for FaultyIo {
         }
     }
     fn sync_data(&self, file: &File) -> io::Result<()> {
-        match self.check(OpClass::Sync) {
+        let path = self.path_of(file);
+        match self.check(OpClass::Sync, path.as_deref()) {
             Some(kind) => Err(Self::fail(kind)),
             None => self.inner.sync_data(file),
         }
     }
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
-        match self.check(OpClass::Sync) {
+        match self.check(OpClass::Sync, Some(dir)) {
             Some(kind) => Err(Self::fail(kind)),
             None => self.inner.sync_dir(dir),
         }
     }
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        match self.check(OpClass::Other) {
+        match self.check(OpClass::Other, Some(from)) {
             Some(kind) => Err(Self::fail(kind)),
             None => self.inner.rename(from, to),
         }
     }
     fn set_len(&self, file: &File, len: u64) -> io::Result<()> {
-        match self.check(OpClass::Other) {
+        let path = self.path_of(file);
+        match self.check(OpClass::Other, path.as_deref()) {
             Some(kind) => Err(Self::fail(kind)),
             None => self.inner.set_len(file, len),
         }
     }
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        match self.check(OpClass::Other) {
+        match self.check(OpClass::Other, Some(path)) {
             Some(kind) => Err(Self::fail(kind)),
             None => self.inner.remove_file(path),
+        }
+    }
+    fn hard_link(&self, src: &Path, dst: &Path) -> io::Result<()> {
+        match self.check(OpClass::Other, Some(dst)) {
+            Some(kind) => Err(Self::fail(kind)),
+            None => self.inner.hard_link(src, dst),
         }
     }
 }
@@ -455,6 +588,63 @@ mod tests {
         // The first sync trips it; the next one is clean (one-shot).
         assert!(io.sync_data(&f).is_err());
         io.sync_data(&f).expect("disarmed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scoped_fault_only_hits_matching_paths_and_counts_locally() {
+        let dir = tmp_dir("scoped");
+        let io = FaultyIo::new(Vec::new());
+        // Sticky ENOSPC on anything touching ".s1." from its first
+        // matching op; ".s0." files never see it.
+        io.arm_scoped(
+            ".s1.",
+            DiskFault {
+                at_op: 1,
+                kind: FaultKind::Enospc,
+                sticky: true,
+            },
+        );
+        let healthy = dir.join("ingest.0.s0.wal");
+        let faulted = dir.join("ingest.0.s1.wal");
+        let mut h = io.create(&healthy).expect("healthy create");
+        // Matching op 0 (create) passes — the fault is armed at op 1
+        // of the *scope*, not of the backend.
+        let mut f = io.create(&faulted).expect("scoped op 0 clean");
+        io.write_all(&mut h, b"ok").expect("healthy write");
+        let err = io
+            .write_all(&mut f, b"no")
+            .expect_err("scoped op 1 faulted");
+        assert!(is_storage_full(&err));
+        // Handle-only ops resolve their path through the registry, so
+        // the sticky fault follows the open file...
+        assert!(io.sync_data(&f).is_err(), "sticky via fd registry");
+        // ...while the healthy sibling keeps writing and syncing.
+        io.write_all(&mut h, b"ok").expect("healthy write");
+        io.sync_data(&h).expect("healthy sync");
+        io.clear();
+        io.write_all(&mut f, b"yes").expect("cleared");
+        assert_eq!(io.injected(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_link_shares_content_and_is_faultable() {
+        let dir = tmp_dir("link");
+        let src = dir.join("corpus.1.s0.press");
+        std::fs::write(&src, b"shard bytes").expect("seed");
+        let dst = dir.join("corpus.2.s0.press");
+        RealIo.hard_link(&src, &dst).expect("link");
+        assert_eq!(std::fs::read(&dst).expect("read"), b"shard bytes");
+        let io = FaultyIo::new(vec![DiskFault {
+            at_op: 0,
+            kind: FaultKind::Eio,
+            sticky: false,
+        }]);
+        let dst2 = dir.join("corpus.3.s0.press");
+        assert!(io.hard_link(&src, &dst2).is_err());
+        assert!(!dst2.exists());
+        io.hard_link(&src, &dst2).expect("disarmed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

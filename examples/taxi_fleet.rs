@@ -116,7 +116,7 @@ fn main() {
             acked.push((i, offset));
         }
     }
-    let stats = *engine.stats();
+    let stats = engine.stats();
     println!(
         "ingested: {} accepted, {} repaired (coalesced re-sends), {} quarantined",
         stats.points_accepted,
@@ -264,7 +264,71 @@ fn main() {
         survivor.stats().storage_full_rejections
     );
 
+    // --- One shard's disk dies; the rest of the fleet keeps driving. -----
+    // The same fleet at 4 writer shards, with a sticky ENOSPC scoped to
+    // exactly one shard's journal file. Faults are shard-local: taxis
+    // routed to the failed shard are refused with a typed
+    // `ShardDegraded` naming the shard, every other taxi keeps getting
+    // real acks, and when the disk returns the refused fixes re-drive
+    // in the same process — the fleet never noticed.
+    println!("\n--- one shard down, fleet still driving ---");
+    let dir_d = std::env::temp_dir().join(format!("press-taxi-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_d);
+    let sharded_cfg = IngestConfig { shards: 4, ..cfg };
+    let scoped = FaultyIo::new(Vec::new());
+    let mut fleet = IngestEngine::open_with_io(
+        &dir_d,
+        Arc::clone(&matcher),
+        press.reconfigured(press.config()),
+        sharded_cfg,
+        scoped.clone(),
+    )
+    .expect("open sharded");
+    let bad = fleet.shard_of(feed[0].0);
+    scoped.arm_scoped(
+        &format!(".s{bad}.wal"),
+        DiskFault {
+            at_op: 0,
+            kind: FaultKind::Enospc,
+            sticky: true,
+        },
+    );
+    let mut healthy_acks = 0usize;
+    let mut stranded: Vec<Event> = Vec::new();
+    for &(v, s) in &feed {
+        match fleet.push(v, s) {
+            Ok(ack) => healthy_acks += ack.is_ingested() as usize,
+            Err(e) => {
+                assert_eq!(e.degraded_shard(), Some(bad), "fault stays on its shard");
+                assert!(e.is_storage_full(), "typed through the wrapper: {e}");
+                stranded.push((v, s));
+            }
+        }
+    }
+    for k in 0..fleet.num_shards() {
+        let full = fleet.shard_stats(k).storage_full_rejections;
+        assert_eq!(full > 0, k == bad, "only shard {bad} saw the fault");
+    }
+    println!(
+        "shard {bad}/4 disk full: {} fixes refused (typed ShardDegraded, counted on \
+         that shard alone), {healthy_acks} fixes acked on the healthy shards",
+        stranded.len()
+    );
+    scoped.clear(); // the operator swaps the disk
+    for &(v, s) in &stranded {
+        fleet.push(v, s).expect("re-drive after the disk returns");
+    }
+    fleet.finalize_all().expect("finalize");
+    fleet.flush().expect("flush");
+    let fleet_total = fleet.checkpoint().expect("checkpoint");
+    println!(
+        "disk swapped: shard {bad} healed in-process; {fleet_total} trajectories \
+         published across {} per-shard corpus files in one atomic manifest commit",
+        fleet.num_shards()
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir_b);
     let _ = std::fs::remove_dir_all(&dir_c);
+    let _ = std::fs::remove_dir_all(&dir_d);
 }
